@@ -1,0 +1,82 @@
+"""Parameter-sensitivity study for the coarse-grained algorithm.
+
+Extends the paper's fixed (gamma=2, phi=100, eta0=8) setting with sweeps
+over each knob, asserting the qualitative responses the design predicts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.datasets import association_graph
+from repro.bench.experiments import coarse_params_for
+from repro.bench.runner import save_json
+from repro.bench.sensitivity import (
+    delta0_sensitivity,
+    eta0_sensitivity,
+    gamma_sensitivity,
+    phi_sensitivity,
+)
+from repro.core.similarity import compute_similarity_map
+
+
+@pytest.fixture(scope="module")
+def workload(preset):
+    graph = association_graph(preset.alphas[len(preset.alphas) // 2], preset)
+    sim = compute_similarity_map(graph)
+    return graph, sim, coarse_params_for(graph, k2=sim.k2)
+
+
+def test_gamma_sensitivity(benchmark, results_dir, workload):
+    graph, sim, base = workload
+    table = gamma_sensitivity(graph, sim, base=base)
+    save_json(table, results_dir / "sensitivity_gamma.json")
+    table.show()
+    # Tighter soundness bound -> at least as many dendrogram levels.
+    levels = [row["levels"] for row in table.rows]
+    assert levels[0] >= levels[-1]
+    benchmark.pedantic(
+        gamma_sensitivity, args=(graph, sim), kwargs={"base": base},
+        rounds=1, iterations=1,
+    )
+
+
+def test_phi_sensitivity(benchmark, results_dir, workload):
+    graph, sim, base = workload
+    table = phi_sensitivity(graph, sim, base=base)
+    save_json(table, results_dir / "sensitivity_phi.json")
+    table.show()
+    # Larger phi stops earlier: processed fraction non-increasing.
+    fractions = [row["processed_fraction"] for row in table.rows]
+    assert all(b <= a + 1e-9 for a, b in zip(fractions, fractions[1:]))
+    benchmark.pedantic(
+        phi_sensitivity, args=(graph, sim), kwargs={"base": base},
+        rounds=1, iterations=1,
+    )
+
+
+def test_delta0_sensitivity(benchmark, results_dir, workload):
+    graph, sim, base = workload
+    table = delta0_sensitivity(graph, sim, base=base)
+    save_json(table, results_dir / "sensitivity_delta0.json")
+    table.show()
+    # Same final clustering regardless of delta0.
+    finals = {row["final_clusters"] for row in table.rows}
+    assert len(finals) <= 2  # phi cutoff may land one level apart
+    benchmark.pedantic(
+        delta0_sensitivity, args=(graph, sim), kwargs={"base": base},
+        rounds=1, iterations=1,
+    )
+
+
+def test_eta0_sensitivity(benchmark, results_dir, workload):
+    graph, sim, base = workload
+    table = eta0_sensitivity(graph, sim, base=base)
+    save_json(table, results_dir / "sensitivity_eta0.json")
+    table.show()
+    for row in table.rows:
+        assert row["levels"] >= 1
+    benchmark.pedantic(
+        eta0_sensitivity, args=(graph, sim), kwargs={"base": base},
+        rounds=1, iterations=1,
+    )

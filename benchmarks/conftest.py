@@ -1,0 +1,27 @@
+"""Shared benchmark configuration.
+
+Benchmarks honour ``REPRO_BENCH_SCALE`` (tiny / small / large, default
+small).  Every figure benchmark writes its result table as JSON under
+``benchmarks/results/`` so EXPERIMENTS.md numbers can be regenerated.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def preset():
+    from repro.bench.datasets import current_scale
+
+    return current_scale()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Ground-truth recovery: how well does link clustering find communities?
+
+Sweeps the inter-community noise of a planted-partition model and scores
+the recovered overlapping node communities against the planted blocks
+with the omega index (the ARI generalization for overlapping covers).
+Clean structure should score near 1.0, noise-dominated graphs near 0.
+
+Run:  python examples/ground_truth_recovery.py
+"""
+
+from repro import LinkClustering
+from repro.bench.plots import line_plot
+from repro.cluster.validation import omega_index
+from repro.graph import generators
+
+COMMUNITIES = 4
+SIZE = 10
+
+
+def main() -> None:
+    truth = [
+        set(range(c * SIZE, (c + 1) * SIZE)) for c in range(COMMUNITIES)
+    ]
+    print(
+        f"planted partition: {COMMUNITIES} communities x {SIZE} vertices, "
+        "p_in = 0.8, sweeping p_out\n"
+    )
+    print(f"{'p_out':>7} {'edges':>7} {'communities':>12} {'omega':>7}")
+    print("-" * 38)
+
+    curve = []
+    for p_out in (0.02, 0.05, 0.1, 0.2, 0.3, 0.45):
+        graph = generators.planted_partition(
+            COMMUNITIES, SIZE, p_in=0.8, p_out=p_out, seed=31,
+            weight=generators.random_weights(seed=31),
+        )
+        result = LinkClustering(graph).run()
+        found = result.node_communities(min_edges=3)
+        score = omega_index(found, truth, graph.num_vertices)
+        curve.append((p_out, max(score, 1e-3)))
+        print(
+            f"{p_out:>7.2f} {graph.num_edges:>7} {len(found):>12} "
+            f"{score:>7.3f}"
+        )
+
+    print()
+    print(
+        line_plot(
+            {"omega vs p_out": curve},
+            title="recovery quality degrades as communities blur",
+        )
+    )
+    print(
+        "\nlow noise -> near-perfect recovery; past p_out ~ p_in/2 the\n"
+        "planted structure stops being detectable, as expected."
+    )
+
+
+if __name__ == "__main__":
+    main()

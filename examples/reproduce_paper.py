@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Regenerate every figure of the paper's evaluation (Section VII).
+
+Runs all nine figure experiments and prints each table.  Scale is
+selected with REPRO_BENCH_SCALE (tiny / small / large; default small —
+about a minute and a half of wall time on one core; tiny finishes in
+seconds).
+
+Run:  REPRO_BENCH_SCALE=tiny python examples/reproduce_paper.py
+"""
+
+import os
+import sys
+import time
+
+from repro.bench import (
+    bar_chart,
+    fig2_1_changes_on_c,
+    fig2_2_sigmoid_fit,
+    fig4_1_statistics,
+    fig4_2_execution_time,
+    fig4_3_memory,
+    fig5_1_epoch_breakdown,
+    fig5_2_time_memory,
+    fig6_1_init_speedup,
+    fig6_2_sweep_speedup,
+    line_plot,
+    sparkline,
+)
+
+
+def run_fig2_1():
+    table, curve = fig2_1_changes_on_c()
+    print(f"changes per level: {sparkline([c for _, c in curve])}")
+    print()
+    return table
+
+
+def run_fig2_2():
+    table, curves = fig2_2_sigmoid_fit()
+    series = {
+        f"alpha={alpha}": list(zip(xs, ys)) for alpha, (xs, ys) in curves.items()
+    }
+    print(line_plot(series, title="normalized clusters vs normalized log level"))
+    print()
+    return table
+
+
+def run_fig4_2():
+    table = fig4_2_execution_time()
+    series = {
+        name: [
+            (row["alpha"], row[name])
+            for row in table.rows
+            if row.get(name) is not None and row[name] > 0
+        ]
+        for name in ("initialization", "sweeping", "standard")
+    }
+    series = {k: v for k, v in series.items() if v}
+    print(line_plot(series, logx=True, logy=True,
+                    title="execution time vs alpha (log-log)"))
+    print()
+    return table
+
+
+def run_fig5_1():
+    table = fig5_1_epoch_breakdown()
+    groups = {
+        f"alpha={row['alpha']}": {
+            kind: row[kind]
+            for kind in ("head_fresh", "tail_fresh", "rollback", "reused")
+        }
+        for row in table.rows
+    }
+    print(bar_chart(groups, title="epochs by mode"))
+    print()
+    return table
+
+
+def run_fig6(which) -> object:
+    table = which()
+    series = {
+        f"alpha={row['alpha']}": [
+            (t, row[f"T={t}"]) for t in (1, 2, 4, 6)
+        ]
+        for row in table.rows
+    }
+    print(line_plot(series, title="speedup vs workers"))
+    print()
+    return table
+
+
+def main() -> int:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small")
+    print(f"reproducing all figures at scale={scale}\n")
+
+    experiments = [
+        ("Figure 2(1)", run_fig2_1),
+        ("Figure 2(2)", run_fig2_2),
+        ("Figure 4(1)", fig4_1_statistics),
+        ("Figure 4(2)", run_fig4_2),
+        ("Figure 4(3)", fig4_3_memory),
+        ("Figure 5(1)", run_fig5_1),
+        ("Figure 5(2)", fig5_2_time_memory),
+        ("Figure 6(1)", lambda: run_fig6(fig6_1_init_speedup)),
+        ("Figure 6(2)", lambda: run_fig6(fig6_2_sweep_speedup)),
+    ]
+
+    for name, run in experiments:
+        start = time.perf_counter()
+        table = run()
+        elapsed = time.perf_counter() - start
+        table.show()
+        print(f"[{name} regenerated in {elapsed:.1f}s]\n")
+
+    print("done — compare against EXPERIMENTS.md for the paper-vs-measured notes")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Word-association pipeline: raw tweets to word communities.
+
+Reproduces the paper's motivating application (Section III): take a
+corpus of tweets, preprocess them (tokenize, strip stop words, Porter
+stemming), build the word association network from pointwise mutual
+information (Eq. 3), and run link clustering to find overlapping word
+communities — words grouped by the contexts they co-occur in.
+
+The Twitter dataset is not redistributable, so a synthetic topic-model
+corpus stands in (see DESIGN.md's substitution table); swap in your own
+list of raw strings to run on real data.
+
+Run:  python examples/word_association.py
+"""
+
+from repro import LinkClustering
+from repro.corpus import (
+    SyntheticTweetConfig,
+    build_association_graph,
+    generate_tweets,
+    preprocess,
+)
+
+
+def main() -> None:
+    # 1. A month of "tweets" (synthetic stand-in, deterministic).
+    #    disjoint_topics gives the corpus crisp latent communities so the
+    #    clustering has visible ground truth to recover.
+    config = SyntheticTweetConfig(
+        vocabulary_size=300,
+        num_topics=6,
+        num_documents=1500,
+        mean_length=8,
+        chatter_fraction=0.15,
+        topic_width=25,
+        disjoint_topics=True,
+        seed=20111201,
+    )
+    tweets = generate_tweets(config)
+    print(f"corpus: {len(tweets)} tweets")
+    print(f"sample: {tweets[0][:70]}...")
+
+    # 2. Preprocess: tokenize, drop stop words, Porter-stem.
+    corpus = preprocess(tweets)
+    print(f"vocabulary after preprocessing: {corpus.vocabulary_size} stems")
+
+    # 3. Build the word association network over the top-alpha fraction
+    #    of candidate words (the paper's graph-size knob).
+    graph, stats = build_association_graph(corpus, alpha=0.6, return_stats=True)
+    print(
+        f"word graph: {graph.num_vertices} words, {graph.num_edges} "
+        f"positive-PMI edges (density {graph.density():.3f}; "
+        f"{stats.num_cooccurring_pairs} co-occurring pairs considered)"
+    )
+
+    # 4. Link clustering.
+    result = LinkClustering(graph).run()
+    partition, level, density = result.best_partition()
+    print(
+        f"best cut: {partition.num_clusters} link communities at level "
+        f"{level} (partition density {density:.3f})"
+    )
+
+    # 5. Show the largest word communities.
+    print("\nlargest word communities:")
+    communities = result.node_communities(level=level, min_edges=3)
+    communities.sort(key=len, reverse=True)
+    for i, community in enumerate(communities[:5]):
+        words = sorted(graph.vertex_label(v) for v in community)
+        shown = ", ".join(words[:10])
+        more = f" (+{len(words) - 10} more)" if len(words) > 10 else ""
+        print(f"  {i}: {shown}{more}")
+
+    # Words in several communities at once — polysemy/ambiguity signal.
+    membership: dict = {}
+    for community in communities:
+        for v in community:
+            membership[v] = membership.get(v, 0) + 1
+    ambiguous = sorted(
+        (v for v, n in membership.items() if n > 1),
+        key=lambda v: -membership[v],
+    )
+    print(
+        f"\nwords in multiple communities: "
+        f"{[graph.vertex_label(v) for v in ambiguous[:8]]}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (``pip install -e .``).
+
+The offline environment lacks the ``wheel`` package that PEP 660 editable
+installs require, so this file routes pip through ``setup.py develop``.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

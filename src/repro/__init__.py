@@ -1,0 +1,53 @@
+"""repro: reproduction of "Improving Efficiency of Link Clustering on
+Multi-Core Machines" (Guanhua Yan, ICDCS 2017).
+
+Link clustering groups a graph's *edges* by similarity, revealing
+overlapping and hierarchical community structure (Ahn et al., Nature
+2010).  This library implements the paper's three acceleration axes:
+
+* **Algorithm** — the two-phase serial algorithm
+  (:mod:`repro.core.similarity`, :mod:`repro.core.sweep`) with
+  ``O(|V| + K1 log K1 + sqrt(K2) |E|)`` time;
+* **Modeling** — coarse-grained dendrograms with bounded per-level merge
+  rates (:mod:`repro.core.coarse`);
+* **Parallelization** — multi-worker versions of both phases
+  (:mod:`repro.parallel`).
+
+Plus every substrate the evaluation needs: graphs (:mod:`repro.graph`),
+the tweet-corpus / word-association pipeline (:mod:`repro.corpus`),
+baselines (:mod:`repro.baselines`), clustering structures
+(:mod:`repro.cluster`), and the benchmark harness (:mod:`repro.bench`).
+
+Quickstart
+----------
+>>> from repro import LinkClustering
+>>> from repro.graph import generators
+>>> graph = generators.caveman_graph(4, 6)
+>>> result = LinkClustering(graph).run()
+>>> partition, level, density = result.best_partition()
+"""
+
+from repro.core.coarse import CoarseParams, CoarseResult, coarse_sweep
+from repro.core.linkclust import LinkClustering, LinkClusteringResult
+from repro.core.similarity import SimilarityMap, compute_similarity_map
+from repro.core.sweep import SweepResult, sweep
+from repro.errors import ReproError
+from repro.graph.graph import Edge, Graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoarseParams",
+    "CoarseResult",
+    "Edge",
+    "Graph",
+    "LinkClustering",
+    "LinkClusteringResult",
+    "ReproError",
+    "SimilarityMap",
+    "SweepResult",
+    "__version__",
+    "coarse_sweep",
+    "compute_similarity_map",
+    "sweep",
+]

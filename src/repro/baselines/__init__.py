@@ -1,0 +1,41 @@
+"""Baselines the paper compares against (and validates with)."""
+
+from repro.baselines.ahn import AhnResult, ahn_link_clustering
+from repro.baselines.edge_similarity import (
+    all_edge_pair_similarities,
+    edge_pair_similarity,
+    feature_vector,
+    iter_incident_edge_pairs,
+    tanimoto,
+)
+from repro.baselines.mst import MSTResult, mst_link_clustering
+from repro.baselines.nbm import (
+    NBMResult,
+    edge_similarity_matrix,
+    nbm_cluster,
+    nbm_link_clustering,
+)
+from repro.baselines.slink import (
+    PointerRepresentation,
+    slink,
+    slink_link_clustering,
+)
+
+__all__ = [
+    "AhnResult",
+    "MSTResult",
+    "NBMResult",
+    "PointerRepresentation",
+    "ahn_link_clustering",
+    "all_edge_pair_similarities",
+    "edge_pair_similarity",
+    "edge_similarity_matrix",
+    "feature_vector",
+    "iter_incident_edge_pairs",
+    "mst_link_clustering",
+    "nbm_cluster",
+    "nbm_link_clustering",
+    "slink",
+    "slink_link_clustering",
+    "tanimoto",
+]

@@ -1,0 +1,108 @@
+"""Direct (naive) edge-pair similarity per Eqs. (1) and (2).
+
+This is the textbook evaluation of the Tanimoto similarity between two
+incident edges, materializing the feature vectors ``a_i`` explicitly.  It
+costs O(deg) per pair and exists as the *ground truth* that the fast
+three-pass initialization (:mod:`repro.core.similarity`) is tested against,
+and as the similarity oracle for the O(n^2) baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.errors import ClusteringError
+from repro.graph.graph import Graph
+
+__all__ = [
+    "feature_vector",
+    "tanimoto",
+    "edge_pair_similarity",
+    "iter_incident_edge_pairs",
+    "all_edge_pair_similarities",
+]
+
+
+def feature_vector(graph: Graph, i: int) -> Dict[int, float]:
+    """The sparse feature vector ``a_i`` of vertex ``i`` (Eq. 2).
+
+    ``a_i[j] = w_ij`` for each neighbour ``j``, and the self entry
+    ``a_i[i]`` is the average weight over ``i``'s incident edges.
+    """
+    nbrs = graph.neighbors(i)
+    vec = dict(nbrs)
+    if nbrs:
+        vec[i] = sum(nbrs.values()) / len(nbrs)
+    return vec
+
+
+def tanimoto(a: Dict[int, float], b: Dict[int, float]) -> float:
+    """Tanimoto coefficient ``a.b / (|a|^2 + |b|^2 - a.b)`` of sparse vectors."""
+    dot = 0.0
+    if len(b) < len(a):
+        a, b = b, a
+    for key, value in a.items():
+        other = b.get(key)
+        if other is not None:
+            dot += value * other
+    norm_a = sum(v * v for v in a.values())
+    norm_b = sum(v * v for v in b.values())
+    denom = norm_a + norm_b - dot
+    if denom <= 0.0:
+        raise ClusteringError("non-positive Tanimoto denominator")
+    return dot / denom
+
+
+def edge_pair_similarity(graph: Graph, e1: int, e2: int) -> float:
+    """Similarity of two *incident* edges (by edge id), per Eq. (1).
+
+    The similarity is the Tanimoto coefficient of the feature vectors of
+    the two *unshared* endpoints.  Non-incident pairs have similarity 0 by
+    definition; identical ids are rejected.
+    """
+    if e1 == e2:
+        raise ClusteringError("an edge has no similarity with itself")
+    u1, v1 = graph.edge_endpoints(e1)
+    u2, v2 = graph.edge_endpoints(e2)
+    shared = {u1, v1} & {u2, v2}
+    if not shared:
+        return 0.0
+    k = shared.pop()
+    i = u1 if v1 == k else v1
+    j = u2 if v2 == k else v2
+    return tanimoto(feature_vector(graph, i), feature_vector(graph, j))
+
+
+def iter_incident_edge_pairs(graph: Graph) -> Iterator[Tuple[int, int]]:
+    """All incident edge-id pairs ``(e1 < e2)``, each exactly once.
+
+    Enumerates, per vertex, every pair of its incident edges — the count
+    equals the paper's ``K2``.
+    """
+    incident: Dict[int, list] = {v: [] for v in graph.vertices()}
+    for edge in graph.edges():
+        incident[edge.u].append(edge.eid)
+        incident[edge.v].append(edge.eid)
+    for eids in incident.values():
+        eids.sort()
+        for ix in range(len(eids)):
+            for jx in range(ix + 1, len(eids)):
+                yield (eids[ix], eids[jx])
+
+
+def all_edge_pair_similarities(graph: Graph) -> Dict[Tuple[int, int], float]:
+    """Similarity of every incident edge pair, keyed ``(e1 < e2)``.
+
+    O(K2 * deg) time and O(K2) space — only for validation on small
+    graphs; the whole point of the paper is avoiding this.
+    """
+    vectors = {i: feature_vector(graph, i) for i in graph.vertices()}
+    sims: Dict[Tuple[int, int], float] = {}
+    for e1, e2 in iter_incident_edge_pairs(graph):
+        u1, v1 = graph.edge_endpoints(e1)
+        u2, v2 = graph.edge_endpoints(e2)
+        k = ({u1, v1} & {u2, v2}).pop()
+        i = u1 if v1 == k else v1
+        j = u2 if v2 == k else v2
+        sims[(e1, e2)] = tanimoto(vectors[i], vectors[j])
+    return sims

@@ -1,0 +1,128 @@
+"""Benchmark workloads: the alpha-sweep of word-association graphs.
+
+The paper builds one word-association graph per *fraction* ``alpha`` of
+the most frequent candidate words (alpha in 1e-4 .. 1e-2 over a month of
+tweets).  The synthetic corpus here is smaller, so the sweep uses larger
+fractions chosen to reproduce the same qualitative regime: graphs grow
+with alpha while their *density falls* (frequent words co-occur with
+nearly everything) and ``K2`` dominates ``|E|`` by orders of magnitude.
+
+Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable
+(``tiny`` / ``small`` / ``large``; default ``small``).  Corpora and graphs
+are cached per process because every figure shares them.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
+
+from repro.corpus.assoc import build_association_graph
+from repro.corpus.documents import Corpus
+from repro.corpus.synthetic import SyntheticTweetConfig, generate_corpus
+from repro.errors import ParameterError
+from repro.graph.graph import Graph
+
+__all__ = [
+    "ScalePreset",
+    "PRESETS",
+    "current_scale",
+    "bench_corpus",
+    "alpha_sweep",
+    "association_graph",
+]
+
+
+@dataclass(frozen=True)
+class ScalePreset:
+    """One benchmark scale: corpus shape + the alpha sweep."""
+
+    name: str
+    corpus: SyntheticTweetConfig
+    alphas: Tuple[float, ...]
+    #: Alphas for which the O(|E|^2) standard algorithm is still feasible
+    #: (the paper could only finish it for its three smallest graphs).
+    standard_alphas: Tuple[float, ...]
+
+
+PRESETS: Dict[str, ScalePreset] = {
+    "tiny": ScalePreset(
+        name="tiny",
+        corpus=SyntheticTweetConfig(
+            vocabulary_size=400,
+            num_topics=8,
+            num_documents=800,
+            mean_length=7,
+            seed=20170605,
+        ),
+        alphas=(0.02, 0.05, 0.1),
+        standard_alphas=(0.02, 0.05),
+    ),
+    "small": ScalePreset(
+        name="small",
+        corpus=SyntheticTweetConfig(
+            vocabulary_size=3000,
+            num_topics=30,
+            num_documents=6000,
+            mean_length=9,
+            seed=20170605,
+        ),
+        alphas=(0.005, 0.01, 0.02, 0.05, 0.1),
+        standard_alphas=(0.005, 0.01, 0.02, 0.05),
+    ),
+    "large": ScalePreset(
+        name="large",
+        corpus=SyntheticTweetConfig(
+            vocabulary_size=8000,
+            num_topics=60,
+            num_documents=20000,
+            mean_length=10,
+            seed=20170605,
+        ),
+        alphas=(0.002, 0.005, 0.01, 0.02, 0.05),
+        standard_alphas=(0.002, 0.005, 0.01),
+    ),
+}
+
+
+def current_scale() -> ScalePreset:
+    """The preset selected by ``REPRO_BENCH_SCALE`` (default ``small``)."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "small")
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise ParameterError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(PRESETS)}, got {name!r}"
+        ) from None
+
+
+@lru_cache(maxsize=4)
+def _corpus_for(preset_name: str) -> Corpus:
+    return generate_corpus(PRESETS[preset_name].corpus)
+
+
+def bench_corpus(preset: ScalePreset | None = None) -> Corpus:
+    """The (cached) synthetic corpus for a scale preset."""
+    preset = preset or current_scale()
+    return _corpus_for(preset.name)
+
+
+@lru_cache(maxsize=32)
+def _graph_for(preset_name: str, alpha: float) -> Graph:
+    return build_association_graph(_corpus_for(preset_name), alpha=alpha)
+
+
+def association_graph(alpha: float, preset: ScalePreset | None = None) -> Graph:
+    """The (cached) word-association graph for one alpha."""
+    preset = preset or current_scale()
+    return _graph_for(preset.name, alpha)
+
+
+def alpha_sweep(
+    preset: ScalePreset | None = None,
+) -> List[Tuple[float, Graph]]:
+    """``(alpha, graph)`` pairs of the preset's sweep, smallest first."""
+    preset = preset or current_scale()
+    return [(alpha, _graph_for(preset.name, alpha)) for alpha in preset.alphas]

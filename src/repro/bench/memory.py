@@ -1,0 +1,71 @@
+"""Memory measurement for the benchmark harness (Figure 4(3)/5(2)).
+
+The paper reports the *virtual memory* of a dedicated process per run.
+Here runs share one process, so two complementary measurements replace it:
+
+* :func:`measure_peak` — ``tracemalloc`` peak allocated bytes while a
+  callable runs (numpy registers its allocations with tracemalloc, so the
+  standard algorithm's dense matrix is captured);
+* :func:`deep_sizeof` — recursive ``sys.getsizeof`` of a finished data
+  structure, for analytic structure-size accounting.
+
+Orderings and ratios (standard >> sweeping) are preserved; absolute
+numbers differ from RSS, which EXPERIMENTS.md documents.
+"""
+
+from __future__ import annotations
+
+import sys
+import tracemalloc
+from typing import Any, Callable, Tuple
+
+__all__ = ["measure_peak", "deep_sizeof"]
+
+
+def measure_peak(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Tuple[Any, int]:
+    """Run ``fn`` and return ``(result, peak allocated bytes)``.
+
+    Nested use is supported: if tracemalloc is already tracing, the peak
+    counter is reset for this call and tracing is left running.
+    """
+    was_tracing = tracemalloc.is_tracing()
+    if not was_tracing:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    try:
+        result = fn(*args, **kwargs)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        if not was_tracing:
+            tracemalloc.stop()
+    return result, peak
+
+
+def deep_sizeof(obj: Any, _seen: set | None = None) -> int:
+    """Approximate recursive size in bytes of containers of primitives.
+
+    Follows dicts, lists, tuples, sets, and objects with ``__dict__`` or
+    ``__slots__``; shared objects are counted once.
+    """
+    seen = _seen if _seen is not None else set()
+    oid = id(obj)
+    if oid in seen:
+        return 0
+    seen.add(oid)
+    size = sys.getsizeof(obj)
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            size += deep_sizeof(key, seen)
+            size += deep_sizeof(value, seen)
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        for item in obj:
+            size += deep_sizeof(item, seen)
+    else:
+        attrs = getattr(obj, "__dict__", None)
+        if attrs is not None:
+            size += deep_sizeof(attrs, seen)
+        slots = getattr(type(obj), "__slots__", ())
+        for name in slots:
+            if hasattr(obj, name):
+                size += deep_sizeof(getattr(obj, name), seen)
+    return size

@@ -1,0 +1,132 @@
+"""Text plots for the benchmark harness (no plotting library offline).
+
+The paper's figures are log-log curves and grouped bars; these helpers
+render recognizable ASCII versions so `examples/reproduce_paper.py` and
+the CLI can show *shapes*, not just tables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ParameterError
+
+__all__ = ["line_plot", "bar_chart", "sparkline"]
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """One-line intensity plot of ``values`` (downsampled to ``width``)."""
+    if not values:
+        return ""
+    step = max(1, len(values) // width)
+    sampled = list(values[::step])
+    lo, hi = min(sampled), max(sampled)
+    span = hi - lo or 1.0
+    chars = []
+    for v in sampled:
+        idx = int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[idx])
+    return "".join(chars)
+
+
+def line_plot(
+    series: Dict[str, List[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    logx: bool = False,
+    logy: bool = False,
+    title: str = "",
+) -> str:
+    """Multi-series ASCII scatter/line plot.
+
+    ``series`` maps a label to ``(x, y)`` points; each series is drawn
+    with its own marker character.  Log scales mimic the paper's plots.
+    """
+    if not series or all(not pts for pts in series.values()):
+        raise ParameterError("line_plot needs at least one non-empty series")
+    if width < 8 or height < 4:
+        raise ParameterError("plot must be at least 8x4")
+    markers = "ox+*#@%&"
+
+    def tx(x: float) -> float:
+        if logx:
+            if x <= 0:
+                raise ParameterError("log x-axis requires positive x")
+            return math.log10(x)
+        return x
+
+    def ty(y: float) -> float:
+        if logy:
+            if y <= 0:
+                raise ParameterError("log y-axis requires positive y")
+            return math.log10(y)
+        return y
+
+    points = [
+        (tx(x), ty(y))
+        for pts in series.values()
+        for x, y in pts
+    ]
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (label, pts) in zip(markers, series.items()):
+        for x, y in pts:
+            col = int((tx(x) - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((ty(y) - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    legend = "  ".join(
+        f"{marker}={label}" for marker, label in zip(markers, series.keys())
+    )
+    axes = []
+    if logx:
+        axes.append("log x")
+    if logy:
+        axes.append("log y")
+    suffix = f"  [{', '.join(axes)}]" if axes else ""
+    lines.append(f" {legend}{suffix}")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    groups: Dict[str, Dict[str, float]],
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Grouped horizontal bar chart: ``{group: {series: value}}``."""
+    if not groups:
+        raise ParameterError("bar_chart needs at least one group")
+    peak = max(
+        (v for bars in groups.values() for v in bars.values()), default=0.0
+    )
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(
+        (len(str(name)) for bars in groups.values() for name in bars),
+        default=1,
+    )
+    lines = [title] if title else []
+    for group, bars in groups.items():
+        lines.append(f"{group}:")
+        for name, value in bars.items():
+            filled = int(value / peak * width)
+            lines.append(
+                f"  {str(name):<{label_width}} "
+                f"{'#' * filled}{'.' * (width - filled)} {value:g}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Result tables and JSON dumps for the experiment harness.
+
+Every figure-reproduction function prints an aligned text table whose
+rows/series match what the paper plots, and can persist the raw numbers
+as JSON for later inspection.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Union
+
+from repro.errors import ParameterError
+
+__all__ = ["ResultTable", "format_number", "save_json"]
+
+
+def format_number(value: Any) -> str:
+    """Human-friendly cell formatting (engineering-ish)."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        if magnitude >= 100:
+            return f"{value:,.1f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class ResultTable:
+    """An aligned text table with typed rows.
+
+    >>> t = ResultTable("demo", ["alpha", "edges"])
+    >>> t.add_row(alpha=0.01, edges=123)
+    >>> print(t.render())  # doctest: +ELLIPSIS
+    demo
+    ...
+    """
+
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise ParameterError(f"unknown columns {sorted(unknown)}")
+        self.rows.append(values)
+
+    def render(self) -> str:
+        cells = [
+            [format_number(row.get(col)) for col in self.columns]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(col), *(len(r[i]) for r in cells)) if cells else len(col)
+            for i, col in enumerate(self.columns)
+        ]
+        header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(self.columns))
+        rule = "-" * len(header)
+        lines = [self.title, rule, header, rule]
+        for row_cells in cells:
+            lines.append(
+                "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row_cells))
+            )
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print(self.render())
+        print()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"title": self.title, "columns": self.columns, "rows": self.rows}
+
+
+def save_json(
+    payload: Union[ResultTable, Dict[str, Any], List[Any]],
+    path: Union[str, Path],
+) -> None:
+    """Persist a table (or any JSON-serializable payload) to ``path``."""
+    if isinstance(payload, ResultTable):
+        payload = payload.to_dict()
+    Path(path).write_text(json.dumps(payload, indent=2, default=str) + "\n")

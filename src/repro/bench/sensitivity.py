@@ -1,0 +1,139 @@
+"""Sensitivity of coarse-grained clustering to its parameters.
+
+The paper fixes (gamma=2, phi=100, eta0=8) and scales delta0 with the
+workload; this extension sweeps each knob independently and reports how
+the epoch structure, the processed-pair fraction, and the dendrogram
+depth respond — the data needed to *choose* parameters on a new
+workload.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.bench.runner import ResultTable
+from repro.core.coarse import CoarseParams, coarse_sweep
+from repro.core.similarity import SimilarityMap, compute_similarity_map
+from repro.graph.graph import Graph
+
+__all__ = [
+    "gamma_sensitivity",
+    "phi_sensitivity",
+    "delta0_sensitivity",
+    "eta0_sensitivity",
+]
+
+_COLUMNS = [
+    "value",
+    "levels",
+    "epochs",
+    "rollbacks",
+    "reused",
+    "forced",
+    "processed_fraction",
+    "final_clusters",
+]
+
+
+def _row(result, value):
+    counts = result.epoch_kind_counts()
+    return dict(
+        value=value,
+        levels=result.num_levels,
+        epochs=len(result.epochs),
+        rollbacks=counts.get("rollback", 0),
+        reused=counts.get("reused", 0),
+        forced=counts.get("forced", 0),
+        processed_fraction=round(result.processed_fraction, 3),
+        final_clusters=result.chain.num_clusters(),
+    )
+
+
+def _sweep(
+    graph: Graph,
+    sim: SimilarityMap,
+    title: str,
+    values: Sequence,
+    make_params,
+) -> ResultTable:
+    table = ResultTable(title, _COLUMNS)
+    for value in values:
+        result = coarse_sweep(graph, sim, make_params(value))
+        table.add_row(**_row(result, value))
+    return table
+
+
+def gamma_sensitivity(
+    graph: Graph,
+    similarity_map: Optional[SimilarityMap] = None,
+    gammas: Sequence[float] = (1.2, 1.5, 2.0, 3.0, 5.0),
+    base: Optional[CoarseParams] = None,
+) -> ResultTable:
+    """Tighter gamma ⇒ more levels and more rollbacks (finer dendrogram)."""
+    sim = similarity_map or compute_similarity_map(graph)
+    base = base or CoarseParams()
+    return _sweep(
+        graph, sim,
+        "Sensitivity: soundness bound gamma",
+        gammas,
+        lambda g: CoarseParams(
+            gamma=g, phi=base.phi, delta0=base.delta0, eta0=base.eta0
+        ),
+    )
+
+
+def phi_sensitivity(
+    graph: Graph,
+    similarity_map: Optional[SimilarityMap] = None,
+    phis: Sequence[int] = (2, 10, 50, 200),
+    base: Optional[CoarseParams] = None,
+) -> ResultTable:
+    """Larger phi ⇒ earlier stop ⇒ smaller processed fraction."""
+    sim = similarity_map or compute_similarity_map(graph)
+    base = base or CoarseParams()
+    return _sweep(
+        graph, sim,
+        "Sensitivity: cutoff phi",
+        phis,
+        lambda p: CoarseParams(
+            gamma=base.gamma, phi=p, delta0=base.delta0, eta0=base.eta0
+        ),
+    )
+
+
+def delta0_sensitivity(
+    graph: Graph,
+    similarity_map: Optional[SimilarityMap] = None,
+    delta0s: Sequence[float] = (1, 10, 100, 1000),
+    base: Optional[CoarseParams] = None,
+) -> ResultTable:
+    """delta0 mostly shifts where the head mode hands over to the tail."""
+    sim = similarity_map or compute_similarity_map(graph)
+    base = base or CoarseParams()
+    return _sweep(
+        graph, sim,
+        "Sensitivity: initial chunk size delta0",
+        delta0s,
+        lambda d: CoarseParams(
+            gamma=base.gamma, phi=base.phi, delta0=d, eta0=base.eta0
+        ),
+    )
+
+
+def eta0_sensitivity(
+    graph: Graph,
+    similarity_map: Optional[SimilarityMap] = None,
+    eta0s: Sequence[float] = (1.5, 2.0, 4.0, 8.0, 16.0),
+    base: Optional[CoarseParams] = None,
+) -> ResultTable:
+    """Aggressive eta0 ⇒ fewer head epochs but more rollback risk."""
+    sim = similarity_map or compute_similarity_map(graph)
+    base = base or CoarseParams()
+    return _sweep(
+        graph, sim,
+        "Sensitivity: head growth factor eta0",
+        eta0s,
+        lambda e: CoarseParams(
+            gamma=base.gamma, phi=base.phi, delta0=base.delta0, eta0=e
+        ),
+    )

@@ -1,0 +1,72 @@
+"""Wall-clock timing helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, List, Tuple
+
+from repro.errors import ParameterError
+
+__all__ = ["Timer", "time_call", "TimingStats"]
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass(frozen=True)
+class TimingStats:
+    """Summary of repeated timings (seconds)."""
+
+    mean: float
+    minimum: float
+    maximum: float
+    stdev: float
+    repeats: int
+
+
+def time_call(
+    fn: Callable[..., Any], *args: Any, repeat: int = 1, **kwargs: Any
+) -> Tuple[Any, TimingStats]:
+    """Call ``fn`` ``repeat`` times; return (last result, timing summary).
+
+    The paper averages ten runs per setup; benchmarks here default to one
+    (pytest-benchmark handles its own repetition) but the experiment
+    harness can ask for more.
+    """
+    if repeat < 1:
+        raise ParameterError(f"repeat must be >= 1, got {repeat}")
+    samples: List[float] = []
+    result: Any = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        samples.append(time.perf_counter() - start)
+    return result, TimingStats(
+        mean=statistics.fmean(samples),
+        minimum=min(samples),
+        maximum=max(samples),
+        stdev=statistics.stdev(samples) if len(samples) > 1 else 0.0,
+        repeats=repeat,
+    )

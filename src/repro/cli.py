@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``stats``       graph statistics (|V|, |E|, density, K1, K2, K3, bounds)
+``cluster``     link-cluster an edge-list file, print communities
+``corpus``      build a word-association graph from a text file of
+                messages (one per line) and write it as an edge list
+``reproduce``   regenerate one or all of the paper's figures
+
+Examples
+--------
+    python -m repro stats graph.txt
+    python -m repro cluster graph.txt --coarse --phi 50
+    python -m repro corpus tweets.txt --alpha 0.01 -o words.edges
+    python -m repro reproduce --figure 4.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.coarse import CoarseParams
+from repro.core.linkclust import LinkClustering
+from repro.core.metrics import (
+    compute_metrics,
+    standard_cost_bound,
+    sweeping_cost_bound,
+)
+from repro.errors import ReproError
+from repro.graph.io import read_edge_list, write_edge_list
+
+__all__ = ["main", "build_parser"]
+
+_FIGURES = {
+    "2.1": "fig2_1_changes_on_c",
+    "2.2": "fig2_2_sigmoid_fit",
+    "4.1": "fig4_1_statistics",
+    "4.2": "fig4_2_execution_time",
+    "4.3": "fig4_3_memory",
+    "5.1": "fig5_1_epoch_breakdown",
+    "5.2": "fig5_2_time_memory",
+    "6.1": "fig6_1_init_speedup",
+    "6.2": "fig6_2_sweep_speedup",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Link clustering on multi-core machines (ICDCS 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_stats = sub.add_parser("stats", help="graph statistics and cost bounds")
+    p_stats.add_argument("graph", help="edge-list file (u v [weight] per line)")
+    p_stats.add_argument(
+        "--int-labels", action="store_true", help="parse vertex labels as ints"
+    )
+
+    p_cluster = sub.add_parser("cluster", help="link-cluster an edge list")
+    p_cluster.add_argument("graph", help="edge-list file")
+    p_cluster.add_argument(
+        "--int-labels", action="store_true", help="parse vertex labels as ints"
+    )
+    p_cluster.add_argument(
+        "--coarse", action="store_true", help="coarse-grained sweeping"
+    )
+    p_cluster.add_argument("--gamma", type=float, default=2.0,
+                           help="soundness bound (coarse mode)")
+    p_cluster.add_argument("--phi", type=int, default=100,
+                           help="cluster-count cutoff (coarse mode)")
+    p_cluster.add_argument("--delta0", type=float, default=100.0,
+                           help="initial chunk size (coarse mode)")
+    p_cluster.add_argument("--workers", type=int, default=1,
+                           help="parallel workers")
+    p_cluster.add_argument(
+        "--backend", choices=("serial", "thread", "process"), default="serial"
+    )
+    p_cluster.add_argument("--min-edges", type=int, default=2,
+                           help="smallest community to print")
+    p_cluster.add_argument("--top", type=int, default=10,
+                           help="how many communities to print")
+
+    p_corpus = sub.add_parser(
+        "corpus", help="build a word-association graph from raw messages"
+    )
+    p_corpus.add_argument("texts", help="file with one message per line")
+    p_corpus.add_argument("--alpha", type=float, default=0.01,
+                          help="fraction of most frequent words to keep")
+    p_corpus.add_argument("-o", "--output", required=True,
+                          help="output edge-list path")
+
+    p_repro = sub.add_parser("reproduce", help="regenerate paper figures")
+    p_repro.add_argument(
+        "--figure",
+        choices=sorted(_FIGURES) + ["all"],
+        default="all",
+        help="which figure to regenerate",
+    )
+    p_repro.add_argument(
+        "--markdown",
+        metavar="PATH",
+        help="write a full markdown report (all figures + claim checklist)",
+    )
+    return parser
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.graph, int_labels=args.int_labels)
+    m = compute_metrics(graph)
+    print(f"vertices        {m.num_vertices:>12,}")
+    print(f"edges           {m.num_edges:>12,}")
+    print(f"density         {m.density:>12.4f}")
+    print(f"K1 (vertex prs) {m.k1:>12,}")
+    print(f"K2 (edge pairs) {m.k2:>12,}")
+    print(f"K3 (distinct)   {m.k3:>12,}")
+    print(f"sweeping bound  {sweeping_cost_bound(m):>12.3e}")
+    print(f"standard bound  {standard_cost_bound(m):>12.3e}")
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.graph, int_labels=args.int_labels)
+    coarse: bool | CoarseParams = False
+    if args.coarse:
+        coarse = CoarseParams(gamma=args.gamma, phi=args.phi, delta0=args.delta0)
+    result = LinkClustering(
+        graph, coarse=coarse, backend=args.backend, num_workers=args.workers
+    ).run()
+    partition, level, density = result.best_partition()
+    print(
+        f"clustered {graph.num_edges} edges: {result.dendrogram.num_merges} "
+        f"merges, {result.num_levels} levels"
+    )
+    if result.coarse is not None:
+        print(
+            f"coarse epochs: {result.coarse.epoch_kind_counts()} "
+            f"({result.coarse.processed_fraction:.1%} of pairs processed)"
+        )
+    print(f"best cut: level {level}, partition density {density:.4f}")
+    communities = result.node_communities(level=level, min_edges=args.min_edges)
+    communities.sort(key=len, reverse=True)
+    print(f"top {min(args.top, len(communities))} of {len(communities)} communities:")
+    for i, community in enumerate(communities[: args.top]):
+        labels = sorted(str(graph.vertex_label(v)) for v in community)
+        shown = ", ".join(labels[:12])
+        more = f" (+{len(labels) - 12})" if len(labels) > 12 else ""
+        print(f"  [{i}] {shown}{more}")
+    return 0
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from repro.corpus.assoc import build_association_graph
+    from repro.corpus.documents import preprocess
+
+    with open(args.texts, "r", encoding="utf-8") as fh:
+        texts = [line.rstrip("\n") for line in fh if line.strip()]
+    corpus = preprocess(texts)
+    graph, stats = build_association_graph(
+        corpus, alpha=args.alpha, return_stats=True
+    )
+    write_edge_list(graph, args.output)
+    print(
+        f"{stats.num_documents} documents, {stats.vocabulary_size} words kept "
+        f"-> {graph.num_vertices} vertices, {graph.num_edges} edges "
+        f"written to {args.output}"
+    )
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    if args.markdown:
+        from repro.bench.report import generate_report
+
+        text = generate_report()
+        with open(args.markdown, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"report written to {args.markdown}")
+        return 0
+    import repro.bench.experiments as experiments
+
+    names = sorted(_FIGURES) if args.figure == "all" else [args.figure]
+    for name in names:
+        fn = getattr(experiments, _FIGURES[name])
+        out = fn()
+        table = out[0] if isinstance(out, tuple) else out
+        table.show()
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "stats": _cmd_stats,
+        "cluster": _cmd_cluster,
+        "corpus": _cmd_corpus,
+        "reproduce": _cmd_reproduce,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

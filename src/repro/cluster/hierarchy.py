@@ -1,0 +1,119 @@
+"""Hierarchy analysis: cophenetic similarities and dendrogram statistics.
+
+The *cophenetic similarity* of two items is the similarity at which they
+first land in one cluster — the standard way to compare hierarchical
+clusterings independent of merge-event bookkeeping.  Two single-linkage
+implementations are equivalent iff their cophenetic matrices match, which
+is how the test suite ties the sweeping algorithm to SLINK and NBM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster.dendrogram import Dendrogram
+from repro.errors import ClusteringError
+
+__all__ = [
+    "cophenetic_matrix",
+    "cophenetic_correlation",
+    "DendrogramStats",
+    "dendrogram_stats",
+]
+
+
+def cophenetic_matrix(
+    dendrogram: Dendrogram, fill: float = 0.0
+) -> np.ndarray:
+    """Dense ``(n, n)`` cophenetic similarity matrix.
+
+    ``M[a, b]`` is the similarity of the merge that first united ``a``
+    and ``b`` (``fill`` for never-united pairs; diagonal is 1.0).
+    Requires similarities on every merge and non-increasing merge
+    similarities (single linkage guarantees both).  O(n^2) — intended
+    for validation and small-scale analysis.
+    """
+    n = dendrogram.num_items
+    matrix = np.full((n, n), fill, dtype=float)
+    np.fill_diagonal(matrix, 1.0)
+    members: Dict[int, List[int]] = {i: [i] for i in range(n)}
+    last = None
+    for merge in dendrogram.merges:
+        if merge.similarity is None:
+            raise ClusteringError(
+                "cophenetic_matrix needs similarities on every merge"
+            )
+        if last is not None and merge.similarity > last + 1e-12:
+            raise ClusteringError(
+                "merge similarities must be non-increasing (single linkage)"
+            )
+        last = merge.similarity
+        left = members.pop(merge.left)
+        right = members.pop(merge.right)
+        for a in left:
+            row = matrix[a]
+            for b in right:
+                row[b] = merge.similarity
+                matrix[b, a] = merge.similarity
+        left.extend(right)
+        members[merge.parent] = left
+    return matrix
+
+
+def cophenetic_correlation(a: Dendrogram, b: Dendrogram) -> float:
+    """Pearson correlation of two dendrograms' cophenetic similarities.
+
+    1.0 iff the hierarchies place every pair at identical heights —
+    the standard scalar for "same dendrogram?".  Both dendrograms must
+    cover the same items.
+    """
+    if a.num_items != b.num_items:
+        raise ClusteringError("dendrograms cover different item counts")
+    n = a.num_items
+    if n < 2:
+        return 1.0
+    ma = cophenetic_matrix(a)
+    mb = cophenetic_matrix(b)
+    iu = np.triu_indices(n, k=1)
+    va = ma[iu]
+    vb = mb[iu]
+    sa = va.std()
+    sb = vb.std()
+    if sa == 0.0 and sb == 0.0:
+        return 1.0
+    if sa == 0.0 or sb == 0.0:
+        return 0.0
+    return float(np.corrcoef(va, vb)[0, 1])
+
+
+@dataclass(frozen=True)
+class DendrogramStats:
+    """Shape summary of a dendrogram."""
+
+    num_items: int
+    num_merges: int
+    num_levels: int
+    final_clusters: int
+    max_merge_similarity: Optional[float]
+    min_merge_similarity: Optional[float]
+    mean_merges_per_level: float
+
+
+def dendrogram_stats(dendrogram: Dendrogram) -> DendrogramStats:
+    """Summarize a dendrogram (used by examples and the CLI)."""
+    sims = dendrogram.merge_similarities()
+    levels = dendrogram.num_levels
+    return DendrogramStats(
+        num_items=dendrogram.num_items,
+        num_merges=dendrogram.num_merges,
+        num_levels=levels,
+        final_clusters=dendrogram.num_merges_total_clusters(),
+        max_merge_similarity=max(sims) if sims else None,
+        min_merge_similarity=min(sims) if sims else None,
+        mean_merges_per_level=(
+            dendrogram.num_merges / levels if levels else 0.0
+        ),
+    )

@@ -1,0 +1,78 @@
+"""JSON (de)serialization of dendrograms and merge records.
+
+Clustering a large graph is expensive; persisting the dendrogram lets
+downstream analysis (cuts, partition-density scans, community views) run
+without re-clustering.  The format is a stable, versioned JSON document.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TextIO, Union
+
+from repro.cluster.dendrogram import Dendrogram, Merge
+from repro.errors import ClusteringError
+
+__all__ = ["dump_dendrogram", "load_dendrogram", "dumps_dendrogram", "loads_dendrogram"]
+
+_FORMAT_VERSION = 1
+
+
+def dumps_dendrogram(dendrogram: Dendrogram) -> str:
+    """Serialize a dendrogram to a JSON string."""
+    payload = {
+        "format": "repro-dendrogram",
+        "version": _FORMAT_VERSION,
+        "num_items": dendrogram.num_items,
+        "merges": [
+            [m.level, m.left, m.right, m.parent, m.similarity]
+            for m in dendrogram.merges
+        ],
+    }
+    return json.dumps(payload)
+
+
+def loads_dendrogram(text: str) -> Dendrogram:
+    """Parse a dendrogram from a JSON string."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ClusteringError(f"not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != "repro-dendrogram":
+        raise ClusteringError("not a repro dendrogram document")
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ClusteringError(
+            f"unsupported dendrogram format version {payload.get('version')!r}"
+        )
+    try:
+        num_items = int(payload["num_items"])
+        merges = [
+            Merge(
+                level=int(level),
+                left=int(left),
+                right=int(right),
+                parent=int(parent),
+                similarity=None if similarity is None else float(similarity),
+            )
+            for level, left, right, parent, similarity in payload["merges"]
+        ]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ClusteringError(f"malformed dendrogram document: {exc}") from exc
+    return Dendrogram(num_items, merges)
+
+
+def dump_dendrogram(
+    dendrogram: Dendrogram, path: Union[str, Path, TextIO]
+) -> None:
+    """Write a dendrogram to a JSON file (or open text stream)."""
+    text = dumps_dendrogram(dendrogram)
+    if hasattr(path, "write"):
+        path.write(text)  # type: ignore[union-attr]
+        return
+    Path(path).write_text(text + "\n", encoding="utf-8")
+
+
+def load_dendrogram(path: Union[str, Path]) -> Dendrogram:
+    """Read a dendrogram from a JSON file."""
+    return loads_dendrogram(Path(path).read_text(encoding="utf-8"))

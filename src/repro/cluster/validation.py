@@ -1,0 +1,196 @@
+"""Measures for comparing two flat clusterings.
+
+Used by tests and examples to check that our fast sweeping algorithm and the
+O(n^2) baselines produce equivalent clusterings, and that link clustering
+recovers planted community structure.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+
+from repro.errors import ClusteringError
+
+__all__ = [
+    "rand_index",
+    "adjusted_rand_index",
+    "normalized_mutual_information",
+    "omega_index",
+    "same_partition",
+    "canonical_labels",
+]
+
+
+def _contingency(
+    a: Sequence[Hashable], b: Sequence[Hashable]
+) -> Tuple[Counter, Counter, Counter]:
+    if len(a) != len(b):
+        raise ClusteringError(
+            f"label sequences differ in length: {len(a)} vs {len(b)}"
+        )
+    pairs = Counter(zip(a, b))
+    rows = Counter(a)
+    cols = Counter(b)
+    return pairs, rows, cols
+
+
+def _comb2(n: int) -> int:
+    return n * (n - 1) // 2
+
+
+def rand_index(a: Sequence[Hashable], b: Sequence[Hashable]) -> float:
+    """Rand index in [0, 1]; 1.0 means identical partitions."""
+    n = len(a)
+    if n != len(b):
+        raise ClusteringError(
+            f"label sequences differ in length: {len(a)} vs {len(b)}"
+        )
+    if n < 2:
+        return 1.0
+    pairs, rows, cols = _contingency(a, b)
+    sum_pairs = sum(_comb2(c) for c in pairs.values())
+    sum_rows = sum(_comb2(c) for c in rows.values())
+    sum_cols = sum(_comb2(c) for c in cols.values())
+    total = _comb2(n)
+    agree_same = sum_pairs
+    agree_diff = total - sum_rows - sum_cols + sum_pairs
+    return (agree_same + agree_diff) / total
+
+
+def adjusted_rand_index(a: Sequence[Hashable], b: Sequence[Hashable]) -> float:
+    """Adjusted Rand index (chance-corrected); 1.0 means identical."""
+    n = len(a)
+    if n != len(b):
+        raise ClusteringError(
+            f"label sequences differ in length: {len(a)} vs {len(b)}"
+        )
+    if n < 2:
+        return 1.0
+    pairs, rows, cols = _contingency(a, b)
+    index = sum(_comb2(c) for c in pairs.values())
+    sum_rows = sum(_comb2(c) for c in rows.values())
+    sum_cols = sum(_comb2(c) for c in cols.values())
+    total = _comb2(n)
+    expected = sum_rows * sum_cols / total
+    max_index = (sum_rows + sum_cols) / 2.0
+    if max_index == expected:  # both partitions are all-singletons or all-one
+        return 1.0
+    return (index - expected) / (max_index - expected)
+
+
+def normalized_mutual_information(
+    a: Sequence[Hashable], b: Sequence[Hashable]
+) -> float:
+    """NMI with arithmetic-mean normalization; in [0, 1]."""
+    n = len(a)
+    if n != len(b):
+        raise ClusteringError(
+            f"label sequences differ in length: {len(a)} vs {len(b)}"
+        )
+    if n == 0:
+        return 1.0
+    pairs, rows, cols = _contingency(a, b)
+    h_a = -sum((c / n) * math.log(c / n) for c in rows.values() if c)
+    h_b = -sum((c / n) * math.log(c / n) for c in cols.values() if c)
+    if h_a == 0.0 and h_b == 0.0:
+        return 1.0
+    mi = 0.0
+    for (la, lb), c in pairs.items():
+        p_ab = c / n
+        p_a = rows[la] / n
+        p_b = cols[lb] / n
+        mi += p_ab * math.log(p_ab / (p_a * p_b))
+    denom = (h_a + h_b) / 2.0
+    if denom == 0.0:
+        return 1.0
+    return max(0.0, min(1.0, mi / denom))
+
+
+def omega_index(
+    covers_a: Sequence[Iterable[int]],
+    covers_b: Sequence[Iterable[int]],
+    num_items: int,
+) -> float:
+    """Omega index between two *overlapping* covers (Collins & Dent).
+
+    The chance-corrected fraction of item pairs that share the same
+    number of communities in both covers — the ARI generalization for
+    overlapping community structure, which is what link clustering
+    produces.  1.0 means identical co-membership multiplicities; ~0
+    means chance-level agreement.
+
+    Parameters
+    ----------
+    covers_a, covers_b:
+        Each a sequence of communities (iterables of item ids in
+        ``range(num_items)``).  Items may appear in several communities
+        or in none.
+    num_items:
+        Total number of items (pairs are counted over all of them).
+    """
+    if num_items < 2:
+        return 1.0
+
+    def pair_multiplicities(cover: Sequence[Iterable[int]]) -> Counter:
+        counts: Counter = Counter()
+        for community in cover:
+            members = sorted(set(community))
+            for ix in range(len(members)):
+                a = members[ix]
+                if not 0 <= a < num_items:
+                    raise ClusteringError(
+                        f"item {a} outside range({num_items})"
+                    )
+                for b in members[ix + 1 :]:
+                    counts[(a, b)] += 1
+        return counts
+
+    mult_a = pair_multiplicities(covers_a)
+    mult_b = pair_multiplicities(covers_b)
+    total_pairs = num_items * (num_items - 1) // 2
+
+    # Observed agreement: pairs with equal multiplicity in both covers.
+    agree = 0
+    for pair, count in mult_a.items():
+        if mult_b.get(pair, 0) == count:
+            agree += 1
+    # pairs with multiplicity 0 in A: agree iff also 0 in B
+    nonzero_a = len(mult_a)
+    nonzero_b = len(mult_b)
+    zero_agree = total_pairs - nonzero_a - nonzero_b + len(
+        set(mult_a) & set(mult_b)
+    )
+    observed = (agree + zero_agree) / total_pairs
+
+    # Expected agreement under independence: sum over multiplicities of
+    # P_a(level) * P_b(level).
+    levels_a = Counter(mult_a.values())
+    levels_b = Counter(mult_b.values())
+    levels_a[0] = total_pairs - nonzero_a
+    levels_b[0] = total_pairs - nonzero_b
+    expected = sum(
+        (levels_a.get(lvl, 0) / total_pairs)
+        * (levels_b.get(lvl, 0) / total_pairs)
+        for lvl in set(levels_a) | set(levels_b)
+    )
+    if expected >= 1.0:
+        return 1.0
+    return (observed - expected) / (1.0 - expected)
+
+
+def canonical_labels(labels: Sequence[Hashable]) -> List[int]:
+    """Relabel clusters as 0, 1, 2, ... in first-appearance order."""
+    mapping: Dict[Hashable, int] = {}
+    out: List[int] = []
+    for label in labels:
+        if label not in mapping:
+            mapping[label] = len(mapping)
+        out.append(mapping[label])
+    return out
+
+
+def same_partition(a: Sequence[Hashable], b: Sequence[Hashable]) -> bool:
+    """True iff the two label sequences induce the same partition."""
+    return canonical_labels(a) == canonical_labels(b)

@@ -1,0 +1,133 @@
+"""Chunk-size estimators for coarse-grained sweeping (§V-B, Figure 3).
+
+All estimators predict how many more incident edge pairs should be
+processed before the next level boundary, aiming at a *target merging
+rate* ``gamma_tilde = (1 + gamma) / 2``: the next level should have about
+``beta / gamma_tilde`` clusters.
+
+* **Head mode** — exponential growth: ``delta <- delta * eta``, with
+  ``eta`` shrunk toward 1 (``eta <- 1 + (eta - 1)/2``) whenever a head
+  epoch triggers a rollback.
+* **Rollback / tail modes** — linear extrapolation on the
+  (pairs processed, clusters) curve.  Two candidate slopes exist: the line
+  from the last level to a *reference point* (the rolled-back state, or a
+  state saved on the rollback list — the "concave" scenario of Fig. 3) and
+  the line through the previous two levels (the "convex" scenario).  The
+  *steeper* (more negative) slope is used so the estimate errs small and
+  overshoot is avoided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "CurvePoint",
+    "head_next_chunk",
+    "shrink_eta",
+    "target_clusters",
+    "extrapolate_chunk",
+]
+
+MIN_CHUNK = 1
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """One observed point of the cluster-count curve.
+
+    ``xi`` — cumulative incident edge pairs processed when observed;
+    ``beta`` — number of clusters at that moment.
+    """
+
+    xi: float
+    beta: float
+
+    def __post_init__(self) -> None:
+        if self.xi < 0 or self.beta < 0:
+            raise ParameterError(f"curve point must be non-negative: {self}")
+
+
+def head_next_chunk(delta: float, eta: float) -> float:
+    """Head-mode growth ``delta * eta`` (eta > 1)."""
+    if delta < MIN_CHUNK:
+        raise ParameterError(f"delta must be >= {MIN_CHUNK}, got {delta}")
+    if eta <= 1.0:
+        raise ParameterError(f"eta must be > 1 in head mode, got {eta}")
+    return delta * eta
+
+
+def shrink_eta(eta: float) -> float:
+    """Halve ``eta - 1`` after a head->rollback transition."""
+    if eta <= 1.0:
+        raise ParameterError(f"eta must be > 1, got {eta}")
+    return 1.0 + (eta - 1.0) / 2.0
+
+
+def target_clusters(beta: float, gamma_tilde: float) -> float:
+    """Cluster target for the next level: ``beta / gamma_tilde``."""
+    if gamma_tilde < 1.0:
+        raise ParameterError(f"gamma_tilde must be >= 1, got {gamma_tilde}")
+    return beta / gamma_tilde
+
+
+def _slope(a: CurvePoint, b: CurvePoint) -> Optional[float]:
+    """Clusters-per-pair slope from ``a`` to ``b``; None when degenerate.
+
+    A useful slope must be negative (clusters shrink as pairs are
+    processed) with ``b`` strictly ahead of ``a``.
+    """
+    if b.xi <= a.xi:
+        return None
+    slope = (b.beta - a.beta) / (b.xi - a.xi)
+    return slope if slope < 0.0 else None
+
+
+def extrapolate_chunk(
+    last: CurvePoint,
+    previous: Optional[CurvePoint],
+    reference: Optional[CurvePoint],
+    gamma_tilde: float,
+    fallback: float,
+) -> float:
+    """Estimate the next chunk size from curve slopes (Fig. 3).
+
+    Parameters
+    ----------
+    last:
+        The current (safe) level — extrapolation starts here.
+    previous:
+        The level before ``last`` (convex-scenario line), if any.
+    reference:
+        A point *ahead* of ``last`` — the rolled-back epoch state or a
+        state from the rollback list (concave-scenario line), if any.
+    gamma_tilde:
+        Target merging rate; the next level aims at
+        ``last.beta / gamma_tilde`` clusters.
+    fallback:
+        Chunk size to return when no usable slope exists (e.g. the
+        previous chunk size).
+
+    Returns
+    -------
+    The estimated number of additional incident edge pairs (>= 1).  Using
+    the steeper of the two candidate slopes keeps the estimate conservative
+    (expected smaller than the true chunk achieving the target).
+    """
+    target = target_clusters(last.beta, gamma_tilde)
+    drop = target - last.beta  # negative: clusters to shed
+    candidates = []
+    ref_slope = _slope(last, reference) if reference is not None else None
+    if ref_slope is not None:
+        candidates.append(ref_slope)
+    prev_slope = _slope(previous, last) if previous is not None else None
+    if prev_slope is not None:
+        candidates.append(prev_slope)
+    if not candidates or drop >= 0.0:
+        return max(float(MIN_CHUNK), fallback)
+    steepest = min(candidates)  # most negative -> smallest chunk estimate
+    chunk = drop / steepest
+    return max(float(MIN_CHUNK), chunk)

@@ -1,0 +1,615 @@
+"""Coarse-grained hierarchical link clustering (Section V).
+
+Instead of one dendrogram level per merge, the sorted pair list ``L`` is
+processed in *chunks*; every merge inside a chunk lands on the same level.
+The chunk boundaries are chosen online so the dendrogram is *sound*: the
+cluster count shrinks by at most a factor ``gamma`` per level, until fewer
+than ``phi`` clusters remain (then everything merges into the root).
+
+The driver is an epoch machine (Fig. 2(3)):
+
+* an epoch processes vertex pairs until the estimated chunk size ``delta``
+  is exhausted, then counts clusters ``beta_new`` and evaluates predicates
+  C1/C2/C3 (:mod:`repro.core.modes`);
+* soundness violation (¬C2) rolls the epoch back to the last safe state
+  ``Q* = (beta, xi, p, C)`` — the discarded state is kept on a rollback
+  list both as a slope reference and for *reuse*: a later level whose
+  cluster count satisfies ``beta / beta' <= gamma`` against a saved state
+  can jump straight to it, skipping recomputation;
+* chunk sizes grow exponentially in head mode (factor ``eta``, damped on
+  rollback) and are slope-extrapolated in tail/rollback modes
+  (:mod:`repro.core.chunking`).
+
+Implementation notes (documented deviations, none behavioural):
+
+* Vertex pairs are atomic (the paper checks ``xi + |l| < Delta + delta``
+  before splitting), so instead of accumulating ``Delta += delta`` we
+  reset the chunk budget to the *actual* pair count ``xi`` at each epoch
+  start; this removes bookkeeping drift with identical boundary decisions.
+* A single vertex pair can merge clusters faster than ``gamma`` allows;
+  no chunk subdivision can fix that (the unit is atomic), so after the
+  chunk size bottoms out at one pair the epoch is *force-committed* and
+  flagged (``forced``), keeping the algorithm total.
+* Because every reachable state is "the state after processing a prefix
+  of ``L``" and merge outcomes are order-independent, a saved rollback
+  state is reusable from any earlier position; its pending merge records
+  carry their list position so a jump emits exactly the not-yet-emitted
+  ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cluster.dendrogram import Dendrogram, DendrogramBuilder
+from repro.cluster.unionfind import ChainArray
+from repro.core.chunking import (
+    MIN_CHUNK,
+    CurvePoint,
+    extrapolate_chunk,
+    head_next_chunk,
+    shrink_eta,
+)
+from repro.core.modes import Mode, evaluate_predicates, next_mode
+from repro.core.similarity import SimilarityMap, compute_similarity_map
+from repro.core.sweep import build_edge_index
+from repro.errors import ParameterError
+from repro.graph.graph import Graph
+
+__all__ = [
+    "CoarseParams",
+    "EpochRecord",
+    "CoarseResult",
+    "coarse_sweep",
+    "FixedChunkLevel",
+    "fixed_chunk_sweep",
+]
+
+
+@dataclass(frozen=True)
+class CoarseParams:
+    """Parameters ``(gamma, phi, delta0)`` plus the head growth factor.
+
+    Defaults follow Section VII-B: ``gamma = 2``, ``phi = 100``,
+    ``eta0 = 8``; ``delta0`` is workload-dependent (the paper uses 100 to
+    10000 depending on graph size).
+    """
+
+    gamma: float = 2.0
+    phi: int = 100
+    delta0: float = 100.0
+    eta0: float = 8.0
+    finalize_root: bool = True
+    max_consecutive_rollbacks: int = 30
+
+    def __post_init__(self) -> None:
+        if self.gamma < 1.0:
+            raise ParameterError(f"gamma must be >= 1, got {self.gamma}")
+        if self.phi < 1:
+            raise ParameterError(f"phi must be >= 1, got {self.phi}")
+        if self.delta0 < MIN_CHUNK:
+            raise ParameterError(f"delta0 must be >= {MIN_CHUNK}, got {self.delta0}")
+        if self.eta0 <= 1.0:
+            raise ParameterError(f"eta0 must be > 1, got {self.eta0}")
+        if self.max_consecutive_rollbacks < 1:
+            raise ParameterError("max_consecutive_rollbacks must be >= 1")
+
+    @property
+    def gamma_tilde(self) -> float:
+        """Target merging rate ``(1 + gamma) / 2``."""
+        return (1.0 + self.gamma) / 2.0
+
+
+@dataclass(frozen=True)
+class _PendingMerge:
+    """A genuine merge awaiting level assignment (pos = index into L)."""
+
+    pos: int
+    c1: int
+    c2: int
+    parent: int
+    similarity: float
+
+
+@dataclass
+class _EpochState:
+    """Snapshot ``Q = (beta, xi, p, C)`` plus pending merges."""
+
+    beta: int
+    xi: int
+    p: int
+    chain: ChainArray
+    pending: List[_PendingMerge]
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """One epoch-boundary event, for Figure 5(1)'s breakdown.
+
+    ``kind`` is one of ``head_fresh``, ``tail_fresh``, ``rollback``,
+    ``reused``, or ``forced``.
+    """
+
+    kind: str
+    level: Optional[int]
+    chunk: float
+    beta_before: int
+    beta_after: int
+    xi: int
+    p: int
+
+
+@dataclass
+class CoarseResult:
+    """Output of a coarse-grained sweep."""
+
+    dendrogram: Dendrogram
+    chain: ChainArray
+    edge_index: List[int]
+    epochs: List[EpochRecord]
+    num_levels: int
+    k1: int
+    k2: int
+    pairs_processed: int
+    stopped_by_phi: bool
+
+    @property
+    def processed_fraction(self) -> float:
+        """Fraction of incident edge pairs processed before stopping.
+
+        The paper reports 55.1% at fraction 0.005 — the tail skipped by the
+        ``phi`` cutoff is the coarse algorithm's speed advantage.
+        """
+        return self.pairs_processed / self.k2 if self.k2 else 1.0
+
+    def edge_labels(self) -> List[int]:
+        """Final cluster label of every edge id."""
+        return [self.chain.find(self.edge_index[eid])
+                for eid in range(len(self.edge_index))]
+
+    def epoch_kind_counts(self) -> dict:
+        """Histogram of epoch kinds (Figure 5(1) bars)."""
+        counts: dict = {}
+        for epoch in self.epochs:
+            counts[epoch.kind] = counts.get(epoch.kind, 0) + 1
+        return counts
+
+
+def transition_merges(
+    before: ChainArray, after: ChainArray
+) -> List[Tuple[int, int, int]]:
+    """Merge records ``(c1, c2, parent)`` turning partition ``before`` into
+    ``after``.
+
+    ``after`` must be a refinement-coarsening of ``before`` (obtained from
+    it by merges).  For every group of ``before``-roots that share an
+    ``after``-cluster, the larger roots merge into the smallest one —
+    exactly the records the chain-array ``MERGE`` would have emitted.
+    Used by the parallel sweeper, whose per-thread merging has no global
+    merge-event stream.
+    """
+    groups: dict = {}
+    for root in before.cluster_roots():
+        groups.setdefault(after.find(root), []).append(root)
+    merges: List[Tuple[int, int, int]] = []
+    for roots in groups.values():
+        if len(roots) < 2:
+            continue
+        roots.sort()
+        base = roots[0]
+        for other in roots[1:]:
+            merges.append((base, other, base))
+    return merges
+
+
+class _CoarseSweeper:
+    """Single-use driver holding the epoch machine's mutable state."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        similarity_map: SimilarityMap,
+        params: CoarseParams,
+        edge_order: Optional[Sequence[int]],
+    ):
+        self.graph = graph
+        self.params = params
+        self.pairs = similarity_map.sorted_pairs()
+        self.k1 = similarity_map.k1
+        self.k2 = similarity_map.k2
+        self.index = build_edge_index(graph, edge_order)
+        self.num_edges = graph.num_edges
+
+        self.chain = ChainArray(self.num_edges)
+        self.builder = DendrogramBuilder(self.num_edges)
+        self.pending: List[_PendingMerge] = []
+        self.epochs: List[EpochRecord] = []
+        self.rollback_list: List[_EpochState] = []
+
+        self.beta = self.num_edges
+        self.xi = 0
+        self.p = 0
+        self.level = 0
+        self.delta = float(params.delta0)
+        self.eta = float(params.eta0)
+        self.mode = Mode.HEAD
+        self.consecutive_rollbacks = 0
+        self.stopped_by_phi = False
+
+        self.prev_point: Optional[CurvePoint] = None
+        self.last_point = CurvePoint(0.0, float(self.num_edges))
+        self.epoch_start_xi = 0
+        self.safe = self._snapshot()
+
+    # ------------------------------------------------------------------
+    # state plumbing
+    # ------------------------------------------------------------------
+    def _snapshot(self) -> _EpochState:
+        return _EpochState(
+            beta=self.beta,
+            xi=self.xi,
+            p=self.p,
+            chain=self.chain.copy(),
+            pending=[],
+        )
+
+    def _restore(self, state: _EpochState) -> None:
+        self.beta = state.beta
+        self.xi = state.xi
+        self.p = state.p
+        self.chain = state.chain.copy()
+        self.pending = []
+        self.epoch_start_xi = self.xi
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self) -> CoarseResult:
+        # Every chunk — including the one that exhausts the list — goes
+        # through the boundary logic, so the soundness property (C2) is
+        # enforced on the final level too: an oversized last chunk rolls
+        # back and is retried smaller, exactly like any other epoch.
+        pairs = self.pairs
+        while self.p < len(pairs):
+            chunk = self._collect_chunk()
+            self._apply_chunk(chunk)
+            if self._epoch_boundary():
+                break
+
+        if self.stopped_by_phi and self.params.finalize_root:
+            self._merge_root()
+
+        return CoarseResult(
+            dendrogram=self.builder.build(),
+            chain=self.chain,
+            edge_index=self.index,
+            epochs=self.epochs,
+            num_levels=self.level,
+            k1=self.k1,
+            k2=self.k2,
+            pairs_processed=self.xi,
+            stopped_by_phi=self.stopped_by_phi,
+        )
+
+    def _collect_chunk(self) -> range:
+        """Positions of this epoch's chunk (>= 1 vertex pair).
+
+        Walks forward from ``p`` until the estimated chunk size ``delta``
+        is exhausted, honouring vertex-pair atomicity (the last pair that
+        would cross the budget ends the chunk).
+        """
+        pairs = self.pairs
+        start = self.p
+        end = start
+        budget = self.epoch_start_xi + self.delta
+        xi = self.xi
+        while end < len(pairs):
+            commons = pairs[end][2]
+            if end > start and xi + len(commons) >= budget:
+                break
+            xi += len(commons)
+            end += 1
+        return range(start, end)
+
+    def _apply_chunk(self, chunk: range) -> None:
+        """Merge every incident edge pair of the chunk's vertex pairs.
+
+        Overridden by the parallel sweeper (per-thread ``C`` copies plus a
+        hierarchical array merge, Section VI-B).
+        """
+        graph = self.graph
+        index = self.index
+        pairs = self.pairs
+        for pos in chunk:
+            similarity, (vi, vj), commons = pairs[pos]
+            for vk in commons:
+                i1 = index[graph.edge_id(vi, vk)]
+                i2 = index[graph.edge_id(vj, vk)]
+                outcome = self.chain.merge(i1, i2)
+                if outcome.merged:
+                    self.pending.append(
+                        _PendingMerge(
+                            pos, outcome.c1, outcome.c2, outcome.parent, similarity
+                        )
+                    )
+            self.xi += len(commons)
+            self.p = pos + 1
+
+    # ------------------------------------------------------------------
+    # epoch boundary handling
+    # ------------------------------------------------------------------
+    def _epoch_boundary(self) -> bool:
+        """Handle one boundary; returns True when the sweep should stop."""
+        params = self.params
+        beta_new = self.chain.num_clusters()
+        preds = evaluate_predicates(
+            self.beta, beta_new, self.num_edges, params.gamma, params.phi
+        )
+        mode_next = next_mode(preds)
+
+        if mode_next is Mode.ROLLBACK:
+            at_floor = self.delta <= MIN_CHUNK
+            exhausted = (
+                self.consecutive_rollbacks >= params.max_consecutive_rollbacks
+            )
+            if not (at_floor or exhausted):
+                self._rollback(beta_new)
+                return False
+            # Atomic vertex pair (or rollback budget) prevents soundness:
+            # force-commit and flag it.
+            self._commit("forced", beta_new)
+        else:
+            kind = "tail_fresh" if mode_next is Mode.TAIL else "head_fresh"
+            self._commit(kind, beta_new)
+
+        if preds.c3 and beta_new <= self.num_edges / 2.0:
+            self.stopped_by_phi = True
+            return True
+
+        if self._try_jump():
+            if self.beta <= params.phi:
+                self.stopped_by_phi = True
+                return True
+
+        self._estimate_next_chunk()
+        return False
+
+    def _rollback(self, beta_new: int) -> None:
+        params = self.params
+        # Save the discarded state for future reuse / as a slope reference.
+        self.rollback_list.append(
+            _EpochState(
+                beta=beta_new,
+                xi=self.xi,
+                p=self.p,
+                chain=self.chain.copy(),
+                pending=list(self.pending),
+            )
+        )
+        self.epochs.append(
+            EpochRecord(
+                kind="rollback",
+                level=None,
+                chunk=self.delta,
+                beta_before=self.beta,
+                beta_after=beta_new,
+                xi=self.xi,
+                p=self.p,
+            )
+        )
+        if self.mode is Mode.HEAD:
+            self.eta = shrink_eta(self.eta)
+        reference = CurvePoint(float(self.xi), float(beta_new))
+        if self.consecutive_rollbacks > 0:
+            # Consecutive rollbacks: halve the step toward the safe level.
+            self.delta = max(float(MIN_CHUNK), self.delta / 2.0)
+        else:
+            self.delta = extrapolate_chunk(
+                self.last_point,
+                self.prev_point,
+                reference,
+                params.gamma_tilde,
+                fallback=max(float(MIN_CHUNK), self.delta / 2.0),
+            )
+        self.consecutive_rollbacks += 1
+        self.mode = Mode.ROLLBACK
+        self._restore(self.safe)
+
+    def _commit(self, kind: str, beta_new: int) -> None:
+        self.level += 1
+        for pm in self.pending:
+            self.builder.record(self.level, pm.c1, pm.c2, pm.parent, pm.similarity)
+        self.pending = []
+        self.epochs.append(
+            EpochRecord(
+                kind=kind,
+                level=self.level,
+                chunk=self.delta,
+                beta_before=self.beta,
+                beta_after=beta_new,
+                xi=self.xi,
+                p=self.p,
+            )
+        )
+        self.prev_point = self.last_point
+        self.last_point = CurvePoint(float(self.xi), float(beta_new))
+        self.beta = beta_new
+        self.consecutive_rollbacks = 0
+        self.mode = Mode.TAIL if beta_new <= self.num_edges / 2.0 else Mode.HEAD
+        self.epoch_start_xi = self.xi
+        self.safe = self._snapshot()
+        # Saved states the sweep has passed can never be used again.
+        self.rollback_list = [
+            s for s in self.rollback_list if s.beta < self.beta and s.p > self.p
+        ]
+
+    def _try_jump(self) -> bool:
+        """Reuse a saved rollback state as the next level, if one is sound.
+
+        Candidates must be ahead of the current level (``beta' < beta``)
+        and sound against it (``beta / beta' <= gamma``); the one with the
+        *smallest* cluster count is taken — the most progress per level.
+        """
+        params = self.params
+        candidates = [
+            s
+            for s in self.rollback_list
+            if s.beta < self.beta and self.beta / s.beta <= params.gamma
+        ]
+        if not candidates:
+            return False
+        target = min(candidates, key=lambda s: s.beta)
+        self.rollback_list.remove(target)
+
+        self.level += 1
+        current_pos = self.p
+        for pm in target.pending:
+            if pm.pos >= current_pos:
+                self.builder.record(
+                    self.level, pm.c1, pm.c2, pm.parent, pm.similarity
+                )
+        self.epochs.append(
+            EpochRecord(
+                kind="reused",
+                level=self.level,
+                chunk=float(target.xi - self.xi),
+                beta_before=self.beta,
+                beta_after=target.beta,
+                xi=target.xi,
+                p=target.p,
+            )
+        )
+        self.chain = target.chain.copy()
+        self.xi = target.xi
+        self.p = target.p
+        self.prev_point = self.last_point
+        self.last_point = CurvePoint(float(self.xi), float(target.beta))
+        self.beta = target.beta
+        self.mode = Mode.TAIL if self.beta <= self.num_edges / 2.0 else Mode.HEAD
+        self.pending = []
+        self.epoch_start_xi = self.xi
+        self.safe = self._snapshot()
+        self.rollback_list = [
+            s for s in self.rollback_list if s.beta < self.beta and s.p > self.p
+        ]
+        return True
+
+    def _estimate_next_chunk(self) -> None:
+        params = self.params
+        if self.mode is Mode.HEAD:
+            self.delta = head_next_chunk(max(self.delta, float(MIN_CHUNK)), self.eta)
+            return
+        # Tail mode: Eq. (6) — the *closest* saved state ahead of us.
+        reference: Optional[CurvePoint] = None
+        ahead = [s for s in self.rollback_list if s.beta < self.beta]
+        if ahead:
+            closest = max(ahead, key=lambda s: s.beta)
+            reference = CurvePoint(float(closest.xi), float(closest.beta))
+        self.delta = extrapolate_chunk(
+            self.last_point,
+            self.prev_point,
+            reference,
+            params.gamma_tilde,
+            fallback=self.delta,
+        )
+
+    def _merge_root(self) -> None:
+        """Merge the remaining clusters into one at the root level."""
+        roots = sorted(self.chain.cluster_roots())
+        if len(roots) <= 1:
+            return
+        self.level += 1
+        base = roots[0]
+        for other in roots[1:]:
+            outcome = self.chain.merge(base, other)
+            if outcome.merged:
+                self.builder.record(
+                    self.level, outcome.c1, outcome.c2, outcome.parent, None
+                )
+
+
+def coarse_sweep(
+    graph: Graph,
+    similarity_map: Optional[SimilarityMap] = None,
+    params: Optional[CoarseParams] = None,
+    edge_order: Optional[Sequence[int]] = None,
+) -> CoarseResult:
+    """Run the coarse-grained sweeping algorithm of Section V.
+
+    Parameters mirror :func:`repro.core.sweep.sweep`, with
+    :class:`CoarseParams` controlling the dendrogram shape.
+    """
+    sim = similarity_map if similarity_map is not None else compute_similarity_map(graph)
+    sweeper = _CoarseSweeper(graph, sim, params or CoarseParams(), edge_order)
+    return sweeper.run()
+
+
+# ----------------------------------------------------------------------
+# Fixed-size chunking (the exploratory experiments behind Figure 2)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FixedChunkLevel:
+    """Statistics of one fixed-size chunk level (Figure 2(1)/(2) data)."""
+
+    level: int
+    pairs_processed: int
+    clusters: int
+    changes: int
+
+
+def fixed_chunk_sweep(
+    graph: Graph,
+    similarity_map: Optional[SimilarityMap] = None,
+    chunk_size: int = 1000,
+    edge_order: Optional[Sequence[int]] = None,
+) -> List[FixedChunkLevel]:
+    """Sweep with fixed-size chunks, recording per-level statistics.
+
+    This is the instrumentation run behind Figure 2: incident edge pairs
+    are processed in similarity order in chunks of ``chunk_size``, and at
+    each boundary the cluster count and the number of changes applied to
+    array ``C`` are recorded.
+    """
+    if chunk_size < 1:
+        raise ParameterError(f"chunk_size must be >= 1, got {chunk_size}")
+    sim = similarity_map if similarity_map is not None else compute_similarity_map(graph)
+    index = build_edge_index(graph, edge_order)
+    chain = ChainArray(graph.num_edges)
+
+    levels: List[FixedChunkLevel] = []
+    processed = 0
+    boundary = chunk_size
+    level = 1
+    changes_mark = 0
+    for similarity, (vi, vj), commons in sim.sorted_pairs():
+        for vk in commons:
+            chain.merge(
+                index[graph.edge_id(vi, vk)], index[graph.edge_id(vj, vk)]
+            )
+        processed += len(commons)
+        if processed >= boundary:
+            levels.append(
+                FixedChunkLevel(
+                    level=level,
+                    pairs_processed=processed,
+                    clusters=chain.num_clusters(),
+                    changes=chain.changes - changes_mark,
+                )
+            )
+            changes_mark = chain.changes
+            level += 1
+            while boundary <= processed:
+                boundary += chunk_size
+    if processed and (not levels or levels[-1].pairs_processed != processed):
+        levels.append(
+            FixedChunkLevel(
+                level=level,
+                pairs_processed=processed,
+                clusters=chain.num_clusters(),
+                changes=chain.changes - changes_mark,
+            )
+        )
+    return levels

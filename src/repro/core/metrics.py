@@ -1,0 +1,103 @@
+"""Graph metrics used by the paper's complexity analysis (Section IV-C).
+
+========  ==========================================================
+Notation  Definition
+========  ==========================================================
+``K1``    Number of vertex pairs with at least one common neighbour
+``K2``    Number of pairs of incident edges in G
+``K3``    Number of pairs of distinct edges in G
+========  ==========================================================
+
+For any graph ``K1 <= K2 <= K3`` (several incident edge pairs can connect
+the same distance-2 vertex pair).  The serial algorithm costs
+``O(|V| + K1 log K1 + sqrt(K2) |E|)`` versus the standard algorithm's
+``O(|E|^2)``, so these quantities decide when sweeping wins.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Set, Tuple
+
+from repro.graph.graph import Graph
+
+__all__ = [
+    "GraphMetrics",
+    "count_k1",
+    "count_k2",
+    "count_k3",
+    "compute_metrics",
+    "sweeping_cost_bound",
+    "standard_cost_bound",
+]
+
+
+def count_k1(graph: Graph) -> int:
+    """K1: vertex pairs with at least one common neighbour.
+
+    O(K2) time, O(K1) space — enumerates each wedge once.
+    """
+    pairs: Set[Tuple[int, int]] = set()
+    for i in graph.vertices():
+        nbrs = sorted(graph.neighbors(i))
+        deg = len(nbrs)
+        for jx in range(deg):
+            vj = nbrs[jx]
+            for kx in range(jx + 1, deg):
+                pairs.add((vj, nbrs[kx]))
+    return len(pairs)
+
+
+def count_k2(graph: Graph) -> int:
+    """K2: pairs of incident edges, ``sum_i d_i (d_i - 1) / 2`` (Eq. 11)."""
+    return sum(d * (d - 1) // 2 for d in graph.degrees())
+
+
+def count_k3(graph: Graph) -> int:
+    """K3: pairs of distinct edges, ``|E| (|E| - 1) / 2``."""
+    m = graph.num_edges
+    return m * (m - 1) // 2
+
+
+@dataclass(frozen=True)
+class GraphMetrics:
+    """All the statistics plotted in Figure 4(1), for one graph."""
+
+    num_vertices: int
+    num_edges: int
+    k1: int
+    k2: int
+    k3: int
+    density: float
+
+    def __post_init__(self) -> None:
+        # The paper's invariant K1 <= K2 <= K3 must always hold.
+        assert self.k1 <= self.k2 <= self.k3, (self.k1, self.k2, self.k3)
+
+
+def compute_metrics(graph: Graph) -> GraphMetrics:
+    """Compute every statistic of Figure 4(1) for ``graph``."""
+    return GraphMetrics(
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        k1=count_k1(graph),
+        k2=count_k2(graph),
+        k3=count_k3(graph),
+        density=graph.density(),
+    )
+
+
+def sweeping_cost_bound(metrics: GraphMetrics) -> float:
+    """Theorem 2's asymptotic cost ``|V| + K1 log K1 + sqrt(K2) |E|``."""
+    k1_term = metrics.k1 * math.log2(metrics.k1) if metrics.k1 > 1 else 0.0
+    return (
+        metrics.num_vertices
+        + k1_term
+        + math.sqrt(metrics.k2) * metrics.num_edges
+    )
+
+
+def standard_cost_bound(metrics: GraphMetrics) -> float:
+    """The standard single-linkage algorithm's ``|E|^2`` cost."""
+    return float(metrics.num_edges) ** 2

@@ -1,0 +1,86 @@
+"""Mode transition machine of coarse-grained clustering (Fig. 2(3), §V-A).
+
+Coarse-grained sweeping distinguishes three modes:
+
+* ``HEAD`` — the top of the dendrogram curve: at least ``|E|/2`` clusters
+  remain; chunk sizes grow exponentially.
+* ``TAIL`` — fewer than ``|E|/2`` clusters remain; chunk sizes are
+  extrapolated from the cluster-count curve's slope.
+* ``ROLLBACK`` — the last chunk merged clusters faster than the soundness
+  threshold ``gamma`` allows; the epoch is discarded and retried smaller.
+
+Transitions are decided by three predicates evaluated at every epoch
+boundary (``beta`` = clusters at the previous level, ``beta_new`` = clusters
+now):
+
+* ``C1``: ``beta_new <= |E| / 2``  (head vs tail)
+* ``C2``: ``beta / beta_new <= gamma``  (soundness held)
+* ``C3``: ``beta_new <= phi``  (few enough clusters to finish at the root)
+
+The paper's Figure 2(3) is a diagram we reproduce from the text: ``not C2``
+forces ``ROLLBACK`` from any mode; otherwise ``C1`` selects ``TAIL`` and
+``not C1`` selects ``HEAD``; ``C3`` (only meaningful once in the tail)
+terminates the algorithm.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+__all__ = ["Mode", "Predicates", "evaluate_predicates", "next_mode"]
+
+
+class Mode(enum.Enum):
+    """Operating mode of one coarse-grained epoch."""
+
+    HEAD = "head"
+    TAIL = "tail"
+    ROLLBACK = "rollback"
+
+
+@dataclass(frozen=True)
+class Predicates:
+    """The three boundary predicates C1, C2, C3 of Section V-A."""
+
+    c1: bool  # beta_new <= |E|/2           (tail reached)
+    c2: bool  # beta/beta_new <= gamma      (soundness held)
+    c3: bool  # beta_new <= phi             (terminate)
+
+
+def evaluate_predicates(
+    beta: int, beta_new: int, num_edges: int, gamma: float, phi: int
+) -> Predicates:
+    """Evaluate C1/C2/C3 at an epoch boundary.
+
+    ``beta`` is the cluster count at the previous (safe) level and
+    ``beta_new`` the count after the candidate chunk.  ``beta_new`` can
+    never exceed ``beta`` (merging only reduces clusters).
+    """
+    if gamma < 1.0:
+        raise ParameterError(f"gamma must be >= 1, got {gamma}")
+    if phi < 1:
+        raise ParameterError(f"phi must be >= 1, got {phi}")
+    if beta_new < 1 or beta < beta_new:
+        raise ParameterError(
+            f"need 1 <= beta_new <= beta, got beta={beta}, beta_new={beta_new}"
+        )
+    return Predicates(
+        c1=beta_new <= num_edges / 2.0,
+        c2=beta / beta_new <= gamma,
+        c3=beta_new <= phi,
+    )
+
+
+def next_mode(preds: Predicates) -> Mode:
+    """The mode the machine enters given the boundary predicates.
+
+    ``not C2`` dominates (soundness violated -> ROLLBACK); otherwise ``C1``
+    picks TAIL and ``not C1`` picks HEAD.  Termination on ``C3`` is the
+    driver's job (it only applies once the tail is reached).
+    """
+    if not preds.c2:
+        return Mode.ROLLBACK
+    return Mode.TAIL if preds.c1 else Mode.HEAD

@@ -1,0 +1,247 @@
+"""Phase I of the serial algorithm: similarity initialization (Algorithm 1).
+
+The similarity between two incident edges ``e_ik`` and ``e_jk`` (Eq. 1) is
+the Tanimoto coefficient of the vertex feature vectors ``a_i`` and ``a_j``
+(Eq. 2)::
+
+    S(e_ik, e_jk) = (a_i . a_j) / (|a_i|^2 + |a_j|^2 - a_i . a_j)
+
+where ``a_i[j] = w_ij`` for neighbours ``j`` of ``i``, and
+``a_i[i] = H1[i]`` is the average weight over ``i``'s edges.  The paper's
+key observation: the similarity depends only on the *unshared* endpoints
+``v_i`` and ``v_j``, never on the shared endpoint ``v_k`` — so one score per
+*vertex pair with a common neighbour* covers every incident edge pair
+through that vertex pair.  There are ``K1`` such vertex pairs, versus ``K2``
+incident edge pairs, and ``K1 <= K2``.
+
+Algorithm 1 computes all scores in three graph passes:
+
+1. arrays ``H1`` (average incident weight) and ``H2`` (``|a_i|^2``);
+2. map ``M``: vertex pair ``(v_j, v_k)`` -> accumulated
+   ``sum_i w_ij * w_ik`` over common neighbours ``v_i``, plus the list of
+   those common neighbours;
+3. for vertex pairs that are *also adjacent*, the dot product gains the
+   ``(H1[i] + H1[j]) * w_ij`` self-feature terms.
+
+Each pass is exposed as a standalone function operating on a vertex subset
+so :mod:`repro.parallel.par_init` can partition the work exactly as
+Section VI-A describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ClusteringError
+from repro.graph.graph import Graph
+
+__all__ = [
+    "PairAccumulator",
+    "SimilarityMap",
+    "VertexPairEntry",
+    "compute_h_arrays",
+    "accumulate_pair_map",
+    "merge_pair_maps",
+    "apply_adjacency_terms",
+    "finalize_similarities",
+    "compute_similarity_map",
+]
+
+VertexPair = Tuple[int, int]
+
+# Map M during accumulation: pair -> [sum of weight products, common nbrs].
+PairAccumulator = Dict[VertexPair, List]
+
+
+@dataclass(frozen=True)
+class VertexPairEntry:
+    """Finalized entry of map ``M``: one vertex pair's score and witnesses."""
+
+    similarity: float
+    common_neighbors: Tuple[int, ...]
+
+
+class SimilarityMap:
+    """The finalized map ``M``: vertex pair -> (similarity, common nbrs).
+
+    ``len(self)`` is the paper's ``K1``; :meth:`sorted_pairs` materializes
+    the sweeping phase's list ``L`` (non-increasing similarity).
+    """
+
+    def __init__(self, entries: Dict[VertexPair, VertexPairEntry]):
+        self._entries = entries
+
+    @property
+    def entries(self) -> Mapping[VertexPair, VertexPairEntry]:
+        return self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def k1(self) -> int:
+        """Number of vertex pairs with at least one common neighbour."""
+        return len(self._entries)
+
+    @property
+    def k2(self) -> int:
+        """Number of incident edge pairs covered (sum of witness counts)."""
+        return sum(len(e.common_neighbors) for e in self._entries.values())
+
+    def __contains__(self, pair: VertexPair) -> bool:
+        return pair in self._entries
+
+    def __getitem__(self, pair: VertexPair) -> VertexPairEntry:
+        return self._entries[pair]
+
+    def similarity(self, u: int, v: int) -> float:
+        """Similarity score of vertex pair ``(u, v)`` (order-insensitive)."""
+        key = (u, v) if u < v else (v, u)
+        try:
+            return self._entries[key].similarity
+        except KeyError:
+            raise ClusteringError(
+                f"vertex pair {key} has no common neighbour"
+            ) from None
+
+    def sorted_pairs(self) -> List[Tuple[float, VertexPair, Tuple[int, ...]]]:
+        """List ``L``: ``(similarity, pair, common neighbours)`` tuples
+        sorted by non-increasing similarity (ties broken by pair for
+        determinism)."""
+        items = [
+            (entry.similarity, pair, entry.common_neighbors)
+            for pair, entry in self._entries.items()
+        ]
+        items.sort(key=lambda t: (-t[0], t[1]))
+        return items
+
+    def __repr__(self) -> str:
+        return f"SimilarityMap(k1={self.k1}, k2={self.k2})"
+
+
+def compute_h_arrays(
+    graph: Graph, vertices: Optional[Iterable[int]] = None
+) -> Tuple[List[float], List[float]]:
+    """Pass 1 (Algorithm 1, lines 1-5): arrays ``H1`` and ``H2``.
+
+    ``H1[i]`` is the average weight over ``i``'s incident edges (the
+    self-feature ``a_i[i]`` of Eq. 2) and ``H2[i] = H1[i]^2 + sum w_ij^2``
+    is ``|a_i|^2``.  When ``vertices`` is given, only those entries are
+    filled (the rest stay 0.0) — the unit of work for parallelization.
+    """
+    n = graph.num_vertices
+    h1 = [0.0] * n
+    h2 = [0.0] * n
+    vids = vertices if vertices is not None else range(n)
+    for i in vids:
+        nbrs = graph.neighbors(i)
+        if not nbrs:
+            continue
+        total = 0.0
+        sq = 0.0
+        for w in nbrs.values():
+            total += w
+            sq += w * w
+        avg = total / len(nbrs)
+        h1[i] = avg
+        h2[i] = avg * avg + sq
+    return h1, h2
+
+
+def accumulate_pair_map(
+    graph: Graph, vertices: Optional[Iterable[int]] = None
+) -> PairAccumulator:
+    """Pass 2 (Algorithm 1, lines 6-20): populate map ``M``.
+
+    For every processed vertex ``v_i`` and every pair of its neighbours
+    ``v_j < v_k``, accumulate ``w_ij * w_ik`` under key ``(v_j, v_k)`` and
+    record ``v_i`` as a common neighbour.  Restricting ``vertices`` yields
+    a partial map suitable for hierarchical merging.
+    """
+    m: PairAccumulator = {}
+    vids = vertices if vertices is not None else range(graph.num_vertices)
+    for i in vids:
+        nbr_items = sorted(graph.neighbors(i).items())
+        deg = len(nbr_items)
+        for jx in range(deg):
+            vj, wij = nbr_items[jx]
+            for kx in range(jx + 1, deg):
+                vk, wik = nbr_items[kx]
+                key = (vj, vk)
+                entry = m.get(key)
+                if entry is None:
+                    m[key] = [wij * wik, [i]]
+                else:
+                    entry[0] += wij * wik
+                    entry[1].append(i)
+    return m
+
+
+def merge_pair_maps(dst: PairAccumulator, src: PairAccumulator) -> PairAccumulator:
+    """Merge partial map ``src`` into ``dst`` (in place; returns ``dst``).
+
+    Sums the weight products and concatenates the common-neighbour lists.
+    Used by the hierarchical map-merge step of the parallel init phase.
+    """
+    for key, (wprod, commons) in src.items():
+        entry = dst.get(key)
+        if entry is None:
+            dst[key] = [wprod, list(commons)]
+        else:
+            entry[0] += wprod
+            entry[1].extend(commons)
+    return dst
+
+
+def apply_adjacency_terms(
+    graph: Graph,
+    m: PairAccumulator,
+    h1: Sequence[float],
+    first_vertex_filter: Optional[Iterable[int]] = None,
+) -> None:
+    """Pass 3 (Algorithm 1, lines 21-25): add self-feature terms.
+
+    For every edge ``(v_i, v_j)`` that is also a key of ``M``, add
+    ``(H1[i] + H1[j]) * w_ij`` to the accumulated dot product.  When
+    ``first_vertex_filter`` is given, only edges whose smaller endpoint is
+    in the filter are updated — the paper's region-separation rule that
+    lets threads update disjoint parts of ``M``.
+    """
+    allowed = set(first_vertex_filter) if first_vertex_filter is not None else None
+    for u, v in graph.edge_pairs():
+        if allowed is not None and u not in allowed:
+            continue
+        entry = m.get((u, v))
+        if entry is not None:
+            entry[0] += (h1[u] + h1[v]) * graph.weight(u, v)
+
+
+def finalize_similarities(
+    m: PairAccumulator, h2: Sequence[float]
+) -> SimilarityMap:
+    """Final step (Algorithm 1, lines 26-28): Tanimoto normalization.
+
+    Turns each accumulated dot product into
+    ``dot / (|a_i|^2 + |a_j|^2 - dot)`` and freezes the map.
+    """
+    entries: Dict[VertexPair, VertexPairEntry] = {}
+    for (u, v), (dot, commons) in m.items():
+        denom = h2[u] + h2[v] - dot
+        if denom <= 0.0:
+            raise ClusteringError(
+                f"non-positive Tanimoto denominator for pair ({u}, {v}): "
+                f"{denom} — inconsistent H2 arrays?"
+            )
+        entries[(u, v)] = VertexPairEntry(
+            similarity=dot / denom, common_neighbors=tuple(commons)
+        )
+    return SimilarityMap(entries)
+
+
+def compute_similarity_map(graph: Graph) -> SimilarityMap:
+    """Run all of Algorithm 1 serially and return the finalized map ``M``."""
+    h1, h2 = compute_h_arrays(graph)
+    m = accumulate_pair_map(graph)
+    apply_adjacency_terms(graph, m, h1)
+    return finalize_similarities(m, h2)

@@ -1,0 +1,39 @@
+"""Corpus substrate: preprocessing pipeline and word-association networks."""
+
+from repro.corpus.assoc import (
+    AssociationStats,
+    association_weight,
+    build_association_graph,
+)
+from repro.corpus.documents import Corpus, preprocess
+from repro.corpus.realdata import iter_jsonl_texts, iter_text_lines, load_messages
+from repro.corpus.stem import PorterStemmer, stem, stem_all
+from repro.corpus.stopwords import ENGLISH_STOPWORDS, extend_stopwords, is_stopword
+from repro.corpus.synthetic import (
+    SyntheticTweetConfig,
+    generate_corpus,
+    generate_tweets,
+)
+from repro.corpus.tokenize import TweetTokenizer, tokenize
+
+__all__ = [
+    "AssociationStats",
+    "Corpus",
+    "ENGLISH_STOPWORDS",
+    "PorterStemmer",
+    "SyntheticTweetConfig",
+    "TweetTokenizer",
+    "association_weight",
+    "build_association_graph",
+    "extend_stopwords",
+    "generate_corpus",
+    "generate_tweets",
+    "iter_jsonl_texts",
+    "iter_text_lines",
+    "is_stopword",
+    "load_messages",
+    "preprocess",
+    "stem",
+    "stem_all",
+    "tokenize",
+]

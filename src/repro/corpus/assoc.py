@@ -1,0 +1,113 @@
+"""Word association network construction (Section III, Eq. 3).
+
+Given a corpus ``D`` of ``m`` documents and a vocabulary of feature words,
+each word ``f`` becomes a vertex and an edge joins ``f_i`` and ``f_j``
+whenever the pointwise-mutual-information-style weight
+
+    w_ij = p(X_i = 1, X_j = 1) * log( p(X_i=1, X_j=1) / (p(X_i=1) p(X_j=1)) )
+
+is strictly positive, i.e. when the two words co-occur in a tweet more
+often than independence predicts.  Probabilities are document-presence
+frequencies.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.corpus.documents import Corpus
+from repro.errors import CorpusError, ParameterError
+from repro.graph.graph import Graph
+
+__all__ = ["association_weight", "build_association_graph", "AssociationStats"]
+
+
+@dataclass(frozen=True)
+class AssociationStats:
+    """Bookkeeping from one association-graph build."""
+
+    num_documents: int
+    vocabulary_size: int
+    num_cooccurring_pairs: int
+    num_positive_pairs: int
+
+
+def association_weight(p_ij: float, p_i: float, p_j: float) -> float:
+    """The paper's Eq. (3) weight; 0.0 when any probability is 0."""
+    for name, p in (("p_ij", p_ij), ("p_i", p_i), ("p_j", p_j)):
+        if not 0.0 <= p <= 1.0:
+            raise ParameterError(f"{name} must be a probability, got {p}")
+    if p_ij == 0.0 or p_i == 0.0 or p_j == 0.0:
+        return 0.0
+    return p_ij * math.log(p_ij / (p_i * p_j))
+
+
+def build_association_graph(
+    corpus: Corpus,
+    alpha: float = 1.0,
+    vocabulary: Optional[Iterable[str]] = None,
+    return_stats: bool = False,
+) -> Graph | Tuple[Graph, AssociationStats]:
+    """Build the word association network from a preprocessed corpus.
+
+    Parameters
+    ----------
+    corpus:
+        The preprocessed corpus.
+    alpha:
+        Fraction of the most frequent candidate words to use as vertices
+        (the paper's graph-size knob).  Ignored when ``vocabulary`` is
+        given explicitly.
+    vocabulary:
+        Explicit word list overriding the ``alpha`` selection.
+    return_stats:
+        When true, also return an :class:`AssociationStats`.
+
+    Returns
+    -------
+    The weighted graph (vertex labels are the words), vertices added in
+    rank order so dense vertex ids follow word frequency.  Words never
+    co-occurring positively with anything remain isolated vertices.
+    """
+    if corpus.num_documents == 0:
+        raise CorpusError("cannot build an association graph from an empty corpus")
+    if vocabulary is not None:
+        vocab_list = list(dict.fromkeys(vocabulary))  # dedupe, keep order
+    else:
+        vocab_list = corpus.top_fraction(alpha)
+    vocab = set(vocab_list)
+    m = corpus.num_documents
+
+    doc_sets = corpus.document_word_sets(vocab)
+    presence: Counter = Counter()
+    pair_counts: Counter = Counter()
+    for words in doc_sets:
+        presence.update(words)
+        if len(words) > 1:
+            for wi, wj in itertools.combinations(sorted(words), 2):
+                pair_counts[(wi, wj)] += 1
+
+    graph = Graph()
+    for word in vocab_list:
+        graph.add_vertex(word)
+
+    positive = 0
+    for (wi, wj), n_ij in pair_counts.items():
+        w = association_weight(n_ij / m, presence[wi] / m, presence[wj] / m)
+        if w > 0.0:
+            graph.add_edge(wi, wj, w)
+            positive += 1
+
+    if return_stats:
+        stats = AssociationStats(
+            num_documents=m,
+            vocabulary_size=len(vocab_list),
+            num_cooccurring_pairs=len(pair_counts),
+            num_positive_pairs=positive,
+        )
+        return graph, stats
+    return graph

@@ -1,0 +1,156 @@
+"""Document corpus abstraction and preprocessing pipeline.
+
+The paper's pipeline (Section VII): take all English tweets of one month,
+stem each word with the Porter stemmer, remove stop words, rank the
+remaining *candidate words* by total number of appearances (non-ascending),
+and keep the top fraction ``alpha`` as graph vertices.  :class:`Corpus`
+holds the preprocessed documents and implements the ranking / selection;
+:func:`preprocess` builds one from raw texts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.corpus.stem import PorterStemmer
+from repro.corpus.stopwords import ENGLISH_STOPWORDS
+from repro.corpus.tokenize import TweetTokenizer
+from repro.errors import CorpusError, ParameterError
+
+__all__ = ["Corpus", "preprocess"]
+
+
+@dataclass
+class Corpus:
+    """A preprocessed corpus: one token list per document.
+
+    ``documents[i]`` holds the (stemmed, stop-word-free) tokens of document
+    ``i``, duplicates preserved — the ranking uses total appearance counts
+    while the feature variables ``X_f`` only care about presence.
+    """
+
+    documents: List[List[str]] = field(default_factory=list)
+
+    # lazily computed caches
+    _appearances: Optional[Counter] = field(default=None, repr=False)
+    _doc_frequency: Optional[Counter] = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_document(self, tokens: Sequence[str]) -> None:
+        """Append one preprocessed document (invalidates caches)."""
+        self.documents.append(list(tokens))
+        self._appearances = None
+        self._doc_frequency = None
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    @property
+    def num_documents(self) -> int:
+        return len(self.documents)
+
+    def appearances(self) -> Counter:
+        """Total appearance count of every word across all documents."""
+        if self._appearances is None:
+            counts: Counter = Counter()
+            for doc in self.documents:
+                counts.update(doc)
+            self._appearances = counts
+        return self._appearances
+
+    def doc_frequency(self) -> Counter:
+        """Number of documents each word appears in (presence counts)."""
+        if self._doc_frequency is None:
+            counts: Counter = Counter()
+            for doc in self.documents:
+                counts.update(set(doc))
+            self._doc_frequency = counts
+        return self._doc_frequency
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self.appearances())
+
+    def ranked_words(self) -> List[str]:
+        """Candidate words in non-ascending appearance order.
+
+        Ties break alphabetically so the ranking is deterministic.
+        """
+        counts = self.appearances()
+        return sorted(counts, key=lambda w: (-counts[w], w))
+
+    def top_fraction(self, alpha: float) -> List[str]:
+        """The most frequent ``alpha`` fraction of candidate words.
+
+        This is the paper's graph-size knob: only these words become
+        vertices of the word association network.  At least one word is
+        returned for any positive ``alpha`` on a non-empty vocabulary.
+        """
+        if not 0.0 < alpha <= 1.0:
+            raise ParameterError(f"alpha must be in (0, 1], got {alpha}")
+        ranked = self.ranked_words()
+        if not ranked:
+            return []
+        k = max(1, int(len(ranked) * alpha))
+        return ranked[:k]
+
+    def document_word_sets(
+        self, vocabulary: Optional[Iterable[str]] = None
+    ) -> List[FrozenSet[str]]:
+        """Per-document *sets* of words, optionally restricted to a vocabulary.
+
+        These are the observations of the indicator variables ``X_f``.
+        Documents that become empty after restriction are kept (they still
+        count toward the total document number ``m`` in Eq. 3).
+        """
+        vocab: Optional[Set[str]] = set(vocabulary) if vocabulary is not None else None
+        out: List[FrozenSet[str]] = []
+        for doc in self.documents:
+            words = set(doc)
+            if vocab is not None:
+                words &= vocab
+            out.append(frozenset(words))
+        return out
+
+    def __len__(self) -> int:
+        return len(self.documents)
+
+    def __repr__(self) -> str:
+        return (
+            f"Corpus(num_documents={self.num_documents},"
+            f" vocabulary_size={self.vocabulary_size})"
+        )
+
+
+def preprocess(
+    texts: Iterable[str],
+    tokenizer: Optional[TweetTokenizer] = None,
+    stemmer: Optional[PorterStemmer] = None,
+    stopwords: Optional[FrozenSet[str]] = None,
+    stem_before_stopwords: bool = False,
+) -> Corpus:
+    """Run the paper's preprocessing pipeline over raw message texts.
+
+    Tokenize -> drop stop words -> Porter-stem.  (The paper stems first and
+    then removes stop words; set ``stem_before_stopwords=True`` for that
+    exact order — the practical difference is tiny because stop words rarely
+    stem into non-stop words, but both orders are supported.)
+    """
+    tok = tokenizer or TweetTokenizer()
+    stm = stemmer or PorterStemmer()
+    stop = stopwords if stopwords is not None else ENGLISH_STOPWORDS
+    corpus = Corpus()
+    for text in texts:
+        if not isinstance(text, str):
+            raise CorpusError(f"document must be str, got {type(text).__name__}")
+        tokens = tok.tokenize(text)
+        if stem_before_stopwords:
+            kept = [s for s in (stm.stem(t) for t in tokens) if s not in stop]
+        else:
+            kept = [stm.stem(t) for t in tokens if t not in stop]
+        corpus.add_document(kept)
+    return corpus

@@ -1,0 +1,101 @@
+"""Loading real message corpora (for users with their own data).
+
+The paper's Twitter dataset cannot ship with this reproduction, but the
+pipeline runs on any message collection.  Two loaders cover the common
+on-disk formats:
+
+* plain text, one message per line;
+* JSON Lines, one object per line with a configurable text field (the
+  layout of historical Twitter exports and most chat-log dumps).
+
+Both stream the file and return raw strings ready for
+:func:`repro.corpus.documents.preprocess`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, List, Optional, Union
+
+from repro.errors import CorpusError
+
+__all__ = ["iter_text_lines", "iter_jsonl_texts", "load_messages"]
+
+
+def iter_text_lines(path: Union[str, Path]) -> Iterator[str]:
+    """Yield non-empty lines of a plain-text corpus file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            text = line.strip()
+            if text:
+                yield text
+
+
+def iter_jsonl_texts(
+    path: Union[str, Path],
+    text_field: str = "text",
+    language_field: Optional[str] = None,
+    language: Optional[str] = None,
+) -> Iterator[str]:
+    """Yield the text field of each JSON-Lines record.
+
+    Parameters
+    ----------
+    path:
+        JSONL file (one JSON object per line; blank lines skipped).
+    text_field:
+        Name of the field holding the message text.
+    language_field / language:
+        Optional filter: keep only records whose ``language_field``
+        equals ``language`` (the paper keeps English tweets only).
+
+    Raises
+    ------
+    CorpusError
+        On malformed JSON or records missing the text field.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise CorpusError(f"line {lineno}: invalid JSON: {exc}") from exc
+            if not isinstance(record, dict):
+                raise CorpusError(f"line {lineno}: expected a JSON object")
+            if text_field not in record:
+                raise CorpusError(
+                    f"line {lineno}: missing text field {text_field!r}"
+                )
+            if language_field is not None:
+                if record.get(language_field) != language:
+                    continue
+            text = record[text_field]
+            if not isinstance(text, str):
+                raise CorpusError(
+                    f"line {lineno}: field {text_field!r} is not a string"
+                )
+            yield text
+
+
+def load_messages(
+    path: Union[str, Path],
+    fmt: str = "auto",
+    **jsonl_kwargs,
+) -> List[str]:
+    """Load a corpus file as a list of raw message strings.
+
+    ``fmt``: ``"text"``, ``"jsonl"``, or ``"auto"`` (by extension:
+    ``.jsonl``/``.ndjson`` are JSONL, everything else plain text).
+    """
+    path = Path(path)
+    if fmt == "auto":
+        fmt = "jsonl" if path.suffix in (".jsonl", ".ndjson") else "text"
+    if fmt == "text":
+        return list(iter_text_lines(path))
+    if fmt == "jsonl":
+        return list(iter_jsonl_texts(path, **jsonl_kwargs))
+    raise CorpusError(f"unknown corpus format {fmt!r}")

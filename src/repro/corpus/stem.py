@@ -1,0 +1,261 @@
+"""Porter stemming algorithm (Porter, 1980), implemented from scratch.
+
+The paper preprocesses tweets with nltk's Porter stemmer; nltk is not
+available offline here, so this module reimplements the classic algorithm
+(the original 1980 definition, matching nltk's ``PorterStemmer`` in
+``ORIGINAL_ALGORITHM`` mode for regular English words).
+
+A word is viewed as ``[C](VC){m}[V]`` where C/V are maximal consonant/vowel
+runs and ``m`` is the *measure*.  Steps 1a-5b strip or rewrite suffixes
+conditioned on the measure and a few structural predicates (``*v*``: stem
+contains a vowel; ``*d``: double consonant ending; ``*o``: cvc ending where
+the final c is not w, x, or y).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+__all__ = ["PorterStemmer", "stem", "stem_all"]
+
+_VOWELS = frozenset("aeiou")
+
+
+class PorterStemmer:
+    """Stateless Porter stemmer; one instance can be shared freely.
+
+    Examples
+    --------
+    >>> ps = PorterStemmer()
+    >>> ps.stem("caresses")
+    'caress'
+    >>> ps.stem("relational")
+    'relat'
+    >>> ps.stem("sky")
+    'sky'
+    """
+
+    def stem(self, word: str) -> str:
+        """Stem a single lowercase word (short words pass through)."""
+        word = word.lower()
+        if len(word) <= 2:
+            return word
+        word = self._step1a(word)
+        word = self._step1b(word)
+        word = self._step1c(word)
+        word = self._step2(word)
+        word = self._step3(word)
+        word = self._step4(word)
+        word = self._step5a(word)
+        word = self._step5b(word)
+        return word
+
+    # ------------------------------------------------------------------
+    # structural predicates
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _is_consonant(word: str, i: int) -> bool:
+        ch = word[i]
+        if ch in _VOWELS:
+            return False
+        if ch == "y":
+            # y is a consonant at the start or after a vowel, else a vowel
+            return i == 0 or not PorterStemmer._is_consonant(word, i - 1)
+        return True
+
+    @classmethod
+    def _measure(cls, stem: str) -> int:
+        """The measure m of a stem: number of VC sequences."""
+        m = 0
+        prev_vowel = False
+        for i in range(len(stem)):
+            cons = cls._is_consonant(stem, i)
+            if cons and prev_vowel:
+                m += 1
+            prev_vowel = not cons
+        return m
+
+    @classmethod
+    def _contains_vowel(cls, stem: str) -> bool:
+        return any(not cls._is_consonant(stem, i) for i in range(len(stem)))
+
+    @classmethod
+    def _ends_double_consonant(cls, word: str) -> bool:
+        return (
+            len(word) >= 2
+            and word[-1] == word[-2]
+            and cls._is_consonant(word, len(word) - 1)
+        )
+
+    @classmethod
+    def _ends_cvc(cls, word: str) -> bool:
+        """*o: stem ends cvc where the final c is not w, x, or y."""
+        if len(word) < 3:
+            return False
+        return (
+            cls._is_consonant(word, len(word) - 3)
+            and not cls._is_consonant(word, len(word) - 2)
+            and cls._is_consonant(word, len(word) - 1)
+            and word[-1] not in "wxy"
+        )
+
+    # ------------------------------------------------------------------
+    # rule application helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def _replace_if_m(
+        cls, word: str, rules: Iterable[Tuple[str, str, int]]
+    ) -> str:
+        """Apply the first matching ``(suffix, replacement, min_m)`` rule.
+
+        The rule fires only when the *stem* (word minus suffix) has measure
+        strictly greater than ``min_m`` (Porter's ``(m > k)`` conditions).
+        Returns the word unchanged when no rule fires.
+        """
+        for suffix, replacement, min_m in rules:
+            if word.endswith(suffix):
+                stem = word[: len(word) - len(suffix)]
+                if cls._measure(stem) > min_m:
+                    return stem + replacement
+                return word
+        return word
+
+    # ------------------------------------------------------------------
+    # steps
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _step1a(word: str) -> str:
+        if word.endswith("sses"):
+            return word[:-2]
+        if word.endswith("ies"):
+            return word[:-2]
+        if word.endswith("ss"):
+            return word
+        if word.endswith("s"):
+            return word[:-1]
+        return word
+
+    @classmethod
+    def _step1b(cls, word: str) -> str:
+        if word.endswith("eed"):
+            stem = word[:-3]
+            if cls._measure(stem) > 0:
+                return word[:-1]
+            return word
+        fired = False
+        if word.endswith("ed"):
+            stem = word[:-2]
+            if cls._contains_vowel(stem):
+                word, fired = stem, True
+        elif word.endswith("ing"):
+            stem = word[:-3]
+            if cls._contains_vowel(stem):
+                word, fired = stem, True
+        if fired:
+            if word.endswith(("at", "bl", "iz")):
+                return word + "e"
+            if cls._ends_double_consonant(word) and word[-1] not in "lsz":
+                return word[:-1]
+            if cls._measure(word) == 1 and cls._ends_cvc(word):
+                return word + "e"
+        return word
+
+    @classmethod
+    def _step1c(cls, word: str) -> str:
+        if word.endswith("y") and cls._contains_vowel(word[:-1]):
+            return word[:-1] + "i"
+        return word
+
+    _STEP2_RULES = (
+        ("ational", "ate", 0),
+        ("tional", "tion", 0),
+        ("enci", "ence", 0),
+        ("anci", "ance", 0),
+        ("izer", "ize", 0),
+        ("abli", "able", 0),
+        ("alli", "al", 0),
+        ("entli", "ent", 0),
+        ("eli", "e", 0),
+        ("ousli", "ous", 0),
+        ("ization", "ize", 0),
+        ("ation", "ate", 0),
+        ("ator", "ate", 0),
+        ("alism", "al", 0),
+        ("iveness", "ive", 0),
+        ("fulness", "ful", 0),
+        ("ousness", "ous", 0),
+        ("aliti", "al", 0),
+        ("iviti", "ive", 0),
+        ("biliti", "ble", 0),
+    )
+
+    @classmethod
+    def _step2(cls, word: str) -> str:
+        return cls._replace_if_m(word, cls._STEP2_RULES)
+
+    _STEP3_RULES = (
+        ("icate", "ic", 0),
+        ("ative", "", 0),
+        ("alize", "al", 0),
+        ("iciti", "ic", 0),
+        ("ical", "ic", 0),
+        ("ful", "", 0),
+        ("ness", "", 0),
+    )
+
+    @classmethod
+    def _step3(cls, word: str) -> str:
+        return cls._replace_if_m(word, cls._STEP3_RULES)
+
+    _STEP4_SUFFIXES = (
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+        "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+    )
+
+    @classmethod
+    def _step4(cls, word: str) -> str:
+        if word.endswith("ion"):
+            stem = word[:-3]
+            if stem and stem[-1] in "st" and cls._measure(stem) > 1:
+                return stem
+            # the generic suffix list must not re-match "ion"'s tail
+        for suffix in cls._STEP4_SUFFIXES:
+            if word.endswith(suffix):
+                stem = word[: len(word) - len(suffix)]
+                if cls._measure(stem) > 1:
+                    return stem
+                return word
+        return word
+
+    @classmethod
+    def _step5a(cls, word: str) -> str:
+        if word.endswith("e"):
+            stem = word[:-1]
+            m = cls._measure(stem)
+            if m > 1:
+                return stem
+            if m == 1 and not cls._ends_cvc(stem):
+                return stem
+        return word
+
+    @classmethod
+    def _step5b(cls, word: str) -> str:
+        if (
+            word.endswith("ll")
+            and cls._measure(word) > 1
+        ):
+            return word[:-1]
+        return word
+
+
+_DEFAULT = PorterStemmer()
+
+
+def stem(word: str) -> str:
+    """Stem one word with a shared default :class:`PorterStemmer`."""
+    return _DEFAULT.stem(word)
+
+
+def stem_all(words: Iterable[str]) -> List[str]:
+    """Stem every word in an iterable, preserving order."""
+    return [_DEFAULT.stem(w) for w in words]

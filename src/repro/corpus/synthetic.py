@@ -1,0 +1,251 @@
+"""Synthetic tweet-corpus generator (substitute for the Twitter dataset).
+
+The paper evaluates on all English tweets of December 2011, which we cannot
+obtain offline.  The evaluation only relies on structural properties of the
+word-association graphs built from the corpus:
+
+* picking a larger top fraction ``alpha`` of frequent words yields a larger
+  but *sparser* graph (frequent words co-occur with almost everything;
+  rarer words only with topic mates) — Figure 4(1);
+* the number of incident edge pairs ``K2`` exceeds ``|E|`` by several orders
+  of magnitude (heavy-tailed degrees);
+* the cluster-count-vs-log-level curve is sigmoid shaped — Figure 2(2).
+
+This generator reproduces those properties with a two-layer model: a global
+Zipf distribution over the vocabulary (common "chatter" words appearing in
+most tweets) mixed with per-topic Zipf distributions over topic-specific
+word subsets.  Tweets sample one topic plus global chatter.  Everything is
+seeded and deterministic.
+
+Two output modes: :func:`generate_corpus` emits preprocessed token
+documents directly (fast path for benchmarks), while
+:func:`generate_tweets` emits raw tweet-like *text* with stop words,
+mentions, URLs, hashtags, and inflected word forms so the full
+tokenize/stem/stop-word pipeline is exercised end to end.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.corpus.documents import Corpus
+from repro.errors import ParameterError
+
+__all__ = ["SyntheticTweetConfig", "generate_corpus", "generate_tweets"]
+
+_FILLER_STOPWORDS = (
+    "the", "a", "is", "and", "to", "of", "in", "it", "i", "you", "that",
+    "was", "for", "on", "with", "at", "this", "my", "so", "just",
+)
+
+_SUFFIXES = ("", "", "", "s", "ed", "ing")
+
+
+@dataclass(frozen=True)
+class SyntheticTweetConfig:
+    """Parameters of the synthetic tweet corpus.
+
+    Attributes
+    ----------
+    vocabulary_size:
+        Number of distinct content words (graph vertices come from the top
+        ``alpha`` fraction of these).
+    num_topics:
+        Number of latent topics; each owns ``topic_width`` words drawn from
+        the middle/tail of the popularity ranking.
+    num_documents:
+        Number of tweets to generate.
+    mean_length:
+        Mean number of content words per tweet (geometric-ish around this).
+    zipf_exponent:
+        Exponent of the global popularity distribution; ~1.0 matches word
+        frequency laws.
+    chatter_fraction:
+        Probability that a word slot is filled from the global distribution
+        rather than the tweet's topic.
+    topic_width:
+        Words per topic.
+    disjoint_topics:
+        When false (default) topics sample overlapping word subsets from
+        the body of the popularity ranking — realistic for raw tweet
+        streams, where the association graph is one dense blob.  When
+        true each topic owns a disjoint word slice, giving the graph
+        clear community structure (useful for demos and ground-truth
+        recovery tests).
+    seed:
+        RNG seed; identical configs generate identical corpora.
+    """
+
+    vocabulary_size: int = 2000
+    num_topics: int = 25
+    num_documents: int = 8000
+    mean_length: int = 9
+    zipf_exponent: float = 1.05
+    chatter_fraction: float = 0.45
+    topic_width: int = 60
+    disjoint_topics: bool = False
+    seed: int = 20170605
+
+    def __post_init__(self) -> None:
+        if self.vocabulary_size < 10:
+            raise ParameterError("vocabulary_size must be >= 10")
+        if self.num_topics < 1:
+            raise ParameterError("num_topics must be >= 1")
+        if self.num_documents < 1:
+            raise ParameterError("num_documents must be >= 1")
+        if self.mean_length < 1:
+            raise ParameterError("mean_length must be >= 1")
+        if self.zipf_exponent <= 0:
+            raise ParameterError("zipf_exponent must be > 0")
+        if not 0.0 <= self.chatter_fraction <= 1.0:
+            raise ParameterError("chatter_fraction must be in [0, 1]")
+        if self.topic_width < 2:
+            raise ParameterError("topic_width must be >= 2")
+
+
+_SYLLABLES = ("ba", "ce", "di", "fo", "gu", "ha", "ki", "lo", "mu", "na")
+
+
+def _vocabulary(size: int) -> List[str]:
+    """Deterministic pronounceable word list of unique alphabetic stems.
+
+    Words are built from syllables and end in ``x`` so that (a) the
+    tokenizer keeps them whole (no digits) and (b) the Porter stemmer maps
+    each word — and its ``-s``/``-ed``/``-ing`` inflections — back to the
+    word itself.
+    """
+    if size > 100000:
+        raise ParameterError("vocabulary_size must be <= 100000")
+    words: List[str] = []
+    for idx in range(size):
+        digits = []
+        n = idx
+        for _ in range(5):
+            digits.append(n % 10)
+            n //= 10
+        words.append("w" + "".join(_SYLLABLES[d] for d in reversed(digits)) + "x")
+    return words
+
+
+def _zipf_weights(n: int, exponent: float) -> List[float]:
+    return [1.0 / (rank ** exponent) for rank in range(1, n + 1)]
+
+
+class _CorpusSampler:
+    """Shared sampling machinery for both output modes."""
+
+    def __init__(self, config: SyntheticTweetConfig):
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.words = _vocabulary(config.vocabulary_size)
+        self.global_weights = _zipf_weights(
+            config.vocabulary_size, config.zipf_exponent
+        )
+        # Topics own contiguous-ish slices biased away from the very top of
+        # the ranking: the head words are global chatter, topical words live
+        # in the body of the distribution.  Overlapping strides make some
+        # words ambiguous (shared by topics), as in real text.
+        self.topics: List[List[int]] = []
+        body_start = max(5, config.vocabulary_size // 50)
+        body = list(range(body_start, config.vocabulary_size))
+        if len(body) < config.topic_width:
+            body = list(range(config.vocabulary_size))
+        if config.disjoint_topics:
+            needed = config.num_topics * config.topic_width
+            if needed > len(body):
+                raise ParameterError(
+                    f"disjoint topics need num_topics * topic_width <= "
+                    f"{len(body)} body words, got {needed}"
+                )
+            for t in range(config.num_topics):
+                lo = t * config.topic_width
+                self.topics.append(body[lo : lo + config.topic_width])
+        else:
+            for t in range(config.num_topics):
+                topic_rng = random.Random(f"{config.seed}-topic-{t}")
+                self.topics.append(topic_rng.sample(body, config.topic_width))
+        self.topic_weights = _zipf_weights(config.topic_width, 1.0)
+
+    def sample_length(self) -> int:
+        """Tweet content-word count: geometric around mean_length, >= 2."""
+        mean = self.config.mean_length
+        # geometric with success prob 1/mean, shifted; capped at 4x mean
+        p = 1.0 / mean
+        length = 1
+        while self.rng.random() > p and length < 4 * mean:
+            length += 1
+        return max(2, length)
+
+    def sample_document(self) -> List[int]:
+        """Word indices of one tweet."""
+        cfg = self.config
+        rng = self.rng
+        topic = self.topics[rng.randrange(cfg.num_topics)]
+        length = self.sample_length()
+        out: List[int] = []
+        n_chatter = sum(
+            1 for _ in range(length) if rng.random() < cfg.chatter_fraction
+        )
+        n_topic = length - n_chatter
+        if n_chatter:
+            out.extend(
+                rng.choices(
+                    range(cfg.vocabulary_size),
+                    weights=self.global_weights,
+                    k=n_chatter,
+                )
+            )
+        if n_topic:
+            picks = rng.choices(
+                range(cfg.topic_width), weights=self.topic_weights, k=n_topic
+            )
+            out.extend(topic[i] for i in picks)
+        rng.shuffle(out)
+        return out
+
+
+def generate_corpus(config: Optional[SyntheticTweetConfig] = None) -> Corpus:
+    """Generate a preprocessed token corpus directly (fast path).
+
+    Tokens are the canonical word stems, so no tokenizer/stemmer run is
+    needed; use this for benchmarks and large sweeps.
+    """
+    cfg = config or SyntheticTweetConfig()
+    sampler = _CorpusSampler(cfg)
+    corpus = Corpus()
+    for _ in range(cfg.num_documents):
+        indices = sampler.sample_document()
+        corpus.add_document([sampler.words[i] for i in indices])
+    return corpus
+
+
+def generate_tweets(config: Optional[SyntheticTweetConfig] = None) -> List[str]:
+    """Generate raw tweet-like texts for end-to-end pipeline runs.
+
+    Texts include stop-word filler, random inflectional suffixes (so the
+    Porter stemmer has real work), occasional @mentions, #hashtags, and
+    URLs — all of which the preprocessing pipeline must strip.
+    """
+    cfg = config or SyntheticTweetConfig()
+    sampler = _CorpusSampler(cfg)
+    rng = sampler.rng
+    tweets: List[str] = []
+    for _ in range(cfg.num_documents):
+        indices = sampler.sample_document()
+        parts: List[str] = []
+        for i in indices:
+            word = sampler.words[i] + rng.choice(_SUFFIXES)
+            if rng.random() < 0.05:
+                word = "#" + word
+            parts.append(word)
+            if rng.random() < 0.4:
+                parts.append(rng.choice(_FILLER_STOPWORDS))
+        if rng.random() < 0.15:
+            parts.insert(0, f"@user{rng.randrange(1000)}")
+        if rng.random() < 0.1:
+            parts.append(f"http://t.co/{rng.randrange(100000):x}")
+        tweets.append(" ".join(parts))
+    return tweets

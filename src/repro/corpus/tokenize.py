@@ -1,0 +1,57 @@
+"""Tweet-oriented tokenizer.
+
+Splits raw tweet text into candidate word tokens: lowercases, strips URLs,
+@-mentions, the ``#`` of hashtags (keeping the tag word, which carries
+topical signal), numbers, and punctuation.  Tokens shorter than
+``min_length`` are dropped.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+__all__ = ["tokenize", "TweetTokenizer"]
+
+_URL_RE = re.compile(r"https?://\S+|www\.\S+", re.IGNORECASE)
+_MENTION_RE = re.compile(r"@\w+")
+_TOKEN_RE = re.compile(r"[a-z]+(?:'[a-z]+)?")
+
+
+class TweetTokenizer:
+    """Configurable tokenizer for tweet-like short texts.
+
+    Parameters
+    ----------
+    min_length:
+        Minimum token length to keep (default 2).
+    keep_hashtags:
+        When true (default) ``#word`` yields the token ``word``; when false
+        hashtags are dropped entirely.
+    """
+
+    def __init__(self, min_length: int = 2, keep_hashtags: bool = True):
+        if min_length < 1:
+            raise ValueError(f"min_length must be >= 1, got {min_length}")
+        self.min_length = min_length
+        self.keep_hashtags = keep_hashtags
+
+    def tokenize(self, text: str) -> List[str]:
+        """Tokenize one message into lowercase word tokens."""
+        text = text.lower()
+        text = _URL_RE.sub(" ", text)
+        text = _MENTION_RE.sub(" ", text)
+        if self.keep_hashtags:
+            text = text.replace("#", " ")
+        else:
+            text = re.sub(r"#\w+", " ", text)
+        tokens = _TOKEN_RE.findall(text)
+        return [t for t in tokens if len(t) >= self.min_length]
+
+
+_DEFAULT = TweetTokenizer()
+
+
+def tokenize(text: str) -> List[str]:
+    """Tokenize with the default :class:`TweetTokenizer` settings."""
+    return _DEFAULT.tokenize(text)

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so a
+caller can catch library-level failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` from bad call signatures,
+``KeyError`` from user dictionaries, ...) propagate untouched.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "EdgeNotFoundError",
+    "VertexNotFoundError",
+    "InvalidWeightError",
+    "CorpusError",
+    "ClusteringError",
+    "ParameterError",
+    "ParallelError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GraphError(ReproError):
+    """A structural problem with a graph (duplicate edge, self loop, ...)."""
+
+
+class VertexNotFoundError(GraphError, KeyError):
+    """A vertex id was not present in the graph."""
+
+    def __init__(self, vertex: object):
+        super().__init__(vertex)
+        self.vertex = vertex
+
+    def __str__(self) -> str:  # KeyError quotes its repr; give a message.
+        return f"vertex {self.vertex!r} is not in the graph"
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """An edge (by endpoints or by id) was not present in the graph."""
+
+    def __init__(self, edge: object):
+        super().__init__(edge)
+        self.edge = edge
+
+    def __str__(self) -> str:
+        return f"edge {self.edge!r} is not in the graph"
+
+
+class InvalidWeightError(GraphError, ValueError):
+    """An edge weight was rejected (non-finite or non-positive)."""
+
+
+class CorpusError(ReproError):
+    """A problem with a document corpus or its preprocessing."""
+
+
+class ClusteringError(ReproError):
+    """A clustering algorithm was driven into an invalid state."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An algorithm parameter (gamma, phi, delta0, eta0, ...) is invalid."""
+
+
+class ParallelError(ReproError):
+    """A failure inside one of the parallel execution backends."""

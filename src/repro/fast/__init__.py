@@ -1,0 +1,19 @@
+"""Optional vectorized fast paths (numpy / scipy.sparse).
+
+CPython's interpreter overhead — not the algorithms — limits the
+pure-Python reference implementation; this subpackage provides
+drop-in-compatible accelerated variants validated against the reference
+by the test suite.
+"""
+
+from repro.fast.assoc import fast_association_graph
+from repro.fast.similarity import adjacency_matrix, fast_similarity_map
+from repro.fast.sweep import fast_sweep, wedge_stream
+
+__all__ = [
+    "adjacency_matrix",
+    "fast_association_graph",
+    "fast_similarity_map",
+    "fast_sweep",
+    "wedge_stream",
+]

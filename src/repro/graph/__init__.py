@@ -1,0 +1,34 @@
+"""Graph substrate: weighted undirected graphs, generators, algorithms, I/O."""
+
+from repro.graph.algorithms import (
+    DegreeStats,
+    average_clustering,
+    bfs_distances,
+    connected_components,
+    degree_stats,
+    diameter_estimate,
+    edge_components,
+    line_graph,
+    local_clustering,
+)
+from repro.graph.graph import Edge, Graph
+from repro.graph.io import parse_edge_list, read_edge_list, write_edge_list
+from repro.graph import generators
+
+__all__ = [
+    "DegreeStats",
+    "Edge",
+    "Graph",
+    "average_clustering",
+    "bfs_distances",
+    "connected_components",
+    "degree_stats",
+    "diameter_estimate",
+    "edge_components",
+    "generators",
+    "line_graph",
+    "local_clustering",
+    "parse_edge_list",
+    "read_edge_list",
+    "write_edge_list",
+]

@@ -1,0 +1,170 @@
+"""Classic graph algorithms used across the library.
+
+These support the evaluation and analysis layers: connected components
+(edge clusters of a full link-clustering run are exactly the edge sets of
+components), BFS distances (word-association exploration), clustering
+coefficients and degree statistics (workload characterization — the
+paper's K2 is determined entirely by the degree sequence).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.cluster.unionfind import DisjointSet
+from repro.errors import VertexNotFoundError
+from repro.graph.graph import Graph
+
+__all__ = [
+    "connected_components",
+    "edge_components",
+    "bfs_distances",
+    "diameter_estimate",
+    "local_clustering",
+    "average_clustering",
+    "line_graph",
+    "DegreeStats",
+    "degree_stats",
+]
+
+
+def connected_components(graph: Graph) -> List[Set[int]]:
+    """Vertex sets of the connected components, largest first."""
+    dsu = DisjointSet(graph.num_vertices)
+    for u, v in graph.edge_pairs():
+        dsu.union(u, v)
+    groups: Dict[int, Set[int]] = {}
+    for v in graph.vertices():
+        groups.setdefault(dsu.find(v), set()).add(v)
+    return sorted(groups.values(), key=len, reverse=True)
+
+
+def edge_components(graph: Graph) -> List[int]:
+    """Component label per *edge id* (canonical minimum edge id).
+
+    Two edges share a label iff they are connected through a chain of
+    incident edges — exactly the partition a full fine-grained link
+    clustering run terminates with (every incident pair has positive
+    similarity), which tests exploit.
+    """
+    dsu = DisjointSet(graph.num_edges)
+    last_edge_at: Dict[int, int] = {}
+    for edge in graph.edges():
+        for v in (edge.u, edge.v):
+            if v in last_edge_at:
+                dsu.union(edge.eid, last_edge_at[v])
+            last_edge_at[v] = edge.eid
+    return dsu.labels()
+
+
+def bfs_distances(graph: Graph, source: int) -> List[Optional[int]]:
+    """Unweighted hop distances from ``source`` (None = unreachable)."""
+    if not 0 <= source < graph.num_vertices:
+        raise VertexNotFoundError(source)
+    dist: List[Optional[int]] = [None] * graph.num_vertices
+    dist[source] = 0
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if dist[v] is None:
+                dist[v] = dist[u] + 1
+                queue.append(v)
+    return dist
+
+
+def diameter_estimate(graph: Graph, seeds: Sequence[int] = (0,)) -> int:
+    """Lower bound on the diameter via double-sweep BFS from ``seeds``."""
+    best = 0
+    for seed in seeds:
+        if not 0 <= seed < graph.num_vertices:
+            raise VertexNotFoundError(seed)
+        dist = bfs_distances(graph, seed)
+        reachable = [(d, v) for v, d in enumerate(dist) if d is not None]
+        if not reachable:
+            continue
+        d_far, far = max(reachable)
+        best = max(best, d_far)
+        second = bfs_distances(graph, far)
+        best = max(best, max(d for d in second if d is not None))
+    return best
+
+
+def local_clustering(graph: Graph, v: int) -> float:
+    """Local clustering coefficient of vertex ``v`` (0 for degree < 2)."""
+    nbrs = list(graph.neighbors(v))
+    k = len(nbrs)
+    if k < 2:
+        return 0.0
+    links = 0
+    nbr_set = set(nbrs)
+    for i, a in enumerate(nbrs):
+        adj = graph.neighbors(a)
+        for b in nbrs[i + 1 :]:
+            if b in adj:
+                links += 1
+    return 2.0 * links / (k * (k - 1))
+
+
+def average_clustering(graph: Graph) -> float:
+    """Mean local clustering coefficient over all vertices."""
+    n = graph.num_vertices
+    if n == 0:
+        return 0.0
+    return sum(local_clustering(graph, v) for v in graph.vertices()) / n
+
+
+def line_graph(graph: Graph) -> Graph:
+    """The line graph L(G): one vertex per edge, adjacency = incidence.
+
+    Link clustering *is* vertex clustering on L(G) with the Eq.-(1)
+    similarity as edge weights; this transform makes that view explicit.
+    L(G)'s vertices are labelled with G's edge ids, and its edge count is
+    exactly the paper's K2.  Weights default to 1.0 (use the similarity
+    map to weight by Eq. (1) if needed).
+    """
+    lg = Graph()
+    for eid in range(graph.num_edges):
+        lg.add_vertex(eid)
+    incident: Dict[int, List[int]] = {}
+    for edge in graph.edges():
+        incident.setdefault(edge.u, []).append(edge.eid)
+        incident.setdefault(edge.v, []).append(edge.eid)
+    for eids in incident.values():
+        eids.sort()
+        for ix in range(len(eids)):
+            for jx in range(ix + 1, len(eids)):
+                if not lg.has_edge(eids[ix], eids[jx]):
+                    lg.add_edge(eids[ix], eids[jx], 1.0)
+    return lg
+
+
+@dataclass(frozen=True)
+class DegreeStats:
+    """Degree-sequence summary; determines K2 exactly (Eq. 11)."""
+
+    minimum: int
+    maximum: int
+    mean: float
+    stdev: float
+    k2: int
+
+
+def degree_stats(graph: Graph) -> DegreeStats:
+    """Summarize the degree sequence and the K2 it induces."""
+    degrees = graph.degrees()
+    if not degrees:
+        return DegreeStats(0, 0, 0.0, 0.0, 0)
+    n = len(degrees)
+    mean = sum(degrees) / n
+    var = sum((d - mean) ** 2 for d in degrees) / n
+    return DegreeStats(
+        minimum=min(degrees),
+        maximum=max(degrees),
+        mean=mean,
+        stdev=math.sqrt(var),
+        k2=sum(d * (d - 1) // 2 for d in degrees),
+    )

@@ -1,0 +1,302 @@
+"""Synthetic graph generators for tests, examples, and benchmarks.
+
+The paper's complexity analysis (Appendix, Corollary 1) reasons about several
+graph families explicitly — k-regular graphs, complete graphs, and graphs of
+disjoint singular edges — so these generators exist both to exercise the
+algorithms and to validate the claimed K1/K2/K3 relationships.
+
+All generators are deterministic given a ``seed`` and return
+:class:`repro.graph.Graph` instances with integer vertex labels ``0..n-1``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from typing import Callable, Optional
+
+from repro.errors import ParameterError
+from repro.graph.graph import Graph
+
+__all__ = [
+    "complete_graph",
+    "ring_graph",
+    "path_graph",
+    "star_graph",
+    "grid_graph",
+    "circulant_graph",
+    "disjoint_edges",
+    "erdos_renyi",
+    "barabasi_albert",
+    "planted_partition",
+    "caveman_graph",
+    "random_weights",
+]
+
+
+def _rng(seed: Optional[int]) -> random.Random:
+    return random.Random(seed)
+
+
+def random_weights(
+    seed: Optional[int] = None, low: float = 0.1, high: float = 1.0
+) -> Callable[[int, int], float]:
+    """A weight function drawing uniform weights in ``[low, high]``.
+
+    The function is deterministic per (u, v) pair for a given seed, so a
+    graph built twice with the same generator arguments is identical.
+    """
+    if not (0.0 < low <= high):
+        raise ParameterError(f"need 0 < low <= high, got low={low}, high={high}")
+    base = random.Random(seed).random()
+
+    def weight(u: int, v: int) -> float:
+        pair_rng = random.Random(f"{base}-{u}-{v}")
+        return low + (high - low) * pair_rng.random()
+
+    return weight
+
+
+def _const_weight(u: int, v: int) -> float:
+    return 1.0
+
+
+def complete_graph(
+    n: int, weight: Optional[Callable[[int, int], float]] = None
+) -> Graph:
+    """Complete graph K_n."""
+    if n < 1:
+        raise ParameterError(f"n must be >= 1, got {n}")
+    wf = weight or _const_weight
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(v)
+    for u, v in itertools.combinations(range(n), 2):
+        g.add_edge(u, v, wf(u, v))
+    return g
+
+
+def ring_graph(n: int, weight: Optional[Callable[[int, int], float]] = None) -> Graph:
+    """Cycle C_n (n >= 3)."""
+    if n < 3:
+        raise ParameterError(f"ring needs n >= 3, got {n}")
+    wf = weight or _const_weight
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(v)
+    for u in range(n):
+        v = (u + 1) % n
+        g.add_edge(u, v, wf(min(u, v), max(u, v)))
+    return g
+
+
+def path_graph(n: int, weight: Optional[Callable[[int, int], float]] = None) -> Graph:
+    """Path P_n (n >= 2)."""
+    if n < 2:
+        raise ParameterError(f"path needs n >= 2, got {n}")
+    wf = weight or _const_weight
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(v)
+    for u in range(n - 1):
+        g.add_edge(u, u + 1, wf(u, u + 1))
+    return g
+
+
+def star_graph(n: int, weight: Optional[Callable[[int, int], float]] = None) -> Graph:
+    """Star with one hub (vertex 0) and ``n`` leaves."""
+    if n < 1:
+        raise ParameterError(f"star needs >= 1 leaf, got {n}")
+    wf = weight or _const_weight
+    g = Graph()
+    g.add_vertex(0)
+    for leaf in range(1, n + 1):
+        g.add_edge(0, leaf, wf(0, leaf))
+    return g
+
+
+def grid_graph(
+    rows: int, cols: int, weight: Optional[Callable[[int, int], float]] = None
+) -> Graph:
+    """rows x cols 4-neighbour lattice."""
+    if rows < 1 or cols < 1:
+        raise ParameterError(f"grid needs rows, cols >= 1, got {rows}x{cols}")
+    wf = weight or _const_weight
+    g = Graph()
+    for v in range(rows * cols):
+        g.add_vertex(v)
+
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                g.add_edge(vid(r, c), vid(r, c + 1), wf(vid(r, c), vid(r, c + 1)))
+            if r + 1 < rows:
+                g.add_edge(vid(r, c), vid(r + 1, c), wf(vid(r, c), vid(r + 1, c)))
+    return g
+
+
+def circulant_graph(
+    n: int, k: int, weight: Optional[Callable[[int, int], float]] = None
+) -> Graph:
+    """A 2k-regular circulant graph: vertex i connects to i +/- 1..k (mod n).
+
+    Used as the paper's "k-regular graph" example in the appendix analysis.
+    Requires ``2k < n``.
+    """
+    if n < 3:
+        raise ParameterError(f"circulant needs n >= 3, got {n}")
+    if k < 1 or 2 * k >= n:
+        raise ParameterError(f"circulant needs 1 <= k and 2k < n, got n={n}, k={k}")
+    wf = weight or _const_weight
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(v)
+    for u in range(n):
+        for step in range(1, k + 1):
+            v = (u + step) % n
+            a, b = min(u, v), max(u, v)
+            if not g.has_edge(a, b):
+                g.add_edge(a, b, wf(a, b))
+    return g
+
+
+def disjoint_edges(
+    m: int, weight: Optional[Callable[[int, int], float]] = None
+) -> Graph:
+    """``m`` disjoint singular edges: K1 = K2 = 0 but |E| = |V|/2.
+
+    This is the paper's example showing K1 >= |E| need not hold.
+    """
+    if m < 1:
+        raise ParameterError(f"need >= 1 edge, got {m}")
+    wf = weight or _const_weight
+    g = Graph()
+    for i in range(m):
+        g.add_edge(2 * i, 2 * i + 1, wf(2 * i, 2 * i + 1))
+    return g
+
+
+def erdos_renyi(
+    n: int,
+    p: float,
+    seed: Optional[int] = None,
+    weight: Optional[Callable[[int, int], float]] = None,
+) -> Graph:
+    """G(n, p) random graph (isolated vertices kept)."""
+    if n < 1:
+        raise ParameterError(f"n must be >= 1, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise ParameterError(f"p must be in [0, 1], got {p}")
+    rng = _rng(seed)
+    wf = weight or _const_weight
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(v)
+    for u, v in itertools.combinations(range(n), 2):
+        if rng.random() < p:
+            g.add_edge(u, v, wf(u, v))
+    return g
+
+
+def barabasi_albert(
+    n: int,
+    m: int,
+    seed: Optional[int] = None,
+    weight: Optional[Callable[[int, int], float]] = None,
+) -> Graph:
+    """Preferential-attachment graph: each new vertex attaches to ``m`` others.
+
+    Produces the heavy-tailed degree distributions typical of word
+    association networks, which is the regime where K2 >> |E|.
+    """
+    if m < 1 or n <= m:
+        raise ParameterError(f"need 1 <= m < n, got n={n}, m={m}")
+    rng = _rng(seed)
+    wf = weight or _const_weight
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(v)
+    # Start from a star over the first m+1 vertices so every vertex has a
+    # chance to attract attachments.
+    targets = list(range(m))
+    repeated: list[int] = list(range(m))
+    for new in range(m, n):
+        chosen: set[int] = set()
+        while len(chosen) < m:
+            pick = rng.choice(repeated) if repeated else rng.randrange(new)
+            if pick != new:
+                chosen.add(pick)
+        for t in chosen:
+            g.add_edge(min(new, t), max(new, t), wf(min(new, t), max(new, t)))
+            repeated.append(t)
+            repeated.append(new)
+        targets.append(new)
+    return g
+
+
+def planted_partition(
+    communities: int,
+    size: int,
+    p_in: float,
+    p_out: float,
+    seed: Optional[int] = None,
+    weight: Optional[Callable[[int, int], float]] = None,
+) -> Graph:
+    """Planted-partition model: dense blocks, sparse inter-block edges.
+
+    A standard ground-truth workload for community detection; used by tests
+    that check link clustering actually recovers planted communities.
+    """
+    if communities < 1 or size < 2:
+        raise ParameterError(
+            f"need communities >= 1, size >= 2, got {communities}, {size}"
+        )
+    for name, p in (("p_in", p_in), ("p_out", p_out)):
+        if not 0.0 <= p <= 1.0:
+            raise ParameterError(f"{name} must be in [0, 1], got {p}")
+    rng = _rng(seed)
+    wf = weight or _const_weight
+    n = communities * size
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(v)
+    for u, v in itertools.combinations(range(n), 2):
+        same = (u // size) == (v // size)
+        p = p_in if same else p_out
+        if rng.random() < p:
+            g.add_edge(u, v, wf(u, v))
+    return g
+
+
+def caveman_graph(
+    cliques: int,
+    size: int,
+    weight: Optional[Callable[[int, int], float]] = None,
+) -> Graph:
+    """Connected caveman graph: ``cliques`` cliques joined in a ring.
+
+    One edge of each clique is "rewired" to the next clique, giving clean
+    hierarchical community structure for dendrogram tests.
+    """
+    if cliques < 2 or size < 3:
+        raise ParameterError(f"need cliques >= 2, size >= 3, got {cliques}, {size}")
+    wf = weight or _const_weight
+    g = Graph()
+    n = cliques * size
+    for v in range(n):
+        g.add_vertex(v)
+    for c in range(cliques):
+        base = c * size
+        for u, v in itertools.combinations(range(base, base + size), 2):
+            g.add_edge(u, v, wf(u, v))
+    # ring of bridges between consecutive cliques
+    for c in range(cliques):
+        u = c * size  # first vertex of this clique
+        v = ((c + 1) % cliques) * size + 1  # second vertex of next clique
+        if not g.has_edge(min(u, v), max(u, v)):
+            g.add_edge(min(u, v), max(u, v), wf(min(u, v), max(u, v)))
+    return g

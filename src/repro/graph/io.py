@@ -1,0 +1,79 @@
+"""Edge-list text I/O for :class:`repro.graph.Graph`.
+
+Format: one edge per line, ``<u> <v> [weight]``, whitespace separated.
+Lines starting with ``#`` and blank lines are ignored.  Vertex labels are
+kept as strings unless ``int_labels=True``.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO, Union
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+
+__all__ = ["read_edge_list", "write_edge_list", "parse_edge_list"]
+
+
+def parse_edge_list(
+    stream: TextIO, int_labels: bool = False, allow_zero_weight: bool = False
+) -> Graph:
+    """Parse an edge-list from an open text stream."""
+    g = Graph(allow_zero_weight=allow_zero_weight)
+    for lineno, raw in enumerate(stream, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) not in (2, 3):
+            raise GraphError(
+                f"line {lineno}: expected '<u> <v> [weight]', got {line!r}"
+            )
+        a: Union[str, int] = parts[0]
+        b: Union[str, int] = parts[1]
+        if int_labels:
+            try:
+                a, b = int(parts[0]), int(parts[1])
+            except ValueError:
+                raise GraphError(
+                    f"line {lineno}: int_labels=True but labels are not ints: {line!r}"
+                ) from None
+        w = 1.0
+        if len(parts) == 3:
+            try:
+                w = float(parts[2])
+            except ValueError:
+                raise GraphError(
+                    f"line {lineno}: bad weight {parts[2]!r}"
+                ) from None
+        g.add_edge(a, b, w)
+    return g
+
+
+def read_edge_list(
+    path: Union[str, Path], int_labels: bool = False, allow_zero_weight: bool = False
+) -> Graph:
+    """Read a graph from an edge-list file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_edge_list(
+            fh, int_labels=int_labels, allow_zero_weight=allow_zero_weight
+        )
+
+
+def write_edge_list(graph: Graph, path: Union[str, Path, TextIO]) -> None:
+    """Write a graph as an edge-list file (labels stringified)."""
+    if isinstance(path, io.TextIOBase):
+        _write(graph, path)
+        return
+    with open(path, "w", encoding="utf-8") as fh:
+        _write(graph, fh)
+
+
+def _write(graph: Graph, fh: TextIO) -> None:
+    fh.write(f"# vertices={graph.num_vertices} edges={graph.num_edges}\n")
+    for edge in graph.edges():
+        a = graph.vertex_label(edge.u)
+        b = graph.vertex_label(edge.v)
+        fh.write(f"{a} {b} {edge.weight!r}\n")

@@ -1,0 +1,56 @@
+"""Parallel layer: backends, partitioning, and the parallel phases."""
+
+from repro.parallel.merge_arrays import (
+    hierarchical_merge,
+    join_partition_labels,
+    merge_chain_into,
+    merge_chain_into_flawed,
+)
+from repro.parallel.par_init import hierarchical_map_merge, parallel_similarity_map
+from repro.parallel.par_sweep import parallel_coarse_sweep
+from repro.parallel.calibrate import calibrate_cost_model
+from repro.parallel.shm_sweep import shm_chunk_merge
+from repro.parallel.partitioner import (
+    contiguous_partition,
+    lpt_partition,
+    partition_range,
+    round_robin_partition,
+)
+from repro.parallel.pool import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    get_backend,
+)
+from repro.parallel.workmodel import (
+    CostModel,
+    InitWorkModel,
+    SweepWorkModel,
+    speedup_curve,
+)
+
+__all__ = [
+    "CostModel",
+    "ExecutionBackend",
+    "InitWorkModel",
+    "ProcessBackend",
+    "SerialBackend",
+    "SweepWorkModel",
+    "calibrate_cost_model",
+    "ThreadBackend",
+    "contiguous_partition",
+    "get_backend",
+    "hierarchical_map_merge",
+    "hierarchical_merge",
+    "join_partition_labels",
+    "lpt_partition",
+    "merge_chain_into",
+    "merge_chain_into_flawed",
+    "parallel_coarse_sweep",
+    "parallel_similarity_map",
+    "partition_range",
+    "round_robin_partition",
+    "shm_chunk_merge",
+    "speedup_curve",
+]

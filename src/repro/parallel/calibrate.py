@@ -1,0 +1,95 @@
+"""Empirical calibration of the work model's cost constants.
+
+The :class:`~repro.parallel.workmodel.CostModel` defaults are fixed so
+benchmarks are deterministic, but the constants are *measurable*: every
+term corresponds to a phase of the real implementation.  This module
+times each phase on a calibration graph and derives per-operation costs,
+so the Figure-6 work model can be grounded in the live build instead of
+hand-picked ratios.
+
+Costs are returned in microseconds per operation; only their *ratios*
+affect modeled speedups.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.cluster.unionfind import ChainArray
+from repro.core.similarity import (
+    accumulate_pair_map,
+    apply_adjacency_terms,
+    compute_h_arrays,
+    finalize_similarities,
+    merge_pair_maps,
+)
+from repro.core.sweep import sweep
+from repro.errors import ParameterError
+from repro.graph.graph import Graph
+from repro.parallel.workmodel import CostModel
+
+__all__ = ["calibrate_cost_model"]
+
+
+def _timed(fn, *args):
+    start = time.perf_counter()
+    result = fn(*args)
+    return result, time.perf_counter() - start
+
+
+def calibrate_cost_model(graph: Graph) -> CostModel:
+    """Measure per-operation costs of every phase on ``graph``.
+
+    The graph should have at least a few thousand incident edge pairs so
+    the timings rise above timer noise; :class:`ParameterError` is
+    raised below a minimal size.
+    """
+    degrees = graph.degrees()
+    n_ops_pass1 = sum(d + 1 for d in degrees)
+    n_wedges = sum(d * (d - 1) // 2 for d in degrees)
+    if n_wedges < 500:
+        raise ParameterError(
+            f"calibration graph too small ({n_wedges} wedges; need >= 500)"
+        )
+
+    (h1, h2), t_pass1 = _timed(compute_h_arrays, graph)
+    m, t_pass2 = _timed(accumulate_pair_map, graph)
+    k1 = len(m)
+
+    # Map merge cost: merge a half-graph map into the other half's.
+    half = graph.num_vertices // 2
+    m_lo = accumulate_pair_map(graph, vertices=range(half))
+    m_hi = accumulate_pair_map(graph, vertices=range(half, graph.num_vertices))
+    moved = len(m_hi)
+    _, t_map_merge = _timed(merge_pair_maps, m_lo, m_hi)
+
+    _, t_pass3 = _timed(apply_adjacency_terms, graph, m, h1)
+    sim, t_norm = _timed(finalize_similarities, m, h2)
+
+    result, t_sweep = _timed(sweep, graph, sim)
+    n_merges = sim.k2
+
+    # Array scan cost: one full pairwise C-merge over the final arrays.
+    from repro.parallel.merge_arrays import merge_chain_into
+
+    a = result.chain.copy()
+    b = ChainArray(graph.num_edges)
+    _, t_scan = _timed(merge_chain_into, a, b)
+
+    c = result.chain
+    _, t_count = _timed(c.count_roots)
+
+    def per_op(total: float, ops: int) -> float:
+        return max(total / max(ops, 1) * 1e6, 1e-6)  # microseconds
+
+    return CostModel(
+        h_update=per_op(t_pass1, n_ops_pass1),
+        wedge=per_op(t_pass2, n_wedges),
+        map_insert=per_op(t_map_merge, moved),
+        edge_adjust=per_op(t_pass3, graph.num_edges),
+        normalize=per_op(t_norm, k1),
+        merge_pair=per_op(t_sweep, n_merges),
+        array_scan=per_op(t_scan, graph.num_edges),
+        cluster_count=per_op(t_count, graph.num_edges),
+    )

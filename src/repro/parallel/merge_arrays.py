@@ -1,0 +1,148 @@
+"""Merging per-thread copies of array ``C`` (Section VI-B).
+
+After each thread has merged its share of a chunk on its own copy of
+array ``C``, the ``T`` copies must be combined into one array whose
+partition is the *join* of the per-copy partitions.
+
+The paper first shows a natural scheme — for each ``i`` set every member
+of ``F0(i) ∪ F1(i)`` to ``f = min{F0(i), F1(i)}`` — and demonstrates with a
+counterexample that it is flawed (it can orphan part of a ``C0`` cluster).
+Its fix extends the update set with ``F0(min F1(i))``.
+
+Reproduction note: applied literally, the fixed scheme can still break the
+chain invariant, because ``min F1(i)``'s chain in ``C0`` may contain ids
+*smaller* than the paper's ``f = min{F0(i), F1(i)}`` — pointing them at
+``f`` would point a cluster id upward.  The intended cluster id is the
+minimum over the *whole* update set, so this implementation computes
+``f = min(F0(i) ∪ F1(i) ∪ F0(min F1(i)))``.  With ids processed in
+increasing order this is provably correct: every non-``i`` element of
+``F1(i)`` was already connected (in ``C0``) to ``min F1(i)`` when its own
+id was processed, so rewriting the three chains preserves all merged
+relations.  Both the flawed scheme and the fix are kept here — the flawed
+one so the paper's counterexample is executable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.cluster.unionfind import ChainArray, DisjointSet
+from repro.errors import ClusteringError, ParallelError
+from repro.parallel.pool import ExecutionBackend, SerialBackend
+
+__all__ = [
+    "merge_chain_into",
+    "merge_chain_into_flawed",
+    "hierarchical_merge",
+    "join_partition_labels",
+]
+
+
+def merge_chain_into(c0: ChainArray, c1: ChainArray) -> ChainArray:
+    """Merge ``c1`` into ``c0`` (in place) with the corrected scheme.
+
+    After the call ``c0`` represents the join of both partitions: two ids
+    are clustered iff they were clustered in ``c0`` or in ``c1`` (or via a
+    chain of such relations).  Returns ``c0``.
+    """
+    n = len(c0)
+    if len(c1) != n:
+        raise ClusteringError(
+            f"cannot merge arrays of different sizes: {n} vs {len(c1)}"
+        )
+    for i in range(n):
+        f1 = c1.chain(i)
+        min_f1 = f1[-1]  # chains end at their minimum
+        if min_f1 == i and len(f1) == 1:
+            continue  # singleton in c1: nothing to join
+        f0 = c0.chain(i)
+        f0_of_min = c0.chain(min_f1)
+        members = set(f0)
+        members.update(f1)
+        members.update(f0_of_min)
+        f = min(members)
+        c0.rewrite(members, f)
+    return c0
+
+
+def merge_chain_into_flawed(c0: List[int], c1: List[int]) -> List[int]:
+    """The paper's *flawed* natural scheme, verbatim, on raw lists.
+
+    For each ``i``: ``f = min(F0(i) ∪ F1(i))`` and only ``F0(i) ∪ F1(i)``
+    is rewritten.  Exists so the counterexample in Section VI-B is
+    executable; do not use for real merging.
+    """
+    n = len(c0)
+    if len(c1) != n:
+        raise ClusteringError(
+            f"cannot merge arrays of different sizes: {n} vs {len(c1)}"
+        )
+    out = list(c0)
+
+    def chain(arr: Sequence[int], i: int) -> List[int]:
+        seen = [i]
+        while arr[i] != i:
+            i = arr[i]
+            if i in seen:  # flawed scheme can create cycles; stop safely
+                break
+            seen.append(i)
+        return seen
+
+    for i in range(n):
+        f0 = chain(out, i)
+        f1 = chain(c1, i)
+        members = set(f0) | set(f1)
+        f = min(members)
+        for e in members:
+            out[e] = f
+    return out
+
+
+def hierarchical_merge(
+    arrays: List[ChainArray], backend: ExecutionBackend | None = None
+) -> ChainArray:
+    """Combine ``T`` per-thread arrays with the paper's tournament scheme.
+
+    While more than three arrays are active, disjoint pairs are merged
+    concurrently (one task per pair, odd array carried over); once at most
+    three remain they are merged by a single task.  The first array is
+    mutated and returned.
+    """
+    if not arrays:
+        raise ParallelError("hierarchical_merge needs at least one array")
+    backend = backend or SerialBackend()
+    active = list(arrays)
+    while len(active) > 3:
+        tasks = []
+        carried: List[ChainArray] = []
+        it = iter(range(0, len(active) - 1, 2))
+        for idx in it:
+            tasks.append((active[idx], active[idx + 1]))
+        if len(active) % 2 == 1:
+            carried.append(active[-1])
+        merged = backend.map(merge_chain_into, tasks)
+        active = list(merged) + carried
+    result = active[0]
+    for other in active[1:]:
+        merge_chain_into(result, other)
+    return result
+
+
+def join_partition_labels(arrays: List[ChainArray]) -> List[int]:
+    """Reference join of several chain arrays via a classic DSU.
+
+    Used by tests to validate :func:`merge_chain_into` /
+    :func:`hierarchical_merge` independently of the paper's scheme.
+    """
+    if not arrays:
+        raise ParallelError("join_partition_labels needs at least one array")
+    n = len(arrays[0])
+    dsu = DisjointSet(n)
+    for arr in arrays:
+        if len(arr) != n:
+            raise ClusteringError("arrays must share one size")
+        raw = arr.raw()
+        for i in range(n):
+            if raw[i] != i:
+                dsu.union(i, raw[i])
+    return dsu.labels()

@@ -1,0 +1,159 @@
+"""Parallel initialization phase (Section VI-A).
+
+Each of Algorithm 1's three passes is parallelized exactly as the paper
+describes:
+
+* **Pass 1** — vertices are partitioned into ``T`` disjoint sets
+  (round-robin by default, which the paper credits for load balance) and
+  each worker fills its slice of ``H1``/``H2``; slices are disjoint so the
+  combine step is a plain element-wise sum.
+* **Pass 2** — step one: each worker builds a *private* map over its
+  vertex set (no shared-state races); step two: the per-worker maps are
+  merged pairwise in a hierarchical tournament until at most three remain,
+  which a single task folds together.
+* **Pass 3** — the vertex pairs of ``M`` are partitioned by their *first*
+  vertex; each worker computes the ``(H1[i] + H1[j]) * w_ij`` adjustment
+  for edges whose first endpoint falls in its set, touching disjoint
+  regions of ``M``.
+
+The final Tanimoto normalization is a cheap serial fold.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.similarity import (
+    PairAccumulator,
+    SimilarityMap,
+    accumulate_pair_map,
+    compute_h_arrays,
+    finalize_similarities,
+    merge_pair_maps,
+)
+from repro.errors import ParameterError
+from repro.graph.graph import Graph
+from repro.parallel.partitioner import partition_range
+from repro.parallel.pool import ExecutionBackend, SerialBackend, get_backend
+
+__all__ = ["parallel_similarity_map", "hierarchical_map_merge"]
+
+
+# ----------------------------------------------------------------------
+# module-level workers (picklable for the process backend)
+# ----------------------------------------------------------------------
+
+
+def _pass1_worker(
+    graph: Graph, vertices: Sequence[int]
+) -> Tuple[List[float], List[float]]:
+    return compute_h_arrays(graph, vertices)
+
+
+def _pass2_worker(graph: Graph, vertices: Sequence[int]) -> PairAccumulator:
+    return accumulate_pair_map(graph, vertices)
+
+
+def _pass3_worker(
+    graph: Graph, vertices: Sequence[int], h1: Sequence[float]
+) -> Dict[Tuple[int, int], float]:
+    """Adjustment terms for edges whose first endpoint is in ``vertices``."""
+    allowed = set(vertices)
+    adjustments: Dict[Tuple[int, int], float] = {}
+    for u, v in graph.edge_pairs():
+        if u in allowed:
+            adjustments[(u, v)] = (h1[u] + h1[v]) * graph.weight(u, v)
+    return adjustments
+
+
+def _map_merge_worker(dst: PairAccumulator, src: PairAccumulator) -> PairAccumulator:
+    return merge_pair_maps(dst, src)
+
+
+# ----------------------------------------------------------------------
+# hierarchical map merge (pass 2, step 2)
+# ----------------------------------------------------------------------
+
+
+def hierarchical_map_merge(
+    maps: List[PairAccumulator], backend: ExecutionBackend | None = None
+) -> PairAccumulator:
+    """Merge per-worker maps with the paper's tournament scheme.
+
+    With ``k > 3`` active maps, ``k // 2`` disjoint pairs are merged
+    concurrently (odd map carried over); at most three remaining maps are
+    folded by a single task.
+    """
+    if not maps:
+        return {}
+    backend = backend or SerialBackend()
+    active = list(maps)
+    while len(active) > 3:
+        tasks = [
+            (active[idx], active[idx + 1]) for idx in range(0, len(active) - 1, 2)
+        ]
+        merged = backend.map(_map_merge_worker, tasks)
+        if len(active) % 2 == 1:
+            merged.append(active[-1])
+        active = merged
+    result = active[0]
+    for other in active[1:]:
+        merge_pair_maps(result, other)
+    return result
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+
+
+def parallel_similarity_map(
+    graph: Graph,
+    num_workers: int = 2,
+    backend: str = "thread",
+    scheme: str = "round_robin",
+) -> SimilarityMap:
+    """Phase I with ``num_workers`` workers on the named backend.
+
+    Produces a map identical to
+    :func:`repro.core.similarity.compute_similarity_map` (floating-point
+    sums are accumulated in a fixed merge order, so results match the
+    serial run bit-for-bit only up to addition reordering across workers —
+    tests compare with tolerances).
+    """
+    if num_workers < 1:
+        raise ParameterError(f"num_workers must be >= 1, got {num_workers}")
+    exec_backend = get_backend(backend, num_workers)
+    # Map merging on the process backend would re-pickle every map; the
+    # maps already live in the parent, so merge them inline there.
+    merge_backend = exec_backend if backend == "thread" else SerialBackend()
+    parts = partition_range(graph.num_vertices, num_workers, scheme)
+
+    # Pass 1: disjoint H1/H2 slices, summed (disjoint fills, zero elsewhere).
+    n = graph.num_vertices
+    h1 = [0.0] * n
+    h2 = [0.0] * n
+    for part_h1, part_h2 in exec_backend.map(
+        _pass1_worker, [(graph, part) for part in parts]
+    ):
+        for i, value in enumerate(part_h1):
+            if value:
+                h1[i] = value
+        for i, value in enumerate(part_h2):
+            if value:
+                h2[i] = value
+
+    # Pass 2: private maps, then hierarchical merge.
+    local_maps = exec_backend.map(_pass2_worker, [(graph, part) for part in parts])
+    m = hierarchical_map_merge(local_maps, merge_backend)
+
+    # Pass 3: adjustments partitioned by first vertex, applied to M.
+    for adjustments in exec_backend.map(
+        _pass3_worker, [(graph, part, h1) for part in parts]
+    ):
+        for key, value in adjustments.items():
+            entry = m.get(key)
+            if entry is not None:
+                entry[0] += value
+
+    return finalize_similarities(m, h2)

@@ -1,0 +1,112 @@
+"""Execution backends: a common map interface over serial / thread / process.
+
+The paper parallelizes with pthreads on a 6-core Xeon.  CPython's GIL
+serializes pure-Python bytecode across threads, so this module offers
+three interchangeable backends:
+
+* ``serial`` — plain loop (baseline, also used for deterministic tests);
+* ``thread`` — ``ThreadPoolExecutor``; faithfully exercises the paper's
+  *concurrency structure* (per-thread state, hierarchical merging) even
+  though wall-clock speedup is GIL-bound;
+* ``process`` — ``ProcessPoolExecutor``; real CPU parallelism at the cost
+  of pickling task inputs.
+
+All submitted callables must be module-level functions when the process
+backend is used (pickling requirement).  Worker failures are re-raised in
+the caller wrapped in :class:`ParallelError` with the original as cause.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Iterable, List, Sequence
+
+from repro.errors import ParallelError, ParameterError
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "get_backend",
+]
+
+
+class ExecutionBackend(ABC):
+    """Uniform "apply fn to each task" interface."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def map(self, fn: Callable[..., Any], tasks: Sequence[tuple]) -> List[Any]:
+        """Apply ``fn(*task)`` to every task, preserving order."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SerialBackend(ExecutionBackend):
+    """Run tasks inline, in order."""
+
+    name = "serial"
+
+    def map(self, fn: Callable[..., Any], tasks: Sequence[tuple]) -> List[Any]:
+        return [fn(*task) for task in tasks]
+
+
+class _PoolBackend(ExecutionBackend):
+    """Shared logic for executor-based backends."""
+
+    _executor_cls: type
+
+    def __init__(self, num_workers: int):
+        if num_workers < 1:
+            raise ParameterError(f"num_workers must be >= 1, got {num_workers}")
+        self.num_workers = num_workers
+
+    def map(self, fn: Callable[..., Any], tasks: Sequence[tuple]) -> List[Any]:
+        if not tasks:
+            return []
+        if self.num_workers == 1 or len(tasks) == 1:
+            return [fn(*task) for task in tasks]
+        workers = min(self.num_workers, len(tasks))
+        with self._executor_cls(max_workers=workers) as pool:
+            futures = [pool.submit(fn, *task) for task in tasks]
+            results: List[Any] = []
+            for future in futures:
+                try:
+                    results.append(future.result())
+                except Exception as exc:  # re-raise with backend context
+                    raise ParallelError(
+                        f"{self.name} worker failed running {fn.__name__}: {exc}"
+                    ) from exc
+        return results
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(num_workers={self.num_workers})"
+
+
+class ThreadBackend(_PoolBackend):
+    """``ThreadPoolExecutor``-based backend (shared memory, GIL-bound)."""
+
+    name = "thread"
+    _executor_cls = concurrent.futures.ThreadPoolExecutor
+
+
+class ProcessBackend(_PoolBackend):
+    """``ProcessPoolExecutor``-based backend (real parallelism, pickling)."""
+
+    name = "process"
+    _executor_cls = concurrent.futures.ProcessPoolExecutor
+
+
+def get_backend(name: str, num_workers: int = 1) -> ExecutionBackend:
+    """Backend factory: ``serial``, ``thread``, or ``process``."""
+    if name == "serial":
+        return SerialBackend()
+    if name == "thread":
+        return ThreadBackend(num_workers)
+    if name == "process":
+        return ProcessBackend(num_workers)
+    raise ParameterError(f"unknown backend {name!r}")

@@ -1,0 +1,100 @@
+"""Tests for the naive edge-similarity oracle."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines.edge_similarity import (
+    all_edge_pair_similarities,
+    edge_pair_similarity,
+    feature_vector,
+    iter_incident_edge_pairs,
+    tanimoto,
+)
+from repro.core.metrics import count_k2
+from repro.errors import ClusteringError
+from repro.graph import generators
+from repro.graph.graph import Graph
+
+
+class TestFeatureVector:
+    def test_contents(self):
+        g = Graph.from_edge_list([("a", "b", 2.0), ("a", "c", 4.0)])
+        a = g.vertex_id("a")
+        vec = feature_vector(g, a)
+        assert vec[g.vertex_id("b")] == 2.0
+        assert vec[g.vertex_id("c")] == 4.0
+        assert vec[a] == pytest.approx(3.0)  # average weight (Eq. 2 diagonal)
+
+    def test_isolated_vertex(self):
+        g = Graph()
+        g.add_vertex("x")
+        assert feature_vector(g, 0) == {}
+
+
+class TestTanimoto:
+    def test_identical_vectors(self):
+        v = {0: 1.0, 1: 2.0}
+        assert tanimoto(v, dict(v)) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors(self):
+        assert tanimoto({0: 1.0}, {1: 1.0}) == 0.0
+
+    def test_known_value(self):
+        a = {0: 1.0, 1: 1.0}
+        b = {0: 1.0}
+        # dot=1, |a|^2=2, |b|^2=1 -> 1/(2+1-1) = 0.5
+        assert tanimoto(a, b) == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        a = {0: 0.3, 2: 1.1}
+        b = {0: 0.7, 1: 0.2, 2: 0.5}
+        assert tanimoto(a, b) == pytest.approx(tanimoto(b, a))
+
+    def test_empty_raises(self):
+        with pytest.raises(ClusteringError):
+            tanimoto({}, {})
+
+
+class TestEdgePairSimilarity:
+    def test_non_incident_is_zero(self):
+        g = generators.path_graph(4)  # edges (0,1), (1,2), (2,3)
+        assert edge_pair_similarity(g, 0, 2) == 0.0
+
+    def test_incident_positive(self, triangle):
+        assert edge_pair_similarity(triangle, 0, 1) > 0.0
+
+    def test_self_pair_rejected(self, triangle):
+        with pytest.raises(ClusteringError):
+            edge_pair_similarity(triangle, 1, 1)
+
+    def test_depends_only_on_unshared_endpoints(self):
+        """Eq. (1): S(e_ik, e_jk) uses a_i and a_j, not a_k."""
+        g = Graph.from_edge_list(
+            [("i", "k", 1.0), ("j", "k", 1.0), ("i", "j", 2.0), ("k", "z", 9.0)]
+        )
+        e_ik = g.edge_id(g.vertex_id("i"), g.vertex_id("k"))
+        e_jk = g.edge_id(g.vertex_id("j"), g.vertex_id("k"))
+        expected = tanimoto(
+            feature_vector(g, g.vertex_id("i")),
+            feature_vector(g, g.vertex_id("j")),
+        )
+        assert edge_pair_similarity(g, e_ik, e_jk) == pytest.approx(expected)
+
+
+class TestIncidentPairs:
+    def test_count_is_k2(self, weighted_caveman):
+        pairs = list(iter_incident_edge_pairs(weighted_caveman))
+        assert len(pairs) == count_k2(weighted_caveman)
+        assert len(set(pairs)) == len(pairs)  # no duplicates
+
+    def test_ordering(self, triangle):
+        for e1, e2 in iter_incident_edge_pairs(triangle):
+            assert e1 < e2
+
+    def test_all_similarities_cover_k2(self, paper_example_graph):
+        sims = all_edge_pair_similarities(paper_example_graph)
+        assert len(sims) == count_k2(paper_example_graph)
+        assert all(0.0 < s <= 1.0 for s in sims.values())

@@ -1,0 +1,77 @@
+"""Tests for the MST (Kruskal) single-linkage baseline (paper ref [9])."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.mst import mst_link_clustering
+from repro.baselines.nbm import nbm_link_clustering
+from repro.cluster.validation import same_partition
+from repro.core.similarity import compute_similarity_map
+from repro.core.sweep import sweep
+from repro.graph import generators
+
+
+class TestMSTLinkClustering:
+    def test_same_partition_as_sweep(self, weighted_caveman):
+        g = weighted_caveman
+        sim = compute_similarity_map(g)
+        fast = sweep(g, sim)
+        mst = mst_link_clustering(g, sim)
+        assert same_partition(fast.edge_labels(), mst.edge_labels())
+
+    def test_same_merge_heights_as_sweep(self, weighted_caveman):
+        """Gower & Ross: MST ordering gives the single-linkage heights."""
+        g = weighted_caveman
+        sim = compute_similarity_map(g)
+        ours = sorted(
+            round(s, 9) for s in sweep(g, sim).dendrogram.merge_similarities()
+        )
+        mst = sorted(
+            round(s, 9)
+            for s in mst_link_clustering(g, sim).dendrogram.merge_similarities()
+        )
+        assert ours == mst
+
+    def test_forest_size(self, planted):
+        """The maximum spanning forest has (edges - components) links."""
+        from repro.graph.algorithms import edge_components
+
+        mst = mst_link_clustering(planted)
+        n_components = len(set(edge_components(planted)))
+        assert len(mst.forest) == planted.num_edges - n_components
+
+    def test_forest_links_are_incident_pairs(self, triangle):
+        mst = mst_link_clustering(triangle)
+        for _, e1, e2 in mst.forest:
+            u1, v1 = triangle.edge_endpoints(e1)
+            u2, v2 = triangle.edge_endpoints(e2)
+            assert {u1, v1} & {u2, v2}
+
+    def test_agrees_with_nbm(self):
+        g = generators.grid_graph(3, 4)
+        sim = compute_similarity_map(g)
+        mst = mst_link_clustering(g, sim)
+        nbm = nbm_link_clustering(g, sim)
+        assert same_partition(
+            mst.edge_labels(), nbm.dendrogram.labels_at_level(10 ** 9)
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(4, 11), p=st.floats(0.3, 0.9), seed=st.integers(0, 400))
+def test_property_mst_equals_sweep(n, p, seed):
+    g = generators.erdos_renyi(
+        n, p, seed=seed, weight=generators.random_weights(seed=seed)
+    )
+    if g.num_edges < 2:
+        return
+    sim = compute_similarity_map(g)
+    fast = sweep(g, sim)
+    mst = mst_link_clustering(g, sim)
+    assert same_partition(fast.edge_labels(), mst.edge_labels())
+    ours = sorted(round(s, 9) for s in fast.dendrogram.merge_similarities())
+    theirs = sorted(round(s, 9) for s in mst.dendrogram.merge_similarities())
+    assert ours == theirs

@@ -1,0 +1,139 @@
+"""Tests for the next-best-merge standard algorithm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.nbm import edge_similarity_matrix, nbm_cluster, nbm_link_clustering
+from repro.cluster.validation import same_partition
+from repro.core.similarity import compute_similarity_map
+from repro.core.sweep import sweep
+from repro.errors import ClusteringError
+from repro.graph import generators
+
+
+def brute_force_single_linkage(sim: np.ndarray):
+    """O(n^3) reference: repeatedly merge the closest cluster pair."""
+    n = sim.shape[0]
+    clusters = {i: {i} for i in range(n)}
+    merges = []
+    while len(clusters) > 1:
+        best = None
+        keys = sorted(clusters)
+        for i, ka in enumerate(keys):
+            for kb in keys[i + 1 :]:
+                value = max(
+                    sim[x, y] for x in clusters[ka] for y in clusters[kb]
+                )
+                if best is None or value > best[0]:
+                    best = (value, ka, kb)
+        value, ka, kb = best
+        if value <= 0.0:
+            break
+        merges.append((value, ka, kb))
+        clusters[min(ka, kb)] = clusters.pop(ka) | clusters.pop(kb)
+    return merges
+
+
+class TestNBMCluster:
+    def test_empty(self):
+        result = nbm_cluster(np.zeros((0, 0)))
+        assert result.dendrogram.num_items == 0
+
+    def test_single_item(self):
+        result = nbm_cluster(np.zeros((1, 1)))
+        assert result.dendrogram.num_merges == 0
+
+    def test_simple_chain(self):
+        sim = np.array(
+            [
+                [0.0, 0.9, 0.1],
+                [0.9, 0.0, 0.5],
+                [0.1, 0.5, 0.0],
+            ]
+        )
+        result = nbm_cluster(sim)
+        sims = [m.similarity for m in result.dendrogram.merges]
+        assert sims == [0.9, 0.5]
+
+    def test_validation(self):
+        with pytest.raises(ClusteringError):
+            nbm_cluster(np.zeros((2, 3)))
+        with pytest.raises(ClusteringError):
+            nbm_cluster(np.array([[0.0, 1.0], [0.5, 0.0]]))  # asymmetric
+
+    def test_disconnected_blocks_not_merged(self):
+        sim = np.zeros((4, 4))
+        sim[0, 1] = sim[1, 0] = 0.8
+        sim[2, 3] = sim[3, 2] = 0.6
+        result = nbm_cluster(sim)
+        assert result.dendrogram.num_merges == 2
+        labels = result.dendrogram.labels_at_level(99)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_merge_similarities_non_increasing(self):
+        rng = np.random.default_rng(1)
+        sim = rng.random((12, 12))
+        sim = (sim + sim.T) / 2
+        result = nbm_cluster(sim)
+        sims = [m.similarity for m in result.dendrogram.merges]
+        assert all(a >= b - 1e-12 for a, b in zip(sims, sims[1:]))
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(2, 8), seed=st.integers(0, 1000))
+    def test_property_matches_brute_force(self, n, seed):
+        rng = np.random.default_rng(seed)
+        sim = rng.random((n, n))
+        sim = (sim + sim.T) / 2
+        result = nbm_cluster(sim)
+        expected = brute_force_single_linkage(sim.copy())
+        got = [(round(v, 9), a, b) for v, a, b in result.merge_sequence]
+        want = [
+            (round(v, 9), min(a, b), max(a, b)) for v, a, b in expected
+        ]
+        got_norm = [(v, min(a, b), max(a, b)) for v, a, b in got]
+        assert [v for v, *_ in got_norm] == [v for v, *_ in want]
+
+
+class TestEdgeSimilarityMatrix:
+    def test_symmetric_with_zero_nonincident(self, paper_example_graph):
+        m = edge_similarity_matrix(paper_example_graph)
+        assert np.allclose(m, m.T)
+        assert np.all(np.diagonal(m) == 0.0)
+
+    def test_entries_match_map(self, triangle):
+        sim = compute_similarity_map(triangle)
+        m = edge_similarity_matrix(triangle, sim)
+        # K3: all three edge pairs incident, same similarity by symmetry
+        off = m[np.triu_indices(3, k=1)]
+        assert np.all(off > 0)
+
+    def test_memory_is_quadratic(self, weighted_caveman):
+        m = edge_similarity_matrix(weighted_caveman)
+        assert m.nbytes == weighted_caveman.num_edges ** 2 * 8
+
+
+class TestAgainstSweep:
+    """The standard algorithm and the sweeping algorithm must produce the
+    same final edge partition (they solve the same problem)."""
+
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: generators.caveman_graph(3, 4, weight=generators.random_weights(seed=1)),
+            lambda: generators.complete_graph(6, weight=generators.random_weights(seed=2)),
+            lambda: generators.planted_partition(2, 5, 0.9, 0.2, seed=3),
+            lambda: generators.grid_graph(3, 3),
+        ],
+    )
+    def test_same_final_partition(self, maker):
+        g = maker()
+        fast = sweep(g)
+        standard = nbm_link_clustering(g)
+        std_labels = standard.dendrogram.labels_at_level(10 ** 9)
+        assert same_partition(fast.edge_labels(), std_labels)

@@ -1,0 +1,92 @@
+"""Tests for the SLINK baseline."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.nbm import edge_similarity_matrix, nbm_cluster
+from repro.baselines.slink import slink, slink_link_clustering
+from repro.cluster.validation import same_partition
+from repro.core.sweep import sweep
+from repro.errors import ClusteringError
+from repro.graph import generators
+
+
+def matrix_row_fn(dist: np.ndarray):
+    def row(i: int):
+        return [float(dist[i, j]) for j in range(i)]
+
+    return row
+
+
+class TestSlinkCore:
+    def test_trivial_sizes(self):
+        assert slink(0, lambda i: []).num_items == 0
+        single = slink(1, lambda i: [])
+        assert single.pi == [0]
+        assert math.isinf(single.lam[0])
+
+    def test_two_points(self):
+        rep = slink(2, lambda i: [3.0])
+        assert rep.merge_heights() == [3.0]
+
+    def test_row_length_checked(self):
+        with pytest.raises(ClusteringError):
+            slink(3, lambda i: [1.0])  # wrong length for i=2
+
+    def test_chain_distances(self):
+        # points on a line: 0-1 dist 1, 1-2 dist 2, 0-2 dist 3
+        dist = np.array([[0, 1, 3], [1, 0, 2], [3, 2, 0]], dtype=float)
+        rep = slink(3, matrix_row_fn(dist))
+        assert rep.merge_heights() == [1.0, 2.0]
+
+    def test_dendrogram_conversion(self):
+        dist = np.array([[0, 1, 3], [1, 0, 2], [3, 2, 0]], dtype=float)
+        d = slink(3, matrix_row_fn(dist)).to_dendrogram()
+        assert d.num_merges == 2
+        assert d.labels_at_level(2) == [0, 0, 0]
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(2, 10), seed=st.integers(0, 500))
+    def test_property_matches_nbm_heights(self, n, seed):
+        """SLINK and NBM must agree on merge heights (similarity = 1-d)."""
+        rng = np.random.default_rng(seed)
+        dist = rng.random((n, n))
+        dist = (dist + dist.T) / 2
+        np.fill_diagonal(dist, 0.0)
+        rep = slink(n, matrix_row_fn(dist))
+        nbm = nbm_cluster(1.0 - dist)
+        nbm_heights = sorted(1.0 - m.similarity for m in nbm.dendrogram.merges)
+        slink_heights = rep.merge_heights()
+        assert np.allclose(nbm_heights, slink_heights)
+
+
+class TestSlinkLinkClustering:
+    def test_same_partition_as_sweep(self, weighted_caveman):
+        g = weighted_caveman
+        rep = slink_link_clustering(g)
+        # cut below distance 1.0 (similarity > 0): connected-edge clusters
+        labels = []
+        d = rep.to_dendrogram()
+        from repro.cluster.unionfind import DisjointSet
+
+        dsu = DisjointSet(g.num_edges)
+        for m in d.merges:
+            if m.similarity is not None and -m.similarity < 1.0 - 1e-12:
+                dsu.union(m.left, m.right)
+        fast = sweep(g)
+        assert same_partition(fast.edge_labels(), dsu.labels())
+
+    def test_heights_match_matrix_version(self, paper_example_graph):
+        g = paper_example_graph
+        rep = slink_link_clustering(g)
+        matrix = edge_similarity_matrix(g)
+        dist = 1.0 - matrix
+        np.fill_diagonal(dist, 0.0)
+        rep2 = slink(g.num_edges, matrix_row_fn(dist))
+        assert np.allclose(rep.merge_heights(), rep2.merge_heights())

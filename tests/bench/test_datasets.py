@@ -1,0 +1,67 @@
+"""Tests for the benchmark workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.datasets import (
+    PRESETS,
+    alpha_sweep,
+    association_graph,
+    bench_corpus,
+    current_scale,
+)
+from repro.errors import ParameterError
+
+TINY = PRESETS["tiny"]
+
+
+class TestPresets:
+    def test_all_presets_well_formed(self):
+        for preset in PRESETS.values():
+            assert preset.alphas == tuple(sorted(preset.alphas))
+            assert set(preset.standard_alphas) <= set(preset.alphas)
+
+    def test_current_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "tiny")
+        assert current_scale().name == "tiny"
+
+    def test_current_scale_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert current_scale().name == "small"
+
+    def test_current_scale_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "galactic")
+        with pytest.raises(ParameterError):
+            current_scale()
+
+
+class TestWorkloads:
+    def test_corpus_cached(self):
+        assert bench_corpus(TINY) is bench_corpus(TINY)
+
+    def test_graphs_cached(self):
+        g1 = association_graph(TINY.alphas[0], TINY)
+        g2 = association_graph(TINY.alphas[0], TINY)
+        assert g1 is g2
+
+    def test_alpha_sweep_monotone_sizes(self):
+        """Bigger alpha -> more vertices and edges (paper Figure 4(1))."""
+        sweep = alpha_sweep(TINY)
+        vertices = [g.num_vertices for _, g in sweep]
+        edges = [g.num_edges for _, g in sweep]
+        assert vertices == sorted(vertices)
+        assert edges == sorted(edges)
+
+    def test_density_falls_with_alpha(self):
+        """The paper's key statistic: density decreases as alpha grows."""
+        densities = [g.density() for _, g in alpha_sweep(TINY)]
+        assert densities == sorted(densities, reverse=True)
+
+    def test_k2_dominates_edges(self):
+        """K2 exceeds |E| increasingly with graph size."""
+        from repro.core.metrics import count_k2
+
+        ratios = [count_k2(g) / g.num_edges for _, g in alpha_sweep(TINY)]
+        assert ratios == sorted(ratios)
+        assert ratios[-1] > 5

@@ -1,0 +1,119 @@
+"""Tests for the figure-reproduction harness (tiny scale).
+
+These assert the *shape* claims of each figure hold end to end — the same
+checks EXPERIMENTS.md reports at benchmark scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.datasets import PRESETS
+from repro.bench.experiments import (
+    coarse_params_for,
+    fig2_1_changes_on_c,
+    fig2_2_sigmoid_fit,
+    fig4_1_statistics,
+    fig4_2_execution_time,
+    fig4_3_memory,
+    fig5_1_epoch_breakdown,
+    fig5_2_time_memory,
+    fig6_1_init_speedup,
+    fig6_2_sweep_speedup,
+)
+
+TINY = PRESETS["tiny"]
+
+
+class TestCoarseParamsFor:
+    def test_scales_with_k2(self):
+        from repro.graph import generators
+
+        small = coarse_params_for(generators.complete_graph(5))
+        big = coarse_params_for(generators.complete_graph(40))
+        assert big.delta0 >= small.delta0
+        assert small.gamma == big.gamma == 2.0
+
+
+class TestFig2:
+    def test_changes_concentrated_in_lower_levels(self):
+        _, curve = fig2_1_changes_on_c(preset=TINY, chunk_size=200)
+        total = sum(c for _, c in curve)
+        lower = sum(c for x, c in curve if x <= 0.5)
+        assert lower / total > 0.5  # paper: "most changes occur in lower half"
+
+    def test_sigmoid_fit_quality(self):
+        table, curves = fig2_2_sigmoid_fit(preset=TINY)
+        assert curves
+        for row in table.rows:
+            # per-curve fit is tight and the paper's fixed parameters are
+            # in the right ballpark (same shape family)
+            assert row["fit_rmse"] < 0.1
+            assert row["paper_rmse"] < 0.35
+            assert row["a"] < 0  # decreasing sigmoid
+            assert row["k"] > 0
+
+
+class TestFig4:
+    def test_statistics_trends(self):
+        table = fig4_1_statistics(preset=TINY)
+        rows = table.rows
+        densities = [r["density"] for r in rows]
+        assert densities == sorted(densities, reverse=True)
+        k_ratio = [r["k2_over_edges"] for r in rows]
+        assert k_ratio == sorted(k_ratio)
+        for r in rows:
+            assert r["vertex_pairs_k1"] <= r["edge_pairs_k2"]
+
+    def test_execution_time_columns(self):
+        table = fig4_2_execution_time(preset=TINY)
+        assert len(table.rows) == len(TINY.alphas)
+        for row in table.rows:
+            assert row["initialization"] >= 0
+            assert row["sweeping"] >= 0
+            if row["alpha"] in TINY.standard_alphas:
+                assert row["standard"] is not None
+            else:
+                assert row["standard"] is None
+
+    def test_memory_standard_dominates_at_largest_feasible(self):
+        table = fig4_3_memory(preset=TINY)
+        feasible = [r for r in table.rows if r["standard_peak"] is not None]
+        assert feasible
+        last = feasible[-1]
+        assert last["standard_peak"] > last["sweeping_peak"]
+
+
+class TestFig5:
+    def test_epoch_breakdown_accounts_everything(self):
+        table = fig5_1_epoch_breakdown(preset=TINY)
+        for row in table.rows:
+            parts = (
+                row["head_fresh"] + row["tail_fresh"] + row["rollback"]
+                + row["reused"] + row["forced"]
+            )
+            assert parts == row["total"]
+            # paper: few head epochs relative to tail
+            assert row["head_fresh"] <= row["total"] / 2
+
+    def test_coarse_processes_fewer_pairs(self):
+        table = fig5_2_time_memory(preset=TINY)
+        fractions = [r["processed_fraction"] for r in table.rows]
+        assert all(0 < f <= 1.0 for f in fractions)
+        # At the largest graph the cutoff should actually bite.
+        assert fractions[-1] < 0.9
+
+
+class TestFig6:
+    def test_init_speedups_increase(self):
+        table = fig6_1_init_speedup(preset=TINY)
+        for row in table.rows:
+            assert row["T=1"] == pytest.approx(1.0)
+            assert row["T=6"] >= row["T=2"] * 0.9
+            assert row["T=6"] <= 6.0
+
+    def test_sweep_speedups_bounded(self):
+        table = fig6_2_sweep_speedup(preset=TINY)
+        for row in table.rows:
+            assert row["T=1"] == pytest.approx(1.0)
+            assert 0 < row["T=6"] <= 6.0

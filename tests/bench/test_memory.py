@@ -1,0 +1,66 @@
+"""Tests for repro.bench.memory."""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+
+from repro.bench.memory import deep_sizeof, measure_peak
+
+
+def test_measure_peak_sees_python_allocations():
+    def allocate():
+        return [0] * 200_000
+
+    _, peak = measure_peak(allocate)
+    assert peak > 200_000 * 4  # a list of ints is at least pointer-sized
+
+
+def test_measure_peak_sees_numpy():
+    def allocate():
+        return np.zeros((512, 512))
+
+    _, peak = measure_peak(allocate)
+    assert peak >= 512 * 512 * 8
+
+
+def test_measure_peak_returns_result():
+    result, _ = measure_peak(lambda: "hello")
+    assert result == "hello"
+
+
+def test_measure_peak_nested_tracing():
+    tracemalloc.start()
+    try:
+        _, peak = measure_peak(lambda: [0] * 10_000)
+        assert peak > 0
+        assert tracemalloc.is_tracing()  # left running for the outer scope
+    finally:
+        tracemalloc.stop()
+
+
+def test_measure_peak_ordering():
+    """Bigger allocations must report bigger peaks (the Figure 4(3) use)."""
+    _, small = measure_peak(lambda: np.zeros(1000))
+    _, big = measure_peak(lambda: np.zeros(1_000_000))
+    assert big > small * 10
+
+
+def test_deep_sizeof_containers():
+    small = deep_sizeof([1, 2, 3])
+    big = deep_sizeof(list(range(1000)))
+    assert big > small
+
+
+def test_deep_sizeof_shared_objects_once():
+    shared = list(range(100))
+    assert deep_sizeof([shared, shared]) < 2 * deep_sizeof([shared])
+
+
+def test_deep_sizeof_dict_and_slots():
+    from repro.cluster.unionfind import ChainArray
+
+    c = ChainArray(100)
+    assert deep_sizeof(c) > deep_sizeof(ChainArray(1))
+    assert deep_sizeof({"a": [1, 2], "b": [3]}) > deep_sizeof({})

@@ -1,0 +1,78 @@
+"""Tests for the ASCII plotting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.plots import bar_chart, line_plot, sparkline
+from repro.errors import ParameterError
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_ramp(self):
+        s = sparkline([0, 1, 2, 3, 4, 5])
+        assert s[0] == " "
+        assert s[-1] == "@"
+
+    def test_constant(self):
+        s = sparkline([5, 5, 5])
+        assert len(set(s)) == 1
+
+    def test_downsampling(self):
+        s = sparkline(list(range(1000)), width=50)
+        assert len(s) <= 60
+
+
+class TestLinePlot:
+    def test_contains_markers_and_legend(self):
+        out = line_plot(
+            {"a": [(1, 1), (2, 4)], "b": [(1, 2), (2, 3)]}, title="demo"
+        )
+        assert "demo" in out
+        assert "o=a" in out and "x=b" in out
+        assert "o" in out and "x" in out
+
+    def test_log_axes(self):
+        out = line_plot(
+            {"s": [(1, 10), (10, 100), (100, 1000)]}, logx=True, logy=True
+        )
+        assert "[log x, log y]" in out
+
+    def test_log_requires_positive(self):
+        with pytest.raises(ParameterError):
+            line_plot({"s": [(0, 1)]}, logx=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            line_plot({})
+
+    def test_size_validation(self):
+        with pytest.raises(ParameterError):
+            line_plot({"s": [(1, 1)]}, width=2)
+
+    def test_single_point(self):
+        out = line_plot({"s": [(5, 5)]})
+        assert "o" in out
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        out = bar_chart({"g": {"big": 10.0, "small": 1.0}}, width=10)
+        lines = out.splitlines()
+        big_line = next(l for l in lines if "big" in l)
+        small_line = next(l for l in lines if "small" in l)
+        assert big_line.count("#") > small_line.count("#")
+
+    def test_title(self):
+        assert bar_chart({"g": {"x": 1}}, title="T").startswith("T")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            bar_chart({})
+
+    def test_zero_values_ok(self):
+        out = bar_chart({"g": {"x": 0.0}})
+        assert "x" in out

@@ -1,0 +1,76 @@
+"""Tests for repro.bench.runner."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.runner import ResultTable, format_number, save_json
+from repro.errors import ParameterError
+
+
+class TestFormatNumber:
+    def test_ints_grouped(self):
+        assert format_number(1234567) == "1,234,567"
+
+    def test_small_floats(self):
+        assert format_number(0.1234) == "0.1234"
+
+    def test_tiny_floats_scientific(self):
+        assert format_number(1e-6) == "1.000e-06"
+
+    def test_none_dash(self):
+        assert format_number(None) == "-"
+
+    def test_zero(self):
+        assert format_number(0.0) == "0"
+
+    def test_string_passthrough(self):
+        assert format_number("head") == "head"
+
+
+class TestResultTable:
+    def test_render_contains_rows(self):
+        t = ResultTable("demo", ["alpha", "edges"])
+        t.add_row(alpha=0.01, edges=123)
+        t.add_row(alpha=0.02, edges=456)
+        text = t.render()
+        assert "demo" in text
+        assert "123" in text and "456" in text
+
+    def test_unknown_column_rejected(self):
+        t = ResultTable("demo", ["a"])
+        with pytest.raises(ParameterError):
+            t.add_row(b=1)
+
+    def test_missing_cells_dash(self):
+        t = ResultTable("demo", ["a", "b"])
+        t.add_row(a=1)
+        assert "-" in t.render()
+
+    def test_to_dict_round_trip(self):
+        t = ResultTable("demo", ["a"])
+        t.add_row(a=1)
+        d = t.to_dict()
+        assert d["title"] == "demo"
+        assert d["rows"] == [{"a": 1}]
+
+    def test_empty_table_renders(self):
+        t = ResultTable("empty", ["col"])
+        assert "col" in t.render()
+
+
+def test_save_json(tmp_path):
+    t = ResultTable("demo", ["x"])
+    t.add_row(x=3)
+    path = tmp_path / "out.json"
+    save_json(t, path)
+    data = json.loads(path.read_text())
+    assert data["rows"] == [{"x": 3}]
+
+
+def test_save_json_plain_payload(tmp_path):
+    path = tmp_path / "out.json"
+    save_json({"k": [1, 2]}, path)
+    assert json.loads(path.read_text()) == {"k": [1, 2]}

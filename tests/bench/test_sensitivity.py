@@ -1,0 +1,56 @@
+"""Unit tests for the coarse-parameter sensitivity harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.sensitivity import (
+    delta0_sensitivity,
+    eta0_sensitivity,
+    gamma_sensitivity,
+    phi_sensitivity,
+)
+from repro.core.similarity import compute_similarity_map
+from repro.graph import generators
+
+
+@pytest.fixture(scope="module")
+def workload():
+    graph = generators.planted_partition(
+        3, 8, 0.8, 0.1, seed=4, weight=generators.random_weights(seed=4)
+    )
+    return graph, compute_similarity_map(graph)
+
+
+class TestSensitivitySweeps:
+    def test_gamma_rows_and_trend(self, workload):
+        graph, sim = workload
+        table = gamma_sensitivity(graph, sim, gammas=(1.2, 2.0, 4.0))
+        assert len(table.rows) == 3
+        levels = [r["levels"] for r in table.rows]
+        assert levels[0] >= levels[-1]  # tighter gamma -> more levels
+
+    def test_phi_monotone_fraction(self, workload):
+        graph, sim = workload
+        table = phi_sensitivity(graph, sim, phis=(2, 8, 20))
+        fractions = [r["processed_fraction"] for r in table.rows]
+        assert all(b <= a + 1e-9 for a, b in zip(fractions, fractions[1:]))
+
+    def test_delta0_preserves_clustering(self, workload):
+        graph, sim = workload
+        table = delta0_sensitivity(graph, sim, delta0s=(1, 20, 200))
+        finals = {r["final_clusters"] for r in table.rows}
+        assert len(finals) <= 2
+
+    def test_eta0_runs(self, workload):
+        graph, sim = workload
+        table = eta0_sensitivity(graph, sim, eta0s=(1.5, 8.0))
+        for row in table.rows:
+            assert row["epochs"] >= row["levels"] - 1  # rollbacks excluded from levels
+
+    def test_columns_complete(self, workload):
+        graph, sim = workload
+        table = gamma_sensitivity(graph, sim, gammas=(2.0,))
+        row = table.rows[0]
+        for col in table.columns:
+            assert col in row

@@ -1,0 +1,42 @@
+"""Tests for repro.bench.timing."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.timing import Timer, time_call
+from repro.errors import ParameterError
+
+
+def test_timer_measures_elapsed():
+    with Timer() as t:
+        time.sleep(0.01)
+    assert t.elapsed >= 0.009
+
+
+def test_time_call_returns_result_and_stats():
+    result, stats = time_call(lambda x: x + 1, 41)
+    assert result == 42
+    assert stats.repeats == 1
+    assert stats.mean >= 0.0
+    assert stats.stdev == 0.0
+
+
+def test_time_call_repeats():
+    calls = []
+    _, stats = time_call(lambda: calls.append(1), repeat=5)
+    assert len(calls) == 5
+    assert stats.repeats == 5
+    assert stats.minimum <= stats.mean <= stats.maximum
+
+
+def test_time_call_kwargs():
+    result, _ = time_call(lambda a, b=0: a + b, 1, b=2)
+    assert result == 3
+
+
+def test_time_call_validation():
+    with pytest.raises(ParameterError):
+        time_call(lambda: None, repeat=0)

@@ -1,0 +1,134 @@
+"""Tests for cophenetic matrices and dendrogram statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.nbm import nbm_link_clustering
+from repro.baselines.slink import slink_link_clustering
+from repro.cluster.dendrogram import DendrogramBuilder
+from repro.cluster.hierarchy import cophenetic_matrix, dendrogram_stats
+from repro.core.similarity import compute_similarity_map
+from repro.core.sweep import sweep
+from repro.errors import ClusteringError
+from repro.graph import generators
+
+
+class TestCopheneticMatrix:
+    def test_simple(self):
+        b = DendrogramBuilder(3)
+        b.record(1, 0, 1, 0, 0.9)
+        b.record(2, 0, 2, 0, 0.4)
+        m = cophenetic_matrix(b.build())
+        assert m[0, 1] == 0.9
+        assert m[0, 2] == 0.4
+        assert m[1, 2] == 0.4  # via the level-2 merge of cluster {0,1} with 2
+        assert np.all(np.diagonal(m) == 1.0)
+
+    def test_symmetric(self, weighted_caveman):
+        result = sweep(weighted_caveman)
+        m = cophenetic_matrix(result.dendrogram)
+        assert np.allclose(m, m.T)
+
+    def test_unmerged_pairs_fill(self):
+        b = DendrogramBuilder(3)
+        b.record(1, 0, 1, 0, 0.5)
+        m = cophenetic_matrix(b.build(), fill=-1.0)
+        assert m[0, 2] == -1.0
+
+    def test_requires_similarities(self):
+        b = DendrogramBuilder(2)
+        b.record(1, 0, 1, 0)
+        with pytest.raises(ClusteringError):
+            cophenetic_matrix(b.build())
+
+    def test_rejects_increasing_similarities(self):
+        b = DendrogramBuilder(3)
+        b.record(1, 0, 1, 0, 0.2)
+        b.record(2, 0, 2, 0, 0.9)
+        with pytest.raises(ClusteringError):
+            cophenetic_matrix(b.build())
+
+    def test_sweep_matches_nbm_cophenetic(self, weighted_caveman):
+        """The decisive equivalence: our sweep and the standard algorithm
+        produce identical cophenetic similarity matrices."""
+        g = weighted_caveman
+        sim = compute_similarity_map(g)
+        ours = cophenetic_matrix(sweep(g, sim).dendrogram)
+        # NBM dendrogram leaves are edge ids directly
+        theirs = cophenetic_matrix(nbm_link_clustering(g, sim).dendrogram)
+        assert np.allclose(ours, theirs, atol=1e-9)
+
+    def test_sweep_matches_slink_heights(self, planted):
+        """Cophenetic similarities agree with SLINK's 1 - lambda merge
+        distances as multisets."""
+        g = planted
+        sim = compute_similarity_map(g)
+        ours = cophenetic_matrix(sweep(g, sim).dendrogram)
+        rep = slink_link_clustering(g, sim)
+        slink_sims = sorted(
+            (1.0 - h for h in rep.merge_heights() if h < 1.0), reverse=True
+        )
+        merge_sims = sorted(
+            sweep(g, sim).dendrogram.merge_similarities(), reverse=True
+        )
+        assert np.allclose(slink_sims, merge_sims[: len(slink_sims)])
+
+
+class TestCopheneticCorrelation:
+    def test_identical_dendrograms(self, weighted_caveman):
+        from repro.cluster.hierarchy import cophenetic_correlation
+
+        d = sweep(weighted_caveman).dendrogram
+        assert cophenetic_correlation(d, d) == pytest.approx(1.0)
+
+    def test_sweep_vs_nbm_is_one(self, planted):
+        from repro.cluster.hierarchy import cophenetic_correlation
+
+        sim = compute_similarity_map(planted)
+        ours = sweep(planted, sim).dendrogram
+        theirs = nbm_link_clustering(planted, sim).dendrogram
+        assert cophenetic_correlation(ours, theirs) == pytest.approx(1.0, abs=1e-9)
+
+    def test_different_hierarchies_below_one(self):
+        from repro.cluster.hierarchy import cophenetic_correlation
+
+        a = DendrogramBuilder(4)
+        a.record(1, 0, 1, 0, 0.9)
+        a.record(2, 2, 3, 2, 0.8)
+        b = DendrogramBuilder(4)
+        b.record(1, 0, 2, 0, 0.9)
+        b.record(2, 1, 3, 1, 0.8)
+        corr = cophenetic_correlation(a.build(), b.build())
+        assert corr < 1.0
+
+    def test_size_mismatch(self):
+        from repro.cluster.hierarchy import cophenetic_correlation
+
+        with pytest.raises(ClusteringError):
+            cophenetic_correlation(
+                DendrogramBuilder(3).build(), DendrogramBuilder(4).build()
+            )
+
+    def test_trivial_sizes(self):
+        from repro.cluster.hierarchy import cophenetic_correlation
+
+        d = DendrogramBuilder(1).build()
+        assert cophenetic_correlation(d, d) == 1.0
+
+
+class TestDendrogramStats:
+    def test_fields(self, weighted_caveman):
+        result = sweep(weighted_caveman)
+        stats = dendrogram_stats(result.dendrogram)
+        assert stats.num_items == weighted_caveman.num_edges
+        assert stats.num_merges == result.dendrogram.num_merges
+        assert stats.final_clusters == result.num_clusters
+        assert stats.max_merge_similarity >= stats.min_merge_similarity
+        assert stats.mean_merges_per_level == pytest.approx(1.0)
+
+    def test_empty(self):
+        stats = dendrogram_stats(DendrogramBuilder(5).build())
+        assert stats.num_merges == 0
+        assert stats.max_merge_similarity is None

@@ -1,0 +1,128 @@
+"""Tests for repro.cluster.partition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.dendrogram import DendrogramBuilder
+from repro.cluster.partition import (
+    EdgePartition,
+    best_partition,
+    node_communities,
+    partition_density,
+)
+from repro.errors import ClusteringError
+from repro.graph import generators
+from repro.graph.graph import Graph
+
+
+@pytest.fixture
+def two_triangles() -> Graph:
+    """Two triangles joined by one bridge edge (7 edges total)."""
+    g = Graph()
+    for a, b in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]:
+        g.add_edge(a, b)
+    return g
+
+
+class TestEdgePartition:
+    def test_label_length_checked(self, two_triangles):
+        with pytest.raises(ClusteringError):
+            EdgePartition(two_triangles, [0, 1])
+
+    def test_clusters_grouping(self, two_triangles):
+        labels = [0, 0, 0, 1, 1, 1, 2]
+        part = EdgePartition(two_triangles, labels)
+        assert part.num_clusters == 3
+        sizes = sorted(len(c) for c in part.clusters())
+        assert sizes == [1, 3, 3]
+
+    def test_cluster_nodes(self, two_triangles):
+        part = EdgePartition(two_triangles, [0, 0, 0, 1, 1, 1, 2])
+        assert part.cluster_nodes(0) == {0, 1, 2}
+        assert part.cluster_nodes(1) == {3, 4, 5}
+        assert part.cluster_nodes(2) == {2, 3}
+
+    def test_cluster_of(self, two_triangles):
+        part = EdgePartition(two_triangles, [0, 0, 0, 1, 1, 1, 2])
+        assert part.cluster_of(0) == 0
+        with pytest.raises(ClusteringError):
+            part.cluster_of(99)
+
+    def test_unknown_cluster(self, two_triangles):
+        part = EdgePartition(two_triangles, [0] * 7)
+        with pytest.raises(ClusteringError):
+            part.cluster_edges(5)
+
+
+class TestPartitionDensity:
+    def test_perfect_triangles(self, two_triangles):
+        """Each triangle is a complete community: per-community density 1."""
+        labels = [0, 0, 0, 1, 1, 1, 2]
+        d = partition_density(two_triangles, labels)
+        # bridge contributes 0 (n_c = 2), triangles contribute fully:
+        # D = (2/7) * (3 * 1 + 3 * 1) = 12/7 * ... careful: m_c D_c with
+        # D_c = (m_c - n_c + 1)/((n_c-2)(n_c-1)/... use known value:
+        # triangle: m=3, n=3 -> m*(m-n+1)/((n-2)(n-1)) = 3*1/2 = 1.5 each
+        assert d == pytest.approx(2.0 / 7.0 * (1.5 + 1.5))
+
+    def test_all_singletons_zero(self, two_triangles):
+        labels = list(range(7))
+        assert partition_density(two_triangles, labels) == 0.0
+
+    def test_one_big_cluster_low(self, two_triangles):
+        labels = [0] * 7
+        d_all = partition_density(two_triangles, labels)
+        d_split = partition_density(two_triangles, [0, 0, 0, 1, 1, 1, 2])
+        assert d_split > d_all
+
+    def test_empty_graph(self):
+        assert partition_density(Graph(), []) == 0.0
+
+    def test_density_bounded(self, weighted_caveman):
+        labels = [eid % 5 for eid in range(weighted_caveman.num_edges)]
+        d = partition_density(weighted_caveman, labels)
+        assert -1.0 <= d <= 1.0
+
+
+class TestBestPartition:
+    def test_picks_triangle_cut(self, two_triangles):
+        """The densest cut should separate the two triangles."""
+        b = DendrogramBuilder(7)
+        # merge each triangle's edges, then everything
+        b.record(1, 0, 1, 0)
+        b.record(2, 0, 2, 0)
+        b.record(3, 3, 4, 3)
+        b.record(4, 3, 5, 3)
+        b.record(5, 0, 6, 0)
+        b.record(6, 0, 3, 0)
+        part, level, density = best_partition(two_triangles, b.build())
+        assert level == 4
+        assert density == pytest.approx(2.0 / 7.0 * 3.0)
+        assert part.num_clusters == 3
+
+    def test_item_count_checked(self, two_triangles):
+        with pytest.raises(ClusteringError):
+            best_partition(two_triangles, DendrogramBuilder(3).build())
+
+
+class TestNodeCommunities:
+    def test_overlap_at_bridge(self, two_triangles):
+        labels = [0, 0, 0, 1, 1, 1, 2]
+        comms = node_communities(two_triangles, labels, min_edges=1)
+        assert {0, 1, 2} in comms
+        assert {3, 4, 5} in comms
+        assert {2, 3} in comms
+        # vertices 2 and 3 overlap: they appear in two communities each
+        count_2 = sum(1 for c in comms if 2 in c)
+        assert count_2 == 2
+
+    def test_min_edges_filter(self, two_triangles):
+        labels = [0, 0, 0, 1, 1, 1, 2]
+        comms = node_communities(two_triangles, labels, min_edges=2)
+        assert {2, 3} not in comms
+        assert len(comms) == 2
+
+    def test_min_edges_validation(self, two_triangles):
+        with pytest.raises(ClusteringError):
+            node_communities(two_triangles, [0] * 7, min_edges=0)

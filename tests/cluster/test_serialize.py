@@ -1,0 +1,93 @@
+"""Tests for dendrogram JSON serialization."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.dendrogram import Dendrogram, DendrogramBuilder
+from repro.cluster.serialize import (
+    dump_dendrogram,
+    dumps_dendrogram,
+    load_dendrogram,
+    loads_dendrogram,
+)
+from repro.core.sweep import sweep
+from repro.errors import ClusteringError
+from repro.graph import generators
+
+
+def sample_dendrogram() -> Dendrogram:
+    b = DendrogramBuilder(5)
+    b.record(1, 3, 4, 3, 0.9)
+    b.record(2, 0, 1, 0, 0.5)
+    b.record(2, 0, 3, 0, None)
+    return b.build()
+
+
+class TestRoundTrip:
+    def test_string_round_trip(self):
+        d = sample_dendrogram()
+        restored = loads_dendrogram(dumps_dendrogram(d))
+        assert restored.num_items == d.num_items
+        assert restored.merges == d.merges
+
+    def test_file_round_trip(self, tmp_path):
+        d = sample_dendrogram()
+        path = tmp_path / "dendro.json"
+        dump_dendrogram(d, path)
+        assert load_dendrogram(path).merges == d.merges
+
+    def test_stream_write(self):
+        buf = io.StringIO()
+        dump_dendrogram(sample_dendrogram(), buf)
+        assert loads_dendrogram(buf.getvalue()).num_items == 5
+
+    def test_real_sweep_round_trip(self, weighted_caveman):
+        result = sweep(weighted_caveman)
+        restored = loads_dendrogram(dumps_dendrogram(result.dendrogram))
+        assert restored.labels_at_level(10) == result.dendrogram.labels_at_level(10)
+
+    def test_none_similarity_preserved(self):
+        d = sample_dendrogram()
+        restored = loads_dendrogram(dumps_dendrogram(d))
+        assert restored.merges[2].similarity is None
+
+
+class TestValidation:
+    def test_not_json(self):
+        with pytest.raises(ClusteringError, match="JSON"):
+            loads_dendrogram("{nope")
+
+    def test_wrong_format_marker(self):
+        with pytest.raises(ClusteringError, match="not a repro"):
+            loads_dendrogram('{"format": "other"}')
+
+    def test_wrong_version(self):
+        with pytest.raises(ClusteringError, match="version"):
+            loads_dendrogram(
+                '{"format": "repro-dendrogram", "version": 99, '
+                '"num_items": 0, "merges": []}'
+            )
+
+    def test_malformed_merges(self):
+        with pytest.raises(ClusteringError, match="malformed"):
+            loads_dendrogram(
+                '{"format": "repro-dendrogram", "version": 1, '
+                '"num_items": 2, "merges": [[1, 0]]}'
+            )
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(4, 10), p=st.floats(0.3, 0.9), seed=st.integers(0, 200))
+def test_property_round_trip_any_sweep(n, p, seed):
+    g = generators.erdos_renyi(
+        n, p, seed=seed, weight=generators.random_weights(seed=seed)
+    )
+    d = sweep(g).dendrogram
+    restored = loads_dendrogram(dumps_dendrogram(d))
+    assert restored.merges == d.merges
+    assert restored.num_items == d.num_items

@@ -1,0 +1,91 @@
+"""Tests for the numpy-backed chain array."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.shm import NumpyChainArray
+from repro.cluster.unionfind import ChainArray
+from repro.errors import ClusteringError
+
+
+class TestNumpyChainArray:
+    def test_initial_state(self):
+        c = NumpyChainArray(4)
+        assert c.labels() == [0, 1, 2, 3]
+        assert c.num_clusters() == 4
+
+    def test_merge_semantics(self):
+        c = NumpyChainArray(4)
+        outcome = c.merge(2, 3)
+        assert outcome.merged and outcome.parent == 2
+        assert c.find(3) == 2
+
+    def test_external_buffer_in_place(self):
+        buf = np.empty(5, dtype=np.int64)
+        c = NumpyChainArray(5, buffer=buf)
+        c.merge(0, 4)
+        assert buf[4] == 0  # mutation visible through the caller's buffer
+
+    def test_initialized_buffer_preserved(self):
+        buf = np.array([0, 0, 2], dtype=np.int64)
+        c = NumpyChainArray(3, buffer=buf, initialized=True)
+        assert c.find(1) == 0
+
+    def test_buffer_validation(self):
+        with pytest.raises(ClusteringError):
+            NumpyChainArray(3, buffer=np.zeros(4, dtype=np.int64))
+        with pytest.raises(ClusteringError):
+            NumpyChainArray(3, buffer=np.zeros(3, dtype=np.float64))
+
+    def test_rewrite(self):
+        c = NumpyChainArray(5)
+        assert c.rewrite([3, 4], 1) == 2
+        assert c.find(4) == 1
+        with pytest.raises(ClusteringError):
+            c.rewrite([0], 2)
+
+    def test_copy_into(self):
+        c = NumpyChainArray(4)
+        c.merge(1, 3)
+        buf = np.empty(4, dtype=np.int64)
+        dup = c.copy_into(buf)
+        dup.merge(0, 2)
+        assert c.num_clusters() == 3
+        assert dup.num_clusters() == 2
+
+    def test_invariant_detection(self):
+        buf = np.array([0, 2, 2], dtype=np.int64)  # C[1] = 2 > 1
+        c = NumpyChainArray(3, buffer=buf, initialized=True)
+        with pytest.raises(ClusteringError):
+            c.find(1)
+
+    def test_accesses_counted(self):
+        c = NumpyChainArray(4)
+        c.merge(0, 1)
+        assert c.accesses == 2
+        assert c.changes == 1
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    n=st.integers(2, 30),
+    merges=st.lists(st.tuples(st.integers(0, 29), st.integers(0, 29)), max_size=60),
+)
+def test_property_numpy_equals_list_chain(n, merges):
+    """NumpyChainArray and ChainArray are operation-for-operation equal."""
+    a = ChainArray(n)
+    b = NumpyChainArray(n)
+    for x, y in merges:
+        oa = a.merge(x % n, y % n)
+        ob = b.merge(x % n, y % n)
+        assert oa == ob
+    assert a.labels() == b.labels()
+    assert a.changes == b.changes
+    assert a.accesses == b.accesses
+    assert list(a.raw()) == b.raw().tolist()

@@ -1,0 +1,202 @@
+"""Tests for repro.cluster.unionfind: the paper's chain structure vs DSU."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.unionfind import ChainArray, DisjointSet
+from repro.errors import ClusteringError
+
+
+class TestChainArrayBasics:
+    def test_initial_state(self):
+        c = ChainArray(5)
+        assert len(c) == 5
+        assert c.num_clusters() == 5
+        assert c.labels() == [0, 1, 2, 3, 4]
+        assert c.changes == 0
+
+    def test_single_merge(self):
+        c = ChainArray(4)
+        outcome = c.merge(2, 3)
+        assert outcome.merged
+        assert (outcome.c1, outcome.c2, outcome.parent) == (2, 3, 2)
+        assert c.find(3) == 2
+        assert c.num_clusters() == 3
+
+    def test_merge_same_cluster_not_merged(self):
+        c = ChainArray(4)
+        c.merge(0, 1)
+        outcome = c.merge(0, 1)
+        assert not outcome.merged
+        assert outcome.parent == 0
+
+    def test_chain_follows_to_min(self):
+        c = ChainArray(6)
+        c.merge(4, 5)
+        c.merge(3, 5)
+        c.merge(1, 4)
+        # After rewriting, every member points at the minimum directly.
+        for member in (3, 4, 5):
+            assert c.find(member) == 1
+            assert c.chain(member)[-1] == 1
+
+    def test_paper_theorem1_min_is_cluster_id(self):
+        """Theorem 1: min F(i) is the correct cluster id of edge i."""
+        rng = random.Random(0)
+        c = ChainArray(30)
+        dsu = DisjointSet(30)
+        for _ in range(40):
+            a, b = rng.randrange(30), rng.randrange(30)
+            c.merge(a, b)
+            dsu.union(a, b)
+            for i in range(30):
+                assert min(c.chain(i)) == dsu.find(i)
+
+    def test_changes_counted(self):
+        c = ChainArray(4)
+        c.merge(2, 3)  # C[3] <- 2: one change
+        assert c.changes == 1
+        c.merge(0, 3)  # F(0)={0}, F(3)={3,2}; C[3], C[2] <- 0: two changes
+        assert c.changes == 3
+
+    def test_reset_change_counter(self):
+        c = ChainArray(4)
+        c.merge(0, 1)
+        assert c.reset_change_counter() == 1
+        assert c.changes == 0
+
+    def test_copy_independent(self):
+        c = ChainArray(4)
+        c.merge(0, 1)
+        dup = c.copy()
+        dup.merge(2, 3)
+        assert c.num_clusters() == 3
+        assert dup.num_clusters() == 2
+
+    def test_equality(self):
+        a, b = ChainArray(3), ChainArray(3)
+        assert a == b
+        a.merge(0, 1)
+        assert a != b
+
+    def test_out_of_range(self):
+        c = ChainArray(3)
+        with pytest.raises(ClusteringError):
+            c.find(3)
+        with pytest.raises(ClusteringError):
+            c.merge(-1, 0)
+
+    def test_negative_size(self):
+        with pytest.raises(ClusteringError):
+            ChainArray(-1)
+
+    def test_rewrite(self):
+        c = ChainArray(5)
+        assert c.rewrite([3, 4], 1) == 2
+        assert c.find(4) == 1
+
+    def test_rewrite_upward_rejected(self):
+        c = ChainArray(5)
+        with pytest.raises(ClusteringError):
+            c.rewrite([1], 3)
+
+    def test_cluster_roots(self):
+        c = ChainArray(4)
+        c.merge(0, 2)
+        assert sorted(c.cluster_roots()) == [0, 1, 3]
+
+    def test_invariant_violation_detected(self):
+        c = ChainArray(3, _init=[0, 2, 2])  # fine: 1 -> 2 is upward!
+        with pytest.raises(ClusteringError):
+            c.find(1)
+
+
+class TestDisjointSet:
+    def test_union_find_basics(self):
+        d = DisjointSet(5)
+        assert d.num_clusters == 5
+        assert d.union(0, 4)
+        assert not d.union(0, 4)
+        assert d.find(4) == 0
+        assert d.num_clusters == 4
+
+    def test_min_canonical_labels(self):
+        d = DisjointSet(5)
+        d.union(3, 4)
+        d.union(4, 1)
+        assert d.find(3) == 1
+        assert d.labels() == [0, 1, 2, 1, 1]
+
+    def test_out_of_range(self):
+        d = DisjointSet(2)
+        with pytest.raises(ClusteringError):
+            d.find(5)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    n=st.integers(2, 40),
+    merges=st.lists(st.tuples(st.integers(0, 39), st.integers(0, 39)), max_size=80),
+)
+def test_property_chain_equals_dsu(n, merges):
+    """ChainArray and DisjointSet always induce the same partition with
+    identical canonical (minimum-member) labels."""
+    chain = ChainArray(n)
+    dsu = DisjointSet(n)
+    for a, b in merges:
+        a %= n
+        b %= n
+        outcome = chain.merge(a, b)
+        assert outcome.merged == dsu.union(a, b)
+    assert chain.labels() == dsu.labels()
+    assert chain.num_clusters() == dsu.num_clusters
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    n=st.integers(2, 25),
+    ops=st.lists(
+        st.tuples(st.integers(0, 24), st.integers(0, 24)), max_size=60
+    ),
+)
+def test_property_o1_cluster_counter_exact(n, ops):
+    """The O(1) cluster counter equals a root scan after any mix of
+    merges and (valid) rewrites."""
+    import random as _random
+
+    chain = ChainArray(n)
+    rng = _random.Random(n)
+    for a, b in ops:
+        a %= n
+        b %= n
+        if rng.random() < 0.8:
+            chain.merge(a, b)
+        else:
+            # emulate an array-merge rewrite: point a chain at its min
+            f = chain.chain(a)
+            chain.rewrite(f, min(f))
+        assert chain.num_clusters() == chain.count_roots()
+    dup = chain.copy()
+    assert dup.num_clusters() == dup.count_roots()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(2, 30),
+    merges=st.lists(st.tuples(st.integers(0, 29), st.integers(0, 29)), max_size=50),
+)
+def test_property_chain_invariant_holds(n, merges):
+    """C[i] <= i always, with equality exactly at roots."""
+    chain = ChainArray(n)
+    for a, b in merges:
+        chain.merge(a % n, b % n)
+    raw = chain.raw()
+    for i, ci in enumerate(raw):
+        assert ci <= i
+    roots = {i for i, ci in enumerate(raw) if ci == i}
+    assert len(roots) == chain.num_clusters()

@@ -1,0 +1,173 @@
+"""Tests for repro.cluster.validation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.validation import (
+    adjusted_rand_index,
+    canonical_labels,
+    normalized_mutual_information,
+    rand_index,
+    same_partition,
+)
+from repro.errors import ClusteringError
+
+
+class TestRandIndex:
+    def test_identical(self):
+        assert rand_index([0, 0, 1, 1], [5, 5, 9, 9]) == 1.0
+
+    def test_completely_different(self):
+        # one-vs-all against singletons
+        ri = rand_index([0, 0, 0, 0], [0, 1, 2, 3])
+        assert 0.0 <= ri < 1.0
+
+    def test_known_value(self):
+        # a=[0,0,1,1], b=[0,1,1,1]: agree pairs: (2,3) same/same;
+        # (0,2),(0,3) diff/diff... compute: total=6
+        ri = rand_index([0, 0, 1, 1], [0, 1, 1, 1])
+        assert ri == pytest.approx(3 / 6)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ClusteringError):
+            rand_index([0], [0, 1])
+
+    def test_trivial_short(self):
+        assert rand_index([0], [1]) == 1.0
+
+
+class TestAdjustedRand:
+    def test_identical(self):
+        assert adjusted_rand_index([0, 1, 0, 1], [1, 0, 1, 0]) == pytest.approx(1.0)
+
+    def test_chance_level_near_zero(self):
+        import random
+
+        rng = random.Random(7)
+        a = [rng.randrange(3) for _ in range(300)]
+        b = [rng.randrange(3) for _ in range(300)]
+        assert abs(adjusted_rand_index(a, b)) < 0.1
+
+    def test_degenerate_both_single_cluster(self):
+        assert adjusted_rand_index([0, 0, 0], [1, 1, 1]) == 1.0
+
+
+class TestNMI:
+    def test_identical(self):
+        assert normalized_mutual_information([0, 0, 1], [4, 4, 7]) == pytest.approx(1.0)
+
+    def test_independent(self):
+        a = [0, 0, 1, 1]
+        b = [0, 1, 0, 1]
+        assert normalized_mutual_information(a, b) == pytest.approx(0.0, abs=1e-12)
+
+    def test_range(self):
+        a = [0, 0, 1, 2]
+        b = [0, 1, 1, 2]
+        assert 0.0 <= normalized_mutual_information(a, b) <= 1.0
+
+    def test_empty(self):
+        assert normalized_mutual_information([], []) == 1.0
+
+
+class TestOmegaIndex:
+    def test_identical_covers(self):
+        from repro.cluster.validation import omega_index
+
+        cover = [{0, 1, 2}, {2, 3, 4}]
+        assert omega_index(cover, cover, 5) == pytest.approx(1.0)
+
+    def test_identical_with_overlap_multiplicity(self):
+        from repro.cluster.validation import omega_index
+
+        cover = [{0, 1}, {0, 1}, {2, 3}]  # pair (0,1) has multiplicity 2
+        assert omega_index(cover, cover, 4) == pytest.approx(1.0)
+
+    def test_disagreement_lowers_score(self):
+        from repro.cluster.validation import omega_index
+
+        a = [{0, 1, 2}, {3, 4, 5}]
+        b = [{0, 1, 2}, {3, 4, 5}]
+        c = [{0, 3}, {1, 4}, {2, 5}]
+        assert omega_index(a, b, 6) > omega_index(a, c, 6)
+
+    def test_multiplicity_matters(self):
+        from repro.cluster.validation import omega_index
+
+        a = [{0, 1}, {0, 1}]
+        b = [{0, 1}]
+        # same co-membership but different multiplicity: not perfect
+        assert omega_index(a, b, 3) < 1.0
+
+    def test_empty_covers_agree(self):
+        from repro.cluster.validation import omega_index
+
+        assert omega_index([], [], 4) == pytest.approx(1.0)
+
+    def test_out_of_range_item(self):
+        from repro.cluster.validation import omega_index
+
+        with pytest.raises(ClusteringError):
+            omega_index([{0, 9}], [], 3)
+
+    def test_chance_level_near_zero(self):
+        import random
+
+        from repro.cluster.validation import omega_index
+
+        rng = random.Random(0)
+        n = 60
+        a = [set(rng.sample(range(n), 10)) for _ in range(6)]
+        b = [set(rng.sample(range(n), 10)) for _ in range(6)]
+        assert abs(omega_index(a, b, n)) < 0.25
+
+    def test_recovers_planted_link_communities(self):
+        """Link clustering on a caveman graph scores high omega against
+        the planted cliques."""
+        from repro.cluster.validation import omega_index
+        from repro.core.linkclust import LinkClustering
+        from repro.graph import generators
+
+        g = generators.caveman_graph(4, 5)
+        result = LinkClustering(g).run()
+        found = result.node_communities(min_edges=3)
+        truth = [set(range(c * 5, (c + 1) * 5)) for c in range(4)]
+        assert omega_index(found, truth, g.num_vertices) > 0.8
+
+
+class TestCanonical:
+    def test_first_appearance_order(self):
+        assert canonical_labels(["b", "a", "b", "c"]) == [0, 1, 0, 2]
+
+    def test_same_partition(self):
+        assert same_partition([5, 5, 2], ["x", "x", "y"])
+        assert not same_partition([0, 1, 1], [0, 0, 1])
+
+
+@settings(max_examples=50, deadline=None)
+@given(labels=st.lists(st.integers(0, 5), min_size=2, max_size=50))
+def test_property_self_comparison_is_perfect(labels):
+    assert rand_index(labels, labels) == 1.0
+    assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+    assert normalized_mutual_information(labels, labels) == pytest.approx(1.0)
+    assert same_partition(labels, canonical_labels(labels))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    a=st.lists(st.integers(0, 4), min_size=2, max_size=30),
+    seed=st.integers(0, 1000),
+)
+def test_property_symmetry(a, seed):
+    import random
+
+    rng = random.Random(seed)
+    b = [rng.randrange(3) for _ in a]
+    assert rand_index(a, b) == pytest.approx(rand_index(b, a))
+    assert adjusted_rand_index(a, b) == pytest.approx(adjusted_rand_index(b, a))
+    assert normalized_mutual_information(a, b) == pytest.approx(
+        normalized_mutual_information(b, a)
+    )

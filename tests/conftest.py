@@ -1,0 +1,45 @@
+"""Shared fixtures: small graphs exercising every structural regime."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.graph import Graph
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """K3: the smallest graph where every edge pair is incident."""
+    return generators.complete_graph(3)
+
+
+@pytest.fixture
+def paper_example_graph() -> Graph:
+    """A small graph shaped like the paper's Figure 1 example: a hub-and
+    -spokes structure with a few triangles (7 vertices, 9 edges)."""
+    g = Graph()
+    edges = [
+        (0, 1), (0, 2), (1, 2),  # triangle
+        (2, 3), (3, 4), (2, 4),  # second triangle sharing vertex 2
+        (4, 5), (5, 6), (4, 6),  # third triangle
+    ]
+    for a, b in edges:
+        g.add_edge(a, b, 1.0)
+    return g
+
+
+@pytest.fixture
+def weighted_caveman() -> Graph:
+    """4 cliques of 5 in a ring, random weights — the workhorse fixture."""
+    return generators.caveman_graph(4, 5, weight=generators.random_weights(seed=11))
+
+
+@pytest.fixture
+def planted() -> Graph:
+    return generators.planted_partition(3, 6, 0.9, 0.08, seed=5)
+
+
+@pytest.fixture
+def sparse_random() -> Graph:
+    return generators.erdos_renyi(30, 0.15, seed=3)

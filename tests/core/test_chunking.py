@@ -1,0 +1,118 @@
+"""Tests for chunk-size estimation (§V-B, Figure 3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chunking import (
+    CurvePoint,
+    extrapolate_chunk,
+    head_next_chunk,
+    shrink_eta,
+    target_clusters,
+)
+from repro.errors import ParameterError
+
+
+class TestHeadMode:
+    def test_exponential_growth(self):
+        assert head_next_chunk(100, 8.0) == 800.0
+
+    def test_eta_halving(self):
+        assert shrink_eta(8.0) == 4.5
+        assert shrink_eta(4.5) == 2.75
+        # eta - 1 halves each time, converging toward 1
+        eta = 8.0
+        for _ in range(30):
+            eta = shrink_eta(eta)
+        assert eta == pytest.approx(1.0, abs=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            head_next_chunk(0, 2.0)
+        with pytest.raises(ParameterError):
+            head_next_chunk(10, 1.0)
+        with pytest.raises(ParameterError):
+            shrink_eta(1.0)
+
+
+class TestTarget:
+    def test_target_clusters(self):
+        assert target_clusters(300, 1.5) == 200.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            target_clusters(100, 0.9)
+
+
+class TestExtrapolation:
+    def test_concave_uses_reference_slope(self):
+        """Reference slope steeper than history slope -> reference wins."""
+        last = CurvePoint(xi=1000, beta=300)
+        previous = CurvePoint(xi=500, beta=320)  # slope -0.04 (shallow)
+        reference = CurvePoint(xi=1100, beta=200)  # slope -1.0 (steep)
+        chunk = extrapolate_chunk(last, previous, reference, 1.5, fallback=50)
+        # target = 200; drop = -100; steepest slope -1.0 -> chunk 100
+        assert chunk == pytest.approx(100.0)
+
+    def test_convex_uses_history_slope(self):
+        last = CurvePoint(xi=1000, beta=300)
+        previous = CurvePoint(xi=900, beta=500)  # slope -2.0 (steep)
+        reference = CurvePoint(xi=2000, beta=250)  # slope -0.05 (shallow)
+        chunk = extrapolate_chunk(last, previous, reference, 1.5, fallback=50)
+        # drop = -100; steepest slope -2.0 -> chunk 50
+        assert chunk == pytest.approx(50.0)
+
+    def test_steeper_slope_gives_smaller_chunk(self):
+        """The paper's conservatism: estimates err on the small side."""
+        last = CurvePoint(xi=100, beta=100)
+        shallow = extrapolate_chunk(
+            last, CurvePoint(0, 110), None, 1.5, fallback=1
+        )
+        steep = extrapolate_chunk(
+            last, CurvePoint(0, 300), None, 1.5, fallback=1
+        )
+        assert steep < shallow
+
+    def test_fallback_when_no_slopes(self):
+        last = CurvePoint(xi=100, beta=100)
+        assert extrapolate_chunk(last, None, None, 1.5, fallback=42) == 42.0
+
+    def test_fallback_when_flat_history(self):
+        last = CurvePoint(xi=100, beta=100)
+        flat_prev = CurvePoint(xi=50, beta=100)  # slope 0: unusable
+        assert extrapolate_chunk(last, flat_prev, None, 1.5, fallback=7) == 7.0
+
+    def test_minimum_chunk_is_one(self):
+        last = CurvePoint(xi=100, beta=3)
+        previous = CurvePoint(xi=0, beta=1000)  # extremely steep
+        chunk = extrapolate_chunk(last, previous, None, 1.5, fallback=1)
+        assert chunk >= 1.0
+
+    def test_reference_behind_ignored(self):
+        last = CurvePoint(xi=100, beta=100)
+        stale_ref = CurvePoint(xi=50, beta=120)  # behind `last`: unusable
+        assert extrapolate_chunk(last, None, stale_ref, 1.5, fallback=9) == 9.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    xi_last=st.floats(1, 1e6),
+    beta_last=st.floats(2, 1e6),
+    dx=st.floats(1, 1e5),
+    dy=st.floats(0.1, 1e5),
+    gamma_tilde=st.floats(1.01, 3.0),
+)
+def test_property_estimate_positive_and_conservative(
+    xi_last, beta_last, dx, dy, gamma_tilde
+):
+    """Estimates are always >= 1 and scale inversely with slope."""
+    last = CurvePoint(xi_last, beta_last)
+    previous = CurvePoint(max(0.0, xi_last - dx), beta_last + dy)
+    chunk = extrapolate_chunk(last, previous, None, gamma_tilde, fallback=1)
+    assert chunk >= 1.0
+    steeper = CurvePoint(max(0.0, xi_last - dx), beta_last + 2 * dy)
+    chunk_steep = extrapolate_chunk(last, steeper, None, gamma_tilde, fallback=1)
+    assert chunk_steep <= chunk + 1e-9

@@ -1,0 +1,122 @@
+"""Tests for the high-level LinkClustering facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.partition import EdgePartition
+from repro.cluster.validation import same_partition
+from repro.core.coarse import CoarseParams
+from repro.core.linkclust import LinkClustering
+from repro.errors import ParameterError
+from repro.graph import generators
+
+
+class TestConfiguration:
+    def test_invalid_backend(self, triangle):
+        with pytest.raises(ParameterError):
+            LinkClustering(triangle, backend="gpu")
+
+    def test_invalid_workers(self, triangle):
+        with pytest.raises(ParameterError):
+            LinkClustering(triangle, num_workers=0)
+
+    def test_coarse_flag_variants(self, triangle):
+        assert LinkClustering(triangle).coarse_params is None
+        assert LinkClustering(triangle, coarse=True).coarse_params is not None
+        custom = CoarseParams(phi=7)
+        assert LinkClustering(triangle, coarse=custom).coarse_params.phi == 7
+
+
+class TestFineRun:
+    def test_result_fields(self, weighted_caveman):
+        result = LinkClustering(weighted_caveman).run()
+        assert result.graph is weighted_caveman
+        assert result.k2 >= result.k1 > 0
+        assert result.coarse is None
+        assert len(result.edge_labels()) == weighted_caveman.num_edges
+
+    def test_labels_at_level_monotone_cluster_count(self, weighted_caveman):
+        result = LinkClustering(weighted_caveman).run()
+        counts = [
+            len(set(result.labels_at_level(level)))
+            for level in range(0, result.num_levels + 1, 5)
+        ]
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+    def test_partition_at_level(self, weighted_caveman):
+        result = LinkClustering(weighted_caveman).run()
+        part = result.partition_at_level(0)
+        assert isinstance(part, EdgePartition)
+        assert part.num_clusters == weighted_caveman.num_edges
+
+    def test_best_partition_beats_trivial_cuts(self, weighted_caveman):
+        result = LinkClustering(weighted_caveman).run()
+        part, level, density = result.best_partition()
+        assert density >= result.partition_at_level(0).density()
+        assert density >= result.partition_at_level(result.num_levels).density()
+
+    def test_node_communities_cover_cliques(self):
+        g = generators.caveman_graph(4, 5)
+        result = LinkClustering(g).run()
+        comms = result.node_communities(min_edges=3)
+        cliques = [set(range(c * 5, (c + 1) * 5)) for c in range(4)]
+        for clique in cliques:
+            assert any(clique <= community for community in comms)
+
+    def test_seeded_permutation_same_partition(self, weighted_caveman):
+        base = LinkClustering(weighted_caveman).run()
+        seeded = LinkClustering(weighted_caveman, seed=99).run()
+        assert same_partition(base.edge_labels(), seeded.edge_labels())
+
+    def test_seed_deterministic(self, weighted_caveman):
+        r1 = LinkClustering(weighted_caveman, seed=5).run()
+        r2 = LinkClustering(weighted_caveman, seed=5).run()
+        assert r1.edge_labels() == r2.edge_labels()
+
+
+class TestCoarseRun:
+    def test_coarse_result_attached(self, weighted_caveman):
+        result = LinkClustering(
+            weighted_caveman, coarse=CoarseParams(phi=2, delta0=5)
+        ).run()
+        assert result.coarse is not None
+        assert result.coarse.epochs
+
+    def test_coarse_same_partition_when_complete(self, weighted_caveman):
+        fine = LinkClustering(weighted_caveman).run()
+        coarse = LinkClustering(
+            weighted_caveman,
+            coarse=CoarseParams(phi=1, delta0=10, finalize_root=False),
+        ).run()
+        assert same_partition(fine.edge_labels(), coarse.edge_labels())
+
+
+class TestParallelRuns:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_parallel_fine_matches_serial(self, planted, backend):
+        serial = LinkClustering(planted).run()
+        parallel = LinkClustering(planted, backend=backend, num_workers=3).run()
+        assert same_partition(serial.edge_labels(), parallel.edge_labels())
+
+    def test_parallel_coarse_matches_serial(self, planted):
+        params = CoarseParams(phi=2, delta0=10)
+        serial = LinkClustering(planted, coarse=params).run()
+        parallel = LinkClustering(
+            planted, coarse=params, backend="thread", num_workers=3
+        ).run()
+        assert same_partition(serial.edge_labels(), parallel.edge_labels())
+
+    def test_vectorized_matches_serial(self, planted):
+        serial = LinkClustering(planted).run()
+        vectorized = LinkClustering(planted, vectorized=True).run()
+        assert same_partition(serial.edge_labels(), vectorized.edge_labels())
+        assert serial.k1 == vectorized.k1
+        assert serial.k2 == vectorized.k2
+
+    def test_shared_similarity_map(self, planted):
+        lc = LinkClustering(planted)
+        sim = lc.compute_similarities()
+        r1 = lc.run(similarity_map=sim)
+        r2 = lc.run()
+        assert r1.edge_labels() == r2.edge_labels()

@@ -1,0 +1,90 @@
+"""Tests for repro.core.metrics (K1/K2/K3, Theorem 2 bounds)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import (
+    compute_metrics,
+    count_k1,
+    count_k2,
+    count_k3,
+    standard_cost_bound,
+    sweeping_cost_bound,
+)
+from repro.graph import generators
+
+
+class TestCounts:
+    def test_paper_figure1_values(self, paper_example_graph):
+        """Our Figure-1-like graph: verify counts by hand.
+
+        Degrees: v0:2 v1:2 v2:4 v3:2 v4:4 v5:2 v6:2 ->
+        K2 = 1+1+6+1+6+1+1 = 17; K3 = C(9,2) = 36.
+        """
+        g = paper_example_graph
+        assert count_k2(g) == 17
+        assert count_k3(g) == 36
+        assert count_k1(g) <= 17
+
+    def test_k_ordering_invariant(self, weighted_caveman):
+        m = compute_metrics(weighted_caveman)
+        assert m.k1 <= m.k2 <= m.k3
+
+    def test_complete_graph_k2(self):
+        # K_n: K2 = n C(n-1, 2) (paper appendix example 2)
+        n = 8
+        g = generators.complete_graph(n)
+        assert count_k2(g) == n * (n - 1) * (n - 2) // 2
+
+    def test_disjoint_edges_zero(self):
+        g = generators.disjoint_edges(5)
+        m = compute_metrics(g)
+        assert m.k1 == 0 and m.k2 == 0
+        assert m.num_edges == 5
+
+    def test_star_k1_equals_k2(self):
+        # star: all leaf pairs have exactly one common neighbour (the hub)
+        g = generators.star_graph(6)
+        assert count_k1(g) == count_k2(g) == 15
+
+    def test_multiple_witnesses_k1_lt_k2(self):
+        # 4-cycle: vertex pairs (0,2) and (1,3) each have TWO common
+        # neighbours -> K1 = 2 but K2 = 4.
+        g = generators.ring_graph(4)
+        assert count_k1(g) == 2
+        assert count_k2(g) == 4
+
+
+class TestBounds:
+    def test_sweeping_beats_standard_on_sparse(self):
+        g = generators.circulant_graph(200, 3)
+        m = compute_metrics(g)
+        assert sweeping_cost_bound(m) < standard_cost_bound(m)
+
+    def test_bounds_positive(self, triangle):
+        m = compute_metrics(triangle)
+        assert sweeping_cost_bound(m) > 0
+        assert standard_cost_bound(m) == 9.0
+
+    def test_complete_graph_asymptotics(self):
+        """Paper: K_n gives O(|V|^3.5) vs SLINK's O(|V|^4)."""
+        m_small = compute_metrics(generators.complete_graph(10))
+        m_large = compute_metrics(generators.complete_graph(20))
+        ratio_sweep = sweeping_cost_bound(m_large) / sweeping_cost_bound(m_small)
+        ratio_std = standard_cost_bound(m_large) / standard_cost_bound(m_small)
+        # doubling n: standard grows ~2^4, sweeping ~2^3.5
+        assert ratio_sweep < ratio_std
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(2, 14), p=st.floats(0.0, 1.0), seed=st.integers(0, 500))
+def test_property_k_ordering_and_formulas(n, p, seed):
+    g = generators.erdos_renyi(n, p, seed=seed)
+    k1, k2, k3 = count_k1(g), count_k2(g), count_k3(g)
+    assert k1 <= k2 <= k3
+    assert k2 == sum(d * (d - 1) // 2 for d in g.degrees())
+    m = g.num_edges
+    assert k3 == m * (m - 1) // 2

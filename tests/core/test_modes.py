@@ -1,0 +1,74 @@
+"""Tests for the mode transition machine (Figure 2(3))."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.modes import Mode, evaluate_predicates, next_mode
+from repro.errors import ParameterError
+
+
+class TestPredicates:
+    def test_c1_head_vs_tail(self):
+        p = evaluate_predicates(beta=100, beta_new=60, num_edges=100, gamma=2, phi=5)
+        assert not p.c1  # 60 > 50
+        p = evaluate_predicates(beta=100, beta_new=50, num_edges=100, gamma=2, phi=5)
+        assert p.c1  # 50 <= 50
+
+    def test_c2_soundness(self):
+        p = evaluate_predicates(beta=100, beta_new=50, num_edges=100, gamma=2, phi=5)
+        assert p.c2  # ratio exactly 2
+        p = evaluate_predicates(beta=100, beta_new=49, num_edges=100, gamma=2, phi=5)
+        assert not p.c2
+
+    def test_c3_termination(self):
+        p = evaluate_predicates(beta=6, beta_new=5, num_edges=100, gamma=2, phi=5)
+        assert p.c3
+        p = evaluate_predicates(beta=7, beta_new=6, num_edges=100, gamma=2, phi=5)
+        assert not p.c3
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            evaluate_predicates(10, 11, 100, 2, 5)  # beta_new > beta
+        with pytest.raises(ParameterError):
+            evaluate_predicates(10, 0, 100, 2, 5)
+        with pytest.raises(ParameterError):
+            evaluate_predicates(10, 5, 100, 0.5, 5)
+        with pytest.raises(ParameterError):
+            evaluate_predicates(10, 5, 100, 2, 0)
+
+
+class TestTransitions:
+    def test_soundness_violation_dominates(self):
+        p = evaluate_predicates(beta=100, beta_new=10, num_edges=100, gamma=2, phi=5)
+        assert next_mode(p) is Mode.ROLLBACK
+
+    def test_head_when_many_clusters(self):
+        p = evaluate_predicates(beta=100, beta_new=80, num_edges=100, gamma=2, phi=5)
+        assert next_mode(p) is Mode.HEAD
+
+    def test_tail_when_few_clusters(self):
+        p = evaluate_predicates(beta=60, beta_new=40, num_edges=100, gamma=2, phi=5)
+        assert next_mode(p) is Mode.TAIL
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    beta=st.integers(1, 10_000),
+    drop=st.integers(0, 9_999),
+    num_edges=st.integers(1, 10_000),
+    gamma=st.floats(1.0, 5.0),
+    phi=st.integers(1, 500),
+)
+def test_property_machine_is_total_and_consistent(beta, drop, num_edges, gamma, phi):
+    beta_new = max(1, beta - drop)
+    p = evaluate_predicates(beta, beta_new, num_edges, gamma, phi)
+    mode = next_mode(p)
+    if beta / beta_new > gamma:
+        assert mode is Mode.ROLLBACK
+    elif beta_new <= num_edges / 2:
+        assert mode is Mode.TAIL
+    else:
+        assert mode is Mode.HEAD

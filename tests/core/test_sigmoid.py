@@ -1,0 +1,121 @@
+"""Tests for the sigmoid model (Figure 2(2))."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sigmoid import (
+    PAPER_PARAMS,
+    SigmoidParams,
+    fit_sigmoid,
+    normalize_curve,
+    rmse_against,
+    sigmoid,
+)
+from repro.errors import ParameterError
+
+
+class TestSigmoidShape:
+    def test_paper_params_endpoints(self):
+        """With the paper's parameters the curve spans ~[1, 0] over [0, 1]."""
+        assert sigmoid(0.0, PAPER_PARAMS) == pytest.approx(1.0, abs=0.01)
+        assert sigmoid(1.0, PAPER_PARAMS) == pytest.approx(0.0, abs=0.01)
+
+    def test_midpoint_at_b(self):
+        assert sigmoid(PAPER_PARAMS.b, PAPER_PARAMS) == pytest.approx(0.5)
+
+    def test_monotonically_decreasing(self):
+        values = [sigmoid(x / 20, PAPER_PARAMS) for x in range(21)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_callable_params(self):
+        p = SigmoidParams(a=-1, b=0.5, c=1, k=5)
+        assert p(0.5) == pytest.approx(0.5)
+
+    def test_extreme_k_no_overflow(self):
+        p = SigmoidParams(a=-1, b=0.5, c=1, k=1e6)
+        assert sigmoid(0.0, p) == pytest.approx(1.0)
+        assert sigmoid(1.0, p) == pytest.approx(0.0)
+
+
+class TestNormalizeCurve:
+    def test_unit_ranges(self):
+        levels = [1, 2, 4, 8, 16]
+        clusters = [100, 80, 50, 20, 10]
+        xs, ys = normalize_curve(levels, clusters)
+        assert min(xs) == 0.0 and max(xs) == 1.0
+        assert min(ys) == 0.0 and max(ys) == 1.0
+
+    def test_log_spacing(self):
+        # exponentially spaced levels become uniformly spaced x
+        xs, _ = normalize_curve([1, 10, 100], [3, 2, 1])
+        assert xs == pytest.approx([0.0, 0.5, 1.0])
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            normalize_curve([1], [2])
+        with pytest.raises(ParameterError):
+            normalize_curve([0, 1], [1, 2])  # non-positive level
+        with pytest.raises(ParameterError):
+            normalize_curve([1, 2], [5, 5])  # flat y
+        with pytest.raises(ParameterError):
+            normalize_curve([1, 2, 3], [1, 2])
+
+
+class TestFit:
+    def test_recovers_known_parameters(self):
+        truth = SigmoidParams(a=-1.0, b=0.4, c=1.0, k=12.0)
+        xs = [i / 50 for i in range(51)]
+        ys = [sigmoid(x, truth) for x in xs]
+        fitted, rmse = fit_sigmoid(xs, ys)
+        assert rmse < 1e-8
+        assert fitted.b == pytest.approx(truth.b, abs=1e-4)
+        assert fitted.k == pytest.approx(truth.k, rel=1e-3)
+
+    def test_noisy_fit_reasonable(self):
+        import random
+
+        rng = random.Random(0)
+        truth = PAPER_PARAMS
+        xs = [i / 80 for i in range(81)]
+        ys = [sigmoid(x, truth) + rng.gauss(0, 0.02) for x in xs]
+        fitted, rmse = fit_sigmoid(xs, ys)
+        assert rmse < 0.05
+        assert abs(fitted.b - truth.b) < 0.1
+
+    def test_too_few_points(self):
+        with pytest.raises(ParameterError):
+            fit_sigmoid([0.1, 0.2], [1.0, 0.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ParameterError):
+            fit_sigmoid([0.1, 0.2, 0.3, 0.4], [1.0])
+
+
+class TestRmseAgainst:
+    def test_zero_for_exact(self):
+        xs = [i / 10 for i in range(11)]
+        ys = [sigmoid(x, PAPER_PARAMS) for x in xs]
+        assert rmse_against(xs, ys, PAPER_PARAMS) == pytest.approx(0.0, abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            rmse_against([], [], PAPER_PARAMS)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    a=st.floats(-2, -0.5),
+    b=st.floats(0.2, 0.8),
+    k=st.floats(3, 30),
+)
+def test_property_fit_recovers_clean_curves(a, b, k):
+    truth = SigmoidParams(a=a, b=b, c=1.0, k=k)
+    xs = [i / 40 for i in range(41)]
+    ys = [sigmoid(x, truth) for x in xs]
+    _, rmse = fit_sigmoid(xs, ys, initial=PAPER_PARAMS)
+    assert rmse < 1e-4

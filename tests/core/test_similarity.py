@@ -1,0 +1,218 @@
+"""Tests for Algorithm 1 (similarity initialization).
+
+The decisive test: the three-pass algorithm must agree exactly with the
+naive Eq. (1)/(2) evaluation on every incident edge pair, across graph
+families (hypothesis generates random graphs).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.edge_similarity import (
+    all_edge_pair_similarities,
+    feature_vector,
+)
+from repro.core.similarity import (
+    accumulate_pair_map,
+    apply_adjacency_terms,
+    compute_h_arrays,
+    compute_similarity_map,
+    finalize_similarities,
+    merge_pair_maps,
+)
+from repro.errors import ClusteringError
+from repro.graph import generators
+from repro.graph.graph import Graph
+
+
+def naive_check(graph: Graph) -> None:
+    """Assert the fast map matches the naive evaluation everywhere."""
+    sim = compute_similarity_map(graph)
+    naive = all_edge_pair_similarities(graph)
+    # every incident edge pair must be covered by the vertex-pair map
+    for (e1, e2), expected in naive.items():
+        u1, v1 = graph.edge_endpoints(e1)
+        u2, v2 = graph.edge_endpoints(e2)
+        shared = ({u1, v1} & {u2, v2}).pop()
+        i = u1 if v1 == shared else v1
+        j = u2 if v2 == shared else v2
+        assert math.isclose(
+            sim.similarity(i, j), expected, rel_tol=1e-9, abs_tol=1e-12
+        )
+    # and the edge-pair count must be exactly K2
+    assert sim.k2 == len(naive)
+
+
+class TestHArrays:
+    def test_h1_is_average_weight(self):
+        g = Graph.from_edge_list([(0, 1, 2.0), (0, 2, 4.0)])
+        h1, h2 = compute_h_arrays(g)
+        assert h1[0] == pytest.approx(3.0)
+        assert h1[1] == pytest.approx(2.0)
+
+    def test_h2_is_squared_norm(self):
+        """H2[i] must equal |a_i|^2 from the naive feature vector."""
+        g = generators.caveman_graph(3, 4, weight=generators.random_weights(seed=5))
+        _, h2 = compute_h_arrays(g)
+        for i in g.vertices():
+            vec = feature_vector(g, i)
+            assert h2[i] == pytest.approx(sum(v * v for v in vec.values()))
+
+    def test_isolated_vertex_zero(self):
+        g = Graph()
+        g.add_vertex("lonely")
+        g.add_edge("a", "b")
+        h1, h2 = compute_h_arrays(g)
+        assert h1[g.vertex_id("lonely")] == 0.0
+
+    def test_partial_fill(self):
+        g = generators.complete_graph(4)
+        h1_full, _ = compute_h_arrays(g)
+        h1_part, _ = compute_h_arrays(g, vertices=[0, 2])
+        assert h1_part[0] == h1_full[0]
+        assert h1_part[1] == 0.0
+
+
+class TestPairMap:
+    def test_common_neighbors_recorded(self):
+        g = generators.star_graph(3)  # hub 0, leaves 1..3
+        m = accumulate_pair_map(g)
+        assert set(m.keys()) == {(1, 2), (1, 3), (2, 3)}
+        for entry in m.values():
+            assert entry[1] == [0]
+
+    def test_weight_products_accumulate(self):
+        # two vertices ('a' and 'b') with TWO common neighbours
+        g = Graph.from_edge_list(
+            [("a", "x", 2.0), ("b", "x", 3.0), ("a", "y", 5.0), ("b", "y", 7.0)]
+        )
+        a, b = g.vertex_id("a"), g.vertex_id("b")
+        x, y = g.vertex_id("x"), g.vertex_id("y")
+        key = (min(a, b), max(a, b))
+        m = accumulate_pair_map(g)
+        assert m[key][0] == pytest.approx(2.0 * 3.0 + 5.0 * 7.0)
+        assert sorted(m[key][1]) == sorted([x, y])
+
+    def test_merge_pair_maps(self):
+        g = generators.complete_graph(5)
+        full = accumulate_pair_map(g)
+        part1 = accumulate_pair_map(g, vertices=[0, 1])
+        part2 = accumulate_pair_map(g, vertices=[2, 3, 4])
+        merged = merge_pair_maps(part1, part2)
+        assert set(merged) == set(full)
+        for key in full:
+            assert merged[key][0] == pytest.approx(full[key][0])
+            assert sorted(merged[key][1]) == sorted(full[key][1])
+
+
+class TestAdjacencyTerms:
+    def test_only_map_keys_updated(self):
+        g = generators.ring_graph(5)
+        h1, _ = compute_h_arrays(g)
+        m = accumulate_pair_map(g)
+        before = {k: v[0] for k, v in m.items()}
+        apply_adjacency_terms(g, m, h1)
+        # ring of 5: adjacent vertices have no common neighbour, so no
+        # key of M is an edge -> nothing changes
+        for key, value in m.items():
+            assert value[0] == before[key]
+
+    def test_triangle_gets_terms(self):
+        g = generators.complete_graph(3)
+        h1, _ = compute_h_arrays(g)
+        m = accumulate_pair_map(g)
+        apply_adjacency_terms(g, m, h1)
+        # K3 with unit weights: every pair adjacent; product term 1*1 = 1
+        # plus (H1[i]+H1[j])*w = 2.0
+        for value in m.values():
+            assert value[0] == pytest.approx(3.0)
+
+    def test_first_vertex_filter(self):
+        g = generators.complete_graph(4)
+        h1, _ = compute_h_arrays(g)
+        m_all = accumulate_pair_map(g)
+        apply_adjacency_terms(g, m_all, h1)
+        m_split = accumulate_pair_map(g)
+        apply_adjacency_terms(g, m_split, h1, first_vertex_filter=[0, 1])
+        apply_adjacency_terms(g, m_split, h1, first_vertex_filter=[2, 3])
+        for key in m_all:
+            assert m_split[key][0] == pytest.approx(m_all[key][0])
+
+
+class TestFinalize:
+    def test_similarity_in_unit_interval(self, weighted_caveman):
+        sim = compute_similarity_map(weighted_caveman)
+        for entry in sim.entries.values():
+            assert 0.0 < entry.similarity <= 1.0
+
+    def test_bad_h2_detected(self):
+        m = {(0, 1): [10.0, [2]]}
+        with pytest.raises(ClusteringError):
+            finalize_similarities(m, [1.0, 1.0, 1.0])
+
+
+class TestSimilarityMapAPI:
+    def test_k1_k2(self, paper_example_graph):
+        sim = compute_similarity_map(paper_example_graph)
+        from repro.core.metrics import count_k1, count_k2
+
+        assert sim.k1 == count_k1(paper_example_graph)
+        assert sim.k2 == count_k2(paper_example_graph)
+
+    def test_sorted_pairs_non_increasing(self, weighted_caveman):
+        pairs = compute_similarity_map(weighted_caveman).sorted_pairs()
+        sims = [p[0] for p in pairs]
+        assert sims == sorted(sims, reverse=True)
+
+    def test_similarity_symmetric_lookup(self, triangle):
+        sim = compute_similarity_map(triangle)
+        assert sim.similarity(0, 1) == sim.similarity(1, 0)
+
+    def test_missing_pair_raises(self):
+        g = generators.ring_graph(6)
+        sim = compute_similarity_map(g)
+        with pytest.raises(ClusteringError):
+            sim.similarity(0, 3)  # distance 3: no common neighbour
+
+
+class TestAgainstNaive:
+    def test_triangle(self, triangle):
+        naive_check(triangle)
+
+    def test_paper_example(self, paper_example_graph):
+        naive_check(paper_example_graph)
+
+    def test_weighted_caveman(self, weighted_caveman):
+        naive_check(weighted_caveman)
+
+    def test_complete_weighted(self):
+        naive_check(
+            generators.complete_graph(7, weight=generators.random_weights(seed=8))
+        )
+
+    def test_star(self):
+        naive_check(generators.star_graph(6))
+
+    def test_sparse_random(self, sparse_random):
+        naive_check(sparse_random)
+
+    def test_grid(self):
+        naive_check(generators.grid_graph(4, 4))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(3, 12),
+    p=st.floats(0.2, 0.9),
+    seed=st.integers(0, 10_000),
+)
+def test_property_fast_equals_naive_on_random_graphs(n, p, seed):
+    graph = generators.erdos_renyi(
+        n, p, seed=seed, weight=generators.random_weights(seed=seed)
+    )
+    naive_check(graph)

@@ -1,0 +1,152 @@
+"""Tests for Algorithm 2 (fine-grained sweeping)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.unionfind import DisjointSet
+from repro.cluster.validation import same_partition
+from repro.core.similarity import compute_similarity_map
+from repro.core.sweep import build_edge_index, sweep
+from repro.errors import ClusteringError
+from repro.graph import generators
+
+
+class TestEdgeIndex:
+    def test_identity_default(self, triangle):
+        assert build_edge_index(triangle) == [0, 1, 2]
+
+    def test_permutation_accepted(self, triangle):
+        assert build_edge_index(triangle, [2, 0, 1]) == [2, 0, 1]
+
+    def test_non_permutation_rejected(self, triangle):
+        with pytest.raises(ClusteringError):
+            build_edge_index(triangle, [0, 0, 1])
+
+
+class TestSweepBasics:
+    def test_triangle_single_cluster(self, triangle):
+        result = sweep(triangle)
+        assert result.num_clusters == 1
+        assert result.dendrogram.num_merges == 2
+        assert result.num_levels == 2
+
+    def test_levels_increment_per_merge(self, weighted_caveman):
+        result = sweep(weighted_caveman)
+        levels = [m.level for m in result.dendrogram.merges]
+        assert levels == list(range(1, len(levels) + 1))
+
+    def test_merge_similarities_non_increasing(self, weighted_caveman):
+        """Single-linkage: merges happen at non-increasing similarity."""
+        result = sweep(weighted_caveman)
+        sims = result.dendrogram.merge_similarities()
+        assert all(a >= b - 1e-12 for a, b in zip(sims, sims[1:]))
+
+    def test_k1_k2_propagated(self, paper_example_graph):
+        from repro.core.metrics import count_k1, count_k2
+
+        result = sweep(paper_example_graph)
+        assert result.k1 == count_k1(paper_example_graph)
+        assert result.k2 == count_k2(paper_example_graph)
+
+    def test_disconnected_components_stay_apart(self):
+        g = generators.disjoint_edges(4)
+        result = sweep(g)
+        assert result.num_clusters == 4
+        assert result.dendrogram.num_merges == 0
+
+    def test_two_triangles_no_bridge(self):
+        from repro.graph.graph import Graph
+
+        g = Graph.from_edge_list([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+        result = sweep(g)
+        assert result.num_clusters == 2
+
+    def test_edge_labels_in_edge_id_space(self, weighted_caveman):
+        result = sweep(weighted_caveman)
+        labels = result.edge_labels()
+        assert len(labels) == weighted_caveman.num_edges
+
+    def test_reuses_precomputed_similarity(self, weighted_caveman):
+        sim = compute_similarity_map(weighted_caveman)
+        r1 = sweep(weighted_caveman, sim)
+        r2 = sweep(weighted_caveman)
+        assert r1.edge_labels() == r2.edge_labels()
+
+
+class TestEdgeOrderInvariance:
+    def test_final_partition_independent_of_edge_order(self, weighted_caveman):
+        """The paper assigns edge ids 'in a random order'; the final
+        clustering must not depend on it."""
+        g = weighted_caveman
+        base = sweep(g).edge_labels()
+        for seed in (1, 2, 3):
+            order = g.permuted_edge_ids(random.Random(seed))
+            permuted = sweep(g, edge_order=order).edge_labels()
+            assert same_partition(base, permuted)
+
+    def test_cluster_ids_are_min_indices(self, planted):
+        result = sweep(planted)
+        for label in set(result.chain.labels()):
+            assert result.chain.find(label) == label
+
+
+class TestChangeRecording:
+    def test_one_entry_per_incident_pair(self, paper_example_graph):
+        result = sweep(paper_example_graph, record_changes=True)
+        assert result.per_merge_changes is not None
+        assert len(result.per_merge_changes) == result.k2
+
+    def test_change_total_matches_chain(self, weighted_caveman):
+        result = sweep(weighted_caveman, record_changes=True)
+        assert sum(result.per_merge_changes) == result.chain.changes
+
+    def test_disabled_by_default(self, triangle):
+        assert sweep(triangle).per_merge_changes is None
+
+
+class TestCorrectClustering:
+    def test_merges_consistent_with_dsu_replay(self, weighted_caveman):
+        """Replaying the dendrogram's merges through a DSU must reproduce
+        the chain array's final clusters (Theorem 1 consistency)."""
+        result = sweep(weighted_caveman)
+        dsu = DisjointSet(weighted_caveman.num_edges)
+        for m in result.dendrogram.merges:
+            dsu.union(m.left, m.right)
+        assert dsu.labels() == result.chain.labels()
+
+    def test_caveman_clusters_align_with_cliques(self):
+        """On a caveman graph the best partition should roughly recover
+        the cliques as link communities."""
+        g = generators.caveman_graph(4, 5)
+        result = sweep(g)
+        # threshold cut just above the bridge similarity level
+        from repro.cluster.partition import best_partition
+
+        part, _, density = best_partition(g, result.dendrogram)
+        assert part.num_clusters >= 4
+        assert density > 0.5
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(4, 10), p=st.floats(0.3, 0.9), seed=st.integers(0, 999))
+def test_property_connectivity_vs_components(n, p, seed):
+    """Edges reachable through incident-edge chains with positive
+    similarity must end in one cluster per connected component (for graphs
+    where all similarities are positive)."""
+    graph = generators.erdos_renyi(n, p, seed=seed)
+    result = sweep(graph)
+    # Compute connected components over edges: two edges related if incident.
+    dsu = DisjointSet(graph.num_edges)
+    incident = {}
+    for e in graph.edges():
+        for v in (e.u, e.v):
+            if v in incident:
+                dsu.union(e.eid, incident[v])
+            incident[v] = e.eid
+    expected = dsu.labels()
+    assert same_partition(result.edge_labels(), expected)

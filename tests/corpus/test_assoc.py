@@ -1,0 +1,105 @@
+"""Tests for the word-association network builder (Eq. 3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.corpus.assoc import (
+    AssociationStats,
+    association_weight,
+    build_association_graph,
+)
+from repro.corpus.documents import Corpus
+from repro.errors import CorpusError, ParameterError
+
+
+@pytest.fixture
+def corpus() -> Corpus:
+    """'a' and 'b' always co-occur; 'c' co-occurs with nothing; 'd' mixes."""
+    c = Corpus()
+    c.add_document(["a", "b"])
+    c.add_document(["a", "b", "d"])
+    c.add_document(["c"])
+    c.add_document(["d"])
+    return c
+
+
+class TestAssociationWeight:
+    def test_positive_when_correlated(self):
+        # p(i,j)=0.5, p(i)=p(j)=0.5: log(0.5/0.25) = log 2 > 0
+        w = association_weight(0.5, 0.5, 0.5)
+        assert w == pytest.approx(0.5 * math.log(2.0))
+
+    def test_zero_when_independent(self):
+        assert association_weight(0.25, 0.5, 0.5) == pytest.approx(0.0)
+
+    def test_negative_when_anticorrelated(self):
+        assert association_weight(0.1, 0.5, 0.5) < 0.0
+
+    def test_zero_probability(self):
+        assert association_weight(0.0, 0.5, 0.5) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            association_weight(1.5, 0.5, 0.5)
+
+
+class TestBuildGraph:
+    def test_positive_edges_only(self, corpus):
+        g = build_association_graph(corpus)
+        ga, gb = g.vertex_id("a"), g.vertex_id("b")
+        assert g.has_edge(min(ga, gb), max(ga, gb))
+        # 'c' never co-occurs: isolated vertex
+        assert g.degree(g.vertex_id("c")) == 0
+
+    def test_weight_matches_formula(self, corpus):
+        g = build_association_graph(corpus)
+        m = 4
+        p_ab = 2 / m
+        p_a = 2 / m
+        p_b = 2 / m
+        expected = p_ab * math.log(p_ab / (p_a * p_b))
+        assert g.weight(g.vertex_id("a"), g.vertex_id("b")) == pytest.approx(expected)
+
+    def test_independent_pair_no_edge(self, corpus):
+        # 'a' and 'd': p(a,d)=1/4 = p(a)p(d) = (2/4)(2/4) -> w = 0 -> no edge
+        g = build_association_graph(corpus)
+        assert not g.has_edge(
+            min(g.vertex_id("a"), g.vertex_id("d")),
+            max(g.vertex_id("a"), g.vertex_id("d")),
+        )
+
+    def test_alpha_controls_vocabulary(self, corpus):
+        g = build_association_graph(corpus, alpha=0.5)
+        # top half of 4 words by frequency: a, b (2 appearances each)
+        assert g.num_vertices == 2
+
+    def test_explicit_vocabulary(self, corpus):
+        g = build_association_graph(corpus, vocabulary=["a", "b"])
+        assert g.num_vertices == 2
+        assert g.num_edges == 1
+
+    def test_stats(self, corpus):
+        g, stats = build_association_graph(corpus, return_stats=True)
+        assert isinstance(stats, AssociationStats)
+        assert stats.num_documents == 4
+        assert stats.vocabulary_size == 4
+        assert stats.num_positive_pairs == g.num_edges
+        assert stats.num_cooccurring_pairs >= stats.num_positive_pairs
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(CorpusError):
+            build_association_graph(Corpus())
+
+    def test_vertices_in_rank_order(self, corpus):
+        g = build_association_graph(corpus)
+        # dense ids follow frequency ranking: a, b first (alphabetical tiebreak)
+        assert g.vertex_label(0) == "a"
+        assert g.vertex_label(1) == "b"
+
+    def test_symmetry_of_weights(self, corpus):
+        g = build_association_graph(corpus)
+        for e in g.edges():
+            assert g.weight(e.u, e.v) == g.weight(e.v, e.u)

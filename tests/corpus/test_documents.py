@@ -1,0 +1,102 @@
+"""Tests for repro.corpus.documents (corpus container + preprocessing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.documents import Corpus, preprocess
+from repro.errors import CorpusError, ParameterError
+
+
+@pytest.fixture
+def corpus() -> Corpus:
+    c = Corpus()
+    c.add_document(["apple", "banana", "apple"])
+    c.add_document(["banana", "cherry"])
+    c.add_document(["apple"])
+    return c
+
+
+class TestCorpusStats:
+    def test_counts(self, corpus):
+        assert corpus.num_documents == 3
+        assert len(corpus) == 3
+        assert corpus.vocabulary_size == 3
+
+    def test_appearances_count_duplicates(self, corpus):
+        assert corpus.appearances()["apple"] == 3
+        assert corpus.appearances()["banana"] == 2
+
+    def test_doc_frequency_counts_presence(self, corpus):
+        assert corpus.doc_frequency()["apple"] == 2
+        assert corpus.doc_frequency()["banana"] == 2
+        assert corpus.doc_frequency()["cherry"] == 1
+
+    def test_cache_invalidation(self, corpus):
+        assert corpus.appearances()["cherry"] == 1
+        corpus.add_document(["cherry", "cherry"])
+        assert corpus.appearances()["cherry"] == 3
+
+
+class TestRanking:
+    def test_ranked_words_order(self, corpus):
+        assert corpus.ranked_words() == ["apple", "banana", "cherry"]
+
+    def test_tie_break_alphabetical(self):
+        c = Corpus()
+        c.add_document(["zeta", "alpha"])
+        assert c.ranked_words() == ["alpha", "zeta"]
+
+    def test_top_fraction(self, corpus):
+        assert corpus.top_fraction(1.0) == ["apple", "banana", "cherry"]
+        assert corpus.top_fraction(0.34) == ["apple"]
+        assert corpus.top_fraction(0.67) == ["apple", "banana"]
+
+    def test_top_fraction_never_empty(self, corpus):
+        assert corpus.top_fraction(0.001) == ["apple"]
+
+    def test_top_fraction_validation(self, corpus):
+        with pytest.raises(ParameterError):
+            corpus.top_fraction(0.0)
+        with pytest.raises(ParameterError):
+            corpus.top_fraction(1.5)
+
+
+class TestWordSets:
+    def test_unrestricted(self, corpus):
+        sets = corpus.document_word_sets()
+        assert sets[0] == {"apple", "banana"}
+
+    def test_restricted_keeps_empty_docs(self, corpus):
+        sets = corpus.document_word_sets(["cherry"])
+        assert len(sets) == 3
+        assert sets[0] == frozenset()
+        assert sets[1] == {"cherry"}
+
+
+class TestPreprocess:
+    def test_pipeline(self):
+        corpus = preprocess(["The runners were running fast", "RUN runner!"])
+        # stop words removed, stems applied
+        assert corpus.documents[0] == ["runner", "run", "fast"]
+        assert corpus.documents[1] == ["run", "runner"]
+
+    def test_non_string_rejected(self):
+        with pytest.raises(CorpusError):
+            preprocess([42])  # type: ignore[list-item]
+
+    def test_stem_order_flag(self):
+        # Stemming first turns 'this' into 'thi', which is NOT a stop
+        # word — the order genuinely matters for s-final stop words.
+        before = preprocess(["this thing"], stem_before_stopwords=True)
+        after = preprocess(["this thing"], stem_before_stopwords=False)
+        assert before.documents == [["thi", "thing"]]
+        assert after.documents == [["thing"]]
+
+    def test_custom_stopwords(self):
+        from repro.corpus.stopwords import extend_stopwords
+
+        corpus = preprocess(
+            ["hello world"], stopwords=extend_stopwords(["hello"])
+        )
+        assert corpus.documents[0] == ["world"]

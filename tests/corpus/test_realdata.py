@@ -1,0 +1,97 @@
+"""Tests for the real-data corpus loaders."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.corpus.realdata import iter_jsonl_texts, iter_text_lines, load_messages
+from repro.errors import CorpusError
+
+
+@pytest.fixture
+def text_file(tmp_path):
+    path = tmp_path / "corpus.txt"
+    path.write_text("hello world\n\n  spaced out  \nthird line\n")
+    return path
+
+
+@pytest.fixture
+def jsonl_file(tmp_path):
+    path = tmp_path / "tweets.jsonl"
+    records = [
+        {"text": "first tweet", "lang": "en"},
+        {"text": "deuxieme tweet", "lang": "fr"},
+        {"text": "third tweet", "lang": "en"},
+    ]
+    path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+    return path
+
+
+class TestTextLines:
+    def test_strips_and_skips_blank(self, text_file):
+        lines = list(iter_text_lines(text_file))
+        assert lines == ["hello world", "spaced out", "third line"]
+
+
+class TestJsonl:
+    def test_extracts_text_field(self, jsonl_file):
+        texts = list(iter_jsonl_texts(jsonl_file))
+        assert texts == ["first tweet", "deuxieme tweet", "third tweet"]
+
+    def test_language_filter(self, jsonl_file):
+        texts = list(
+            iter_jsonl_texts(jsonl_file, language_field="lang", language="en")
+        )
+        assert texts == ["first tweet", "third tweet"]
+
+    def test_custom_field(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        path.write_text('{"body": "msg"}\n')
+        assert list(iter_jsonl_texts(path, text_field="body")) == ["msg"]
+
+    def test_bad_json(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        path.write_text("{nope\n")
+        with pytest.raises(CorpusError, match="line 1"):
+            list(iter_jsonl_texts(path))
+
+    def test_missing_field(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        path.write_text('{"other": 1}\n')
+        with pytest.raises(CorpusError, match="missing text field"):
+            list(iter_jsonl_texts(path))
+
+    def test_non_object(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(CorpusError, match="JSON object"):
+            list(iter_jsonl_texts(path))
+
+    def test_non_string_text(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        path.write_text('{"text": 42}\n')
+        with pytest.raises(CorpusError, match="not a string"):
+            list(iter_jsonl_texts(path))
+
+
+class TestLoadMessages:
+    def test_auto_by_extension(self, text_file, jsonl_file):
+        assert len(load_messages(text_file)) == 3
+        assert len(load_messages(jsonl_file)) == 3
+
+    def test_explicit_format(self, text_file):
+        assert load_messages(text_file, fmt="text")
+
+    def test_unknown_format(self, text_file):
+        with pytest.raises(CorpusError):
+            load_messages(text_file, fmt="parquet")
+
+    def test_end_to_end_with_pipeline(self, jsonl_file):
+        from repro.corpus.assoc import build_association_graph
+        from repro.corpus.documents import preprocess
+
+        corpus = preprocess(load_messages(jsonl_file))
+        graph = build_association_graph(corpus, alpha=1.0)
+        assert graph.num_vertices > 0

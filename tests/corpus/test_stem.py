@@ -1,0 +1,206 @@
+"""Tests for the from-scratch Porter stemmer.
+
+Expected outputs follow Porter's published examples (1980 paper and the
+canonical test vocabulary) for the original algorithm.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.stem import PorterStemmer, stem, stem_all
+
+
+@pytest.fixture(scope="module")
+def ps() -> PorterStemmer:
+    return PorterStemmer()
+
+
+class TestStep1a:
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+        ],
+    )
+    def test_plurals(self, ps, word, expected):
+        assert ps.stem(word) == expected
+
+
+class TestStep1b:
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+        ],
+    )
+    def test_ed_ing(self, ps, word, expected):
+        assert ps.stem(word) == expected
+
+
+class TestStep1c:
+    @pytest.mark.parametrize(
+        "word,expected", [("happy", "happi"), ("sky", "sky")]
+    )
+    def test_y_to_i(self, ps, word, expected):
+        assert ps.stem(word) == expected
+
+
+class TestStep2:
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("conformabli", "conform"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+        ],
+    )
+    def test_suffix_mapping(self, ps, word, expected):
+        assert ps.stem(word) == expected
+
+
+class TestStep3:
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+        ],
+    )
+    def test_suffix_mapping(self, ps, word, expected):
+        assert ps.stem(word) == expected
+
+
+class TestStep4:
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+        ],
+    )
+    def test_suffix_removal(self, ps, word, expected):
+        assert ps.stem(word) == expected
+
+
+class TestStep5:
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ],
+    )
+    def test_final_e_and_ll(self, ps, word, expected):
+        assert ps.stem(word) == expected
+
+
+class TestPipelineWords:
+    """End-to-end words typical of tweets."""
+
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("running", "run"),
+            ("flying", "fly"),
+            ("cried", "cri"),
+            ("meetings", "meet"),
+            ("organization", "organ"),
+            ("computers", "comput"),
+        ],
+    )
+    def test_examples(self, ps, word, expected):
+        assert ps.stem(word) == expected
+
+    def test_short_words_pass_through(self, ps):
+        assert ps.stem("a") == "a"
+        assert ps.stem("be") == "be"
+
+    def test_case_insensitive(self, ps):
+        assert ps.stem("Running") == "run"
+
+
+def test_module_level_helpers():
+    assert stem("caresses") == "caress"
+    assert stem_all(["cats", "ponies"]) == ["cat", "poni"]
+
+
+@settings(max_examples=100, deadline=None)
+@given(word=st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=15))
+def test_property_idempotent_and_nonexpanding(word):
+    """stem(stem(w)) == stem(w) for typical words and stems never grow."""
+    first = stem(word)
+    assert len(first) <= len(word)
+    assert stem(first) == first or len(stem(first)) <= len(first)
+
+
+@settings(max_examples=100, deadline=None)
+@given(word=st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=3, max_size=12))
+def test_property_output_lowercase_alpha(word):
+    out = stem(word)
+    assert out.islower() or out == ""
+    assert out.isalpha()

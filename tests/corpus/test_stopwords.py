@@ -1,0 +1,27 @@
+"""Tests for repro.corpus.stopwords."""
+
+from __future__ import annotations
+
+from repro.corpus.stopwords import ENGLISH_STOPWORDS, extend_stopwords, is_stopword
+
+
+def test_common_words_present():
+    for word in ("the", "a", "and", "is", "of", "you"):
+        assert word in ENGLISH_STOPWORDS
+
+
+def test_is_stopword_case_insensitive():
+    assert is_stopword("The")
+    assert is_stopword("AND")
+    assert not is_stopword("algorithm")
+
+
+def test_extend_does_not_mutate_default():
+    extended = extend_stopwords(["Foo"])
+    assert "foo" in extended
+    assert "foo" not in ENGLISH_STOPWORDS
+    assert ENGLISH_STOPWORDS < extended
+
+
+def test_list_is_frozen():
+    assert isinstance(ENGLISH_STOPWORDS, frozenset)

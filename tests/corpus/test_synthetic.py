@@ -1,0 +1,127 @@
+"""Tests for the synthetic tweet generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.documents import preprocess
+from repro.corpus.stem import stem
+from repro.corpus.synthetic import (
+    SyntheticTweetConfig,
+    generate_corpus,
+    generate_tweets,
+)
+from repro.errors import ParameterError
+
+SMALL = SyntheticTweetConfig(
+    vocabulary_size=120, num_topics=5, num_documents=300, mean_length=7, seed=1
+)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"vocabulary_size": 5},
+            {"num_topics": 0},
+            {"num_documents": 0},
+            {"mean_length": 0},
+            {"zipf_exponent": 0.0},
+            {"chatter_fraction": 1.5},
+            {"topic_width": 1},
+        ],
+    )
+    def test_rejects_bad_params(self, kwargs):
+        with pytest.raises(ParameterError):
+            SyntheticTweetConfig(**kwargs)
+
+
+class TestCorpusMode:
+    def test_deterministic(self):
+        c1 = generate_corpus(SMALL)
+        c2 = generate_corpus(SMALL)
+        assert c1.documents == c2.documents
+
+    def test_seed_changes_output(self):
+        other = SyntheticTweetConfig(
+            vocabulary_size=120, num_topics=5, num_documents=300, mean_length=7, seed=2
+        )
+        assert generate_corpus(SMALL).documents != generate_corpus(other).documents
+
+    def test_sizes(self):
+        corpus = generate_corpus(SMALL)
+        assert corpus.num_documents == 300
+        assert corpus.vocabulary_size <= 120
+        assert all(len(doc) >= 2 for doc in corpus.documents)
+
+    def test_zipf_head_dominates(self):
+        """Frequent words should be far more common than tail words."""
+        corpus = generate_corpus(SMALL)
+        ranked = corpus.ranked_words()
+        counts = corpus.appearances()
+        assert counts[ranked[0]] > 5 * counts[ranked[-1]]
+
+    def test_words_are_stem_invariant(self):
+        corpus = generate_corpus(SMALL)
+        vocab = set(corpus.appearances())
+        for word in list(vocab)[:50]:
+            assert stem(word) == word
+
+
+class TestTweetMode:
+    def test_deterministic(self):
+        assert generate_tweets(SMALL) == generate_tweets(SMALL)
+
+    def test_looks_like_tweets(self):
+        tweets = generate_tweets(SMALL)
+        joined = " ".join(tweets)
+        assert "@user" in joined or "#" in joined or "http://" in joined
+
+    def test_pipeline_recovers_canonical_stems(self):
+        """Preprocessing raw tweets must map back onto the vocabulary."""
+        tweets = generate_tweets(SMALL)
+        corpus = preprocess(tweets)
+        canonical = set(generate_corpus(SMALL).appearances())
+        recovered = set(corpus.appearances())
+        # Every recovered token should be a canonical vocabulary stem.
+        unknown = recovered - canonical
+        assert not unknown, f"non-vocabulary stems: {sorted(unknown)[:10]}"
+
+
+class TestDisjointTopics:
+    def test_topics_do_not_overlap(self):
+        from repro.corpus.synthetic import _CorpusSampler
+
+        cfg = SyntheticTweetConfig(
+            vocabulary_size=200, num_topics=4, num_documents=10,
+            topic_width=20, disjoint_topics=True, seed=9,
+        )
+        sampler = _CorpusSampler(cfg)
+        seen: set = set()
+        for topic in sampler.topics:
+            assert not (seen & set(topic))
+            seen.update(topic)
+
+    def test_requires_enough_body_words(self):
+        with pytest.raises(ParameterError):
+            generate_corpus(
+                SyntheticTweetConfig(
+                    vocabulary_size=50, num_topics=10, num_documents=1,
+                    topic_width=20, disjoint_topics=True,
+                )
+            )
+
+    def test_corpus_generates(self):
+        cfg = SyntheticTweetConfig(
+            vocabulary_size=200, num_topics=4, num_documents=50,
+            topic_width=20, disjoint_topics=True, seed=9,
+        )
+        corpus = generate_corpus(cfg)
+        assert corpus.num_documents == 50
+
+
+def test_vocabulary_cap():
+    with pytest.raises(ParameterError):
+        generate_corpus(
+            SyntheticTweetConfig(vocabulary_size=200001, num_documents=1)
+        )

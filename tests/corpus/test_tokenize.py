@@ -1,0 +1,49 @@
+"""Tests for repro.corpus.tokenize."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.tokenize import TweetTokenizer, tokenize
+
+
+class TestDefaultTokenizer:
+    def test_lowercases(self):
+        assert tokenize("Hello WORLD") == ["hello", "world"]
+
+    def test_strips_urls(self):
+        assert tokenize("check http://t.co/abc123 now") == ["check", "now"]
+        assert tokenize("see www.example.com please") == ["see", "please"]
+
+    def test_strips_mentions(self):
+        assert tokenize("@user hello @other_person world") == ["hello", "world"]
+
+    def test_keeps_hashtag_word(self):
+        assert tokenize("#winning all day") == ["winning", "all", "day"]
+
+    def test_drops_numbers_and_punct(self):
+        assert tokenize("it's 99 degrees!!! wow...") == ["it's", "degrees", "wow"]
+
+    def test_min_length_filter(self):
+        assert tokenize("a bb ccc") == ["bb", "ccc"]
+
+    def test_empty_text(self):
+        assert tokenize("") == []
+        assert tokenize("@user http://x.co 42 !!") == []
+
+
+class TestConfigurable:
+    def test_drop_hashtags_entirely(self):
+        tok = TweetTokenizer(keep_hashtags=False)
+        assert tok.tokenize("#tag word") == ["word"]
+
+    def test_min_length(self):
+        tok = TweetTokenizer(min_length=4)
+        assert tok.tokenize("one four fives") == ["four", "fives"]
+
+    def test_invalid_min_length(self):
+        with pytest.raises(ValueError):
+            TweetTokenizer(min_length=0)
+
+    def test_apostrophe_words_kept_whole(self):
+        assert tokenize("don't can't") == ["don't", "can't"]

@@ -1,0 +1,81 @@
+"""Tests for the vectorized association-graph builder."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.assoc import build_association_graph
+from repro.corpus.documents import Corpus
+from repro.corpus.synthetic import SyntheticTweetConfig, generate_corpus
+from repro.errors import CorpusError
+from repro.fast.assoc import fast_association_graph
+
+
+def assert_same_graph(fast, reference):
+    assert fast.num_vertices == reference.num_vertices
+    assert fast.num_edges == reference.num_edges
+    for edge in reference.edges():
+        a = reference.vertex_label(edge.u)
+        b = reference.vertex_label(edge.v)
+        w = fast.weight(fast.vertex_id(a), fast.vertex_id(b))
+        assert math.isclose(w, edge.weight, rel_tol=1e-9)
+
+
+class TestFastAssociationGraph:
+    def test_matches_reference_on_synthetic(self):
+        corpus = generate_corpus(
+            SyntheticTweetConfig(
+                vocabulary_size=150, num_topics=4, num_documents=300, seed=6
+            )
+        )
+        for alpha in (0.2, 0.5, 1.0):
+            assert_same_graph(
+                fast_association_graph(corpus, alpha),
+                build_association_graph(corpus, alpha),
+            )
+
+    def test_handmade_corpus(self):
+        corpus = Corpus()
+        corpus.add_document(["a", "b"])
+        corpus.add_document(["a", "b", "d"])
+        corpus.add_document(["c"])
+        corpus.add_document(["d"])
+        assert_same_graph(
+            fast_association_graph(corpus), build_association_graph(corpus)
+        )
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(CorpusError):
+            fast_association_graph(Corpus())
+
+    def test_no_cooccurrence(self):
+        corpus = Corpus()
+        corpus.add_document(["a"])
+        corpus.add_document(["b"])
+        g = fast_association_graph(corpus)
+        assert g.num_vertices == 2
+        assert g.num_edges == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    num_docs=st.integers(2, 25),
+    vocab=st.integers(2, 10),
+    seed=st.integers(0, 1000),
+)
+def test_property_fast_equals_reference(num_docs, vocab, seed):
+    import random
+
+    rng = random.Random(seed)
+    words = [f"w{i}" for i in range(vocab)]
+    corpus = Corpus()
+    for _ in range(num_docs):
+        k = rng.randint(1, vocab)
+        corpus.add_document(rng.sample(words, k))
+    assert_same_graph(
+        fast_association_graph(corpus), build_association_graph(corpus)
+    )

@@ -1,0 +1,137 @@
+"""Tests for repro.graph.algorithms."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import VertexNotFoundError
+from repro.graph import generators
+from repro.graph.algorithms import (
+    average_clustering,
+    bfs_distances,
+    connected_components,
+    degree_stats,
+    diameter_estimate,
+    edge_components,
+    local_clustering,
+)
+from repro.graph.graph import Graph
+
+
+class TestConnectedComponents:
+    def test_single_component(self, triangle):
+        assert connected_components(triangle) == [{0, 1, 2}]
+
+    def test_disjoint_edges(self):
+        g = generators.disjoint_edges(3)
+        comps = connected_components(g)
+        assert len(comps) == 3
+        assert all(len(c) == 2 for c in comps)
+
+    def test_isolated_vertices_counted(self):
+        g = Graph()
+        g.add_vertex("a")
+        g.add_edge("b", "c")
+        comps = connected_components(g)
+        assert len(comps) == 2
+        assert {g.vertex_id("a")} in comps
+
+    def test_largest_first(self):
+        g = Graph.from_edge_list([(0, 1), (1, 2), (3, 4)])
+        comps = connected_components(g)
+        assert len(comps[0]) == 3
+
+
+class TestEdgeComponents:
+    def test_matches_sweep_final_partition(self, weighted_caveman):
+        """Edge components equal the fine sweep's terminal clustering."""
+        from repro.cluster.validation import same_partition
+        from repro.core.sweep import sweep
+
+        assert same_partition(
+            edge_components(weighted_caveman),
+            sweep(weighted_caveman).edge_labels(),
+        )
+
+    def test_disjoint_edges_all_separate(self):
+        g = generators.disjoint_edges(4)
+        assert len(set(edge_components(g))) == 4
+
+
+class TestBFS:
+    def test_path_distances(self):
+        g = generators.path_graph(5)
+        assert bfs_distances(g, 0) == [0, 1, 2, 3, 4]
+
+    def test_unreachable_none(self):
+        g = generators.disjoint_edges(2)
+        dist = bfs_distances(g, 0)
+        assert dist[1] == 1
+        assert dist[2] is None
+
+    def test_bad_source(self, triangle):
+        with pytest.raises(VertexNotFoundError):
+            bfs_distances(triangle, 5)
+
+
+class TestDiameter:
+    def test_path_diameter(self):
+        assert diameter_estimate(generators.path_graph(6)) == 5
+
+    def test_complete_diameter(self):
+        assert diameter_estimate(generators.complete_graph(5)) == 1
+
+    def test_ring(self):
+        assert diameter_estimate(generators.ring_graph(8)) == 4
+
+
+class TestClustering:
+    def test_triangle_coefficient(self, triangle):
+        assert local_clustering(triangle, 0) == 1.0
+        assert average_clustering(triangle) == 1.0
+
+    def test_star_zero(self):
+        g = generators.star_graph(5)
+        assert local_clustering(g, 0) == 0.0
+
+    def test_degree_lt_two(self):
+        g = generators.path_graph(3)
+        assert local_clustering(g, 0) == 0.0
+        assert local_clustering(g, 1) == 0.0
+
+    def test_empty_graph(self):
+        assert average_clustering(Graph()) == 0.0
+
+
+class TestDegreeStats:
+    def test_k2_matches_metrics(self, weighted_caveman):
+        from repro.core.metrics import count_k2
+
+        stats = degree_stats(weighted_caveman)
+        assert stats.k2 == count_k2(weighted_caveman)
+
+    def test_regular_graph(self):
+        g = generators.circulant_graph(10, 2)
+        stats = degree_stats(g)
+        assert stats.minimum == stats.maximum == 4
+        assert stats.stdev == 0.0
+
+    def test_empty(self):
+        assert degree_stats(Graph()).k2 == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(2, 15), p=st.floats(0.0, 1.0), seed=st.integers(0, 300))
+def test_property_components_partition_vertices(n, p, seed):
+    g = generators.erdos_renyi(n, p, seed=seed)
+    comps = connected_components(g)
+    all_vertices = sorted(v for c in comps for v in c)
+    assert all_vertices == list(range(n))
+    # BFS from any vertex reaches exactly its component
+    for comp in comps:
+        source = min(comp)
+        dist = bfs_distances(g, source)
+        reached = {v for v, d in enumerate(dist) if d is not None}
+        assert reached == comp

@@ -1,0 +1,150 @@
+"""Tests for repro.graph.generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metrics import count_k1, count_k2
+from repro.errors import ParameterError
+from repro.graph import generators as gen
+
+
+class TestComplete:
+    def test_sizes(self):
+        g = gen.complete_graph(6)
+        assert g.num_vertices == 6
+        assert g.num_edges == 15
+        assert g.density() == pytest.approx(1.0)
+
+    def test_k2_formula(self):
+        # In K_n every vertex has degree n-1: K2 = n * C(n-1, 2).
+        n = 7
+        g = gen.complete_graph(n)
+        assert count_k2(g) == n * (n - 1) * (n - 2) // 2
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            gen.complete_graph(0)
+
+
+class TestRingPathStar:
+    def test_ring(self):
+        g = gen.ring_graph(5)
+        assert g.num_edges == 5
+        assert all(d == 2 for d in g.degrees())
+
+    def test_ring_too_small(self):
+        with pytest.raises(ParameterError):
+            gen.ring_graph(2)
+
+    def test_path(self):
+        g = gen.path_graph(4)
+        assert g.num_edges == 3
+        assert sorted(g.degrees()) == [1, 1, 2, 2]
+
+    def test_star(self):
+        g = gen.star_graph(5)
+        assert g.num_edges == 5
+        assert g.degree(0) == 5
+        # All edge pairs share the hub: K2 = C(5,2) from the hub only.
+        assert count_k2(g) == 10
+
+    def test_grid(self):
+        g = gen.grid_graph(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+
+
+class TestCirculant:
+    def test_regularity(self):
+        g = gen.circulant_graph(10, 3)
+        assert all(d == 6 for d in g.degrees())
+
+    def test_k2_regular_formula(self):
+        # Paper appendix: k-regular graph has K2 = |V| k (k-1) / 2.
+        g = gen.circulant_graph(12, 2)
+        k = 4
+        assert count_k2(g) == 12 * k * (k - 1) // 2
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            gen.circulant_graph(6, 3)  # 2k == n
+
+
+class TestDisjointEdges:
+    def test_paper_example_properties(self):
+        """Paper: disjoint singular edges have K1 = K2 = 0, |E| = |V|/2."""
+        g = gen.disjoint_edges(8)
+        assert g.num_edges == 8
+        assert g.num_vertices == 16
+        assert count_k1(g) == 0
+        assert count_k2(g) == 0
+
+
+class TestRandomGraphs:
+    def test_erdos_renyi_deterministic(self):
+        g1 = gen.erdos_renyi(20, 0.3, seed=9)
+        g2 = gen.erdos_renyi(20, 0.3, seed=9)
+        assert list(g1.edge_pairs()) == list(g2.edge_pairs())
+
+    def test_erdos_renyi_extremes(self):
+        assert gen.erdos_renyi(10, 0.0, seed=1).num_edges == 0
+        assert gen.erdos_renyi(10, 1.0, seed=1).num_edges == 45
+
+    def test_erdos_renyi_invalid_p(self):
+        with pytest.raises(ParameterError):
+            gen.erdos_renyi(10, 1.5)
+
+    def test_barabasi_albert_heavy_tail(self):
+        g = gen.barabasi_albert(100, 2, seed=4)
+        degrees = sorted(g.degrees(), reverse=True)
+        # hubs should emerge: max degree well above m
+        assert degrees[0] >= 8
+        assert g.num_edges == (100 - 2) * 2
+
+    def test_barabasi_albert_invalid(self):
+        with pytest.raises(ParameterError):
+            gen.barabasi_albert(5, 5)
+
+    def test_planted_partition_blocks_denser(self):
+        g = gen.planted_partition(3, 10, 0.9, 0.02, seed=6)
+        internal = external = 0
+        for u, v in g.edge_pairs():
+            if u // 10 == v // 10:
+                internal += 1
+            else:
+                external += 1
+        assert internal > external
+
+
+class TestCaveman:
+    def test_structure(self):
+        g = gen.caveman_graph(4, 5)
+        assert g.num_vertices == 20
+        # 4 cliques of C(5,2)=10 edges + up to 4 bridges
+        assert 40 <= g.num_edges <= 44
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            gen.caveman_graph(1, 5)
+
+
+class TestRandomWeights:
+    def test_deterministic_per_pair(self):
+        wf = gen.random_weights(seed=2)
+        assert wf(1, 2) == wf(1, 2)
+
+    def test_range(self):
+        wf = gen.random_weights(seed=2, low=0.5, high=0.7)
+        for u in range(5):
+            for v in range(u + 1, 5):
+                assert 0.5 <= wf(u, v) <= 0.7
+
+    def test_invalid_range(self):
+        with pytest.raises(ParameterError):
+            gen.random_weights(low=0.0, high=1.0)
+
+    def test_weighted_graph_build(self):
+        g = gen.complete_graph(5, weight=gen.random_weights(seed=3))
+        weights = [e.weight for e in g.edges()]
+        assert len(set(weights)) > 1  # actually random

@@ -1,0 +1,227 @@
+"""Tests for repro.graph.graph."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    EdgeNotFoundError,
+    GraphError,
+    InvalidWeightError,
+    VertexNotFoundError,
+)
+from repro.graph.graph import Edge, Graph
+
+
+class TestVertices:
+    def test_add_vertex_returns_dense_ids(self):
+        g = Graph()
+        assert g.add_vertex("a") == 0
+        assert g.add_vertex("b") == 1
+        assert g.num_vertices == 2
+
+    def test_add_vertex_idempotent(self):
+        g = Graph()
+        assert g.add_vertex("a") == 0
+        assert g.add_vertex("a") == 0
+        assert g.num_vertices == 1
+
+    def test_label_round_trip(self):
+        g = Graph()
+        g.add_vertex(("tuple", 3))
+        assert g.vertex_label(g.vertex_id(("tuple", 3))) == ("tuple", 3)
+
+    def test_unknown_label_raises(self):
+        g = Graph()
+        with pytest.raises(VertexNotFoundError):
+            g.vertex_id("missing")
+
+    def test_unknown_vid_raises(self):
+        g = Graph()
+        with pytest.raises(VertexNotFoundError):
+            g.vertex_label(0)
+        with pytest.raises(VertexNotFoundError):
+            g.neighbors(0)
+
+    def test_vertices_range(self):
+        g = Graph()
+        for name in "abc":
+            g.add_vertex(name)
+        assert list(g.vertices()) == [0, 1, 2]
+
+    def test_has_vertex(self):
+        g = Graph()
+        g.add_vertex("x")
+        assert g.has_vertex("x")
+        assert not g.has_vertex("y")
+
+
+class TestEdges:
+    def test_add_edge_creates_vertices(self):
+        g = Graph()
+        eid = g.add_edge("a", "b", 2.5)
+        assert eid == 0
+        assert g.num_vertices == 2
+        assert g.weight(0, 1) == 2.5
+        assert g.weight(1, 0) == 2.5
+
+    def test_edge_ids_dense(self):
+        g = Graph()
+        assert g.add_edge("a", "b") == 0
+        assert g.add_edge("b", "c") == 1
+        assert g.add_edge("a", "c") == 2
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add_edge("a", "a")
+
+    def test_duplicate_edge_rejected_both_orders(self):
+        g = Graph()
+        g.add_edge("a", "b")
+        with pytest.raises(GraphError):
+            g.add_edge("a", "b")
+        with pytest.raises(GraphError):
+            g.add_edge("b", "a")
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_bad_weights_rejected(self, bad):
+        g = Graph()
+        with pytest.raises(InvalidWeightError):
+            g.add_edge("a", "b", bad)
+
+    def test_zero_weight_allowed_when_opted_in(self):
+        g = Graph(allow_zero_weight=True)
+        g.add_edge("a", "b", 0.0)
+        assert g.weight(0, 1) == 0.0
+
+    def test_edge_endpoints_ordered(self):
+        g = Graph()
+        g.add_edge("b", "a")  # b gets id 0, a gets id 1
+        u, v = g.edge_endpoints(0)
+        assert u < v
+
+    def test_edge_id_lookup_symmetric(self):
+        g = Graph()
+        g.add_edge("a", "b")
+        assert g.edge_id(0, 1) == g.edge_id(1, 0) == 0
+
+    def test_missing_edge_raises(self):
+        g = Graph()
+        g.add_vertex("a")
+        g.add_vertex("b")
+        with pytest.raises(EdgeNotFoundError):
+            g.edge_id(0, 1)
+        with pytest.raises(EdgeNotFoundError):
+            g.weight(0, 1)
+        with pytest.raises(EdgeNotFoundError):
+            g.edge_endpoints(0)
+        with pytest.raises(EdgeNotFoundError):
+            g.edge_weight(0)
+
+    def test_edges_iteration(self):
+        g = Graph()
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("b", "c", 2.0)
+        edges = list(g.edges())
+        assert len(edges) == 2
+        assert all(isinstance(e, Edge) for e in edges)
+        assert edges[0].eid == 0 and edges[1].weight == 2.0
+
+    def test_edge_namedtuple_fields(self):
+        e = Edge(3, 1, 2, 0.5)
+        assert (e.eid, e.u, e.v, e.weight) == (3, 1, 2, 0.5)
+        assert e.endpoints() == (1, 2)
+
+
+class TestGlobalProperties:
+    def test_density_complete(self):
+        g = Graph.from_edge_list([(0, 1), (1, 2), (0, 2)])
+        assert g.density() == pytest.approx(1.0)
+
+    def test_density_small_graphs(self):
+        assert Graph().density() == 0.0
+        g = Graph()
+        g.add_vertex("a")
+        assert g.density() == 0.0
+
+    def test_degrees(self, paper_example_graph):
+        g = paper_example_graph
+        assert g.degrees() == [g.degree(v) for v in g.vertices()]
+        assert sum(g.degrees()) == 2 * g.num_edges
+
+    def test_total_weight(self):
+        g = Graph.from_edge_list([("a", "b", 1.5), ("b", "c", 2.5)])
+        assert g.total_weight() == pytest.approx(4.0)
+
+    def test_len_is_vertices(self, triangle):
+        assert len(triangle) == 3
+
+    def test_repr_mentions_sizes(self, triangle):
+        assert "num_vertices=3" in repr(triangle)
+
+
+class TestFromEdgeList:
+    def test_two_tuples_default_weight(self):
+        g = Graph.from_edge_list([("a", "b"), ("b", "c")])
+        assert g.weight(0, 1) == 1.0
+
+    def test_three_tuples(self):
+        g = Graph.from_edge_list([("a", "b", 3.0)])
+        assert g.weight(0, 1) == 3.0
+
+
+class TestPermutedEdgeIds:
+    def test_is_permutation(self, weighted_caveman):
+        perm = weighted_caveman.permuted_edge_ids(random.Random(1))
+        assert sorted(perm) == list(range(weighted_caveman.num_edges))
+
+    def test_deterministic_with_seed(self, weighted_caveman):
+        p1 = weighted_caveman.permuted_edge_ids(random.Random(42))
+        p2 = weighted_caveman.permuted_edge_ids(random.Random(42))
+        assert p1 == p2
+
+    def test_graph_unchanged(self, weighted_caveman):
+        before = list(weighted_caveman.edges())
+        weighted_caveman.permuted_edge_ids(random.Random(1))
+        assert list(weighted_caveman.edges()) == before
+
+
+class TestSubgraph:
+    def test_subgraph_keeps_induced_edges(self, paper_example_graph):
+        g = paper_example_graph
+        sub = g.subgraph([0, 1, 2])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3  # the first triangle
+
+    def test_subgraph_drops_external_edges(self, paper_example_graph):
+        sub = paper_example_graph.subgraph([0, 3])
+        assert sub.num_edges == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)).filter(
+            lambda t: t[0] != t[1]
+        ),
+        max_size=40,
+    )
+)
+def test_property_handshake_and_density(edges):
+    """Degree sum is 2|E|; density within [0, 1]; duplicates rejected."""
+    g = Graph()
+    seen = set()
+    for a, b in edges:
+        key = (min(a, b), max(a, b))
+        if key in seen:
+            continue
+        seen.add(key)
+        g.add_edge(a, b)
+    assert sum(g.degrees()) == 2 * g.num_edges
+    assert 0.0 <= g.density() <= 1.0

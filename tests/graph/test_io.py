@@ -1,0 +1,68 @@
+"""Tests for repro.graph.io."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import generators
+from repro.graph.io import parse_edge_list, read_edge_list, write_edge_list
+
+
+def test_round_trip(tmp_path, weighted_caveman):
+    path = tmp_path / "graph.txt"
+    write_edge_list(weighted_caveman, path)
+    loaded = read_edge_list(path, int_labels=True)
+    assert loaded.num_vertices == weighted_caveman.num_vertices
+    assert loaded.num_edges == weighted_caveman.num_edges
+    for e in weighted_caveman.edges():
+        u = loaded.vertex_id(weighted_caveman.vertex_label(e.u))
+        v = loaded.vertex_id(weighted_caveman.vertex_label(e.v))
+        assert loaded.weight(u, v) == pytest.approx(e.weight)
+
+
+def test_parse_skips_comments_and_blanks():
+    text = "# header\n\na b 1.0\n# mid comment\nb c 2.0\n"
+    g = parse_edge_list(io.StringIO(text))
+    assert g.num_edges == 2
+
+
+def test_parse_default_weight():
+    g = parse_edge_list(io.StringIO("x y\n"))
+    assert g.weight(0, 1) == 1.0
+
+
+def test_parse_bad_field_count():
+    with pytest.raises(GraphError, match="line 1"):
+        parse_edge_list(io.StringIO("a b 1.0 extra\n"))
+
+
+def test_parse_bad_weight():
+    with pytest.raises(GraphError, match="bad weight"):
+        parse_edge_list(io.StringIO("a b notaweight\n"))
+
+
+def test_parse_int_labels_validation():
+    with pytest.raises(GraphError, match="int_labels"):
+        parse_edge_list(io.StringIO("a b 1.0\n"), int_labels=True)
+
+
+def test_write_to_stream(weighted_caveman):
+    buf = io.StringIO()
+    write_edge_list(weighted_caveman, buf)
+    content = buf.getvalue()
+    assert content.startswith("# vertices=")
+    assert len(content.splitlines()) == weighted_caveman.num_edges + 1
+
+
+def test_read_write_string_labels(tmp_path):
+    from repro.graph.graph import Graph
+
+    g = Graph.from_edge_list([("apple", "banana", 0.5), ("banana", "cherry", 1.5)])
+    path = tmp_path / "words.txt"
+    write_edge_list(g, path)
+    loaded = read_edge_list(path)
+    assert loaded.has_vertex("apple")
+    assert loaded.weight(loaded.vertex_id("banana"), loaded.vertex_id("cherry")) == 1.5

@@ -1,0 +1,64 @@
+"""Tests for the line-graph transform."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import count_k2
+from repro.graph import generators
+from repro.graph.algorithms import line_graph
+
+
+class TestLineGraph:
+    def test_edge_count_is_k2(self, weighted_caveman):
+        lg = line_graph(weighted_caveman)
+        assert lg.num_vertices == weighted_caveman.num_edges
+        assert lg.num_edges == count_k2(weighted_caveman)
+
+    def test_triangle_line_graph_is_triangle(self, triangle):
+        lg = line_graph(triangle)
+        assert lg.num_vertices == 3
+        assert lg.num_edges == 3
+
+    def test_star_line_graph_is_complete(self):
+        g = generators.star_graph(5)
+        lg = line_graph(g)
+        assert lg.num_edges == 5 * 4 // 2  # K5
+
+    def test_path_line_graph_is_shorter_path(self):
+        g = generators.path_graph(5)  # 4 edges
+        lg = line_graph(g)
+        assert lg.num_vertices == 4
+        assert lg.num_edges == 3
+        assert sorted(lg.degrees()) == [1, 1, 2, 2]
+
+    def test_matches_networkx(self, sparse_random):
+        lg = line_graph(sparse_random)
+        nxg = nx.Graph()
+        for e in sparse_random.edges():
+            nxg.add_edge(e.u, e.v)
+        nxl = nx.line_graph(nxg)
+        assert lg.num_edges == nxl.number_of_edges()
+        assert lg.num_vertices == nxl.number_of_nodes()
+
+    def test_empty_graph(self):
+        from repro.graph.graph import Graph
+
+        assert line_graph(Graph()).num_vertices == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(2, 14), p=st.floats(0.1, 0.9), seed=st.integers(0, 400))
+def test_property_line_graph_vs_networkx(n, p, seed):
+    g = generators.erdos_renyi(n, p, seed=seed)
+    lg = line_graph(g)
+    nxg = nx.Graph()
+    nxg.add_nodes_from(g.vertices())
+    for e in g.edges():
+        nxg.add_edge(e.u, e.v)
+    nxl = nx.line_graph(nxg)
+    assert lg.num_vertices == g.num_edges
+    assert lg.num_edges == nxl.number_of_edges()

@@ -1,0 +1,95 @@
+"""Cross-checks of the graph substrate against networkx.
+
+networkx is a test-only dependency used as an independent oracle for
+structural quantities; the library itself never imports it.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import generators
+from repro.graph.algorithms import (
+    average_clustering,
+    bfs_distances,
+    connected_components,
+    diameter_estimate,
+    local_clustering,
+)
+from repro.graph.graph import Graph
+
+
+def to_networkx(graph: Graph) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(graph.vertices())
+    for edge in graph.edges():
+        g.add_edge(edge.u, edge.v, weight=edge.weight)
+    return g
+
+
+@pytest.fixture(params=[1, 2, 3])
+def random_graph(request):
+    return generators.erdos_renyi(25, 0.2, seed=request.param)
+
+
+class TestStructuralAgreement:
+    def test_density(self, random_graph):
+        assert random_graph.density() == pytest.approx(
+            nx.density(to_networkx(random_graph))
+        )
+
+    def test_connected_components(self, random_graph):
+        ours = {frozenset(c) for c in connected_components(random_graph)}
+        theirs = {
+            frozenset(c) for c in nx.connected_components(to_networkx(random_graph))
+        }
+        assert ours == theirs
+
+    def test_clustering_coefficients(self, random_graph):
+        nxg = to_networkx(random_graph)
+        nx_cc = nx.clustering(nxg)
+        for v in random_graph.vertices():
+            assert local_clustering(random_graph, v) == pytest.approx(nx_cc[v])
+        assert average_clustering(random_graph) == pytest.approx(
+            nx.average_clustering(nxg)
+        )
+
+    def test_bfs_distances(self, random_graph):
+        nxg = to_networkx(random_graph)
+        lengths = nx.single_source_shortest_path_length(nxg, 0)
+        ours = bfs_distances(random_graph, 0)
+        for v in random_graph.vertices():
+            if v in lengths:
+                assert ours[v] == lengths[v]
+            else:
+                assert ours[v] is None
+
+    def test_diameter_on_connected(self):
+        g = generators.caveman_graph(4, 5)
+        nxg = to_networkx(g)
+        exact = nx.diameter(nxg)
+        estimate = diameter_estimate(g, seeds=(0, 7, 13))
+        assert estimate <= exact
+        # double-sweep is exact on most small graphs; allow 1 slack
+        assert estimate >= exact - 1
+
+
+class TestDegreeAgreement:
+    def test_degree_sequences(self, random_graph):
+        nxg = to_networkx(random_graph)
+        assert random_graph.degrees() == [
+            nxg.degree(v) for v in random_graph.vertices()
+        ]
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(2, 20), p=st.floats(0.0, 1.0), seed=st.integers(0, 300))
+def test_property_components_match_networkx(n, p, seed):
+    g = generators.erdos_renyi(n, p, seed=seed)
+    nxg = to_networkx(g)
+    ours = {frozenset(c) for c in connected_components(g)}
+    theirs = {frozenset(c) for c in nx.connected_components(nxg)}
+    assert ours == theirs

@@ -1,0 +1,72 @@
+"""Mathematical equivalences with Ahn et al.'s original formulation.
+
+On an unweighted graph (all weights 1) the paper's Eq. (1)/(2) Tanimoto
+similarity reduces exactly to Ahn et al.'s Jaccard coefficient of the
+*inclusive neighbourhoods* n+(i) = N(i) ∪ {i}: with unit weights the
+feature vector a_i is the indicator of n+(i) (the diagonal entry — the
+average incident weight — is also 1), so
+
+    a_i . a_j = |n+(i) ∩ n+(j)|,   |a_i|^2 = |n+(i)|
+
+and the Tanimoto coefficient becomes |∩| / |∪|.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.similarity import compute_similarity_map
+from repro.graph import generators
+from repro.graph.graph import Graph
+
+
+def inclusive_jaccard(graph: Graph, i: int, j: int) -> float:
+    ni = set(graph.neighbors(i)) | {i}
+    nj = set(graph.neighbors(j)) | {j}
+    return len(ni & nj) / len(ni | nj)
+
+
+@pytest.mark.parametrize(
+    "maker",
+    [
+        lambda: generators.complete_graph(6),
+        lambda: generators.caveman_graph(3, 4),
+        lambda: generators.grid_graph(3, 4),
+        lambda: generators.star_graph(7),
+        lambda: generators.ring_graph(8),
+    ],
+)
+def test_unit_weight_tanimoto_is_inclusive_jaccard(maker):
+    graph = maker()
+    sim = compute_similarity_map(graph)
+    for (i, j), entry in sim.entries.items():
+        assert math.isclose(
+            entry.similarity, inclusive_jaccard(graph, i, j), rel_tol=1e-12
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(3, 12), p=st.floats(0.2, 0.95), seed=st.integers(0, 999))
+def test_property_unweighted_reduction(n, p, seed):
+    graph = generators.erdos_renyi(n, p, seed=seed)  # unit weights
+    sim = compute_similarity_map(graph)
+    for (i, j), entry in sim.entries.items():
+        assert math.isclose(
+            entry.similarity, inclusive_jaccard(graph, i, j), rel_tol=1e-12
+        )
+
+
+def test_weighted_graph_differs_from_jaccard():
+    """Sanity check: with non-unit weights the reduction must NOT hold in
+    general (otherwise the weighted formula would be vacuous)."""
+    g = Graph.from_edge_list(
+        [("a", "k", 5.0), ("b", "k", 0.2), ("a", "z", 1.0), ("b", "z", 3.0)]
+    )
+    sim = compute_similarity_map(g)
+    a, b = g.vertex_id("a"), g.vertex_id("b")
+    jac = inclusive_jaccard(g, a, b)
+    assert not math.isclose(sim.similarity(a, b), jac, rel_tol=1e-6)

@@ -1,0 +1,103 @@
+"""End-to-end integration: raw tweets -> graph -> clustering -> communities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.ahn import ahn_link_clustering
+from repro.cluster.validation import same_partition
+from repro.core.coarse import CoarseParams
+from repro.core.linkclust import LinkClustering
+from repro.corpus.assoc import build_association_graph
+from repro.corpus.documents import preprocess
+from repro.corpus.synthetic import SyntheticTweetConfig, generate_corpus, generate_tweets
+
+CFG = SyntheticTweetConfig(
+    vocabulary_size=150,
+    num_topics=4,
+    num_documents=400,
+    mean_length=7,
+    seed=77,
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline_graph():
+    """Graph built from RAW tweets through the full preprocessing path."""
+    tweets = generate_tweets(CFG)
+    corpus = preprocess(tweets)
+    return build_association_graph(corpus, alpha=0.4)
+
+
+class TestFullPipeline:
+    def test_graph_nontrivial(self, pipeline_graph):
+        assert pipeline_graph.num_vertices >= 20
+        assert pipeline_graph.num_edges > pipeline_graph.num_vertices
+
+    def test_raw_and_token_paths_agree(self):
+        """The raw-text path and the direct-token path must build word
+        graphs over the same vocabulary with similar structure."""
+        raw_corpus = preprocess(generate_tweets(CFG))
+        token_corpus = generate_corpus(CFG)
+        g_raw = build_association_graph(raw_corpus, alpha=0.3)
+        g_tok = build_association_graph(token_corpus, alpha=0.3)
+        shared = set(g_raw.vertex_labels()) & set(g_tok.vertex_labels())
+        assert len(shared) >= 0.7 * min(g_raw.num_vertices, g_tok.num_vertices)
+
+    def test_fine_clustering_runs(self, pipeline_graph):
+        result = LinkClustering(pipeline_graph).run()
+        part, level, density = result.best_partition()
+        assert part.num_clusters >= 1
+        assert density >= 0.0
+
+    def test_coarse_clustering_runs(self, pipeline_graph):
+        result = LinkClustering(
+            pipeline_graph, coarse=CoarseParams(phi=10, delta0=50)
+        ).run()
+        assert result.coarse is not None
+        assert 0 < result.coarse.processed_fraction <= 1.0
+
+    def test_fine_coarse_parallel_agree(self, pipeline_graph):
+        g = pipeline_graph
+        fine = LinkClustering(g).run()
+        coarse = LinkClustering(
+            g, coarse=CoarseParams(phi=1, delta0=100, finalize_root=False)
+        ).run()
+        par = LinkClustering(
+            g,
+            coarse=CoarseParams(phi=1, delta0=100, finalize_root=False),
+            backend="thread",
+            num_workers=4,
+        ).run()
+        assert same_partition(fine.edge_labels(), coarse.edge_labels())
+        assert same_partition(fine.edge_labels(), par.edge_labels())
+
+
+class TestSemanticRecovery:
+    def test_topic_words_cluster_together(self):
+        """Words from one synthetic topic should co-appear in some link
+        community more than random word pairs do."""
+        corpus = generate_corpus(CFG)
+        graph = build_association_graph(corpus, alpha=0.5)
+        result = LinkClustering(graph).run()
+        comms = result.node_communities(min_edges=3)
+        assert comms
+        # communities should be non-trivial but not the whole graph
+        sizes = sorted(len(c) for c in comms)
+        assert sizes[-1] >= 4
+
+    def test_against_reference_implementation(self):
+        corpus = generate_corpus(
+            SyntheticTweetConfig(
+                vocabulary_size=100, num_topics=3, num_documents=200, seed=3
+            )
+        )
+        graph = build_association_graph(corpus, alpha=0.25)
+        if graph.num_edges > 400:
+            pytest.skip("reference baseline too slow for this size")
+        fast = LinkClustering(graph).run()
+        reference = ahn_link_clustering(graph)
+        assert same_partition(
+            fast.edge_labels(),
+            reference.dendrogram.labels_at_level(10 ** 9),
+        )

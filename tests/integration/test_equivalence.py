@@ -1,0 +1,99 @@
+"""Cross-algorithm equivalence: all four clustering paths, one answer.
+
+The reproduction's strongest claim: the fast sweeping algorithm, the
+coarse-grained variant, the parallel variant, and both O(n^2) baselines
+(NBM and SLINK) agree on the clustering they produce.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.nbm import nbm_link_clustering
+from repro.baselines.slink import slink_link_clustering
+from repro.cluster.unionfind import DisjointSet
+from repro.cluster.validation import same_partition
+from repro.core.coarse import CoarseParams, coarse_sweep
+from repro.core.similarity import compute_similarity_map
+from repro.core.sweep import sweep
+from repro.graph import generators
+from repro.parallel.par_sweep import parallel_coarse_sweep
+
+
+def slink_positive_cut_labels(graph, sim):
+    """SLINK labels after merging everything at distance < 1 (sim > 0)."""
+    rep = slink_link_clustering(graph, sim)
+    dsu = DisjointSet(graph.num_edges)
+    for i, (pi, lam) in enumerate(zip(rep.pi, rep.lam)):
+        if lam < 1.0 - 1e-12:
+            dsu.union(i, pi)
+    return dsu.labels()
+
+
+GRAPHS = {
+    "caveman": lambda: generators.caveman_graph(
+        3, 5, weight=generators.random_weights(seed=21)
+    ),
+    "planted": lambda: generators.planted_partition(3, 6, 0.8, 0.1, seed=22),
+    "dense_er": lambda: generators.erdos_renyi(
+        14, 0.7, seed=23, weight=generators.random_weights(seed=23)
+    ),
+    "grid": lambda: generators.grid_graph(4, 4),
+    "star": lambda: generators.star_graph(8),
+}
+
+
+@pytest.mark.parametrize("name", sorted(GRAPHS))
+def test_all_algorithms_agree(name):
+    graph = GRAPHS[name]()
+    sim = compute_similarity_map(graph)
+
+    fine = sweep(graph, sim).edge_labels()
+    coarse = coarse_sweep(
+        graph, sim, CoarseParams(phi=1, delta0=7, finalize_root=False)
+    ).edge_labels()
+    parallel = parallel_coarse_sweep(
+        graph,
+        sim,
+        CoarseParams(phi=1, delta0=7, finalize_root=False),
+        num_workers=3,
+        backend="thread",
+    ).edge_labels()
+    nbm = nbm_link_clustering(graph, sim).dendrogram.labels_at_level(10 ** 9)
+    slink = slink_positive_cut_labels(graph, sim)
+
+    assert same_partition(fine, coarse)
+    assert same_partition(fine, parallel)
+    assert same_partition(fine, nbm)
+    assert same_partition(fine, slink)
+
+
+@pytest.mark.parametrize("name", sorted(GRAPHS))
+def test_dendrogram_heights_match_baselines(name):
+    """Merge similarities of the fine sweep equal NBM's (as multisets,
+    up to floating-point rounding) — both are single linkage."""
+    graph = GRAPHS[name]()
+    sim = compute_similarity_map(graph)
+    fine = sweep(graph, sim)
+    nbm = nbm_link_clustering(graph, sim)
+    ours = sorted(round(s, 9) for s in fine.dendrogram.merge_similarities())
+    theirs = sorted(
+        round(m.similarity, 9) for m in nbm.dendrogram.merges
+    )
+    assert ours == theirs
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(5, 11), p=st.floats(0.35, 0.9), seed=st.integers(0, 400))
+def test_property_fast_vs_standard_partitions(n, p, seed):
+    graph = generators.erdos_renyi(
+        n, p, seed=seed, weight=generators.random_weights(seed=seed)
+    )
+    if graph.num_edges < 2:
+        return
+    sim = compute_similarity_map(graph)
+    fine = sweep(graph, sim).edge_labels()
+    nbm = nbm_link_clustering(graph, sim).dendrogram.labels_at_level(10 ** 9)
+    assert same_partition(fine, nbm)

@@ -1,0 +1,44 @@
+"""Tests for work-model cost calibration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.graph import generators
+from repro.parallel.calibrate import calibrate_cost_model
+from repro.parallel.workmodel import CostModel, InitWorkModel
+
+
+@pytest.fixture(scope="module")
+def calibration_graph():
+    return generators.erdos_renyi(
+        60, 0.5, seed=9, weight=generators.random_weights(seed=9)
+    )
+
+
+class TestCalibration:
+    def test_returns_positive_costs(self, calibration_graph):
+        cm = calibrate_cost_model(calibration_graph)
+        assert isinstance(cm, CostModel)
+        for field in (
+            "h_update", "wedge", "map_insert", "edge_adjust",
+            "normalize", "merge_pair", "array_scan", "cluster_count",
+        ):
+            assert getattr(cm, field) > 0.0
+
+    def test_too_small_graph_rejected(self):
+        with pytest.raises(ParameterError, match="too small"):
+            calibrate_cost_model(generators.ring_graph(5))
+
+    def test_calibrated_model_in_same_regime(self, calibration_graph):
+        """Calibrated and default constants must agree on the shape:
+        monotone speedups of the same order of magnitude."""
+        cm = calibrate_cost_model(calibration_graph)
+        default = InitWorkModel(calibration_graph)
+        calibrated = InitWorkModel(calibration_graph, costs=cm)
+        for t in (2, 4, 6):
+            d = default.speedup(t)
+            c = calibrated.speedup(t)
+            assert 0.5 * d <= c <= 2.0 * d
+        assert calibrated.speedup(2) < calibrated.speedup(6)

@@ -1,0 +1,137 @@
+"""Tests for the C-array merge schemes (Section VI-B)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.unionfind import ChainArray
+from repro.errors import ClusteringError, ParallelError
+from repro.parallel.merge_arrays import (
+    hierarchical_merge,
+    join_partition_labels,
+    merge_chain_into,
+    merge_chain_into_flawed,
+)
+from repro.parallel.pool import SerialBackend, ThreadBackend
+
+
+def random_chain(n: int, merges: int, rng: random.Random) -> ChainArray:
+    c = ChainArray(n)
+    for _ in range(merges):
+        c.merge(rng.randrange(n), rng.randrange(n))
+    return c
+
+
+class TestPaperCounterexample:
+    """The paper's Section VI-B example (translated to 0-indexing):
+    C0 = [0, 1, 1, 0] (clusters {0,3}, {1,2}) and C1 = [0, 1, 2, 2]
+    (clusters {0}, {1}, {2,3}).  The join has ALL FOUR ids together."""
+
+    C0 = [0, 1, 1, 0]
+    C1 = [0, 1, 2, 2]
+
+    def test_flawed_scheme_loses_a_relation(self):
+        merged = merge_chain_into_flawed(self.C0, self.C1)
+        clusters = len({i for i in range(4) if merged[i] == i})
+        assert clusters == 2  # WRONG (the paper's point): should be 1
+
+    def test_corrected_scheme_is_right(self):
+        c0 = ChainArray(4, _init=self.C0)
+        c1 = ChainArray(4, _init=self.C1)
+        merged = merge_chain_into(c0, c1)
+        assert merged.num_clusters() == 1
+        assert merged.labels() == [0, 0, 0, 0]
+
+
+class TestMergeChainInto:
+    def test_identity_merge(self):
+        a = ChainArray(5)
+        a.merge(1, 3)
+        before = a.labels()
+        merge_chain_into(a, ChainArray(5))
+        assert a.labels() == before
+
+    def test_size_mismatch(self):
+        with pytest.raises(ClusteringError):
+            merge_chain_into(ChainArray(3), ChainArray(4))
+
+    def test_invariant_preserved(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            n = rng.randrange(2, 25)
+            a = random_chain(n, rng.randrange(n), rng)
+            b = random_chain(n, rng.randrange(n), rng)
+            merged = merge_chain_into(a, b)
+            raw = merged.raw()
+            assert all(raw[i] <= i for i in range(n))
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        n=st.integers(2, 24),
+        seed=st.integers(0, 100_000),
+    )
+    def test_property_merge_is_partition_join(self, n, seed):
+        """The corrected scheme must compute the join of the partitions —
+        validated against an independent DSU-based join."""
+        rng = random.Random(seed)
+        a = random_chain(n, rng.randrange(2 * n), rng)
+        b = random_chain(n, rng.randrange(2 * n), rng)
+        expected = join_partition_labels([a, b])
+        merged = merge_chain_into(a.copy(), b)
+        assert merged.labels() == expected
+
+
+class TestHierarchicalMerge:
+    def test_requires_arrays(self):
+        with pytest.raises(ParallelError):
+            hierarchical_merge([])
+
+    def test_single_array_returned(self):
+        a = ChainArray(4)
+        assert hierarchical_merge([a]) is a
+
+    @pytest.mark.parametrize("t", [2, 3, 4, 5, 6, 7, 8])
+    def test_t_way_merge_equals_join(self, t):
+        rng = random.Random(t)
+        n = 30
+        arrays = [random_chain(n, rng.randrange(20), rng) for _ in range(t)]
+        expected = join_partition_labels(arrays)
+        merged = hierarchical_merge([a.copy() for a in arrays])
+        assert merged.labels() == expected
+
+    def test_thread_backend_merge(self):
+        rng = random.Random(9)
+        n = 40
+        arrays = [random_chain(n, 15, rng) for _ in range(6)]
+        expected = join_partition_labels(arrays)
+        merged = hierarchical_merge(
+            [a.copy() for a in arrays], ThreadBackend(3)
+        )
+        assert merged.labels() == expected
+
+    def test_paper_tournament_structure(self):
+        """6 arrays: first iteration merges 3 pairs, leaving 3, which a
+        single serial fold finishes — mirroring the paper's example."""
+        rng = random.Random(11)
+        arrays = [random_chain(12, 6, rng) for _ in range(6)]
+        expected = join_partition_labels(arrays)
+        merged = hierarchical_merge([a.copy() for a in arrays], SerialBackend())
+        assert merged.labels() == expected
+
+
+class TestJoinPartitionLabels:
+    def test_reference_join(self):
+        a = ChainArray(4)
+        a.merge(0, 1)
+        b = ChainArray(4)
+        b.merge(1, 2)
+        labels = join_partition_labels([a, b])
+        assert labels == [0, 0, 0, 3]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParallelError):
+            join_partition_labels([])

@@ -1,0 +1,117 @@
+"""Tests for parallel coarse-grained sweeping (Section VI-B)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.validation import same_partition
+from repro.core.coarse import CoarseParams, coarse_sweep
+from repro.core.similarity import compute_similarity_map
+from repro.core.sweep import sweep
+from repro.errors import ParameterError
+from repro.graph import generators
+from repro.parallel.par_sweep import parallel_coarse_sweep
+
+
+class TestParallelCoarseSweep:
+    def test_validation(self, triangle):
+        with pytest.raises(ParameterError):
+            parallel_coarse_sweep(triangle, num_workers=0)
+
+    @pytest.mark.parametrize("workers", [1, 2, 3, 6])
+    def test_same_partition_as_serial_coarse(self, weighted_caveman, workers):
+        g = weighted_caveman
+        sim = compute_similarity_map(g)
+        params = CoarseParams(phi=2, delta0=8)
+        serial = coarse_sweep(g, sim, params)
+        parallel = parallel_coarse_sweep(
+            g, sim, params, num_workers=workers, backend="thread"
+        )
+        assert same_partition(serial.edge_labels(), parallel.edge_labels())
+
+    def test_same_epoch_boundaries_as_serial(self, planted):
+        """Chunk boundaries depend only on pair counts, so the epoch
+        trace must match the serial driver's exactly."""
+        sim = compute_similarity_map(planted)
+        params = CoarseParams(phi=2, delta0=10)
+        serial = coarse_sweep(planted, sim, params)
+        parallel = parallel_coarse_sweep(
+            planted, sim, params, num_workers=3, backend="thread"
+        )
+        assert [(e.kind, e.level, e.xi, e.p) for e in serial.epochs] == [
+            (e.kind, e.level, e.xi, e.p) for e in parallel.epochs
+        ]
+
+    def test_per_level_partitions_match_serial(self, planted):
+        sim = compute_similarity_map(planted)
+        params = CoarseParams(phi=2, delta0=10)
+        serial = coarse_sweep(planted, sim, params)
+        parallel = parallel_coarse_sweep(
+            planted, sim, params, num_workers=4, backend="thread"
+        )
+        for level in range(0, serial.num_levels + 1):
+            assert same_partition(
+                serial.dendrogram.labels_at_level(level),
+                parallel.dendrogram.labels_at_level(level),
+            )
+
+    def test_process_backend(self, planted):
+        sim = compute_similarity_map(planted)
+        params = CoarseParams(phi=2, delta0=10)
+        serial = coarse_sweep(planted, sim, params)
+        parallel = parallel_coarse_sweep(
+            planted, sim, params, num_workers=2, backend="process"
+        )
+        assert same_partition(serial.edge_labels(), parallel.edge_labels())
+
+    def test_shm_backend(self, planted):
+        """The shared-memory multiprocessing path gives the same levels
+        and final partition as the serial driver."""
+        sim = compute_similarity_map(planted)
+        params = CoarseParams(phi=2, delta0=10)
+        serial = coarse_sweep(planted, sim, params)
+        parallel = parallel_coarse_sweep(
+            planted, sim, params, num_workers=2, backend="shm"
+        )
+        assert same_partition(serial.edge_labels(), parallel.edge_labels())
+        assert [(e.kind, e.level, e.xi) for e in serial.epochs] == [
+            (e.kind, e.level, e.xi) for e in parallel.epochs
+        ]
+
+    def test_full_sweep_matches_fine(self, weighted_caveman):
+        g = weighted_caveman
+        sim = compute_similarity_map(g)
+        fine = sweep(g, sim)
+        parallel = parallel_coarse_sweep(
+            g,
+            sim,
+            CoarseParams(phi=1, delta0=10, finalize_root=False),
+            num_workers=3,
+            backend="thread",
+        )
+        assert same_partition(fine.edge_labels(), parallel.edge_labels())
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(5, 10),
+    p=st.floats(0.4, 0.9),
+    seed=st.integers(0, 100),
+    workers=st.integers(2, 4),
+    delta0=st.integers(2, 20),
+)
+def test_property_parallel_equals_serial_coarse(n, p, seed, workers, delta0):
+    g = generators.erdos_renyi(
+        n, p, seed=seed, weight=generators.random_weights(seed=seed)
+    )
+    if g.num_edges < 2:
+        return
+    sim = compute_similarity_map(g)
+    params = CoarseParams(phi=1, delta0=delta0, finalize_root=False)
+    serial = coarse_sweep(g, sim, params)
+    parallel = parallel_coarse_sweep(
+        g, sim, params, num_workers=workers, backend="thread"
+    )
+    assert same_partition(serial.edge_labels(), parallel.edge_labels())

@@ -1,0 +1,79 @@
+"""Tests for workload partitioning."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.parallel.partitioner import (
+    contiguous_partition,
+    lpt_partition,
+    partition_range,
+    round_robin_partition,
+)
+
+
+class TestContiguous:
+    def test_even_split(self):
+        assert contiguous_partition([1, 2, 3, 4], 2) == [[1, 2], [3, 4]]
+
+    def test_uneven_split_front_loaded(self):
+        parts = contiguous_partition(list(range(7)), 3)
+        assert [len(p) for p in parts] == [3, 2, 2]
+
+    def test_more_parts_than_items(self):
+        parts = contiguous_partition([1], 3)
+        assert parts == [[1], [], []]
+
+    def test_invalid_k(self):
+        with pytest.raises(ParameterError):
+            contiguous_partition([1], 0)
+
+
+class TestRoundRobin:
+    def test_dealing(self):
+        parts = round_robin_partition([0, 1, 2, 3, 4], 2)
+        assert parts == [[0, 2, 4], [1, 3]]
+
+    def test_balance(self):
+        parts = round_robin_partition(list(range(10)), 3)
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestLPT:
+    def test_balances_skewed_costs(self):
+        items = [10, 9, 1, 1, 1, 1, 1, 1]
+        parts = lpt_partition(items, 2, cost=float)
+        loads = sorted(sum(p) for p in parts)
+        assert loads == [12, 13]
+
+    def test_all_items_kept(self):
+        items = list(range(20))
+        parts = lpt_partition(items, 4, cost=float)
+        assert sorted(x for p in parts for x in p) == items
+
+
+class TestPartitionRange:
+    def test_schemes(self):
+        assert partition_range(4, 2, "contiguous") == [[0, 1], [2, 3]]
+        assert partition_range(4, 2, "round_robin") == [[0, 2], [1, 3]]
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ParameterError):
+            partition_range(4, 2, "hash")
+
+
+@settings(max_examples=60, deadline=None)
+@given(n=st.integers(0, 100), k=st.integers(1, 10))
+def test_property_partitions_are_partitions(n, k):
+    items = list(range(n))
+    for scheme in (contiguous_partition, round_robin_partition):
+        parts = scheme(items, k)
+        assert len(parts) == k
+        flat = sorted(x for p in parts for x in p)
+        assert flat == items
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1 if n >= k else True

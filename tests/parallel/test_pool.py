@@ -1,0 +1,81 @@
+"""Tests for the execution backends."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import ParallelError, ParameterError
+from repro.parallel.pool import (
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    get_backend,
+)
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+def add(a: int, b: int) -> int:
+    return a + b
+
+
+def boom(x: int) -> int:
+    raise ValueError(f"boom {x}")
+
+
+class TestFactory:
+    def test_names(self):
+        assert get_backend("serial").name == "serial"
+        assert get_backend("thread", 2).name == "thread"
+        assert get_backend("process", 2).name == "process"
+
+    def test_unknown(self):
+        with pytest.raises(ParameterError):
+            get_backend("quantum")
+
+    def test_invalid_workers(self):
+        with pytest.raises(ParameterError):
+            ThreadBackend(0)
+
+
+@pytest.mark.parametrize(
+    "backend",
+    [SerialBackend(), ThreadBackend(3), ProcessBackend(2)],
+    ids=["serial", "thread", "process"],
+)
+class TestMapping:
+    def test_order_preserved(self, backend):
+        tasks = [(i,) for i in range(10)]
+        assert backend.map(square, tasks) == [i * i for i in range(10)]
+
+    def test_multiple_args(self, backend):
+        assert backend.map(add, [(1, 2), (3, 4)]) == [3, 7]
+
+    def test_empty(self, backend):
+        assert backend.map(square, []) == []
+
+    def test_single_task_shortcut(self, backend):
+        assert backend.map(square, [(5,)]) == [25]
+
+
+@pytest.mark.parametrize(
+    "backend", [ThreadBackend(2), ProcessBackend(2)], ids=["thread", "process"]
+)
+def test_worker_failure_wrapped(backend):
+    with pytest.raises(ParallelError, match="boom"):
+        backend.map(boom, [(1,), (2,)])
+
+
+def test_serial_failure_propagates_plain():
+    with pytest.raises(ValueError):
+        SerialBackend().map(boom, [(1,)])
+
+
+def test_process_backend_real_processes():
+    backend = ProcessBackend(2)
+    pids = backend.map(os.getpid, [(), ()])
+    assert all(isinstance(p, int) for p in pids)

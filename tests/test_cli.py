@@ -1,0 +1,114 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph import generators
+from repro.graph.io import write_edge_list
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    g = generators.caveman_graph(3, 4, weight=generators.random_weights(seed=1))
+    path = tmp_path / "graph.txt"
+    write_edge_list(g, path)
+    return path
+
+
+@pytest.fixture
+def texts_file(tmp_path):
+    from repro.corpus.synthetic import SyntheticTweetConfig, generate_tweets
+
+    tweets = generate_tweets(
+        SyntheticTweetConfig(
+            vocabulary_size=60, num_topics=2, num_documents=80,
+            topic_width=10, seed=4,
+        )
+    )
+    path = tmp_path / "tweets.txt"
+    path.write_text("\n".join(tweets))
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_stats_args(self):
+        args = build_parser().parse_args(["stats", "g.txt", "--int-labels"])
+        assert args.command == "stats"
+        assert args.int_labels
+
+    def test_cluster_defaults(self):
+        args = build_parser().parse_args(["cluster", "g.txt"])
+        assert args.backend == "serial"
+        assert args.gamma == 2.0
+
+    def test_reproduce_figure_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reproduce", "--figure", "9.9"])
+
+
+class TestStats:
+    def test_prints_metrics(self, graph_file, capsys):
+        assert main(["stats", str(graph_file), "--int-labels"]) == 0
+        out = capsys.readouterr().out
+        assert "vertices" in out
+        assert "K2" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["stats", "/nonexistent/graph.txt"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestCluster:
+    def test_fine(self, graph_file, capsys):
+        assert main(["cluster", str(graph_file), "--int-labels"]) == 0
+        out = capsys.readouterr().out
+        assert "best cut" in out
+        assert "communities" in out
+
+    def test_coarse(self, graph_file, capsys):
+        code = main(
+            [
+                "cluster", str(graph_file), "--int-labels",
+                "--coarse", "--phi", "2", "--delta0", "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "coarse epochs" in out
+
+    def test_parallel(self, graph_file, capsys):
+        code = main(
+            [
+                "cluster", str(graph_file), "--int-labels",
+                "--backend", "thread", "--workers", "2",
+            ]
+        )
+        assert code == 0
+
+
+class TestCorpus:
+    def test_builds_edge_list(self, texts_file, tmp_path, capsys):
+        out_path = tmp_path / "words.edges"
+        code = main(
+            ["corpus", str(texts_file), "--alpha", "0.5", "-o", str(out_path)]
+        )
+        assert code == 0
+        assert out_path.exists()
+        from repro.graph.io import read_edge_list
+
+        g = read_edge_list(out_path)
+        assert g.num_vertices > 0
+
+
+class TestReproduce:
+    def test_single_figure(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "tiny")
+        assert main(["reproduce", "--figure", "4.1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4(1)" in out
