@@ -21,7 +21,7 @@ from repro.bench.experiments import coarse_params_for
 from repro.bench.runner import ResultTable, save_json
 from repro.bench.timing import time_call
 from repro.cluster.unionfind import ChainArray, DisjointSet
-from repro.core.coarse import CoarseParams, coarse_sweep, fixed_chunk_sweep
+from repro.core.coarse import coarse_sweep, fixed_chunk_sweep
 from repro.core.similarity import compute_similarity_map
 from repro.core.sweep import sweep
 

@@ -11,7 +11,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.baselines.nbm import edge_similarity_matrix, nbm_cluster
 from repro.bench.datasets import association_graph

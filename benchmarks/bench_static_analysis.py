@@ -1,0 +1,42 @@
+"""Runtime of the ``repro analyze`` gate on this repository.
+
+The static-analysis gate runs on every push (and inside
+``tests/analysis/test_repo_clean.py``), so its wall time is part of the
+developer loop.  This benchmark records files-scanned / findings /
+wall-time for the library tree under ``benchmarks/results/`` so future
+PRs that add rules or files can see whether the gate is getting slow.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+from repro.bench.runner import ResultTable, save_json
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def test_analyzer_runtime(benchmark, results_dir):
+    result = benchmark(analyze_paths, [REPO / "src"])
+
+    table = ResultTable(
+        "repro analyze: gate runtime on the repository's own trees",
+        ["tree", "files_scanned", "findings", "suppressed", "wall_seconds"],
+    )
+    rows = {"src": result}
+    for name in ("examples", "benchmarks"):
+        rows[name] = analyze_paths([REPO / name])
+    for name, res in rows.items():
+        table.add_row(
+            tree=name,
+            files_scanned=res.stats.files_scanned,
+            findings=res.stats.findings,
+            suppressed=res.stats.suppressed,
+            wall_seconds=round(res.stats.duration_seconds, 4),
+        )
+    table.show()
+    save_json(table, results_dir / "static_analysis_runtime.json")
+
+    # the gate itself: the library tree must be clean
+    assert result.findings == []

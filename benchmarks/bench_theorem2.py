@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import math
 
-import pytest
 
 from repro.bench.datasets import association_graph
 from repro.bench.runner import ResultTable, save_json

@@ -11,7 +11,6 @@ Run:  python examples/parallel_scaling.py
 
 import time
 
-from repro import CoarseParams
 from repro.cluster.validation import same_partition
 from repro.core.coarse import coarse_sweep
 from repro.core.similarity import compute_similarity_map

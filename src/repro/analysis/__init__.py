@@ -1,0 +1,56 @@
+"""Project-specific static analysis for the :mod:`repro` codebase.
+
+The riskiest code in this repository is the multiprocessing /
+shared-memory layer realizing the paper's Section VI parallel sweeping:
+a leaked ``SharedMemory`` block, an un-joined worker process, or an
+unseeded random call is invisible in a unit test that happens to pass,
+yet fatal at production scale.  Parallel-clustering systems engineer
+these bug classes away with tooling rather than code review; this
+package is that tooling for ``repro``.
+
+It is a small AST-based framework — a visitor core over per-module
+:class:`~repro.analysis.base.ModuleContext` objects, a rule registry, a
+:class:`~repro.analysis.finding.Finding` dataclass, and text/JSON
+reporters — plus an initial catalog of rules (SHM001, PAR001, PAR002,
+DET001, COR001, API001) targeting the parallel and clustering layers.
+See ``docs/static_analysis.md`` for the rule catalog and suppression
+syntax (``# repro: noqa RULE``).
+
+Entry points
+------------
+``repro analyze <paths>``
+    CLI gate; exits non-zero when findings remain.
+:func:`analyze_paths`
+    Library API returning an :class:`AnalysisResult`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.base import ModuleContext, Rule
+from repro.analysis.finding import Finding, Severity
+from repro.analysis.registry import all_rules, resolve_rules, rule_ids
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.runner import (
+    AnalysisResult,
+    RunStats,
+    analyze_file,
+    analyze_paths,
+    iter_python_files,
+)
+
+__all__ = [
+    "AnalysisResult",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "RunStats",
+    "Severity",
+    "all_rules",
+    "analyze_file",
+    "analyze_paths",
+    "iter_python_files",
+    "render_json",
+    "render_text",
+    "resolve_rules",
+    "rule_ids",
+]

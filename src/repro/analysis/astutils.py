@@ -1,0 +1,121 @@
+"""Shared AST helpers for analysis rules.
+
+Rules need to answer questions like "does this call construct a
+``multiprocessing.shared_memory.SharedMemory``?" regardless of how the
+module spelled the import (``import multiprocessing.shared_memory``,
+``from multiprocessing import shared_memory``, aliases, ...).
+:class:`ImportMap` resolves local names back to fully-qualified dotted
+paths so rules can match on canonical names.
+
+Scope iteration deliberately treats each function as its own unit and
+does **not** descend into nested function definitions: resource-cleanup
+rules reason about "all paths through this function", and a nested
+``def`` is a different set of paths.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Union
+
+__all__ = [
+    "ImportMap",
+    "ScopeNode",
+    "call_tail",
+    "dotted_name",
+    "iter_scopes",
+    "walk_scope",
+]
+
+ScopeNode = Union[ast.Module, ast.FunctionDef, ast.AsyncFunctionDef]
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+class ImportMap:
+    """Maps local aliases to fully-qualified dotted import paths.
+
+    >>> import ast
+    >>> tree = ast.parse("from multiprocessing import shared_memory as sm")
+    >>> imports = ImportMap(tree)
+    >>> node = ast.parse("sm.SharedMemory", mode="eval").body
+    >>> imports.resolve(node)
+    'multiprocessing.shared_memory.SharedMemory'
+    """
+
+    def __init__(self, tree: ast.Module):
+        self._aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    full = alias.name if alias.asname else local
+                    self._aliases[local] = full
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports stay project-local
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self._aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.expr) -> Optional[str]:
+        """Fully-qualified dotted path for a Name/Attribute chain."""
+        dotted = dotted_name(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        full_head = self._aliases.get(head, head)
+        return f"{full_head}.{rest}" if rest else full_head
+
+    def refers_to_module(self, node: ast.expr, module: str) -> bool:
+        """True when ``node`` is a reference to ``module`` itself."""
+        return self.resolve(node) == module
+
+
+def dotted_name(node: ast.expr) -> Optional[str]:
+    """``"a.b.c"`` for a pure Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def call_tail(call: ast.Call) -> Optional[str]:
+    """Final name of the called expression: ``ctx.Process(...)`` -> ``Process``."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def iter_scopes(tree: ast.Module) -> Iterator[ScopeNode]:
+    """The module plus every (possibly nested) function definition."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, _FUNC_NODES):
+            yield node
+
+
+def walk_scope(scope: ScopeNode) -> Iterator[ast.AST]:
+    """Walk a scope's statements without entering nested functions.
+
+    Class bodies are traversed (their statements execute in the
+    enclosing module's control flow at import time) but methods, like
+    any nested ``def``, are separate scopes.
+    """
+    stack: List[ast.AST] = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _FUNC_NODES):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))

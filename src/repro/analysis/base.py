@@ -1,0 +1,74 @@
+"""Rule base class and per-module analysis context."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from repro.analysis.astutils import ImportMap
+from repro.analysis.finding import Finding, Severity
+
+__all__ = ["ModuleContext", "Rule"]
+
+
+class ModuleContext:
+    """Everything a rule needs to know about one parsed module.
+
+    Parameters
+    ----------
+    path:
+        Display path for findings (as given to the runner).
+    source:
+        Full module source text.
+    tree:
+        Parsed ``ast.Module`` for ``source``.
+    """
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines: List[str] = source.splitlines()
+        self.imports = ImportMap(tree)
+
+    def line_text(self, lineno: int) -> str:
+        """Physical source line (1-based); empty for out-of-range."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+class Rule:
+    """Base class for analysis rules.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding one :class:`Finding` per violation.  Rules are stateless:
+    one instance is shared across every module in a run.
+    """
+
+    rule_id: str = ""
+    severity: Severity = Severity.ERROR
+    summary: str = ""
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        ctx: ModuleContext,
+        node: ast.AST,
+        message: str,
+        severity: Optional[Severity] = None,
+    ) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        return Finding(
+            file=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            severity=severity if severity is not None else self.severity,
+            message=message,
+        )
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.rule_id}>"

@@ -1,0 +1,70 @@
+"""The :class:`Finding` record emitted by every analysis rule."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple, Union
+
+__all__ = ["Finding", "Severity"]
+
+
+class Severity(enum.Enum):
+    """How seriously a finding should be taken.
+
+    Both levels fail the ``repro analyze`` gate; the distinction exists
+    so reporters and future tooling can prioritize, not so warnings can
+    be ignored.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location.
+
+    Attributes
+    ----------
+    file:
+        Path of the offending module, as given to the runner.
+    line, col:
+        1-based line and 0-based column of the offending node.
+    rule_id:
+        Catalog id, e.g. ``"SHM001"`` (``"PARSE"`` for syntax errors).
+    severity:
+        :class:`Severity` of the violation.
+    message:
+        Human-readable description of what is wrong and how to fix it.
+    """
+
+    file: str
+    line: int
+    col: int
+    rule_id: str
+    severity: Severity
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.file, self.line, self.col, self.rule_id)
+
+    def to_dict(self) -> Dict[str, Union[str, int]]:
+        """JSON-ready representation (used by the ``json`` reporter)."""
+        return {
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "rule_id": self.rule_id,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.file}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.severity}] {self.message}"
+        )

@@ -1,0 +1,67 @@
+"""Rule registry: rules self-register at import time via a decorator."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Type, TypeVar
+
+from repro.analysis.base import Rule
+from repro.errors import AnalysisError
+
+__all__ = ["all_rules", "register", "resolve_rules", "rule_ids"]
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+R = TypeVar("R", bound=Type[Rule])
+
+
+def register(rule_cls: R) -> R:
+    """Class decorator adding a rule to the global registry."""
+    rule_id = rule_cls.rule_id
+    if not rule_id:
+        raise AnalysisError(f"rule {rule_cls.__name__} has an empty rule_id")
+    existing = _REGISTRY.get(rule_id)
+    if existing is not None and existing is not rule_cls:
+        raise AnalysisError(
+            f"duplicate rule id {rule_id!r}: "
+            f"{existing.__name__} vs {rule_cls.__name__}"
+        )
+    _REGISTRY[rule_id] = rule_cls
+    return rule_cls
+
+
+def _ensure_loaded() -> None:
+    # Importing the rules package triggers the @register decorators.
+    import repro.analysis.rules  # noqa: F401  (import for side effect)
+
+
+def rule_ids() -> List[str]:
+    """All registered rule ids, sorted."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def all_rules() -> List[Rule]:
+    """One instance of every registered rule, ordered by id."""
+    _ensure_loaded()
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def resolve_rules(
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Rule]:
+    """Instantiate the rule set after applying ``--select``/``--ignore``.
+
+    Unknown ids raise :class:`~repro.errors.AnalysisError` so a typo in
+    a CI config fails loudly instead of silently disabling a gate.
+    """
+    _ensure_loaded()
+    known = set(_REGISTRY)
+    for requested in list(select or []) + list(ignore or []):
+        if requested not in known:
+            raise AnalysisError(
+                f"unknown rule id {requested!r} (known: {', '.join(sorted(known))})"
+            )
+    chosen = set(select) if select else known
+    chosen -= set(ignore or [])
+    return [_REGISTRY[rule_id]() for rule_id in sorted(chosen)]

@@ -1,0 +1,31 @@
+"""Render findings for terminals (text) and tooling (JSON)."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.analysis.finding import Finding
+from repro.analysis.runner import RunStats
+
+__all__ = ["render_json", "render_text"]
+
+
+def render_text(findings: Sequence[Finding], stats: RunStats) -> str:
+    """One ``file:line:col: RULE [severity] message`` line per finding."""
+    lines: List[str] = [str(f) for f in findings]
+    noun = "finding" if stats.findings == 1 else "findings"
+    lines.append(
+        f"{stats.files_scanned} files scanned, {stats.findings} {noun} "
+        f"({stats.suppressed} suppressed) in {stats.duration_seconds:.3f}s"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], stats: RunStats) -> str:
+    """Stable machine-readable report (consumed by CI and the tests)."""
+    payload: Dict[str, Any] = {
+        "findings": [f.to_dict() for f in findings],
+        "stats": stats.to_dict(),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,34 @@
+"""Rule catalog.  Importing this package registers every rule.
+
+Catalog (see ``docs/static_analysis.md`` for rationale and examples):
+
+========  ========================================================
+SHM001    ``SharedMemory`` must be closed (creators also unlinked)
+          on all paths (``try/finally`` or ``with``).
+PAR001    ``Pool``/``Process`` must be joined or terminated on all
+          paths (``with`` or cleanup in a ``finally``).
+PAR002    Worker functions must not read module-level mutable state.
+DET001    No unseeded ``random`` / ``numpy.random`` use in library
+          code; seeds must flow from parameters.
+COR001    No bare ``except:`` and no ``except Exception`` that
+          swallows (a broad handler must re-raise).
+API001    No mutable default arguments.
+========  ========================================================
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules.api import MutableDefaultArgRule
+from repro.analysis.rules.correctness import BroadExceptRule
+from repro.analysis.rules.determinism import UnseededRandomRule
+from repro.analysis.rules.parallel import ModuleStateInWorkerRule, UnjoinedWorkerRule
+from repro.analysis.rules.shm import SharedMemoryLifecycleRule
+
+__all__ = [
+    "BroadExceptRule",
+    "ModuleStateInWorkerRule",
+    "MutableDefaultArgRule",
+    "SharedMemoryLifecycleRule",
+    "UnjoinedWorkerRule",
+    "UnseededRandomRule",
+]

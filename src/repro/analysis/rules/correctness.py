@@ -1,0 +1,85 @@
+"""COR001 — broad exception handlers must not swallow.
+
+The library's error contract routes every failure through the
+:class:`~repro.errors.ReproError` hierarchy; a bare ``except:`` or a
+silent ``except Exception`` also catches ``ClusteringError`` /
+``ParallelError`` and converts an invariant violation (a broken chain
+array, a dead worker) into silently-wrong clustering output.  A broad
+handler is accepted only when it re-raises.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.astutils import dotted_name
+from repro.analysis.base import ModuleContext, Rule
+from repro.analysis.finding import Finding
+from repro.analysis.registry import register
+
+__all__ = ["BroadExceptRule"]
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _broad_names(type_node: ast.expr) -> List[str]:
+    """Broad exception names mentioned by an ``except`` type expression."""
+    exprs = (
+        list(type_node.elts) if isinstance(type_node, ast.Tuple) else [type_node]
+    )
+    names: List[str] = []
+    for expr in exprs:
+        dotted = dotted_name(expr)
+        if dotted is not None and dotted.split(".")[-1] in _BROAD:
+            names.append(dotted)
+    return names
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body contains a ``raise`` on some path.
+
+    Nested function definitions are skipped: a ``raise`` inside a
+    closure defined in the handler does not re-raise for the handler.
+    """
+    stack: List[ast.AST] = list(handler.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+@register
+class BroadExceptRule(Rule):
+    rule_id = "COR001"
+    summary = (
+        "no bare except: and no except Exception that swallows "
+        "(broad handlers must re-raise)"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare except: catches everything including "
+                    "KeyboardInterrupt; catch a ReproError subclass (or "
+                    "re-raise)",
+                )
+                continue
+            broad = _broad_names(node.type)
+            if broad and not _reraises(node):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"except {', '.join(broad)} swallows ClusteringError/"
+                    "ParallelError and hides invariant violations; catch a "
+                    "specific ReproError subclass or re-raise",
+                )

@@ -1,0 +1,147 @@
+"""DET001 — no unseeded randomness in library code.
+
+The paper enumerates edges "in a random order"; reproducing its figures
+(and debugging the parallel sweep at all) requires that every random
+choice flows from an explicit seed parameter.  Calls on the global
+``random`` module or the legacy global ``numpy.random`` state draw from
+interpreter-wide unseeded state, so two runs — or two worker processes —
+silently disagree.  Construct ``random.Random(seed)`` /
+``numpy.random.default_rng(seed)`` with a seed that comes from a
+parameter instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.base import ModuleContext, Rule
+from repro.analysis.finding import Finding, Severity
+from repro.analysis.registry import register
+
+__all__ = ["UnseededRandomRule"]
+
+_RANDOM_FUNCS = {
+    "betavariate",
+    "choice",
+    "choices",
+    "expovariate",
+    "gammavariate",
+    "gauss",
+    "getrandbits",
+    "lognormvariate",
+    "normalvariate",
+    "paretovariate",
+    "randbytes",
+    "randint",
+    "random",
+    "randrange",
+    "sample",
+    "seed",
+    "shuffle",
+    "triangular",
+    "uniform",
+    "vonmisesvariate",
+    "weibullvariate",
+}
+
+_NUMPY_RANDOM_FUNCS = {
+    "beta",
+    "binomial",
+    "choice",
+    "exponential",
+    "gamma",
+    "normal",
+    "permutation",
+    "poisson",
+    "rand",
+    "randint",
+    "randn",
+    "random",
+    "random_sample",
+    "ranf",
+    "sample",
+    "seed",
+    "shuffle",
+    "standard_normal",
+    "uniform",
+}
+
+
+@register
+class UnseededRandomRule(Rule):
+    rule_id = "DET001"
+    severity = Severity.WARNING
+    summary = (
+        "no unseeded random/numpy.random calls in library code; "
+        "seeds must flow from parameters"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            finding = self._check_call(ctx, node)
+            if finding is not None:
+                yield finding
+
+    def _check_call(
+        self, ctx: ModuleContext, call: ast.Call
+    ) -> Optional[Finding]:
+        resolved = ctx.imports.resolve(call.func)
+        if resolved is None and isinstance(call.func, ast.Attribute):
+            # `(rng or random).shuffle(...)`: a BoolOp receiver falling
+            # back to the global module is unseeded on the fallback path.
+            resolved = self._boolop_fallback(ctx, call.func)
+        if resolved is None:
+            return None
+
+        if resolved.startswith("random."):
+            tail = resolved[len("random.") :]
+            if tail in _RANDOM_FUNCS:
+                return self.finding(
+                    ctx,
+                    call,
+                    f"random.{tail}() draws from the unseeded global "
+                    "generator; use a random.Random(seed) built from a "
+                    "parameter",
+                )
+            if tail == "Random" and not call.args and not call.keywords:
+                return self.finding(
+                    ctx,
+                    call,
+                    "random.Random() without a seed is nondeterministic; "
+                    "the seed must flow from a parameter",
+                )
+        elif resolved.startswith("numpy.random."):
+            tail = resolved[len("numpy.random.") :]
+            if tail in _NUMPY_RANDOM_FUNCS:
+                return self.finding(
+                    ctx,
+                    call,
+                    f"numpy.random.{tail}() uses the legacy global state; "
+                    "use numpy.random.default_rng(seed) with a seed from a "
+                    "parameter",
+                )
+            if (
+                tail in ("default_rng", "RandomState")
+                and not call.args
+                and not call.keywords
+            ):
+                return self.finding(
+                    ctx,
+                    call,
+                    f"numpy.random.{tail}() without a seed is "
+                    "nondeterministic; the seed must flow from a parameter",
+                )
+        return None
+
+    @staticmethod
+    def _boolop_fallback(ctx: ModuleContext, func: ast.Attribute) -> Optional[str]:
+        if not isinstance(func.value, ast.BoolOp):
+            return None
+        for operand in func.value.values:
+            resolved = ctx.imports.resolve(operand)
+            if resolved in ("random", "numpy.random"):
+                return f"{resolved}.{func.attr}"
+        return None

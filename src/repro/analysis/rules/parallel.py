@@ -1,0 +1,189 @@
+"""PAR001 / PAR002 — multiprocessing hygiene for the sweeping backends.
+
+PAR001: a ``multiprocessing.Pool`` or ``Process`` that is not joined
+(or terminated) on all paths leaves orphan workers holding copies of
+array ``C`` — under the paper's Section VI sweeping that is gigabytes
+of pinned memory per leaked worker.  The accepted patterns are a
+``with`` statement on the pool, or join/terminate cleanup inside a
+``finally`` block in the same function.
+
+PAR002: a worker function that reads module-level mutable state gets a
+*copy* under the fork/spawn start methods; mutations are silently lost
+and results diverge between start methods.  State must flow through
+worker arguments (that is how every sweep worker in this repo receives
+its edge-pair slice).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set
+
+from repro.analysis.astutils import ScopeNode, call_tail, iter_scopes, walk_scope
+from repro.analysis.base import ModuleContext, Rule
+from repro.analysis.finding import Finding, Severity
+from repro.analysis.registry import register
+
+__all__ = ["ModuleStateInWorkerRule", "UnjoinedWorkerRule"]
+
+_WORKER_FACTORIES = {"Pool", "Process", "ThreadPool"}
+_DISPATCH_METHODS = {
+    "submit",
+    "apply",
+    "apply_async",
+    "map",
+    "map_async",
+    "imap",
+    "imap_unordered",
+    "starmap",
+    "starmap_async",
+}
+_MUTABLE_CALLS = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "defaultdict",
+    "deque",
+    "OrderedDict",
+    "Counter",
+}
+_MUTABLE_LITERALS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+)
+
+
+def _is_worker_factory_call(node: ast.AST) -> bool:
+    return isinstance(node, ast.Call) and call_tail(node) in _WORKER_FACTORIES
+
+
+@register
+class UnjoinedWorkerRule(Rule):
+    rule_id = "PAR001"
+    summary = (
+        "Pool/Process must be joined or terminated on all paths "
+        "(with statement, or cleanup in a finally block)"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for scope in iter_scopes(ctx.tree):
+            yield from self._check_scope(ctx, scope)
+
+    def _check_scope(
+        self, ctx: ModuleContext, scope: ScopeNode
+    ) -> Iterator[Finding]:
+        constructions: List[ast.Call] = []
+        managed: Set[int] = set()
+        has_finally_cleanup = False
+
+        for node in walk_scope(scope):
+            if _is_worker_factory_call(node):
+                assert isinstance(node, ast.Call)
+                constructions.append(node)
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if _is_worker_factory_call(item.context_expr):
+                        managed.add(id(item.context_expr))
+            if isinstance(node, ast.Try) and node.finalbody:
+                for stmt in node.finalbody:
+                    for sub in ast.walk(stmt):
+                        if (
+                            isinstance(sub, ast.Call)
+                            and isinstance(sub.func, ast.Attribute)
+                            and sub.func.attr in ("join", "terminate")
+                        ):
+                            has_finally_cleanup = True
+
+        for call in constructions:
+            if id(call) in managed or has_finally_cleanup:
+                continue
+            yield self.finding(
+                ctx,
+                call,
+                f"{call_tail(call)} is started without join()/terminate() "
+                "guaranteed on all paths; use a with statement or clean up "
+                "in a finally block",
+            )
+
+
+@register
+class ModuleStateInWorkerRule(Rule):
+    rule_id = "PAR002"
+    severity = Severity.WARNING
+    summary = "worker functions must not read module-level mutable state"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        mutable_globals = self._module_level_mutables(ctx.tree)
+        if not mutable_globals:
+            return
+        worker_names = self._worker_function_names(ctx.tree)
+        if not worker_names:
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name in worker_names
+            ):
+                yield from self._check_worker(ctx, node, mutable_globals)
+
+    @staticmethod
+    def _module_level_mutables(tree: ast.Module) -> Dict[str, int]:
+        found: Dict[str, int] = {}
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Assign):
+                value, targets = stmt.value, stmt.targets
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                value, targets = stmt.value, [stmt.target]
+            else:
+                continue
+            mutable = isinstance(value, _MUTABLE_LITERALS) or (
+                isinstance(value, ast.Call) and call_tail(value) in _MUTABLE_CALLS
+            )
+            if not mutable:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    found[target.id] = stmt.lineno
+        return found
+
+    @staticmethod
+    def _worker_function_names(tree: ast.Module) -> Set[str]:
+        """Functions handed to another process: ``target=fn`` or pool dispatch."""
+        names: Set[str] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for kw in node.keywords:
+                if kw.arg == "target" and isinstance(kw.value, ast.Name):
+                    names.add(kw.value.id)
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _DISPATCH_METHODS
+                and node.args
+                and isinstance(node.args[0], ast.Name)
+            ):
+                names.add(node.args[0].id)
+        return names
+
+    def _check_worker(
+        self,
+        ctx: ModuleContext,
+        func: ast.AST,
+        mutable_globals: Dict[str, int],
+    ) -> Iterator[Finding]:
+        func_name = getattr(func, "name", "<worker>")
+        for node in ast.walk(func):
+            if isinstance(node, ast.Name) and node.id in mutable_globals:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"worker function {func_name!r} uses module-level mutable "
+                    f"{node.id!r} (defined at line "
+                    f"{mutable_globals[node.id]}); each process sees its own "
+                    "copy — pass it through the worker's arguments instead",
+                )

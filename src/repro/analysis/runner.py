@@ -1,0 +1,145 @@
+"""File discovery, rule execution, and ``# repro: noqa`` suppression."""
+
+from __future__ import annotations
+
+import ast
+import re
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.analysis.base import ModuleContext, Rule
+from repro.analysis.finding import Finding, Severity
+from repro.analysis.registry import resolve_rules
+from repro.errors import AnalysisError
+
+__all__ = [
+    "AnalysisResult",
+    "RunStats",
+    "analyze_file",
+    "analyze_paths",
+    "iter_python_files",
+]
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:[:\s]+(?P<rules>[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*))?",
+)
+
+
+@dataclass
+class RunStats:
+    """Aggregate counters for one analyzer run."""
+
+    files_scanned: int = 0
+    findings: int = 0
+    suppressed: int = 0
+    parse_errors: int = 0
+    duration_seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, Union[int, float]]:
+        return {
+            "files_scanned": self.files_scanned,
+            "findings": self.findings,
+            "suppressed": self.suppressed,
+            "parse_errors": self.parse_errors,
+            "duration_seconds": self.duration_seconds,
+        }
+
+
+@dataclass
+class AnalysisResult:
+    """Findings plus run statistics; truthiness means "gate failed"."""
+
+    findings: List[Finding] = field(default_factory=list)
+    stats: RunStats = field(default_factory=RunStats)
+
+    def __bool__(self) -> bool:
+        return bool(self.findings)
+
+
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise AnalysisError(f"no such file or directory: {path}")
+    # De-duplicate while preserving a stable order.
+    seen: Dict[Path, None] = {}
+    for path in files:
+        seen.setdefault(path, None)
+    return list(seen)
+
+
+def _suppressed_rules(line: str) -> Optional[List[str]]:
+    """Rule ids silenced on ``line``; ``[]`` means "all", None means none."""
+    match = _NOQA_RE.search(line)
+    if match is None:
+        return None
+    rules = match.group("rules")
+    if rules is None:
+        return []
+    return [r.strip() for r in rules.split(",")]
+
+
+def analyze_file(
+    path: Union[str, Path], rules: Sequence[Rule], stats: Optional[RunStats] = None
+) -> List[Finding]:
+    """Run ``rules`` over one file, applying noqa suppression."""
+    stats = stats if stats is not None else RunStats()
+    display = str(path)
+    try:
+        source = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise AnalysisError(f"cannot read {display}: {exc}") from exc
+    stats.files_scanned += 1
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as exc:
+        stats.parse_errors += 1
+        stats.findings += 1
+        return [
+            Finding(
+                file=display,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule_id="PARSE",
+                severity=Severity.ERROR,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    ctx = ModuleContext(display, source, tree)
+    findings: List[Finding] = []
+    for rule in rules:
+        for finding in rule.check(ctx):
+            silenced = _suppressed_rules(ctx.line_text(finding.line))
+            if silenced is not None and (
+                not silenced or finding.rule_id in silenced
+            ):
+                stats.suppressed += 1
+                continue
+            findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    stats.findings += len(findings)
+    return findings
+
+
+def analyze_paths(
+    paths: Sequence[Union[str, Path]],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> AnalysisResult:
+    """Analyze files/directories with the (filtered) rule catalog."""
+    start = time.perf_counter()
+    rules = resolve_rules(select=select, ignore=ignore)
+    result = AnalysisResult()
+    for path in iter_python_files(paths):
+        result.findings.extend(analyze_file(path, rules, stats=result.stats))
+    result.findings.sort(key=Finding.sort_key)
+    result.stats.duration_seconds = time.perf_counter() - start
+    return result

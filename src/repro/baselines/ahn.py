@@ -11,7 +11,7 @@ validate the paper's fast algorithm on small graphs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Set, Tuple
+from typing import List, Set, Tuple
 
 import numpy as np
 

@@ -8,7 +8,6 @@ EXPERIMENTS.md records paper-vs-measured outcomes.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.nbm import edge_similarity_matrix, nbm_cluster

@@ -8,7 +8,7 @@ the CLI can show *shapes*, not just tables.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import ParameterError
 

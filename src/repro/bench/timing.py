@@ -4,9 +4,8 @@ from __future__ import annotations
 
 import statistics
 import time
-from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator, List, Tuple
+from typing import Any, Callable, List, Tuple
 
 from repro.errors import ParameterError
 

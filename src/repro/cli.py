@@ -7,6 +7,9 @@ Commands
 ``corpus``      build a word-association graph from a text file of
                 messages (one per line) and write it as an edge list
 ``reproduce``   regenerate one or all of the paper's figures
+``analyze``     run the project's static-analysis rules (SHM/PAR/DET/
+                COR/API catalog) over python files; non-zero exit on
+                findings — this is the CI gate
 
 Examples
 --------
@@ -14,13 +17,14 @@ Examples
     python -m repro cluster graph.txt --coarse --phi 50
     python -m repro corpus tweets.txt --alpha 0.01 -o words.edges
     python -m repro reproduce --figure 4.1
+    python -m repro analyze src/ --format json
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.core.coarse import CoarseParams
 from repro.core.linkclust import LinkClustering
@@ -104,6 +108,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--markdown",
         metavar="PATH",
         help="write a full markdown report (all figures + claim checklist)",
+    )
+
+    p_analyze = sub.add_parser(
+        "analyze", help="run project static-analysis rules (CI gate)"
+    )
+    p_analyze.add_argument(
+        "paths", nargs="*", help="python files or directories to scan"
+    )
+    p_analyze.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format",
+    )
+    p_analyze.add_argument(
+        "--select", action="append", metavar="RULE", default=None,
+        help="run only these rule ids (repeatable, e.g. --select SHM001)",
+    )
+    p_analyze.add_argument(
+        "--ignore", action="append", metavar="RULE", default=None,
+        help="skip these rule ids (repeatable)",
+    )
+    p_analyze.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
     )
     return parser
 
@@ -191,6 +218,24 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import all_rules, analyze_paths, render_json, render_text
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  [{rule.severity}]  {rule.summary}")
+        return 0
+    if not args.paths:
+        print("error: no paths given (or use --list-rules)", file=sys.stderr)
+        return 2
+    result = analyze_paths(args.paths, select=args.select, ignore=args.ignore)
+    if args.format == "json":
+        print(render_json(result.findings, result.stats))
+    else:
+        print(render_text(result.findings, result.stats))
+    return 1 if result.findings else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -200,6 +245,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "cluster": _cmd_cluster,
         "corpus": _cmd_corpus,
         "reproduce": _cmd_reproduce,
+        "analyze": _cmd_analyze,
     }
     try:
         return handlers[args.command](args)

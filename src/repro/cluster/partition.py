@@ -9,7 +9,7 @@ paper's evaluation builds on them ([1] is its motivating reference).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.cluster.dendrogram import Dendrogram
 from repro.errors import ClusteringError

@@ -39,7 +39,7 @@ Implementation notes (documented deviations, none behavioural):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.cluster.dendrogram import Dendrogram, DendrogramBuilder

@@ -21,10 +21,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.cluster.dendrogram import Dendrogram
-from repro.cluster.partition import EdgePartition, best_partition, node_communities
+from repro.cluster.partition import EdgePartition, node_communities
 from repro.cluster.unionfind import ChainArray
 from repro.core.coarse import CoarseParams, CoarseResult, coarse_sweep
 from repro.core.similarity import SimilarityMap, compute_similarity_map

@@ -14,8 +14,8 @@ it, default is identity.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from repro.cluster.dendrogram import Dendrogram, DendrogramBuilder
 from repro.cluster.unionfind import ChainArray

@@ -17,7 +17,7 @@ import itertools
 import math
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Iterable, Optional, Tuple
 
 from repro.corpus.documents import Corpus
 from repro.errors import CorpusError, ParameterError

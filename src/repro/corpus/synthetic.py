@@ -26,10 +26,9 @@ tokenize/stem/stop-word pipeline is exercised end to end.
 
 from __future__ import annotations
 
-import math
 import random
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.corpus.documents import Corpus
 from repro.errors import ParameterError

@@ -18,6 +18,7 @@ __all__ = [
     "ClusteringError",
     "ParameterError",
     "ParallelError",
+    "AnalysisError",
 ]
 
 
@@ -69,3 +70,7 @@ class ParameterError(ReproError, ValueError):
 
 class ParallelError(ReproError):
     """A failure inside one of the parallel execution backends."""
+
+
+class AnalysisError(ReproError):
+    """A failure inside the static-analysis subsystem (bad rule id, ...)."""

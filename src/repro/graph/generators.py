@@ -12,7 +12,6 @@ All generators are deterministic given a ``seed`` and return
 from __future__ import annotations
 
 import itertools
-import math
 import random
 from typing import Callable, Optional
 

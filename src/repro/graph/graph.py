@@ -289,9 +289,14 @@ class Graph:
         in that permutation as the edge id for array ``C``.  Passing the
         returned list to the sweeping phase reproduces that behaviour while
         keeping this graph immutable.
+
+        When ``rng`` is omitted a generator seeded with 0 is used, so the
+        permutation is deterministic; pass your own ``random.Random(seed)``
+        to vary it (callers in :mod:`repro.core.linkclust` thread their
+        ``seed`` parameter through here).
         """
         order = list(range(self.num_edges))
-        (rng or random).shuffle(order)
+        (rng or random.Random(0)).shuffle(order)
         perm = [0] * self.num_edges
         for new_index, eid in enumerate(order):
             perm[eid] = new_index

@@ -14,7 +14,6 @@ affect modeled speedups.
 from __future__ import annotations
 
 import time
-from typing import Optional
 
 from repro.cluster.unionfind import ChainArray
 from repro.core.similarity import (

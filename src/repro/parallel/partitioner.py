@@ -9,7 +9,7 @@ model and ablations.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Callable, List, Sequence, TypeVar
 
 from repro.errors import ParameterError
 

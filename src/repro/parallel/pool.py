@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import concurrent.futures
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Iterable, List, Sequence
+from typing import Any, Callable, List, Sequence
 
 from repro.errors import ParallelError, ParameterError
 

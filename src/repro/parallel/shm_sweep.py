@@ -95,10 +95,18 @@ def shm_chunk_merge(
             ctx.Process(target=_worker, args=(block.name, row, n, part))
             for row, part in enumerate(parts)
         ]
-        for proc in processes:
-            proc.start()
-        for proc in processes:
-            proc.join()
+        try:
+            for proc in processes:
+                proc.start()
+            for proc in processes:
+                proc.join()
+        finally:
+            # A failed start() or an interrupt mid-join must not leave
+            # orphan workers attached to the shared block (PAR001).
+            for proc in processes:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join()
         failed = [p.exitcode for p in processes if p.exitcode != 0]
         if failed:
             raise ParallelError(

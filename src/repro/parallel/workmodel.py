@@ -25,7 +25,7 @@ code paths' correctness; this model supplies their performance curve.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.coarse import CoarseResult

@@ -1,0 +1,20 @@
+"""API001 fixture: mutable default arguments."""
+
+
+def accumulate(x, acc=[]):
+    acc.append(x)
+    return acc
+
+
+def index(key, table={}):
+    return table.setdefault(key, len(table))
+
+
+def tag(item, *, seen=set()):
+    seen.add(item)
+    return seen
+
+
+def build(n, out=list()):
+    out.extend(range(n))
+    return out

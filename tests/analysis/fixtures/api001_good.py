@@ -1,0 +1,18 @@
+"""API001 fixture: None defaults, containers built inside."""
+
+from typing import Optional
+
+
+def accumulate(x, acc=None):
+    acc = [] if acc is None else acc
+    acc.append(x)
+    return acc
+
+
+def index(key, table: Optional[dict] = None):
+    table = {} if table is None else table
+    return table.setdefault(key, len(table))
+
+
+def scale(x, factor=2.0, label="x", flags=()):
+    return (x * factor, label, flags)

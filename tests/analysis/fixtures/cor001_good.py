@@ -1,0 +1,27 @@
+"""COR001 fixture: specific handlers, and broad ones that re-raise."""
+
+
+class LocalError(Exception):
+    pass
+
+
+def catch_specific(fn):
+    try:
+        return fn()
+    except LocalError:
+        return None
+
+
+def broad_but_reraises(fn):
+    try:
+        return fn()
+    except Exception as exc:
+        raise LocalError(f"worker failed: {exc}") from exc
+
+
+def catch_os_error(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return fh.read()
+    except OSError:
+        return ""

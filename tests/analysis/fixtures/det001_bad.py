@@ -1,0 +1,24 @@
+"""DET001 fixture: unseeded randomness in library code."""
+
+import random
+
+import numpy as np
+
+
+def shuffle_edges(edges):
+    random.shuffle(edges)  # global unseeded generator
+    return edges
+
+
+def fallback_to_global(order, rng=None):
+    (rng or random).shuffle(order)
+    return order
+
+
+def sample_weights(n):
+    rng = np.random.default_rng()  # no seed
+    return rng.random(n)
+
+
+def legacy_numpy(n):
+    return np.random.rand(n)

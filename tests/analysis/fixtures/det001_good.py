@@ -1,0 +1,20 @@
+"""DET001 fixture: every random choice flows from a seed parameter."""
+
+import random
+
+import numpy as np
+
+
+def shuffle_edges(edges, seed):
+    random.Random(seed).shuffle(edges)
+    return edges
+
+
+def fallback_is_seeded(order, rng=None):
+    (rng or random.Random(0)).shuffle(order)
+    return order
+
+
+def sample_weights(n, seed):
+    rng = np.random.default_rng(seed)
+    return rng.random(n)

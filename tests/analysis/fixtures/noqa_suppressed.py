@@ -1,0 +1,18 @@
+"""Suppression fixture: violations silenced with ``# repro: noqa``."""
+
+import random
+
+
+def suppressed_specific(edges):
+    random.shuffle(edges)  # repro: noqa DET001
+    return edges
+
+
+def suppressed_all(x, acc=[]):  # repro: noqa
+    acc.append(x)
+    return acc
+
+
+def wrong_rule_id(edges):
+    random.shuffle(edges)  # repro: noqa SHM001  (does not match -> still fires)
+    return edges

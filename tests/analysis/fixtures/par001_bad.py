@@ -1,0 +1,17 @@
+"""PAR001 fixture: workers started with no join/terminate guarantee."""
+
+import multiprocessing
+
+
+def fire_and_forget(fn, items):
+    for item in items:
+        proc = multiprocessing.Process(target=fn, args=(item,))
+        proc.start()
+
+
+def join_not_guaranteed(fn, items):
+    pool = multiprocessing.Pool(4)
+    results = pool.map(fn, items)  # an exception here leaks the pool
+    pool.close()
+    pool.join()
+    return results

@@ -1,0 +1,23 @@
+"""PAR001 fixture: join/terminate guaranteed on all paths."""
+
+import multiprocessing
+
+
+def with_statement(fn, items):
+    with multiprocessing.Pool(4) as pool:
+        return pool.map(fn, items)
+
+
+def finally_cleanup(fn, items):
+    ctx = multiprocessing.get_context()
+    processes = [ctx.Process(target=fn, args=(item,)) for item in items]
+    try:
+        for proc in processes:
+            proc.start()
+        for proc in processes:
+            proc.join()
+    finally:
+        for proc in processes:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()

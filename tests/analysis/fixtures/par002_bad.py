@@ -1,0 +1,23 @@
+"""PAR002 fixture: worker reads module-level mutable state."""
+
+import multiprocessing
+
+_RESULTS = []
+_CACHE = {}
+
+
+def _worker(item):
+    _RESULTS.append(_CACHE.get(item, item))  # lost under fork/spawn
+
+
+def run(items):
+    procs = [multiprocessing.Process(target=_worker, args=(i,)) for i in items]
+    try:
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join()
+    finally:
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()

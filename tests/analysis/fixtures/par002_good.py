@@ -1,0 +1,27 @@
+"""PAR002 fixture: all worker state flows through arguments."""
+
+import multiprocessing
+
+_LIMIT = 100  # immutable module constant: fine to read anywhere
+
+
+def _worker(queue, cache, item):
+    queue.put(cache.get(item, item) if item < _LIMIT else None)
+
+
+def run(items):
+    queue = multiprocessing.SimpleQueue()
+    cache = {}
+    procs = [
+        multiprocessing.Process(target=_worker, args=(queue, cache, i))
+        for i in items
+    ]
+    try:
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join()
+    finally:
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()

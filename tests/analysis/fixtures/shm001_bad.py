@@ -1,0 +1,20 @@
+"""SHM001 fixture: attach without close, create without unlink."""
+
+from multiprocessing import shared_memory
+
+
+def attach_without_close(name):
+    block = shared_memory.SharedMemory(name=name)
+    return block.buf[0]
+
+
+def create_without_unlink(size):
+    block = shared_memory.SharedMemory(create=True, size=size)
+    try:
+        return block.name
+    finally:
+        block.close()  # closed but never unlinked
+
+
+def anonymous_attach(name):
+    return shared_memory.SharedMemory(name=name).buf[0]

@@ -1,0 +1,25 @@
+"""SHM001 fixture: every block is released on all paths."""
+
+from multiprocessing import shared_memory
+
+
+def attach_with_finally(name):
+    block = shared_memory.SharedMemory(name=name)
+    try:
+        return block.buf[0]
+    finally:
+        block.close()
+
+
+def create_with_finally(size):
+    block = shared_memory.SharedMemory(create=True, size=size)
+    try:
+        return block.name
+    finally:
+        block.close()
+        block.unlink()
+
+
+def attach_with_context_manager(name):
+    with shared_memory.SharedMemory(name=name) as block:
+        return block.buf[0]

@@ -1,0 +1,85 @@
+"""Unit tests for the import-resolution and scope-walking helpers."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutils import (
+    ImportMap,
+    call_tail,
+    dotted_name,
+    iter_scopes,
+    walk_scope,
+)
+
+
+def resolve(source, expr):
+    imports = ImportMap(ast.parse(source))
+    return imports.resolve(ast.parse(expr, mode="eval").body)
+
+
+class TestImportMap:
+    def test_plain_import(self):
+        assert resolve("import random", "random.shuffle") == "random.shuffle"
+
+    def test_aliased_import(self):
+        assert resolve("import numpy as np", "np.random.rand") == (
+            "numpy.random.rand"
+        )
+
+    def test_from_import(self):
+        src = "from multiprocessing import shared_memory"
+        assert resolve(src, "shared_memory.SharedMemory") == (
+            "multiprocessing.shared_memory.SharedMemory"
+        )
+
+    def test_from_import_aliased(self):
+        src = "from multiprocessing import shared_memory as sm"
+        assert resolve(src, "sm.SharedMemory") == (
+            "multiprocessing.shared_memory.SharedMemory"
+        )
+
+    def test_dotted_import(self):
+        src = "import multiprocessing.shared_memory"
+        assert resolve(src, "multiprocessing.shared_memory.SharedMemory") == (
+            "multiprocessing.shared_memory.SharedMemory"
+        )
+
+    def test_unknown_names_resolve_to_themselves(self):
+        assert resolve("import random", "rng.shuffle") == "rng.shuffle"
+
+    def test_non_name_expression_is_none(self):
+        imports = ImportMap(ast.parse("import random"))
+        call = ast.parse("f().attr", mode="eval").body
+        assert imports.resolve(call) is None
+
+
+class TestAstHelpers:
+    def test_dotted_name(self):
+        assert dotted_name(ast.parse("a.b.c", mode="eval").body) == "a.b.c"
+        assert dotted_name(ast.parse("a()", mode="eval").body) is None
+
+    def test_call_tail(self):
+        call = ast.parse("ctx.Process()", mode="eval").body
+        assert isinstance(call, ast.Call)
+        assert call_tail(call) == "Process"
+
+    def test_iter_scopes_finds_nested_functions(self):
+        tree = ast.parse(
+            "def outer():\n"
+            "    def inner():\n"
+            "        pass\n"
+        )
+        names = [getattr(s, "name", "<module>") for s in iter_scopes(tree)]
+        assert names == ["<module>", "outer", "inner"]
+
+    def test_walk_scope_skips_nested_functions(self):
+        tree = ast.parse(
+            "x = 1\n"
+            "def f():\n"
+            "    y = 2\n"
+        )
+        nodes = list(walk_scope(tree))
+        stored = [n.id for n in nodes if isinstance(n, ast.Name)]
+        assert "x" in stored
+        assert "y" not in stored

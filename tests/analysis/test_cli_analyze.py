@@ -1,0 +1,77 @@
+"""CLI contract for ``repro analyze``: exit codes and JSON output shape."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    (tmp_path / "ok.py").write_text("x = 1\n")
+    assert main(["analyze", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "0 findings" in out
+
+
+def test_fixture_tree_exits_nonzero(capsys):
+    assert main(["analyze", str(FIXTURES)]) == 1
+    out = capsys.readouterr().out
+    # one violation of every rule is present in the tree
+    for rule_id in ("SHM001", "PAR001", "PAR002", "DET001", "COR001", "API001"):
+        assert rule_id in out
+
+
+def test_json_format_shape(capsys):
+    assert main(["analyze", str(FIXTURES), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload) == {"findings", "stats"}
+    assert set(payload["stats"]) == {
+        "files_scanned",
+        "findings",
+        "suppressed",
+        "parse_errors",
+        "duration_seconds",
+    }
+    assert payload["stats"]["findings"] == len(payload["findings"])
+    for finding in payload["findings"]:
+        assert set(finding) == {
+            "file",
+            "line",
+            "col",
+            "rule_id",
+            "severity",
+            "message",
+        }
+        assert finding["severity"] in ("error", "warning")
+        assert finding["line"] >= 1
+
+
+def test_select_and_ignore_flags(capsys):
+    assert main(["analyze", str(FIXTURES), "--select", "API001",
+                 "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert {f["rule_id"] for f in payload["findings"]} == {"API001"}
+
+    assert main(["analyze", str(FIXTURES / "api001_bad.py"),
+                 "--ignore", "API001"]) == 0
+    capsys.readouterr()
+
+
+def test_unknown_rule_is_a_cli_error(capsys):
+    assert main(["analyze", str(FIXTURES), "--select", "NOPE001"]) == 2
+    assert "unknown rule id" in capsys.readouterr().err
+
+
+def test_list_rules(capsys):
+    assert main(["analyze", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "SHM001" in out and "API001" in out
+
+
+def test_no_paths_is_an_error(capsys):
+    assert main(["analyze"]) == 2
+    assert "no paths" in capsys.readouterr().err

@@ -1,0 +1,33 @@
+"""Meta-test: the repository's own library code passes its own gate.
+
+This is the test CI relies on: if a future change attaches a
+``SharedMemory`` without a ``finally``, starts a worker without a join
+path, or introduces unseeded randomness, this test fails before review.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+from repro.cli import main
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src"
+
+
+def test_src_tree_is_clean():
+    result = analyze_paths([SRC])
+    assert result.findings == [], "\n".join(str(f) for f in result.findings)
+    assert result.stats.files_scanned > 50  # the whole library was scanned
+    assert result.stats.parse_errors == 0
+
+
+def test_cli_gate_exits_zero_on_src(capsys):
+    assert main(["analyze", str(SRC)]) == 0
+    capsys.readouterr()
+
+
+def test_examples_and_benchmarks_are_clean():
+    result = analyze_paths([REPO / "examples", REPO / "benchmarks"])
+    assert result.findings == [], "\n".join(str(f) for f in result.findings)

@@ -1,0 +1,84 @@
+"""Every rule fires on its bad fixture and stays quiet on its good one."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_file, resolve_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+RULES = ["SHM001", "PAR001", "PAR002", "DET001", "COR001", "API001"]
+
+
+def run_rule(rule_id, fixture_name):
+    rules = resolve_rules(select=[rule_id])
+    return analyze_file(FIXTURES / fixture_name, rules)
+
+
+@pytest.mark.parametrize("rule_id", RULES)
+def test_bad_fixture_triggers(rule_id):
+    findings = run_rule(rule_id, f"{rule_id.lower()}_bad.py")
+    assert findings, f"{rule_id} did not fire on its bad fixture"
+    assert all(f.rule_id == rule_id for f in findings)
+
+
+@pytest.mark.parametrize("rule_id", RULES)
+def test_good_fixture_passes(rule_id):
+    findings = run_rule(rule_id, f"{rule_id.lower()}_good.py")
+    assert findings == [], f"{rule_id} false positive: {findings}"
+
+
+@pytest.mark.parametrize("rule_id", RULES)
+def test_good_fixture_clean_under_all_rules(rule_id):
+    """Good fixtures are clean for the *whole* catalog, not just their rule."""
+    findings = analyze_file(FIXTURES / f"{rule_id.lower()}_good.py", resolve_rules())
+    assert findings == [], findings
+
+
+def test_bad_fixtures_do_not_cross_trigger():
+    """Each bad fixture only violates the rule it exercises."""
+    for rule_id in RULES:
+        findings = analyze_file(
+            FIXTURES / f"{rule_id.lower()}_bad.py", resolve_rules()
+        )
+        assert {f.rule_id for f in findings} == {rule_id}
+
+
+class TestShm001Details:
+    def test_attach_without_close_and_create_without_unlink(self):
+        findings = run_rule("SHM001", "shm001_bad.py")
+        messages = " ".join(f.message for f in findings)
+        assert "close()" in messages
+        assert "unlink()" in messages
+        # three sites: plain attach, create-without-unlink, anonymous use
+        assert len(findings) == 3
+
+
+class TestPar001Details:
+    def test_both_leak_sites_flagged(self):
+        findings = run_rule("PAR001", "par001_bad.py")
+        assert len(findings) == 2
+
+
+class TestDet001Details:
+    def test_boolop_fallback_to_global_module_is_flagged(self):
+        findings = run_rule("DET001", "det001_bad.py")
+        lines = {f.line for f in findings}
+        assert len(findings) == 4
+        assert any("shuffle" in f.message for f in findings)
+        assert len(lines) == 4  # one finding per distinct call site
+
+
+class TestCor001Details:
+    def test_bare_tuple_and_plain_broad_excepts(self):
+        findings = run_rule("COR001", "cor001_bad.py")
+        assert len(findings) == 3
+
+
+class TestApi001Details:
+    def test_every_mutable_default_flagged(self):
+        findings = run_rule("API001", "api001_bad.py")
+        assert len(findings) == 4

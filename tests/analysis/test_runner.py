@@ -1,0 +1,104 @@
+"""Runner behaviour: discovery, noqa, select/ignore, stats, parse errors."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    analyze_file,
+    analyze_paths,
+    iter_python_files,
+    resolve_rules,
+    rule_ids,
+)
+from repro.errors import AnalysisError
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestDiscovery:
+    def test_directory_is_expanded_recursively(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+        (tmp_path / "b.py").write_text("y = 2\n")
+        (tmp_path / "notes.txt").write_text("not python\n")
+        files = iter_python_files([tmp_path])
+        assert [f.name for f in files] == ["b.py", "a.py"]
+
+    def test_explicit_file_and_dedup(self, tmp_path):
+        f = tmp_path / "a.py"
+        f.write_text("x = 1\n")
+        assert iter_python_files([f, f, tmp_path]) == [f]
+
+    def test_missing_path_raises(self):
+        with pytest.raises(AnalysisError, match="no such file"):
+            iter_python_files(["definitely/not/a/path.py"])
+
+
+class TestNoqa:
+    def test_specific_and_blanket_suppression(self):
+        findings = analyze_file(FIXTURES / "noqa_suppressed.py", resolve_rules())
+        # only the mismatched rule-id line still fires
+        assert len(findings) == 1
+        assert findings[0].rule_id == "DET001"
+        assert "wrong_rule_id" in (FIXTURES / "noqa_suppressed.py").read_text()
+
+    def test_suppressed_count_in_stats(self):
+        result = analyze_paths([FIXTURES / "noqa_suppressed.py"])
+        assert result.stats.suppressed == 2
+        assert result.stats.findings == 1
+
+
+class TestSelectIgnore:
+    def test_select_limits_rules(self):
+        result = analyze_paths([FIXTURES], select=["API001"])
+        assert {f.rule_id for f in result.findings} == {"API001"}
+
+    def test_ignore_removes_rules(self):
+        result = analyze_paths([FIXTURES], ignore=["API001"])
+        assert "API001" not in {f.rule_id for f in result.findings}
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(AnalysisError, match="unknown rule id"):
+            analyze_paths([FIXTURES], select=["NOPE999"])
+
+    def test_catalog_lists_all_six_rules(self):
+        assert rule_ids() == [
+            "API001",
+            "COR001",
+            "DET001",
+            "PAR001",
+            "PAR002",
+            "SHM001",
+        ]
+
+
+class TestParseErrors:
+    def test_syntax_error_becomes_parse_finding(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        result = analyze_paths([bad])
+        assert result.stats.parse_errors == 1
+        assert result.findings[0].rule_id == "PARSE"
+        assert result.findings[0].severity.value == "error"
+
+
+class TestStatsAndOrdering:
+    def test_stats_counts_and_duration(self):
+        result = analyze_paths([FIXTURES])
+        assert result.stats.files_scanned == len(iter_python_files([FIXTURES]))
+        assert result.stats.findings == len(result.findings)
+        assert result.stats.duration_seconds > 0
+
+    def test_findings_sorted_by_location(self):
+        result = analyze_paths([FIXTURES])
+        keys = [f.sort_key() for f in result.findings]
+        assert keys == sorted(keys)
+
+    def test_result_truthiness_reflects_gate(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert not analyze_paths([clean])
+        assert analyze_paths([FIXTURES])

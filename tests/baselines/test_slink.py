@@ -14,7 +14,6 @@ from repro.baselines.slink import slink, slink_link_clustering
 from repro.cluster.validation import same_partition
 from repro.core.sweep import sweep
 from repro.errors import ClusteringError
-from repro.graph import generators
 
 
 def matrix_row_fn(dist: np.ndarray):

@@ -62,8 +62,8 @@ class TestBarChart:
     def test_bars_scale(self):
         out = bar_chart({"g": {"big": 10.0, "small": 1.0}}, width=10)
         lines = out.splitlines()
-        big_line = next(l for l in lines if "big" in l)
-        small_line = next(l for l in lines if "small" in l)
+        big_line = next(line for line in lines if "big" in line)
+        small_line = next(line for line in lines if "small" in line)
         assert big_line.count("#") > small_line.count("#")
 
     def test_title(self):

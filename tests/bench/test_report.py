@@ -32,15 +32,19 @@ class TestReport:
 
     def test_markdown_tables_well_formed(self, report):
         lines = report.splitlines()
-        header_rows = [l for l in lines if l.startswith("| ") and " --- " in l.replace("|", " | ")]
         # every table has a separator row
-        assert len([l for l in lines if set(l) <= {"|", "-", " "} and "---" in l]) >= 9
+        separators = [
+            line for line in lines if set(line) <= {"|", "-", " "} and "---" in line
+        ]
+        assert len(separators) >= 9
 
     def test_deterministic_given_timestamp(self):
         a = generate_report(preset=TINY, timestamp="t")
         b = generate_report(preset=TINY, timestamp="t")
         # timing columns vary run to run; compare the structure instead
-        strip = lambda s: [l for l in s.splitlines() if not any(
-            k in l for k in ("time", "peak", "seconds")
-        )]
+        def strip(s):
+            return [
+                line for line in s.splitlines()
+                if not any(k in line for k in ("time", "peak", "seconds"))
+            ]
         assert len(strip(a)) == len(strip(b))

@@ -12,7 +12,6 @@ from repro.cluster.hierarchy import cophenetic_matrix, dendrogram_stats
 from repro.core.similarity import compute_similarity_map
 from repro.core.sweep import sweep
 from repro.errors import ClusteringError
-from repro.graph import generators
 
 
 class TestCopheneticMatrix:

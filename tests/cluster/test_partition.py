@@ -12,7 +12,6 @@ from repro.cluster.partition import (
     partition_density,
 )
 from repro.errors import ClusteringError
-from repro.graph import generators
 from repro.graph.graph import Graph
 
 

@@ -7,7 +7,6 @@ import io
 import pytest
 
 from repro.errors import GraphError
-from repro.graph import generators
 from repro.graph.io import parse_edge_list, read_edge_list, write_edge_list
 
 

@@ -78,8 +78,6 @@ class TestShmFailures:
 
     def test_shared_block_cleaned_up(self):
         """No shared-memory blocks leak (unlink always runs)."""
-        from multiprocessing import shared_memory
-
         base = list(range(10))
         pairs = [(0, 5), (1, 6)]
         shm_chunk_merge(base, pairs, num_workers=2)

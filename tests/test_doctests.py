@@ -12,6 +12,7 @@ import importlib
 import pytest
 
 MODULE_NAMES = [
+    "repro.analysis.astutils",
     "repro.bench.runner",
     "repro.bench.timing",
     "repro.cluster.unionfind",

@@ -42,6 +42,7 @@ class TestPublicSurface:
             assert getattr(repro, name) is not None
 
     def test_subpackage_exports_resolvable(self):
+        import repro.analysis
         import repro.baselines
         import repro.bench
         import repro.cluster
@@ -51,6 +52,7 @@ class TestPublicSurface:
         import repro.parallel
 
         for module in (
+            repro.analysis,
             repro.baselines,
             repro.bench,
             repro.cluster,
