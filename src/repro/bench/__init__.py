@@ -21,6 +21,10 @@ from repro.bench.experiments import (
     fig6_2_sweep_speedup,
 )
 from repro.bench.memory import deep_sizeof, measure_peak
+from repro.bench.parallel_runtime import (
+    make_chunk_workload,
+    runtime_spawn_comparison,
+)
 from repro.bench.plots import bar_chart, line_plot, sparkline
 from repro.bench.report import generate_report
 from repro.bench.runner import ResultTable, format_number, save_json
@@ -60,8 +64,10 @@ __all__ = [
     "gamma_sensitivity",
     "generate_report",
     "line_plot",
+    "make_chunk_workload",
     "measure_peak",
     "phi_sensitivity",
+    "runtime_spawn_comparison",
     "save_json",
     "sparkline",
     "time_call",

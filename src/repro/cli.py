@@ -81,7 +81,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--workers", type=int, default=1,
                            help="parallel workers")
     p_cluster.add_argument(
-        "--backend", choices=("serial", "thread", "process"), default="serial"
+        "--backend",
+        choices=("serial", "thread", "process", "shm"),
+        default="serial",
     )
     p_cluster.add_argument("--min-edges", type=int, default=2,
                            help="smallest community to print")

@@ -444,6 +444,24 @@ class _CoarseSweeper:
             s for s in self.rollback_list if s.beta < self.beta and s.p > self.p
         ]
 
+    def _record_jump_merges(self, target: _EpochState) -> None:
+        """Record the merges a jump to ``target`` contributes to the level.
+
+        The serial driver replays the saved state's pending merge
+        events, skipping those already emitted (``pos < p``).  The
+        parallel driver overrides this — per-worker merging has no
+        global event stream, so it diffs the partitions instead.  This
+        hook is the *only* part of the jump the two drivers do
+        differently; all state mutation lives in :meth:`_try_jump` so it
+        cannot drift between them.
+        """
+        current_pos = self.p
+        for pm in target.pending:
+            if pm.pos >= current_pos:
+                self.builder.record(
+                    self.level, pm.c1, pm.c2, pm.parent, pm.similarity
+                )
+
     def _try_jump(self) -> bool:
         """Reuse a saved rollback state as the next level, if one is sound.
 
@@ -463,12 +481,7 @@ class _CoarseSweeper:
         self.rollback_list.remove(target)
 
         self.level += 1
-        current_pos = self.p
-        for pm in target.pending:
-            if pm.pos >= current_pos:
-                self.builder.record(
-                    self.level, pm.c1, pm.c2, pm.parent, pm.similarity
-                )
+        self._record_jump_merges(target)
         self.epochs.append(
             EpochRecord(
                 kind="reused",

@@ -103,8 +103,11 @@ class LinkClustering:
         ``True`` for coarse-grained sweeping with default
         :class:`CoarseParams`; or a :class:`CoarseParams` instance.
     backend:
-        ``"serial"`` (default), ``"thread"``, ``"process"`` — the latter
-        two parallelize Phase I (and the coarse sweep) per Section VI.
+        ``"serial"`` (default), ``"thread"``, ``"process"``, or
+        ``"shm"`` — the latter three parallelize the coarse sweep per
+        Section VI; ``thread``/``process`` also parallelize Phase I
+        (``shm`` applies to the sweep and falls back to the process
+        backend for Phase I).
     num_workers:
         Worker count for parallel backends (ignored for serial).
     seed:
@@ -117,7 +120,7 @@ class LinkClustering:
         faster on large dense graphs.
     """
 
-    _BACKENDS = ("serial", "thread", "process")
+    _BACKENDS = ("serial", "thread", "process", "shm")
 
     def __init__(
         self,
@@ -157,8 +160,11 @@ class LinkClustering:
             return compute_similarity_map(self.graph)
         from repro.parallel.par_init import parallel_similarity_map
 
+        # Phase I has no shared-memory variant (its output is a python
+        # dict, not a flat array); shm runs use real processes there.
+        init_backend = "process" if self.backend == "shm" else self.backend
         return parallel_similarity_map(
-            self.graph, num_workers=self.num_workers, backend=self.backend
+            self.graph, num_workers=self.num_workers, backend=init_backend
         )
 
     def run(

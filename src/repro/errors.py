@@ -69,7 +69,23 @@ class ParameterError(ReproError, ValueError):
 
 
 class ParallelError(ReproError):
-    """A failure inside one of the parallel execution backends."""
+    """A failure inside one of the parallel execution backends.
+
+    ``task_index`` is the position (in the submitted task sequence) of
+    the first failing task, when known; ``worker`` is the index of the
+    failing worker for backends with fixed worker identities (the
+    shared-memory arena).  Either may be ``None``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        task_index: "int | None" = None,
+        worker: "int | None" = None,
+    ):
+        super().__init__(message)
+        self.task_index = task_index
+        self.worker = worker
 
 
 class AnalysisError(ReproError):

@@ -9,7 +9,15 @@ from repro.parallel.merge_arrays import (
 from repro.parallel.par_init import hierarchical_map_merge, parallel_similarity_map
 from repro.parallel.par_sweep import parallel_coarse_sweep
 from repro.parallel.calibrate import calibrate_cost_model
-from repro.parallel.shm_sweep import shm_chunk_merge
+from repro.parallel.runtime import (
+    SWEEP_BACKENDS,
+    LocalSweepRuntime,
+    RuntimeStats,
+    ShmSweepRuntime,
+    SweepRuntime,
+    get_sweep_runtime,
+)
+from repro.parallel.shm_sweep import ShmArena, describe_exitcode, shm_chunk_merge
 from repro.parallel.partitioner import (
     contiguous_partition,
     lpt_partition,
@@ -34,10 +42,18 @@ __all__ = [
     "CostModel",
     "ExecutionBackend",
     "InitWorkModel",
+    "LocalSweepRuntime",
     "ProcessBackend",
+    "RuntimeStats",
+    "SWEEP_BACKENDS",
     "SerialBackend",
+    "ShmArena",
+    "ShmSweepRuntime",
+    "SweepRuntime",
     "SweepWorkModel",
     "calibrate_cost_model",
+    "describe_exitcode",
+    "get_sweep_runtime",
     "ThreadBackend",
     "contiguous_partition",
     "get_backend",

@@ -8,6 +8,11 @@ Each epoch's chunk is processed in two steps:
 2. the ``T`` copies are combined with the corrected pairwise array-merge
    scheme, hierarchically (:func:`repro.parallel.merge_arrays.hierarchical_merge`).
 
+Both steps run on a persistent :class:`~repro.parallel.runtime.SweepRuntime`
+— worker state (thread/process pools, or the shared-memory arena for
+``backend="shm"``) is created once per sweep and reused across every
+chunk and epoch, exactly as the paper's pthreads outlive the run.
+
 All epoch-machine logic (modes, rollback, chunk estimation, reuse) is
 inherited from the serial driver; only chunk application and state-jump
 merge recording differ.  Because per-thread merge events cannot be
@@ -20,37 +25,31 @@ construction).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
-from repro.cluster.unionfind import ChainArray
 from repro.core.coarse import (
     CoarseParams,
     CoarseResult,
     _CoarseSweeper,
+    _EpochState,
     _PendingMerge,
     transition_merges,
 )
 from repro.core.similarity import SimilarityMap, compute_similarity_map
 from repro.errors import ParameterError
 from repro.graph.graph import Graph
-from repro.parallel.merge_arrays import hierarchical_merge
-from repro.parallel.partitioner import round_robin_partition
-from repro.parallel.pool import ExecutionBackend, SerialBackend, get_backend
+from repro.parallel.pool import ExecutionBackend
+from repro.parallel.runtime import SweepRuntime, get_sweep_runtime
 
 __all__ = ["parallel_coarse_sweep"]
 
-
-def _merge_worker(
-    chain: ChainArray, pairs: Sequence[Tuple[int, int]]
-) -> ChainArray:
-    """Run MERGE over ``pairs`` on a private copy of array ``C``."""
-    for i1, i2 in pairs:
-        chain.merge(i1, i2)
-    return chain
+# Re-exported so existing imports of the module keep working; the
+# implementation lives with the runtime now.
+from repro.parallel.runtime import _merge_worker  # noqa: F401
 
 
 class _ParallelCoarseSweeper(_CoarseSweeper):
-    """Coarse sweeper whose chunks run on ``T`` array-``C`` copies."""
+    """Coarse sweeper whose chunks run on a persistent sweep runtime."""
 
     def __init__(
         self,
@@ -58,22 +57,10 @@ class _ParallelCoarseSweeper(_CoarseSweeper):
         similarity_map: SimilarityMap,
         params: CoarseParams,
         edge_order: Optional[Sequence[int]],
-        backend: Optional[ExecutionBackend],
-        num_workers: int,
+        runtime: SweepRuntime,
     ):
         super().__init__(graph, similarity_map, params, edge_order)
-        # backend None selects the shared-memory multiprocessing path
-        # (repro.parallel.shm_sweep) in _apply_chunk.
-        self._backend = backend
-        self._num_workers = num_workers
-        # Hierarchical array merging re-pickles arrays on the process
-        # backend; arrays already live in the parent after step 1, so the
-        # combine step stays inline there.
-        self._merge_backend = (
-            backend
-            if backend is not None and backend.name == "thread"
-            else SerialBackend()
-        )
+        self._runtime = runtime
 
     def _apply_chunk(self, chunk: range) -> None:
         graph = self.graph
@@ -88,86 +75,28 @@ class _ParallelCoarseSweeper(_CoarseSweeper):
                 )
             self.xi += len(commons)
             self.p = pos + 1
+        if not edge_pairs:
+            return  # nothing to merge; the runtime is not consulted
 
         before = self.chain
-        if self._backend is None:  # shared-memory backend
-            from repro.parallel.shm_sweep import shm_chunk_merge
-
-            merged_raw = shm_chunk_merge(
-                list(before.raw()), edge_pairs, self._num_workers
-            )
-            after = ChainArray(len(merged_raw), _init=merged_raw)
-            for c1, c2, parent in transition_merges(before, after):
-                self.pending.append(
-                    _PendingMerge(chunk.start, c1, c2, parent, None)
-                )
-            self.chain = after
+        after = self._runtime.chunk_merge(before, edge_pairs)
+        if after is before:
             return
-        parts = [
-            part
-            for part in round_robin_partition(edge_pairs, self._num_workers)
-            if part
-        ]
-        if not parts:
-            return
-        copies = [before.copy() for _ in parts]
-        merged = self._backend.map(
-            _merge_worker, list(zip(copies, parts))
-        )
-        after = hierarchical_merge(list(merged), self._merge_backend)
         # Level records come from the partition diff; positions anchor at
         # the chunk start (sufficient: jumps re-derive records by diff).
         for c1, c2, parent in transition_merges(before, after):
-            self.pending.append(
-                _PendingMerge(chunk.start, c1, c2, parent, None)
-            )
+            self.pending.append(_PendingMerge(chunk.start, c1, c2, parent, None))
         self.chain = after
 
-    def _try_jump(self) -> bool:
-        """Jump to a saved rollback state, deriving records by diff."""
-        params = self.params
-        candidates = [
-            s
-            for s in self.rollback_list
-            if s.beta < self.beta and self.beta / s.beta <= params.gamma
-        ]
-        if not candidates:
-            return False
-        target = min(candidates, key=lambda s: s.beta)
-        self.rollback_list.remove(target)
+    def _record_jump_merges(self, target: _EpochState) -> None:
+        """Derive the jump's level records by partition diff.
 
-        self.level += 1
+        Per-worker merging yields no global merge-event stream, so the
+        saved state's pending events cannot be replayed; the diff gives
+        the same per-level partition (see module docstring).
+        """
         for c1, c2, parent in transition_merges(self.chain, target.chain):
             self.builder.record(self.level, c1, c2, parent, None)
-        from repro.core.coarse import EpochRecord  # local to avoid cycle noise
-        from repro.core.chunking import CurvePoint
-        from repro.core.modes import Mode
-
-        self.epochs.append(
-            EpochRecord(
-                kind="reused",
-                level=self.level,
-                chunk=float(target.xi - self.xi),
-                beta_before=self.beta,
-                beta_after=target.beta,
-                xi=target.xi,
-                p=target.p,
-            )
-        )
-        self.chain = target.chain.copy()
-        self.xi = target.xi
-        self.p = target.p
-        self.prev_point = self.last_point
-        self.last_point = CurvePoint(float(self.xi), float(target.beta))
-        self.beta = target.beta
-        self.mode = Mode.TAIL if self.beta <= self.num_edges / 2.0 else Mode.HEAD
-        self.pending = []
-        self.epoch_start_xi = self.xi
-        self.safe = self._snapshot()
-        self.rollback_list = [
-            s for s in self.rollback_list if s.beta < self.beta and s.p > self.p
-        ]
-        return True
 
 
 def parallel_coarse_sweep(
@@ -176,14 +105,18 @@ def parallel_coarse_sweep(
     params: Optional[CoarseParams] = None,
     edge_order: Optional[Sequence[int]] = None,
     num_workers: int = 2,
-    backend: str = "thread",
+    backend: Union[str, ExecutionBackend, SweepRuntime] = "thread",
 ) -> CoarseResult:
     """Coarse-grained sweep with parallel chunk processing.
 
     ``backend`` is ``"serial"``, ``"thread"``, ``"process"``, or
-    ``"shm"`` — the last runs workers as processes over one
+    ``"shm"`` — the last runs resident worker processes over one
     ``multiprocessing.shared_memory`` block (no array pickling; see
-    :mod:`repro.parallel.shm_sweep`).
+    :mod:`repro.parallel.shm_sweep`).  A
+    :class:`~repro.parallel.runtime.SweepRuntime` (or
+    :class:`~repro.parallel.pool.ExecutionBackend`) instance may be
+    passed instead of a name; the caller then owns its lifecycle, which
+    lets one warm runtime serve several sweeps.
 
     Produces the same per-level partitions as
     :func:`repro.core.coarse.coarse_sweep` for the same chunk boundaries;
@@ -192,13 +125,10 @@ def parallel_coarse_sweep(
     if num_workers < 1:
         raise ParameterError(f"num_workers must be >= 1, got {num_workers}")
     sim = similarity_map if similarity_map is not None else compute_similarity_map(graph)
-    exec_backend = None if backend == "shm" else get_backend(backend, num_workers)
-    sweeper = _ParallelCoarseSweeper(
-        graph,
-        sim,
-        params or CoarseParams(),
-        edge_order,
-        exec_backend,
-        num_workers,
-    )
-    return sweeper.run()
+    caller_owned = isinstance(backend, SweepRuntime)
+    runtime = get_sweep_runtime(backend, num_workers)
+    sweeper = _ParallelCoarseSweeper(graph, sim, params or CoarseParams(), edge_order, runtime)
+    if caller_owned:
+        return sweeper.run()
+    with runtime:
+        return sweeper.run()

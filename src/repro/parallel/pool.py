@@ -1,8 +1,8 @@
 """Execution backends: a common map interface over serial / thread / process.
 
-The paper parallelizes with pthreads on a 6-core Xeon.  CPython's GIL
-serializes pure-Python bytecode across threads, so this module offers
-three interchangeable backends:
+The paper parallelizes with pthreads on a 6-core Xeon and pays thread
+startup *once per run*.  CPython's GIL serializes pure-Python bytecode
+across threads, so this module offers three interchangeable backends:
 
 * ``serial`` — plain loop (baseline, also used for deterministic tests);
 * ``thread`` — ``ThreadPoolExecutor``; faithfully exercises the paper's
@@ -11,16 +11,30 @@ three interchangeable backends:
 * ``process`` — ``ProcessPoolExecutor``; real CPU parallelism at the cost
   of pickling task inputs.
 
+Backends are **persistent**: the underlying executor is created once
+(on :meth:`ExecutionBackend.start`, or lazily on the first ``map``) and
+reused across every subsequent ``map`` call until
+:meth:`ExecutionBackend.shutdown` — mirroring the paper's long-lived
+worker threads instead of paying pool construction per chunk.  Backends
+are context managers::
+
+    with ThreadBackend(4) as backend:
+        for chunk in chunks:
+            backend.map(fn, chunk)   # one pool, many chunks
+
 All submitted callables must be module-level functions when the process
 backend is used (pickling requirement).  Worker failures are re-raised in
-the caller wrapped in :class:`ParallelError` with the original as cause.
+the caller wrapped in :class:`ParallelError` with the original as cause,
+the failing task's index attached (``exc.task_index``), and every
+outstanding sibling future cancelled.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import weakref
 from abc import ABC, abstractmethod
-from typing import Any, Callable, List, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
 from repro.errors import ParallelError, ParameterError
 
@@ -33,10 +47,39 @@ __all__ = [
 ]
 
 
+def _callable_name(fn: Callable[..., Any]) -> str:
+    """Best-effort display name (``functools.partial`` has no __name__)."""
+    name = getattr(fn, "__name__", None)
+    if name is not None:
+        return name
+    func = getattr(fn, "func", None)  # functools.partial
+    if func is not None:
+        return f"partial({_callable_name(func)})"
+    return repr(fn)
+
+
 class ExecutionBackend(ABC):
-    """Uniform "apply fn to each task" interface."""
+    """Uniform "apply fn to each task" interface with explicit lifecycle.
+
+    ``start``/``shutdown`` are no-ops for backends without worker state;
+    pool-based backends create their executor on ``start`` (or lazily on
+    first ``map``) and keep it until ``shutdown``.
+    """
 
     name: str = "abstract"
+
+    def start(self) -> "ExecutionBackend":
+        """Create worker state eagerly; idempotent.  Returns self."""
+        return self
+
+    def shutdown(self) -> None:
+        """Release worker state; idempotent.  ``map`` restarts lazily."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
 
     @abstractmethod
     def map(self, fn: Callable[..., Any], tasks: Sequence[tuple]) -> List[Any]:
@@ -56,7 +99,7 @@ class SerialBackend(ExecutionBackend):
 
 
 class _PoolBackend(ExecutionBackend):
-    """Shared logic for executor-based backends."""
+    """Shared logic for executor-based backends (persistent executor)."""
 
     _executor_cls: type
 
@@ -64,27 +107,62 @@ class _PoolBackend(ExecutionBackend):
         if num_workers < 1:
             raise ParameterError(f"num_workers must be >= 1, got {num_workers}")
         self.num_workers = num_workers
+        self._executor: Optional[concurrent.futures.Executor] = None
+        self._finalizer: Optional[weakref.finalize] = None
+
+    @property
+    def running(self) -> bool:
+        """True while a live executor is attached."""
+        return self._executor is not None
+
+    def start(self) -> "_PoolBackend":
+        if self._executor is None:
+            executor = self._executor_cls(max_workers=self.num_workers)
+            self._executor = executor
+            # Safety net for callers that never shutdown(): release the
+            # executor when the backend is garbage-collected.
+            self._finalizer = weakref.finalize(self, executor.shutdown, False)
+        return self
+
+    def shutdown(self) -> None:
+        self._teardown(cancel_futures=False)
+
+    def _teardown(self, cancel_futures: bool) -> None:
+        executor, self._executor = self._executor, None
+        finalizer, self._finalizer = self._finalizer, None
+        if finalizer is not None:
+            finalizer.detach()
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=cancel_futures)
 
     def map(self, fn: Callable[..., Any], tasks: Sequence[tuple]) -> List[Any]:
         if not tasks:
             return []
         if self.num_workers == 1 or len(tasks) == 1:
             return [fn(*task) for task in tasks]
-        workers = min(self.num_workers, len(tasks))
-        with self._executor_cls(max_workers=workers) as pool:
-            futures = [pool.submit(fn, *task) for task in tasks]
-            results: List[Any] = []
-            for future in futures:
-                try:
-                    results.append(future.result())
-                except Exception as exc:  # re-raise with backend context
-                    raise ParallelError(
-                        f"{self.name} worker failed running {fn.__name__}: {exc}"
-                    ) from exc
+        pool = self.start()._executor
+        assert pool is not None
+        futures = [pool.submit(fn, *task) for task in tasks]
+        results: List[Any] = []
+        for index, future in enumerate(futures):
+            try:
+                results.append(future.result())
+            except Exception as exc:  # re-raise with backend context
+                for sibling in futures[index + 1 :]:
+                    sibling.cancel()
+                # A failed worker may have poisoned the pool (e.g. a
+                # killed process); drop it so the next map starts clean.
+                self._teardown(cancel_futures=True)
+                raise ParallelError(
+                    f"{self.name} worker failed running "
+                    f"{_callable_name(fn)} on task {index}: {exc}",
+                    task_index=index,
+                ) from exc
         return results
 
     def __repr__(self) -> str:
-        return f"{type(self).__name__}(num_workers={self.num_workers})"
+        state = "running" if self.running else "idle"
+        return f"{type(self).__name__}(num_workers={self.num_workers}, {state})"
 
 
 class ThreadBackend(_PoolBackend):

@@ -1,0 +1,304 @@
+"""Persistent parallel runtime for the coarse sweep (Section VI-B).
+
+The paper starts its pthreads once and amortizes that cost over every
+chunk of the run.  A :class:`SweepRuntime` does the same for this
+reproduction: worker state (thread/process executors, or the
+shared-memory arena) is created once per sweep — explicitly via
+:meth:`SweepRuntime.start` or lazily on the first chunk — reused across
+all chunks and epochs, and released by :meth:`SweepRuntime.shutdown`
+(or a ``with`` statement).  The alternative, paying pool construction
+and shared-block allocation per chunk, is what
+``benchmarks/bench_parallel_runtime.py`` quantifies.
+
+Two implementations cover the four backends:
+
+* :class:`LocalSweepRuntime` — ``serial`` / ``thread`` / ``process``
+  over :mod:`repro.parallel.pool`: per-chunk ``T`` private copies of
+  array ``C``, one map call, hierarchical array merge;
+* :class:`ShmSweepRuntime` — the ``shm`` backend over
+  :class:`repro.parallel.shm_sweep.ShmArena`: one resident ``T x n``
+  shared block plus ``T`` resident worker processes, nothing but the
+  chunk's edge-pair slices crossing a queue.
+
+Every runtime accumulates a :class:`RuntimeStats` breaking chunk cost
+into spawn / copy / compute / merge time, which ``repro.bench``
+(``repro.bench.parallel_runtime``) turns into result tables.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple, Union
+
+from repro.cluster.unionfind import ChainArray
+from repro.errors import ParameterError
+from repro.parallel.merge_arrays import hierarchical_merge
+from repro.parallel.partitioner import round_robin_partition
+from repro.parallel.pool import ExecutionBackend, SerialBackend, get_backend
+from repro.parallel.shm_sweep import ShmArena
+
+__all__ = [
+    "RuntimeStats",
+    "SweepRuntime",
+    "LocalSweepRuntime",
+    "ShmSweepRuntime",
+    "get_sweep_runtime",
+    "SWEEP_BACKENDS",
+]
+
+SWEEP_BACKENDS = ("serial", "thread", "process", "shm")
+
+
+@dataclass
+class RuntimeStats:
+    """Per-sweep instrumentation: where chunk wall-clock goes.
+
+    ``spawn_time`` — creating executors / arena workers / shared blocks;
+    ``copy_time`` — duplicating array ``C`` for the workers (step 1);
+    ``compute_time`` — workers running MERGE over their share;
+    ``merge_time`` — combining the ``T`` results (step 2).
+    All seconds, accumulated over ``chunks`` chunk calls dispatching
+    ``tasks`` worker tasks.
+    """
+
+    backend: str = ""
+    chunks: int = 0
+    tasks: int = 0
+    spawn_time: float = 0.0
+    copy_time: float = 0.0
+    compute_time: float = 0.0
+    merge_time: float = 0.0
+
+    @property
+    def total_time(self) -> float:
+        return self.spawn_time + self.copy_time + self.compute_time + self.merge_time
+
+    def as_dict(self) -> Dict[str, Union[str, int, float]]:
+        return {
+            "backend": self.backend,
+            "chunks": self.chunks,
+            "tasks": self.tasks,
+            "spawn_time": self.spawn_time,
+            "copy_time": self.copy_time,
+            "compute_time": self.compute_time,
+            "merge_time": self.merge_time,
+            "total_time": self.total_time,
+        }
+
+
+class SweepRuntime(ABC):
+    """Long-lived worker state + the per-chunk merge operation.
+
+    Lifecycle: ``start()`` (idempotent; chunk calls start lazily),
+    ``shutdown()`` (idempotent), or a ``with`` statement.  After
+    ``shutdown`` the runtime is reusable — the next chunk restarts it.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.stats = RuntimeStats(backend=self.name)
+
+    def start(self) -> "SweepRuntime":
+        """Create worker state eagerly; returns self."""
+        return self
+
+    def shutdown(self) -> None:
+        """Release worker state."""
+
+    def __enter__(self) -> "SweepRuntime":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    @abstractmethod
+    def chunk_merge(
+        self, chain: ChainArray, edge_pairs: Sequence[Tuple[int, int]]
+    ) -> ChainArray:
+        """MERGE one chunk's ``edge_pairs`` starting from ``chain``.
+
+        Returns the merged array (``chain`` itself — unmodified — when
+        the chunk carries no pairs); never mutates ``chain``.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(chunks={self.stats.chunks})"
+
+
+def _merge_worker(
+    chain: ChainArray, pairs: Sequence[Tuple[int, int]]
+) -> ChainArray:
+    """Run MERGE over ``pairs`` on a private copy of array ``C``."""
+    for i1, i2 in pairs:
+        chain.merge(i1, i2)
+    return chain
+
+
+class LocalSweepRuntime(SweepRuntime):
+    """Chunk processing over a persistent pool backend.
+
+    Step 1 copies array ``C`` once per busy worker and maps
+    :func:`_merge_worker` over the copies; step 2 combines them with the
+    corrected hierarchical array merge.  The pool itself (threads or
+    processes) outlives the chunk: it is started once and reused.
+    """
+
+    def __init__(self, backend: Union[str, ExecutionBackend], num_workers: int = 2):
+        if num_workers < 1:
+            raise ParameterError(f"num_workers must be >= 1, got {num_workers}")
+        if isinstance(backend, ExecutionBackend):
+            self.backend = backend
+        else:
+            self.backend = get_backend(backend, num_workers)
+        self.name = self.backend.name
+        super().__init__()
+        self.num_workers = num_workers
+        # Hierarchical array merging re-pickles arrays on the process
+        # backend; arrays already live in the parent after step 1, so the
+        # combine step stays inline there.
+        self._merge_backend = (
+            self.backend if self.backend.name == "thread" else SerialBackend()
+        )
+
+    def start(self) -> "LocalSweepRuntime":
+        t0 = time.perf_counter()
+        self.backend.start()
+        self.stats.spawn_time += time.perf_counter() - t0
+        return self
+
+    def shutdown(self) -> None:
+        self.backend.shutdown()
+
+    def chunk_merge(
+        self, chain: ChainArray, edge_pairs: Sequence[Tuple[int, int]]
+    ) -> ChainArray:
+        stats = self.stats
+        stats.chunks += 1
+        parts = [
+            part
+            for part in round_robin_partition(list(edge_pairs), self.num_workers)
+            if part
+        ]
+        if not parts:
+            return chain
+
+        t0 = time.perf_counter()
+        self.start()
+        copies = [chain.copy() for _ in parts]
+        t1 = time.perf_counter()
+        stats.copy_time += t1 - t0
+
+        merged = self.backend.map(_merge_worker, list(zip(copies, parts)))
+        stats.tasks += len(parts)
+        t2 = time.perf_counter()
+        stats.compute_time += t2 - t1
+
+        after = hierarchical_merge(list(merged), self._merge_backend)
+        stats.merge_time += time.perf_counter() - t2
+        return after
+
+    def __repr__(self) -> str:
+        return (
+            f"LocalSweepRuntime(backend={self.name!r}, "
+            f"num_workers={self.num_workers}, chunks={self.stats.chunks})"
+        )
+
+
+class ShmSweepRuntime(SweepRuntime):
+    """Chunk processing over the resident shared-memory arena.
+
+    The arena (one ``T x n`` block + ``T`` worker processes) is sized to
+    the first chunk's array length and kept for the whole sweep; see
+    :class:`repro.parallel.shm_sweep.ShmArena`.
+    """
+
+    name = "shm"
+
+    def __init__(self, num_workers: int = 2, n: int | None = None):
+        if num_workers < 1:
+            raise ParameterError(f"num_workers must be >= 1, got {num_workers}")
+        super().__init__()
+        self.num_workers = num_workers
+        self._arena: ShmArena | None = ShmArena(n, num_workers) if n is not None else None
+
+    @property
+    def arena(self) -> ShmArena | None:
+        """The live arena (``None`` until the first sized use)."""
+        return self._arena
+
+    def _arena_for(self, n: int) -> ShmArena:
+        if self._arena is not None and self._arena.n != n:
+            # Array C's length is fixed for a sweep; a different n means
+            # a new sweep over a different graph — re-size the arena.
+            self._arena.shutdown()
+            self._arena = None
+        if self._arena is None:
+            self._arena = ShmArena(n, self.num_workers)
+        return self._arena
+
+    def start(self) -> "ShmSweepRuntime":
+        if self._arena is not None:
+            self._arena.start()
+        return self
+
+    def shutdown(self) -> None:
+        if self._arena is not None:
+            self._arena.shutdown()
+
+    def chunk_merge(
+        self, chain: ChainArray, edge_pairs: Sequence[Tuple[int, int]]
+    ) -> ChainArray:
+        if not edge_pairs:
+            self.stats.chunks += 1
+            return chain
+        arena = self._arena_for(len(chain))
+        merged_raw = arena.chunk_merge(list(chain.raw()), edge_pairs)
+        self._sync_stats()
+        return ChainArray(len(merged_raw), _init=merged_raw)
+
+    def _sync_stats(self) -> None:
+        """Mirror the arena's counters into this runtime's stats."""
+        arena = self._arena
+        if arena is None:
+            return
+        stats = self.stats
+        stats.chunks = arena.chunks
+        stats.tasks = arena.tasks
+        stats.spawn_time = arena.spawn_time
+        stats.copy_time = arena.copy_time
+        stats.compute_time = arena.compute_time
+        stats.merge_time = arena.merge_time
+
+    def __repr__(self) -> str:
+        return (
+            f"ShmSweepRuntime(num_workers={self.num_workers}, "
+            f"chunks={self.stats.chunks})"
+        )
+
+
+def get_sweep_runtime(
+    backend: Union[str, ExecutionBackend, SweepRuntime], num_workers: int = 2
+) -> SweepRuntime:
+    """Runtime factory for the parallel sweep backends.
+
+    ``backend`` is one of ``"serial"``, ``"thread"``, ``"process"``,
+    ``"shm"``, an :class:`ExecutionBackend` instance (wrapped in a
+    :class:`LocalSweepRuntime`), or an existing :class:`SweepRuntime`
+    (returned unchanged, so callers can share one runtime across
+    sweeps).
+    """
+    if isinstance(backend, SweepRuntime):
+        return backend
+    if isinstance(backend, ExecutionBackend):
+        return LocalSweepRuntime(backend, num_workers)
+    if backend == "shm":
+        return ShmSweepRuntime(num_workers)
+    if backend in ("serial", "thread", "process"):
+        return LocalSweepRuntime(backend, num_workers)
+    raise ParameterError(
+        f"unknown sweep backend {backend!r}; expected one of {SWEEP_BACKENDS} "
+        "or a backend/runtime instance"
+    )

@@ -8,20 +8,25 @@ copies as rows of an int64 matrix, worker processes attach and run
 MERGE over their row in place, and the parent combines rows with the
 corrected array-merge scheme without any copy leaving shared memory.
 
-Only each worker's *edge-pair slice* is pickled (two ints per incident
-pair), which is the chunk's natural input anyway.
+Only each worker's *edge-pair slice* crosses a queue (two ints per
+incident pair), which is the chunk's natural input anyway.
 
-This is the CPython-appropriate realization of Section VI-B's design
-(the paper used pthreads over one address space); it is exercised by
-tests and the parallel example, and degrades gracefully to an inline
-loop when ``num_workers == 1``.
+:class:`ShmArena` is the persistent realization of Section VI-B's
+design (the paper starts its pthreads once per run): the block is
+allocated once, the ``T`` workers are spawned once and stay resident
+reading per-chunk tasks from queues, and every subsequent chunk pays
+only the row refresh plus one queue round-trip.  ``shm_chunk_merge``
+keeps the historical one-shot contract on top of it (arena per call)
+and degrades gracefully to an inline loop when ``num_workers == 1``.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from multiprocessing import shared_memory
-from typing import List, Sequence, Tuple
+import queue as queue_mod
+import time
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,21 +35,319 @@ from repro.errors import ParallelError, ParameterError
 from repro.parallel.merge_arrays import merge_chain_into
 from repro.parallel.partitioner import round_robin_partition
 
-__all__ = ["shm_chunk_merge"]
+__all__ = ["ShmArena", "shm_chunk_merge", "describe_exitcode"]
+
+# How long the parent waits between liveness checks while collecting
+# chunk results, and how long shutdown waits for a worker to drain its
+# sentinel before escalating to terminate().
+_POLL_INTERVAL = 0.1
+_JOIN_TIMEOUT = 5.0
+
+
+def describe_exitcode(exitcode: Optional[int]) -> str:
+    """Human-accurate description of a ``Process.exitcode``.
+
+    Distinguishes the three states the old failure check conflated:
+    ``None`` (never started / still running), a negative code (killed by
+    a signal — e.g. the parent's own ``terminate()``, not a crash in the
+    worker's code), and a positive code (the worker itself exited
+    non-zero).
+    """
+    if exitcode is None:
+        return "never started"
+    if exitcode < 0:
+        try:
+            import signal
+
+            name = signal.Signals(-exitcode).name
+        except ValueError:
+            name = f"signal {-exitcode}"
+        return f"terminated by {name}"
+    if exitcode == 0:
+        return "exited cleanly"
+    return f"crashed with exit code {exitcode}"
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing block without resource-tracker registration.
+
+    CPython < 3.13 registers every ``SharedMemory`` *attach* with the
+    resource tracker.  Ownership stays with the creating parent, so a
+    worker registration is always wrong: under ``spawn`` the worker's
+    own tracker warns about (and re-unlinks) a "leaked" segment at
+    worker exit; under ``fork`` the shared tracker's per-name entry gets
+    removed by whichever process unregisters first, so the parent's
+    ``unlink()`` then trips a tracker ``KeyError`` on a clean run.
+    Python 3.13+ exposes ``track=False`` for exactly this; earlier
+    versions need the registration call stubbed out for the duration of
+    the attach (the documented workaround for bpo-39959).
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]  # repro: noqa: SHM001 — attach-only
+    except TypeError:  # Python < 3.13: no track parameter
+        pass
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+    try:
+        return shared_memory.SharedMemory(name=name)  # repro: noqa: SHM001 — attach-only
+    finally:
+        resource_tracker.register = original_register
 
 
 def _worker(
-    shm_name: str, row: int, n: int, pairs: Sequence[Tuple[int, int]]
+    shm_name: str,
+    row: int,
+    n: int,
+    task_queue: Any,
+    result_queue: Any,
 ) -> None:
-    """Attach to the shared block and MERGE ``pairs`` on row ``row``."""
-    block = shared_memory.SharedMemory(name=shm_name)
+    """Long-lived arena worker: MERGE each task's pairs on row ``row``.
+
+    Attaches to the shared block once, then serves tasks until the
+    ``None`` sentinel.  A failure while merging is reported to the
+    parent through the result queue (the worker stays alive — its row is
+    rewritten from ``base`` at the next chunk anyway).
+    """
+    block = _attach_untracked(shm_name)
     try:
         matrix = np.ndarray((row + 1, n), dtype=np.int64, buffer=block.buf)
-        chain = NumpyChainArray(n, buffer=matrix[row], initialized=True)
-        for i1, i2 in pairs:
-            chain.merge(i1, i2)
+        row_view = matrix[row]
+        while True:
+            task = task_queue.get()
+            if task is None:
+                break
+            try:
+                chain = NumpyChainArray(n, buffer=row_view, initialized=True)
+                for i1, i2 in task:
+                    chain.merge(i1, i2)
+            except Exception as exc:  # repro: noqa: COR001 — reported to the parent, which raises
+                result_queue.put((row, f"{type(exc).__name__}: {exc}"))
+            else:
+                result_queue.put((row, None))
     finally:
         block.close()
+
+
+class ShmArena:
+    """Reusable shared-memory arena: one ``T x n`` block, ``T`` resident workers.
+
+    Allocates a single shared block sized to ``num_workers`` rows of
+    ``n`` int64s and keeps ``num_workers`` processes alive across
+    :meth:`chunk_merge` calls; per chunk, only the row refresh and the
+    edge-pair slices are paid.  Lifecycle is explicit
+    (:meth:`start`/:meth:`shutdown`) or managed (``with`` statement);
+    ``chunk_merge`` starts lazily.
+
+    Timing counters (``spawn_time``, ``copy_time``, ``compute_time``,
+    ``merge_time``, plus ``chunks``/``tasks``) accumulate in seconds and
+    feed the runtime instrumentation in :mod:`repro.parallel.runtime`.
+    """
+
+    def __init__(self, n: int, num_workers: int = 2):
+        if n < 0:
+            raise ParameterError(f"n must be >= 0, got {n}")
+        if num_workers < 1:
+            raise ParameterError(f"num_workers must be >= 1, got {num_workers}")
+        self.n = n
+        self.num_workers = num_workers
+        self._ctx = multiprocessing.get_context()
+        self._block: Optional[shared_memory.SharedMemory] = None
+        self._matrix: Optional[np.ndarray] = None
+        self._procs: List[Any] = []
+        self._task_queues: List[Any] = []
+        self._result_queue: Any = None
+        self.spawn_time = 0.0
+        self.copy_time = 0.0
+        self.compute_time = 0.0
+        self.merge_time = 0.0
+        self.chunks = 0
+        self.tasks = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._block is not None
+
+    def worker_pids(self) -> List[Optional[int]]:
+        """PIDs of the resident workers (for reuse assertions in tests)."""
+        return [proc.pid for proc in self._procs]
+
+    def start(self) -> "ShmArena":
+        """Allocate the block and spawn the resident workers; idempotent."""
+        if self._block is not None:
+            return self
+        t0 = time.perf_counter()
+        size = max(1, self.num_workers * self.n * 8)
+        block = shared_memory.SharedMemory(create=True, size=size)  # repro: noqa: SHM001 — arena-owned; shutdown() closes+unlinks on all paths
+        try:
+            self._matrix = np.ndarray(
+                (self.num_workers, self.n), dtype=np.int64, buffer=block.buf
+            )
+            self._result_queue = self._ctx.Queue()
+            for row in range(self.num_workers):
+                task_queue = self._ctx.Queue()
+                proc = self._ctx.Process(  # repro: noqa: PAR001 — resident worker; shutdown() joins/terminates on all paths
+                    target=_worker,
+                    args=(block.name, row, self.n, task_queue, self._result_queue),
+                    daemon=True,
+                )
+                proc.start()
+                self._task_queues.append(task_queue)
+                self._procs.append(proc)
+        except BaseException:
+            self._block = block  # let shutdown() reap whatever started
+            self.shutdown()
+            raise
+        self._block = block
+        self.spawn_time += time.perf_counter() - t0
+        return self
+
+    def shutdown(self) -> None:
+        """Stop the workers and release the block; idempotent."""
+        block, self._block = self._block, None
+        procs, self._procs = self._procs, []
+        task_queues, self._task_queues = self._task_queues, []
+        result_queue, self._result_queue = self._result_queue, None
+        self._matrix = None
+        try:
+            for task_queue in task_queues:
+                try:
+                    task_queue.put(None)
+                except (OSError, ValueError):
+                    pass  # queue already broken; terminate below handles it
+            for proc in procs:
+                proc.join(timeout=_JOIN_TIMEOUT)
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=_JOIN_TIMEOUT)
+            for q in [result_queue, *task_queues]:
+                if q is not None:
+                    q.close()
+                    q.join_thread()
+        finally:
+            if block is not None:
+                block.close()
+                block.unlink()
+
+    def __enter__(self) -> "ShmArena":
+        # Lazy: chunk_merge starts the workers only when a chunk really
+        # needs them (empty/inline chunks never pay the spawn).
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        state = "running" if self.running else "idle"
+        return (
+            f"ShmArena(n={self.n}, num_workers={self.num_workers}, "
+            f"{state}, chunks={self.chunks})"
+        )
+
+    # ------------------------------------------------------------------
+    # chunk processing
+    # ------------------------------------------------------------------
+    def chunk_merge(
+        self, base: Sequence[int], edge_pairs: Sequence[Tuple[int, int]]
+    ) -> List[int]:
+        """Process one chunk's edge pairs over the shared block.
+
+        ``base`` is the current array ``C`` (length ``n``); returns the
+        merged array after all pairs as a plain list — identical to
+        serial processing (the join of the per-worker results).
+        """
+        base_arr = np.asarray(base, dtype=np.int64)
+        if base_arr.shape != (self.n,):
+            raise ParameterError(
+                f"base must be one-dimensional of length {self.n}, "
+                f"got shape {base_arr.shape}"
+            )
+        self.chunks += 1
+        parts = [
+            p for p in round_robin_partition(list(edge_pairs), self.num_workers) if p
+        ]
+        if not parts or self.n == 0:
+            return base_arr.tolist()
+        if len(parts) == 1 or self.num_workers == 1:
+            # One busy worker: IPC buys nothing; merge inline.
+            t0 = time.perf_counter()
+            chain = NumpyChainArray(self.n, buffer=base_arr.copy(), initialized=True)
+            for i1, i2 in edge_pairs:
+                chain.merge(i1, i2)
+            self.compute_time += time.perf_counter() - t0
+            return chain.raw().tolist()
+
+        self.start()
+        assert self._matrix is not None
+        t = len(parts)
+
+        t0 = time.perf_counter()
+        self._matrix[:t] = base_arr  # T duplicate copies of C (paper, step 1)
+        self.copy_time += time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        for row, part in enumerate(parts):
+            self._task_queues[row].put(part)
+        self.tasks += t
+        self._collect(t)
+        self.compute_time += time.perf_counter() - t0
+
+        # Step 2: combine rows pairwise (corrected scheme) in the parent.
+        t0 = time.perf_counter()
+        chains = [
+            NumpyChainArray(self.n, buffer=self._matrix[row], initialized=True)
+            for row in range(t)
+        ]
+        result = chains[0]
+        for other in chains[1:]:
+            merge_chain_into(result, other)
+        out = result.raw().tolist()
+        self.merge_time += time.perf_counter() - t0
+        return out
+
+    def _collect(self, t: int) -> None:
+        """Wait for ``t`` per-row results, watching worker liveness."""
+        pending = set(range(t))
+        failures: List[Tuple[int, str]] = []
+        while pending:
+            try:
+                row, error = self._result_queue.get(timeout=_POLL_INTERVAL)
+            except queue_mod.Empty:
+                self._check_alive(pending)
+                continue
+            pending.discard(row)
+            if error is not None:
+                failures.append((row, error))
+        if failures:
+            failures.sort()
+            row, error = failures[0]
+            detail = "; ".join(f"worker {r}: {e}" for r, e in failures)
+            raise ParallelError(
+                f"{len(failures)} shared-memory worker(s) failed — {detail}",
+                worker=row,
+            )
+
+    def _check_alive(self, pending: "set[int]") -> None:
+        """Raise if a worker owing a result has died (we would wait forever)."""
+        dead = [
+            row for row in sorted(pending) if not self._procs[row].is_alive()
+        ]
+        if not dead:
+            return
+        detail = "; ".join(
+            f"worker {row}: {describe_exitcode(self._procs[row].exitcode)}"
+            for row in dead
+        )
+        # The arena cannot serve further chunks with dead rows; reap
+        # everything (and the block) before surfacing the failure.
+        self.shutdown()
+        raise ParallelError(
+            f"{len(dead)} shared-memory worker(s) died before replying — {detail}",
+            worker=dead[0],
+        )
 
 
 def shm_chunk_merge(
@@ -52,7 +355,12 @@ def shm_chunk_merge(
     edge_pairs: Sequence[Tuple[int, int]],
     num_workers: int = 2,
 ) -> List[int]:
-    """Process one chunk's edge pairs over shared memory.
+    """Process one chunk's edge pairs over shared memory (one-shot).
+
+    Convenience wrapper that runs a throwaway :class:`ShmArena` for a
+    single chunk — sweeps that process many chunks should hold one arena
+    (or use ``backend="shm"`` on
+    :func:`repro.parallel.par_sweep.parallel_coarse_sweep`, which does).
 
     Parameters
     ----------
@@ -68,60 +376,5 @@ def shm_chunk_merge(
     The merged array ``C`` after all pairs, as a plain list — the join
     of the per-worker results, identical to serial processing.
     """
-    if num_workers < 1:
-        raise ParameterError(f"num_workers must be >= 1, got {num_workers}")
-    n = len(base)
-    base_arr = np.asarray(base, dtype=np.int64)
-    if base_arr.shape != (n,):
-        raise ParameterError("base must be one-dimensional")
-
-    parts = [p for p in round_robin_partition(list(edge_pairs), num_workers) if p]
-    if not parts or n == 0:
-        return base_arr.tolist()
-    if len(parts) == 1 or num_workers == 1:
-        chain = NumpyChainArray(n, buffer=base_arr.copy(), initialized=True)
-        for i1, i2 in edge_pairs:
-            chain.merge(i1, i2)
-        return chain.raw().tolist()
-
-    t = len(parts)
-    block = shared_memory.SharedMemory(create=True, size=t * n * 8)
-    try:
-        matrix = np.ndarray((t, n), dtype=np.int64, buffer=block.buf)
-        matrix[:] = base_arr  # T duplicate copies of C (paper, step 1)
-
-        ctx = multiprocessing.get_context()
-        processes = [
-            ctx.Process(target=_worker, args=(block.name, row, n, part))
-            for row, part in enumerate(parts)
-        ]
-        try:
-            for proc in processes:
-                proc.start()
-            for proc in processes:
-                proc.join()
-        finally:
-            # A failed start() or an interrupt mid-join must not leave
-            # orphan workers attached to the shared block (PAR001).
-            for proc in processes:
-                if proc.is_alive():
-                    proc.terminate()
-                    proc.join()
-        failed = [p.exitcode for p in processes if p.exitcode != 0]
-        if failed:
-            raise ParallelError(
-                f"{len(failed)} shared-memory worker(s) exited non-zero: {failed}"
-            )
-
-        # Step 2: combine rows pairwise (corrected scheme) in the parent.
-        chains = [
-            NumpyChainArray(n, buffer=matrix[row], initialized=True)
-            for row in range(t)
-        ]
-        result = chains[0]
-        for other in chains[1:]:
-            merge_chain_into(result, other)
-        return result.raw().tolist()
-    finally:
-        block.close()
-        block.unlink()
+    with ShmArena(len(base), num_workers) as arena:
+        return arena.chunk_merge(base, edge_pairs)

@@ -68,6 +68,7 @@ class TestMapping:
 def test_worker_failure_wrapped(backend):
     with pytest.raises(ParallelError, match="boom"):
         backend.map(boom, [(1,), (2,)])
+    backend.shutdown()
 
 
 def test_serial_failure_propagates_plain():
@@ -76,6 +77,80 @@ def test_serial_failure_propagates_plain():
 
 
 def test_process_backend_real_processes():
-    backend = ProcessBackend(2)
-    pids = backend.map(os.getpid, [(), ()])
+    with ProcessBackend(2) as backend:
+        pids = backend.map(os.getpid, [(), ()])
     assert all(isinstance(p, int) for p in pids)
+
+
+class TestLifecycle:
+    @pytest.mark.parametrize("cls", [ThreadBackend, ProcessBackend])
+    def test_executor_persists_across_maps(self, cls):
+        with cls(2) as backend:
+            backend.map(square, [(1,), (2,)])
+            first = backend._executor
+            assert first is not None
+            backend.map(square, [(3,), (4,)])
+            backend.map(add, [(1, 2), (3, 4)])
+            assert backend._executor is first  # one pool, three maps
+        assert not backend.running
+
+    def test_start_idempotent(self):
+        backend = ThreadBackend(2).start()
+        first = backend._executor
+        backend.start()
+        assert backend._executor is first
+        backend.shutdown()
+        backend.shutdown()  # idempotent
+        assert not backend.running
+
+    def test_map_restarts_after_shutdown(self):
+        backend = ThreadBackend(2)
+        assert backend.map(square, [(2,), (3,)]) == [4, 9]
+        backend.shutdown()
+        assert backend.map(square, [(4,), (5,)]) == [16, 25]
+        backend.shutdown()
+
+    def test_serial_lifecycle_is_noop(self):
+        with SerialBackend() as backend:
+            assert backend.map(square, [(3,)]) == [9]
+
+    def test_inline_shortcut_spawns_no_executor(self):
+        backend = ThreadBackend(1)
+        assert backend.map(square, [(2,), (3,)]) == [4, 9]
+        assert not backend.running  # num_workers == 1 stays inline
+
+
+class TestFailureHandling:
+    def test_task_index_attached(self):
+        with ThreadBackend(2) as backend:
+            with pytest.raises(ParallelError) as excinfo:
+                backend.map(boom, [(1,), (2,)])
+            assert excinfo.value.task_index == 0
+            assert "task 0" in str(excinfo.value)
+
+    def test_executor_torn_down_after_failure(self):
+        """A failure drops the (possibly poisoned) pool; the next map
+        starts a fresh one."""
+        backend = ThreadBackend(2)
+        with pytest.raises(ParallelError):
+            backend.map(boom, [(1,), (2,)])
+        assert not backend.running
+        assert backend.map(square, [(6,), (7,)]) == [36, 49]
+        backend.shutdown()
+
+    def test_partial_has_no_name(self):
+        """functools.partial lacks __name__; the error message must not
+        crash composing itself."""
+        import functools
+
+        partial_boom = functools.partial(boom, 7)
+        with ThreadBackend(2) as backend:
+            with pytest.raises(ParallelError, match="partial"):
+                backend.map(partial_boom, [(), ()])
+
+    def test_partial_maps_fine(self):
+        import functools
+
+        partial_add = functools.partial(add, 10)
+        with ThreadBackend(2) as backend:
+            assert backend.map(partial_add, [(1,), (2,)]) == [11, 12]

@@ -1,0 +1,310 @@
+"""Tests for the persistent sweep runtime (pool reuse, arena, failures)."""
+
+from __future__ import annotations
+
+import os
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cluster.unionfind import ChainArray
+from repro.cluster.validation import same_partition
+from repro.core.coarse import CoarseParams, coarse_sweep
+from repro.core.similarity import compute_similarity_map
+from repro.errors import ParallelError, ParameterError
+from repro.parallel.par_sweep import _ParallelCoarseSweeper, parallel_coarse_sweep
+from repro.parallel.pool import ProcessBackend, ThreadBackend
+from repro.parallel.runtime import (
+    LocalSweepRuntime,
+    ShmSweepRuntime,
+    SweepRuntime,
+    get_sweep_runtime,
+)
+from repro.parallel.shm_sweep import ShmArena, describe_exitcode
+
+
+def reference_merge(base, pairs):
+    chain = ChainArray(len(base), _init=list(base))
+    for a, b in pairs:
+        chain.merge(a, b)
+    return chain.labels()
+
+
+def random_chunks(n, num_chunks, pairs_per_chunk, seed=0):
+    rng = random.Random(seed)
+    return [
+        [(rng.randrange(n), rng.randrange(n)) for _ in range(pairs_per_chunk)]
+        for _ in range(num_chunks)
+    ]
+
+
+class TestFactory:
+    def test_names(self):
+        assert get_sweep_runtime("serial").name == "serial"
+        assert get_sweep_runtime("thread", 2).name == "thread"
+        assert get_sweep_runtime("process", 2).name == "process"
+        assert get_sweep_runtime("shm", 2).name == "shm"
+
+    def test_unknown(self):
+        with pytest.raises(ParameterError):
+            get_sweep_runtime("quantum")
+
+    def test_invalid_workers(self):
+        with pytest.raises(ParameterError):
+            LocalSweepRuntime("thread", 0)
+        with pytest.raises(ParameterError):
+            ShmSweepRuntime(0)
+
+    def test_backend_instance_wrapped(self):
+        runtime = get_sweep_runtime(ThreadBackend(2), 2)
+        assert isinstance(runtime, LocalSweepRuntime)
+        assert runtime.name == "thread"
+
+    def test_runtime_instance_passthrough(self):
+        runtime = ShmSweepRuntime(2)
+        assert get_sweep_runtime(runtime) is runtime
+
+
+@pytest.mark.parametrize("backend", ["serial", "thread", "process", "shm"])
+class TestChunkMerge:
+    def test_empty_chunk_returns_chain_unchanged(self, backend):
+        with get_sweep_runtime(backend, 2) as runtime:
+            chain = ChainArray(6)
+            after = runtime.chunk_merge(chain, [])
+            assert after is chain  # identity: caller skips the diff
+            assert chain.labels() == list(range(6))
+
+    def test_matches_serial_reference(self, backend):
+        n = 30
+        with get_sweep_runtime(backend, 3) as runtime:
+            chain = ChainArray(n)
+            flat = []
+            for pairs in random_chunks(n, 3, 20, seed=7):
+                chain = runtime.chunk_merge(chain, pairs)
+                flat.extend(pairs)
+            assert chain.labels() == reference_merge(list(range(n)), flat)
+
+
+class TestPersistence:
+    """Worker state must survive across >= 3 consecutive chunks."""
+
+    def test_process_pool_reused_across_chunks(self):
+        n = 20
+        with LocalSweepRuntime("process", 2) as runtime:
+            chain = ChainArray(n)
+            executors = set()
+            for pairs in random_chunks(n, 4, 10, seed=1):
+                chain = runtime.chunk_merge(chain, pairs)
+                executors.add(id(runtime.backend._executor))
+            assert len(executors) == 1  # one pool served every chunk
+            assert runtime.stats.chunks == 4
+            assert runtime.stats.tasks == 8
+        assert not runtime.backend.running
+
+    def test_thread_pool_reused_across_chunks(self):
+        n = 20
+        with LocalSweepRuntime("thread", 3) as runtime:
+            chain = ChainArray(n)
+            executors = set()
+            for pairs in random_chunks(n, 3, 12, seed=2):
+                chain = runtime.chunk_merge(chain, pairs)
+                executors.add(id(runtime.backend._executor))
+            assert len(executors) == 1
+
+    def test_shm_workers_reused_across_chunks(self):
+        n = 24
+        with ShmSweepRuntime(2) as runtime:
+            chain = ChainArray(n)
+            pids = set()
+            for pairs in random_chunks(n, 4, 12, seed=3):
+                chain = runtime.chunk_merge(chain, pairs)
+                pids.add(tuple(runtime.arena.worker_pids()))
+            assert len(pids) == 1  # same resident processes every chunk
+            assert runtime.stats.chunks == 4
+            assert runtime.stats.spawn_time > 0.0
+        assert not runtime.arena.running
+
+    def test_shm_arena_resized_on_new_array_length(self):
+        with ShmSweepRuntime(2) as runtime:
+            runtime.chunk_merge(ChainArray(10), [(0, 1), (2, 3), (4, 5)])
+            first = runtime.arena
+            runtime.chunk_merge(ChainArray(16), [(0, 1), (2, 3), (4, 5)])
+            assert runtime.arena is not first
+            assert runtime.arena.n == 16
+
+    def test_runtime_restarts_after_shutdown(self):
+        runtime = LocalSweepRuntime("thread", 2)
+        chain = runtime.chunk_merge(ChainArray(8), [(0, 1), (2, 3), (4, 5)])
+        runtime.shutdown()
+        assert not runtime.backend.running
+        chain = runtime.chunk_merge(chain, [(1, 2), (5, 6), (6, 7)])
+        runtime.shutdown()
+        assert chain.labels() == reference_merge(
+            list(range(8)), [(0, 1), (2, 3), (4, 5), (1, 2), (5, 6), (6, 7)]
+        )
+
+
+class TestSweeperIntegration:
+    def test_empty_chunk_early_return_skips_runtime(self, triangle):
+        """A chunk contributing no incident pairs must not hit the runtime."""
+
+        class ExplodingRuntime(SweepRuntime):
+            name = "exploding"
+
+            def chunk_merge(self, chain, edge_pairs):
+                raise AssertionError("runtime consulted for an empty chunk")
+
+        sim = compute_similarity_map(triangle)
+        sweeper = _ParallelCoarseSweeper(
+            triangle, sim, CoarseParams(), None, ExplodingRuntime()
+        )
+        before_chain = sweeper.chain
+        sweeper._apply_chunk(range(0, 0))
+        assert sweeper.chain is before_chain
+        assert sweeper.pending == []
+
+    def test_caller_owned_runtime_survives_two_sweeps(self, planted):
+        sim = compute_similarity_map(planted)
+        params = CoarseParams(phi=2, delta0=10)
+        serial = coarse_sweep(planted, sim, params)
+        with ShmSweepRuntime(2) as runtime:
+            first = parallel_coarse_sweep(
+                planted, sim, params, num_workers=2, backend=runtime
+            )
+            assert runtime.arena is not None and runtime.arena.running
+            second = parallel_coarse_sweep(
+                planted, sim, params, num_workers=2, backend=runtime
+            )
+        assert same_partition(serial.edge_labels(), first.edge_labels())
+        assert same_partition(serial.edge_labels(), second.edge_labels())
+
+    @pytest.mark.parametrize("backend", ["thread", "process", "shm"])
+    def test_runtime_shut_down_after_owned_sweep(self, planted, backend):
+        """parallel_coarse_sweep owns string-named backends' lifecycle."""
+        sim = compute_similarity_map(planted)
+        runtime = get_sweep_runtime(backend, 2)
+        parallel_coarse_sweep(
+            planted, sim, CoarseParams(phi=2, delta0=10),
+            num_workers=2, backend=runtime,
+        )
+        # caller-owned: still running (or never started for tiny graphs)
+        runtime.shutdown()
+
+
+class TestCrossBackendDeterminism:
+    def test_identical_per_level_partitions(self, planted):
+        """serial / thread / process / shm agree on every level."""
+        sim = compute_similarity_map(planted)
+        params = CoarseParams(phi=2, delta0=10)
+        reference = coarse_sweep(planted, sim, params)
+        for backend in ("serial", "thread", "process", "shm"):
+            result = parallel_coarse_sweep(
+                planted, sim, params, num_workers=2, backend=backend
+            )
+            assert [(e.kind, e.level, e.xi, e.p) for e in reference.epochs] == [
+                (e.kind, e.level, e.xi, e.p) for e in result.epochs
+            ], backend
+            for level in range(reference.num_levels + 1):
+                assert same_partition(
+                    reference.dendrogram.labels_at_level(level),
+                    result.dendrogram.labels_at_level(level),
+                ), (backend, level)
+
+
+class TestArenaFailures:
+    def test_worker_error_raises_parallel_error_and_unlinks(self):
+        """A worker raising inside _worker surfaces as ParallelError and
+        the shared block is unlinked (no /dev/shm leak)."""
+        shm_dir = Path("/dev/shm")
+        before = set(os.listdir(shm_dir)) if shm_dir.is_dir() else None
+        arena = ShmArena(8, 2)
+        with pytest.raises(ParallelError, match="worker"):
+            with arena:
+                arena.chunk_merge(list(range(8)), [(0, 1), (2, 99)])
+        assert not arena.running
+        if before is not None:
+            assert set(os.listdir(shm_dir)) <= before
+
+    def test_worker_error_carries_worker_index(self):
+        with ShmArena(8, 2) as arena:
+            with pytest.raises(ParallelError) as excinfo:
+                arena.chunk_merge(list(range(8)), [(0, 1), (2, 99)])
+            assert excinfo.value.worker == 1  # pair (2, 99) is row 1's share
+
+    def test_arena_survives_worker_error(self):
+        """An in-worker exception is reported, not fatal: rows are rebuilt
+        from base at the next chunk, so the arena keeps serving."""
+        with ShmArena(8, 2) as arena:
+            with pytest.raises(ParallelError):
+                arena.chunk_merge(list(range(8)), [(0, 1), (2, 99)])
+            merged = arena.chunk_merge(list(range(8)), [(0, 1), (2, 3)])
+            assert ChainArray(8, _init=merged).labels() == reference_merge(
+                list(range(8)), [(0, 1), (2, 3)]
+            )
+
+    def test_dead_worker_detected_not_deadlocked(self):
+        """A killed worker process must raise (with the signal named)
+        instead of waiting forever on the result queue."""
+        with ShmArena(16, 2) as arena:
+            arena.start()
+            victim = arena._procs[1]
+            victim.terminate()
+            victim.join()
+            with pytest.raises(ParallelError, match="SIGTERM"):
+                arena.chunk_merge(
+                    list(range(16)),
+                    [(i, i + 1) for i in range(12)],
+                )
+        assert not arena.running
+
+    def test_base_length_validated(self):
+        with ShmArena(8, 2) as arena:
+            with pytest.raises(ParameterError):
+                arena.chunk_merge(list(range(9)), [(0, 1)])
+
+
+class TestExitcodeClassification:
+    def test_three_cases_distinguished(self):
+        assert describe_exitcode(None) == "never started"
+        assert "SIGTERM" in describe_exitcode(-15)
+        assert "SIGKILL" in describe_exitcode(-9)
+        assert describe_exitcode(0) == "exited cleanly"
+        assert "crashed" in describe_exitcode(1)
+        assert "crashed" in describe_exitcode(3)
+
+    def test_unknown_signal_number(self):
+        assert "signal" in describe_exitcode(-250)
+
+
+def test_shm_run_is_warning_clean():
+    """A clean shm sweep must emit nothing on stderr — in particular no
+    resource-tracker KeyError / leaked-object warnings at interpreter
+    exit (workers must not register the parent's block)."""
+    script = (
+        "from repro.parallel.shm_sweep import shm_chunk_merge\n"
+        "from repro.parallel.runtime import ShmSweepRuntime\n"
+        "from repro.cluster.unionfind import ChainArray\n"
+        "shm_chunk_merge(list(range(32)), [(i, i + 1) for i in range(20)], 2)\n"
+        "with ShmSweepRuntime(2) as rt:\n"
+        "    chain = ChainArray(32)\n"
+        "    for _ in range(3):\n"
+        "        chain = rt.chunk_merge(chain, [(i, i + 2) for i in range(20)])\n"
+        "print('done')\n"
+    )
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip() == "done"
+    assert proc.stderr.strip() == ""
