@@ -1,0 +1,83 @@
+"""Observability overhead: tracing must be ~free off and <5% on.
+
+Times the Fig. 5 coarse-sweep workload three ways — no tracer (the
+``NULL_TRACER`` fast path), a ``Tracer`` feeding a ``MemorySink``, and a
+``Tracer`` feeding a ``JsonLinesSink`` — with interleaved min-of-N
+repeats so cache/frequency drift cancels out.  The acceptance bar from
+the issue: the in-memory tracer costs less than 5% over the untraced
+run on the Fig. 5 workload.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.datasets import association_graph
+from repro.bench.experiments import coarse_params_for
+from repro.bench.runner import ResultTable, save_json
+from repro.core.coarse import coarse_sweep
+from repro.core.similarity import compute_similarity_map
+from repro.obs import JsonLinesSink, MemorySink, Tracer
+
+REPEATS = 5
+OVERHEAD_BUDGET = 0.05
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_obs_overhead(benchmark, preset, results_dir, tmp_path):
+    alpha = preset.alphas[len(preset.alphas) // 2]
+    graph = association_graph(alpha, preset)
+    sim = compute_similarity_map(graph)
+    params = coarse_params_for(graph, k2=sim.k2)
+
+    def run_off():
+        coarse_sweep(graph, sim, params)
+
+    def run_memory():
+        coarse_sweep(graph, sim, params, tracer=Tracer([MemorySink()]))
+
+    jsonl_path = tmp_path / "overhead_trace.jsonl"
+
+    def run_jsonl():
+        tracer = Tracer([JsonLinesSink(jsonl_path)])
+        coarse_sweep(graph, sim, params, tracer=tracer)
+        tracer.close()
+        jsonl_path.unlink()
+
+    # Interleave the variants inside each repeat so that both see the
+    # same machine state; min-of-N discards scheduler noise.
+    timings = {"off": float("inf"), "memory": float("inf"), "jsonl": float("inf")}
+    for _ in range(REPEATS):
+        timings["off"] = min(timings["off"], _best_of(run_off, repeats=1))
+        timings["memory"] = min(timings["memory"], _best_of(run_memory, repeats=1))
+        timings["jsonl"] = min(timings["jsonl"], _best_of(run_jsonl, repeats=1))
+
+    baseline = timings["off"]
+    table = ResultTable(
+        "observability overhead (Fig. 5 workload, alpha=%g)" % alpha,
+        ["variant", "best_time", "overhead"],
+    )
+    for variant, best in timings.items():
+        table.add_row(
+            variant=variant,
+            best_time=best,
+            overhead=(best - baseline) / baseline,
+        )
+    save_json(table, results_dir / "obs_overhead.json")
+    table.show()
+
+    memory_overhead = (timings["memory"] - baseline) / baseline
+    assert memory_overhead < OVERHEAD_BUDGET, (
+        f"in-memory tracing costs {memory_overhead:.1%}, "
+        f"budget is {OVERHEAD_BUDGET:.0%}"
+    )
+
+    benchmark.pedantic(run_memory, rounds=3, iterations=1)

@@ -28,6 +28,7 @@ Quickstart
 """
 
 from repro.core.coarse import CoarseParams, CoarseResult, coarse_sweep
+from repro.core.config import RunConfig
 from repro.core.linkclust import LinkClustering, LinkClusteringResult
 from repro.core.similarity import SimilarityMap, compute_similarity_map
 from repro.core.sweep import SweepResult, sweep
@@ -44,6 +45,7 @@ __all__ = [
     "LinkClustering",
     "LinkClusteringResult",
     "ReproError",
+    "RunConfig",
     "SimilarityMap",
     "SweepResult",
     "__version__",

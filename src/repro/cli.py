@@ -11,12 +11,20 @@ Commands
                 COR/API catalog) over python files; non-zero exit on
                 findings — this is the CI gate
 
+Run flags (uniform across ``cluster`` and ``reproduce``)
+--------------------------------------------------------
+``--backend``, ``--workers``, ``--profile``, ``--metrics-out`` are
+accepted by both run-style subcommands with identical spelling.
+``--profile`` prints a per-span timing summary to stderr at the end;
+``--metrics-out PATH`` writes the full trace as JSON lines.
+
 Examples
 --------
     python -m repro stats graph.txt
     python -m repro cluster graph.txt --coarse --phi 50
+    python -m repro cluster graph.txt --profile --metrics-out trace.jsonl
     python -m repro corpus tweets.txt --alpha 0.01 -o words.edges
-    python -m repro reproduce --figure 4.1
+    python -m repro reproduce --figure 4.1 --profile
     python -m repro analyze src/ --format json
 """
 
@@ -27,6 +35,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.core.coarse import CoarseParams
+from repro.core.config import BACKENDS, RunConfig
 from repro.core.linkclust import LinkClustering
 from repro.core.metrics import (
     compute_metrics,
@@ -49,6 +58,30 @@ _FIGURES = {
     "6.1": "fig6_1_init_speedup",
     "6.2": "fig6_2_sweep_speedup",
 }
+
+
+def _add_run_flags(parser: argparse.ArgumentParser) -> None:
+    """The uniform run-flag block shared by ``cluster`` and ``reproduce``."""
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="serial",
+        help="execution backend for the run",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, help="parallel workers"
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-span timing summary to stderr when the run ends",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the run's trace as JSON lines to PATH",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -78,17 +111,16 @@ def build_parser() -> argparse.ArgumentParser:
                            help="cluster-count cutoff (coarse mode)")
     p_cluster.add_argument("--delta0", type=float, default=100.0,
                            help="initial chunk size (coarse mode)")
-    p_cluster.add_argument("--workers", type=int, default=1,
-                           help="parallel workers")
-    p_cluster.add_argument(
-        "--backend",
-        choices=("serial", "thread", "process", "shm"),
-        default="serial",
-    )
+    _add_run_flags(p_cluster)
     p_cluster.add_argument("--min-edges", type=int, default=2,
                            help="smallest community to print")
     p_cluster.add_argument("--top", type=int, default=10,
                            help="how many communities to print")
+    p_cluster.add_argument(
+        "--json",
+        action="store_true",
+        help="print the result summary as JSON instead of the text report",
+    )
 
     p_corpus = sub.add_parser(
         "corpus", help="build a word-association graph from raw messages"
@@ -111,6 +143,10 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write a full markdown report (all figures + claim checklist)",
     )
+    # Same block as `cluster`.  The figures drive their own workloads, so
+    # --backend is recorded on the trace rather than re-routing them;
+    # --workers extends the worker sweep of the fig. 6 experiments.
+    _add_run_flags(p_repro)
 
     p_analyze = sub.add_parser(
         "analyze", help="run project static-analysis rules (CI gate)"
@@ -151,14 +187,33 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_config_from_args(args: argparse.Namespace) -> RunConfig:
+    """Build the RunConfig the uniform run flags (+ coarse knobs) describe."""
+    coarse = None
+    if getattr(args, "coarse", False):
+        coarse = CoarseParams(gamma=args.gamma, phi=args.phi, delta0=args.delta0)
+    return RunConfig(
+        backend=args.backend,
+        num_workers=args.workers,
+        coarse=coarse,
+        profile=args.profile,
+        metrics_out=args.metrics_out,
+    )
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
     graph = read_edge_list(args.graph, int_labels=args.int_labels)
-    coarse: bool | CoarseParams = False
-    if args.coarse:
-        coarse = CoarseParams(gamma=args.gamma, phi=args.phi, delta0=args.delta0)
-    result = LinkClustering(
-        graph, coarse=coarse, backend=args.backend, num_workers=args.workers
-    ).run()
+    config = _run_config_from_args(args)
+    clustering = LinkClustering(graph, config=config)
+    try:
+        result = clustering.run()
+    finally:
+        # Closing flushes the JSON-lines file and prints the --profile
+        # summary (to stderr, so --json output stays parseable).
+        clustering.tracer.close()
+    if args.json:
+        print(result.to_json(indent=2))
+        return 0
     partition, level, density = result.best_partition()
     print(
         f"clustered {graph.num_edges} edges: {result.dendrogram.num_merges} "
@@ -211,12 +266,30 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         return 0
     import repro.bench.experiments as experiments
 
+    config = _run_config_from_args(args)
+    tracer = config.make_tracer()
     names = sorted(_FIGURES) if args.figure == "all" else [args.figure]
-    for name in names:
-        fn = getattr(experiments, _FIGURES[name])
-        out = fn()
-        table = out[0] if isinstance(out, tuple) else out
-        table.show()
+    # The figure experiments drive their own workloads; --workers widens
+    # the worker sweep where one exists (fig. 6), --backend is recorded
+    # on the trace for provenance.
+    worker_sweep = tuple(
+        sorted(set(experiments.WORKER_COUNTS) | {args.workers})
+    )
+    try:
+        with tracer.span(
+            "run", command="reproduce", backend=args.backend, num_workers=args.workers
+        ):
+            for name in names:
+                fn = getattr(experiments, _FIGURES[name])
+                with tracer.span(f"figure:{name}"):
+                    if name in ("6.1", "6.2") and args.workers > 1:
+                        out = fn(workers=worker_sweep)
+                    else:
+                        out = fn()
+                table = out[0] if isinstance(out, tuple) else out
+                table.show()
+    finally:
+        tracer.close()
     return 0
 
 

@@ -15,6 +15,7 @@ from repro.core.coarse import (
     coarse_sweep,
     fixed_chunk_sweep,
 )
+from repro.core.config import BACKENDS, RunConfig
 from repro.core.linkclust import LinkClustering, LinkClusteringResult
 from repro.core.metrics import (
     GraphMetrics,
@@ -41,6 +42,7 @@ from repro.core.similarity import (
 from repro.core.sweep import SweepResult, build_edge_index, sweep
 
 __all__ = [
+    "BACKENDS",
     "CoarseParams",
     "CoarseResult",
     "CurvePoint",
@@ -52,6 +54,7 @@ __all__ = [
     "Mode",
     "PAPER_PARAMS",
     "Predicates",
+    "RunConfig",
     "SigmoidParams",
     "SimilarityMap",
     "SweepResult",

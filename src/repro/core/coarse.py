@@ -56,6 +56,7 @@ from repro.core.similarity import SimilarityMap, compute_similarity_map
 from repro.core.sweep import build_edge_index
 from repro.errors import ParameterError
 from repro.graph.graph import Graph
+from repro.obs import as_tracer
 
 __all__ = [
     "CoarseParams",
@@ -212,12 +213,17 @@ class _CoarseSweeper:
         similarity_map: SimilarityMap,
         params: CoarseParams,
         edge_order: Optional[Sequence[int]],
+        tracer=None,
     ):
         self.graph = graph
         self.params = params
-        self.pairs = similarity_map.sorted_pairs()
+        self.tracer = as_tracer(tracer)
         self.k1 = similarity_map.k1
         self.k2 = similarity_map.k2
+        with self.tracer.span("phase:sort", k1=self.k1):
+            self.pairs = similarity_map.sorted_pairs()
+        self.tracer.gauge("k1", self.k1)
+        self.tracer.gauge("k2", self.k2)
         self.index = build_edge_index(graph, edge_order)
         self.num_edges = graph.num_edges
 
@@ -270,15 +276,25 @@ class _CoarseSweeper:
         # through the boundary logic, so the soundness property (C2) is
         # enforced on the final level too: an oversized last chunk rolls
         # back and is retried smaller, exactly like any other epoch.
+        # The chunk index counts *attempts*: a rolled-back epoch and its
+        # retry are separate ``sweep:chunk[i]`` spans.
         pairs = self.pairs
-        while self.p < len(pairs):
-            chunk = self._collect_chunk()
-            self._apply_chunk(chunk)
-            if self._epoch_boundary():
-                break
+        tracer = self.tracer
+        chunk_idx = 0
+        with tracer.span("phase:sweep"):
+            while self.p < len(pairs):
+                with tracer.span(
+                    f"sweep:chunk[{chunk_idx}]", p=self.p, delta=self.delta
+                ):
+                    chunk = self._collect_chunk()
+                    self._apply_chunk(chunk)
+                    stop = self._epoch_boundary()
+                chunk_idx += 1
+                if stop:
+                    break
 
-        if self.stopped_by_phi and self.params.finalize_root:
-            self._merge_root()
+            if self.stopped_by_phi and self.params.finalize_root:
+                self._merge_root()
 
         return CoarseResult(
             dendrogram=self.builder.build(),
@@ -321,20 +337,24 @@ class _CoarseSweeper:
         graph = self.graph
         index = self.index
         pairs = self.pairs
-        for pos in chunk:
-            similarity, (vi, vj), commons = pairs[pos]
-            for vk in commons:
-                i1 = index[graph.edge_id(vi, vk)]
-                i2 = index[graph.edge_id(vj, vk)]
-                outcome = self.chain.merge(i1, i2)
-                if outcome.merged:
-                    self.pending.append(
-                        _PendingMerge(
-                            pos, outcome.c1, outcome.c2, outcome.parent, similarity
+        # The serial path has no spawn/copy/merge steps; its whole chunk
+        # cost is compute, traced under the same name the runtimes use so
+        # cross-backend traces stay comparable.
+        with self.tracer.span("runtime:compute", workers=1):
+            for pos in chunk:
+                similarity, (vi, vj), commons = pairs[pos]
+                for vk in commons:
+                    i1 = index[graph.edge_id(vi, vk)]
+                    i2 = index[graph.edge_id(vj, vk)]
+                    outcome = self.chain.merge(i1, i2)
+                    if outcome.merged:
+                        self.pending.append(
+                            _PendingMerge(
+                                pos, outcome.c1, outcome.c2, outcome.parent, similarity
+                            )
                         )
-                    )
-            self.xi += len(commons)
-            self.p = pos + 1
+                self.xi += len(commons)
+                self.p = pos + 1
 
     # ------------------------------------------------------------------
     # epoch boundary handling
@@ -398,6 +418,7 @@ class _CoarseSweeper:
                 p=self.p,
             )
         )
+        self.tracer.count("rollbacks")
         if self.mode is Mode.HEAD:
             self.eta = shrink_eta(self.eta)
         reference = CurvePoint(float(self.xi), float(beta_new))
@@ -420,6 +441,14 @@ class _CoarseSweeper:
         self.level += 1
         for pm in self.pending:
             self.builder.record(self.level, pm.c1, pm.c2, pm.parent, pm.similarity)
+        self.tracer.count("merges", len(self.pending))
+        self.tracer.event(
+            "sweep:level",
+            level=self.level,
+            kind=kind,
+            merges=len(self.pending),
+            beta=beta_new,
+        )
         self.pending = []
         self.epochs.append(
             EpochRecord(
@@ -481,6 +510,10 @@ class _CoarseSweeper:
         self.rollback_list.remove(target)
 
         self.level += 1
+        self.tracer.count("jump_hits")
+        self.tracer.event(
+            "sweep:jump", level=self.level, beta=target.beta, p=target.p
+        )
         self._record_jump_merges(target)
         self.epochs.append(
             EpochRecord(
@@ -534,12 +567,15 @@ class _CoarseSweeper:
             return
         self.level += 1
         base = roots[0]
+        merges = 0
         for other in roots[1:]:
             outcome = self.chain.merge(base, other)
             if outcome.merged:
+                merges += 1
                 self.builder.record(
                     self.level, outcome.c1, outcome.c2, outcome.parent, None
                 )
+        self.tracer.count("merges", merges)
 
 
 def coarse_sweep(
@@ -547,14 +583,18 @@ def coarse_sweep(
     similarity_map: Optional[SimilarityMap] = None,
     params: Optional[CoarseParams] = None,
     edge_order: Optional[Sequence[int]] = None,
+    tracer=None,
 ) -> CoarseResult:
     """Run the coarse-grained sweeping algorithm of Section V.
 
     Parameters mirror :func:`repro.core.sweep.sweep`, with
-    :class:`CoarseParams` controlling the dendrogram shape.
+    :class:`CoarseParams` controlling the dendrogram shape.  ``tracer``
+    gets ``phase:sort``, ``phase:sweep``, and per-epoch
+    ``sweep:chunk[i]`` spans plus level events and merge/rollback/jump
+    counters.
     """
     sim = similarity_map if similarity_map is not None else compute_similarity_map(graph)
-    sweeper = _CoarseSweeper(graph, sim, params or CoarseParams(), edge_order)
+    sweeper = _CoarseSweeper(graph, sim, params or CoarseParams(), edge_order, tracer)
     return sweeper.run()
 
 

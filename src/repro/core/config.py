@@ -1,0 +1,149 @@
+"""Consolidated run configuration for :class:`~repro.core.linkclust.LinkClustering`.
+
+:class:`RunConfig` gathers every knob a clustering run takes — backend,
+worker count, coarse-sweep parameters, edge-order seed, Phase I
+vectorization, and observability settings — into one frozen, validated,
+serializable object.  ``LinkClustering(graph, config=cfg)`` is the
+preferred construction path; the legacy keyword arguments remain as a
+thin shim that builds a ``RunConfig`` internally.
+
+Serialization round-trips through plain dicts (``to_dict`` /
+``from_dict``), so a config can travel through JSON sidecar files, CLI
+layers, and benchmark manifests without custom encoders.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.core.coarse import CoarseParams
+from repro.errors import ParameterError
+
+__all__ = ["RunConfig", "BACKENDS"]
+
+BACKENDS = ("serial", "thread", "process", "shm")
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Immutable, validated configuration for one clustering run.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"`` (default), ``"thread"``, ``"process"``, or ``"shm"``.
+    num_workers:
+        Worker count for parallel backends (>= 1; ignored for serial).
+    coarse:
+        ``None`` (default) for the fine-grained Algorithm 2, a
+        :class:`CoarseParams` for coarse-grained sweeping.  ``True`` /
+        ``False`` are accepted and coerced (``True`` → default params).
+    seed:
+        Optional seed for random edge-order permutation.
+    vectorized:
+        Use the scipy.sparse fast path for Phase I.
+    profile:
+        Collect a trace and print a human-readable summary at the end
+        of the run.
+    metrics_out:
+        Optional path; when set, the trace is additionally written as
+        JSON-lines to this file (implies tracing on).
+    """
+
+    backend: str = "serial"
+    num_workers: int = 1
+    coarse: Optional[CoarseParams] = None
+    seed: Optional[int] = None
+    vectorized: bool = False
+    profile: bool = False
+    metrics_out: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ParameterError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if not isinstance(self.num_workers, int) or self.num_workers < 1:
+            raise ParameterError(
+                f"num_workers must be an int >= 1, got {self.num_workers!r}"
+            )
+        # Coerce the legacy bool spelling so every consumer sees
+        # Optional[CoarseParams].
+        if self.coarse is True:
+            object.__setattr__(self, "coarse", CoarseParams())
+        elif self.coarse is False:
+            object.__setattr__(self, "coarse", None)
+        elif self.coarse is not None and not isinstance(self.coarse, CoarseParams):
+            raise ParameterError(
+                f"coarse must be None, a bool, or CoarseParams, got {self.coarse!r}"
+            )
+        if self.seed is not None and not isinstance(self.seed, int):
+            raise ParameterError(f"seed must be None or an int, got {self.seed!r}")
+        object.__setattr__(self, "vectorized", bool(self.vectorized))
+        object.__setattr__(self, "profile", bool(self.profile))
+        if self.metrics_out is not None:
+            object.__setattr__(self, "metrics_out", str(self.metrics_out))
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form; ``coarse`` expands to its field dict."""
+        return {
+            "backend": self.backend,
+            "num_workers": self.num_workers,
+            "coarse": dataclasses.asdict(self.coarse) if self.coarse else None,
+            "seed": self.seed,
+            "vectorized": self.vectorized,
+            "profile": self.profile,
+            "metrics_out": self.metrics_out,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunConfig":
+        """Inverse of :meth:`to_dict`; unknown keys raise ParameterError."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ParameterError(
+                f"unknown RunConfig keys: {sorted(unknown)} (known: {sorted(known)})"
+            )
+        kwargs = dict(data)
+        coarse = kwargs.get("coarse")
+        if isinstance(coarse, dict):
+            kwargs["coarse"] = CoarseParams(**coarse)
+        return cls(**kwargs)
+
+    def replace(self, **changes: Any) -> "RunConfig":
+        """A copy with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    @property
+    def tracing_enabled(self) -> bool:
+        return self.profile or self.metrics_out is not None
+
+    def make_tracer(self, summary_stream: Optional[Any] = None) -> Any:
+        """Build the tracer this config asks for.
+
+        Returns the shared no-op tracer unless ``profile`` or
+        ``metrics_out`` is set.  With ``profile``, a
+        :class:`~repro.obs.sinks.SummarySink` prints an aggregated table
+        (to ``summary_stream`` or stderr) when the tracer is closed;
+        with ``metrics_out``, a JSON-lines trace file is written.
+        """
+        from repro.obs import JsonLinesSink, NULL_TRACER, SummarySink, Tracer
+
+        if not self.tracing_enabled:
+            return NULL_TRACER
+        sinks: list = []
+        if self.metrics_out is not None:
+            sinks.append(JsonLinesSink(Path(self.metrics_out)))
+        if self.profile:
+            sinks.append(SummarySink(summary_stream))
+        return Tracer(sinks)

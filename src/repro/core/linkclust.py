@@ -2,9 +2,15 @@
 
 :class:`LinkClustering` is the facade most users want: it wires together
 Phase I (similarity initialization), Phase II (fine- or coarse-grained
-sweeping), and the parallel backends, and returns a
-:class:`LinkClusteringResult` exposing dendrogram cuts, edge partitions and
-overlapping node communities.
+sweeping), the parallel backends, and the observability layer, and
+returns a :class:`LinkClusteringResult` exposing dendrogram cuts, edge
+partitions and overlapping node communities.
+
+Configuration lives in a :class:`~repro.core.config.RunConfig`; the
+individual keyword arguments remain as a shim that builds one::
+
+    LinkClustering(graph, config=RunConfig(backend="shm", num_workers=4))
+    LinkClustering(graph, backend="shm", num_workers=4)   # equivalent
 
 Example
 -------
@@ -19,20 +25,27 @@ True
 
 from __future__ import annotations
 
+import json
 import random
+import warnings
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.cluster.dendrogram import Dendrogram
 from repro.cluster.partition import EdgePartition, node_communities
 from repro.cluster.unionfind import ChainArray
 from repro.core.coarse import CoarseParams, CoarseResult, coarse_sweep
+from repro.core.config import BACKENDS, RunConfig
 from repro.core.similarity import SimilarityMap, compute_similarity_map
 from repro.core.sweep import SweepResult, sweep
 from repro.errors import ParameterError
 from repro.graph.graph import Graph
+from repro.obs import Tracer, as_tracer
 
 __all__ = ["LinkClustering", "LinkClusteringResult"]
+
+# Sentinel distinguishing "not passed" from explicit None/False.
+_UNSET: Any = object()
 
 
 @dataclass
@@ -51,6 +64,7 @@ class LinkClusteringResult:
     k2: int
     num_levels: int
     coarse: Optional[CoarseResult] = None
+    config: Optional[RunConfig] = None
 
     def edge_labels(self) -> List[int]:
         """Final cluster label of every edge id (min-index canonical)."""
@@ -90,14 +104,65 @@ class LinkClusteringResult:
             self.graph, self.labels_at_level(level), min_edges=min_edges
         )
 
+    # ------------------------------------------------------------------
+    # machine-readable output
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable summary dict (schema version 1) for machine consumers.
+
+        Holds counts, the best cut, the coarse-epoch breakdown, and the
+        run's config — not the full dendrogram (that stays an in-memory
+        structure; levels can be re-derived from the result object).
+        """
+        partition, level, density = self.best_partition()
+        out: Dict[str, Any] = {
+            "schema": 1,
+            "num_vertices": self.graph.num_vertices,
+            "num_edges": self.graph.num_edges,
+            "k1": self.k1,
+            "k2": self.k2,
+            "num_levels": self.num_levels,
+            "best_cut": {
+                "level": level,
+                "density": density,
+                "num_clusters": partition.num_clusters,
+            },
+            "coarse": None,
+            "config": self.config.to_dict() if self.config is not None else None,
+        }
+        if self.coarse is not None:
+            out["coarse"] = {
+                "pairs_processed": self.coarse.pairs_processed,
+                "processed_fraction": self.coarse.processed_fraction,
+                "stopped_by_phi": self.coarse.stopped_by_phi,
+                "epoch_kinds": self.coarse.epoch_kind_counts(),
+            }
+        return out
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """:meth:`to_dict` serialized with sorted keys (diff-stable)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
 
 class LinkClustering:
     """Configurable link clustering runner.
 
+    Preferred construction is a single :class:`RunConfig`::
+
+        LinkClustering(graph, config=RunConfig(backend="thread", num_workers=4))
+
+    The individual settings below remain accepted as **keyword-only**
+    arguments and are folded into a ``RunConfig`` internally; passing
+    them positionally is deprecated (and flagged in-repo by analysis
+    rule API002).  ``config=`` and individual settings are mutually
+    exclusive.
+
     Parameters
     ----------
     graph:
-        The weighted undirected input graph.
+        The weighted undirected input graph (positional).
+    config:
+        A :class:`RunConfig` carrying every other setting.
     coarse:
         ``False`` (default) for the fine-grained Algorithm 2;
         ``True`` for coarse-grained sweeping with default
@@ -118,66 +183,173 @@ class LinkClustering:
         Use the scipy.sparse fast path for Phase I
         (:func:`repro.fast.fast_similarity_map`); identical output,
         faster on large dense graphs.
+    tracer:
+        Optional :class:`repro.obs.Tracer` overriding the one the config
+        would build (``config.profile`` / ``config.metrics_out``).
     """
 
-    _BACKENDS = ("serial", "thread", "process", "shm")
+    _BACKENDS = BACKENDS
+
+    # Positional order the pre-RunConfig signature had; the shim maps
+    # legacy positional arguments through it.
+    _LEGACY_ORDER = ("coarse", "backend", "num_workers", "seed", "vectorized")
 
     def __init__(
         self,
         graph: Graph,
-        coarse: bool | CoarseParams = False,
-        backend: str = "serial",
-        num_workers: int = 1,
-        seed: Optional[int] = None,
-        vectorized: bool = False,
+        *args: Any,
+        config: Optional[RunConfig] = None,
+        coarse: Any = _UNSET,
+        backend: Any = _UNSET,
+        num_workers: Any = _UNSET,
+        seed: Any = _UNSET,
+        vectorized: Any = _UNSET,
+        tracer: Optional[Tracer] = None,
     ):
-        if backend not in self._BACKENDS:
-            raise ParameterError(
-                f"backend must be one of {self._BACKENDS}, got {backend!r}"
+        settings: Dict[str, Any] = {}
+        if args:
+            if len(args) > len(self._LEGACY_ORDER):
+                raise TypeError(
+                    f"LinkClustering takes at most {1 + len(self._LEGACY_ORDER)} "
+                    f"positional arguments ({1 + len(args)} given)"
+                )
+            warnings.warn(
+                "passing LinkClustering settings positionally is deprecated; "
+                "use keyword arguments or config=RunConfig(...)",
+                DeprecationWarning,
+                stacklevel=2,
             )
-        if num_workers < 1:
-            raise ParameterError(f"num_workers must be >= 1, got {num_workers}")
-        self.graph = graph
-        if coarse is True:
-            self.coarse_params: Optional[CoarseParams] = CoarseParams()
-        elif coarse is False:
-            self.coarse_params = None
+            for name, value in zip(self._LEGACY_ORDER, args):
+                settings[name] = value
+        for name, value in (
+            ("coarse", coarse),
+            ("backend", backend),
+            ("num_workers", num_workers),
+            ("seed", seed),
+            ("vectorized", vectorized),
+        ):
+            if value is not _UNSET:
+                if name in settings:
+                    raise TypeError(
+                        f"LinkClustering got multiple values for argument {name!r}"
+                    )
+                settings[name] = value
+
+        if config is not None:
+            if settings:
+                raise ParameterError(
+                    "pass either config=RunConfig(...) or individual settings "
+                    f"({sorted(settings)}), not both"
+                )
+            if not isinstance(config, RunConfig):
+                raise ParameterError(
+                    f"config must be a RunConfig, got {type(config).__name__}"
+                )
+            self.config = config
         else:
-            self.coarse_params = coarse
-        self.backend = backend
-        self.num_workers = num_workers
-        self.seed = seed
-        self.vectorized = bool(vectorized)
+            self.config = RunConfig(**settings)
+
+        self.graph = graph
+        self.tracer = as_tracer(tracer) if tracer is not None else self.config.make_tracer()
+
+    # ------------------------------------------------------------------
+    # config views (kept as attributes of record for backward compat)
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        return self.config.backend
+
+    @property
+    def num_workers(self) -> int:
+        return self.config.num_workers
+
+    @property
+    def seed(self) -> Optional[int]:
+        return self.config.seed
+
+    @property
+    def vectorized(self) -> bool:
+        return self.config.vectorized
+
+    @property
+    def coarse_params(self) -> Optional[CoarseParams]:
+        return self.config.coarse
 
     # ------------------------------------------------------------------
     def compute_similarities(self) -> SimilarityMap:
         """Phase I only (useful for reuse across sweeps)."""
+        with self.tracer.span(
+            "phase:init", backend=self.backend, vectorized=self.vectorized
+        ):
+            return self._compute_similarities()
+
+    def _compute_similarities(self) -> SimilarityMap:
         if self.vectorized:
             from repro.fast.similarity import fast_similarity_map
 
             return fast_similarity_map(self.graph)
         if self.backend == "serial" or self.num_workers == 1:
-            return compute_similarity_map(self.graph)
+            return compute_similarity_map(self.graph, tracer=self.tracer)
         from repro.parallel.par_init import parallel_similarity_map
 
         # Phase I has no shared-memory variant (its output is a python
         # dict, not a flat array); shm runs use real processes there.
         init_backend = "process" if self.backend == "shm" else self.backend
         return parallel_similarity_map(
-            self.graph, num_workers=self.num_workers, backend=init_backend
+            self.graph,
+            num_workers=self.num_workers,
+            backend=init_backend,
+            tracer=self.tracer,
         )
 
     def run(
-        self, similarity_map: Optional[SimilarityMap] = None
+        self, *args: Any, similarity_map: Optional[SimilarityMap] = None
     ) -> LinkClusteringResult:
-        """Run both phases and return the unified result."""
-        sim = similarity_map or self.compute_similarities()
+        """Run both phases and return the unified result.
+
+        ``similarity_map`` is keyword-only; the positional spelling is
+        deprecated.
+        """
+        if args:
+            if len(args) > 1:
+                raise TypeError(
+                    f"run() takes at most 1 positional argument ({len(args)} given)"
+                )
+            if similarity_map is not None:
+                raise TypeError("run() got multiple values for 'similarity_map'")
+            warnings.warn(
+                "passing similarity_map positionally to run() is deprecated; "
+                "use run(similarity_map=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            similarity_map = args[0]
+
+        tracer = self.tracer
+        with tracer.span(
+            "run",
+            backend=self.backend,
+            num_workers=self.num_workers,
+            coarse=self.coarse_params is not None,
+            vectorized=self.vectorized,
+        ):
+            result = self._run(similarity_map)
+        tracer.flush()
+        return result
+
+    def _run(self, similarity_map: Optional[SimilarityMap]) -> LinkClusteringResult:
+        tracer = self.tracer
+        sim = similarity_map if similarity_map is not None else self.compute_similarities()
+        tracer.gauge("k1", sim.k1)
+        tracer.gauge("k2", sim.k2)
         edge_order = None
         if self.seed is not None:
             edge_order = self.graph.permuted_edge_ids(random.Random(self.seed))
 
         if self.coarse_params is None:
-            fine: SweepResult = sweep(self.graph, sim, edge_order=edge_order)
+            fine: SweepResult = sweep(
+                self.graph, sim, edge_order=edge_order, tracer=tracer
+            )
             return LinkClusteringResult(
                 graph=self.graph,
                 dendrogram=fine.dendrogram,
@@ -186,6 +358,7 @@ class LinkClustering:
                 k1=fine.k1,
                 k2=fine.k2,
                 num_levels=fine.num_levels,
+                config=self.config,
             )
 
         if self.backend != "serial" and self.num_workers > 1:
@@ -198,10 +371,15 @@ class LinkClustering:
                 edge_order=edge_order,
                 num_workers=self.num_workers,
                 backend=self.backend,
+                tracer=tracer,
             )
         else:
             coarse = coarse_sweep(
-                self.graph, sim, params=self.coarse_params, edge_order=edge_order
+                self.graph,
+                sim,
+                params=self.coarse_params,
+                edge_order=edge_order,
+                tracer=tracer,
             )
         return LinkClusteringResult(
             graph=self.graph,
@@ -212,4 +390,5 @@ class LinkClustering:
             k2=coarse.k2,
             num_levels=coarse.num_levels,
             coarse=coarse,
+            config=self.config,
         )

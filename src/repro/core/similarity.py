@@ -35,6 +35,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ClusteringError
 from repro.graph.graph import Graph
+from repro.obs import as_tracer
 
 __all__ = [
     "PairAccumulator",
@@ -239,9 +240,18 @@ def finalize_similarities(
     return SimilarityMap(entries)
 
 
-def compute_similarity_map(graph: Graph) -> SimilarityMap:
-    """Run all of Algorithm 1 serially and return the finalized map ``M``."""
-    h1, h2 = compute_h_arrays(graph)
-    m = accumulate_pair_map(graph)
-    apply_adjacency_terms(graph, m, h1)
-    return finalize_similarities(m, h2)
+def compute_similarity_map(graph: Graph, tracer=None) -> SimilarityMap:
+    """Run all of Algorithm 1 serially and return the finalized map ``M``.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) gets one span per pass
+    (``init:pass1`` .. ``init:finalize``); omitted means no tracing.
+    """
+    tracer = as_tracer(tracer)
+    with tracer.span("init:pass1"):
+        h1, h2 = compute_h_arrays(graph)
+    with tracer.span("init:pass2"):
+        m = accumulate_pair_map(graph)
+    with tracer.span("init:pass3"):
+        apply_adjacency_terms(graph, m, h1)
+    with tracer.span("init:finalize"):
+        return finalize_similarities(m, h2)

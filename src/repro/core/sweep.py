@@ -22,6 +22,7 @@ from repro.cluster.unionfind import ChainArray
 from repro.core.similarity import SimilarityMap, compute_similarity_map
 from repro.errors import ClusteringError
 from repro.graph.graph import Graph
+from repro.obs import as_tracer
 
 __all__ = ["SweepResult", "sweep", "build_edge_index"]
 
@@ -93,6 +94,7 @@ def sweep(
     similarity_map: Optional[SimilarityMap] = None,
     edge_order: Optional[Sequence[int]] = None,
     record_changes: bool = False,
+    tracer=None,
 ) -> SweepResult:
     """Run Algorithm 2 (fine-grained sweeping) over ``graph``.
 
@@ -106,32 +108,40 @@ def sweep(
         Optional permutation assigning array-``C`` indices to edges.
     record_changes:
         Track per-MERGE change counts on array ``C`` (Figure 2(1) data).
+    tracer:
+        Optional :class:`repro.obs.Tracer`; gets ``phase:sort`` and
+        ``phase:sweep`` spans plus a ``merges`` counter.  Tracing sits
+        outside the merge loop, so it costs nothing per pair.
 
     Returns
     -------
     :class:`SweepResult` with the dendrogram over edge indices.
     """
+    tracer = as_tracer(tracer)
     sim = similarity_map if similarity_map is not None else compute_similarity_map(graph)
-    pairs = sim.sorted_pairs()  # list L
+    with tracer.span("phase:sort", k1=sim.k1):
+        pairs = sim.sorted_pairs()  # list L
     index = build_edge_index(graph, edge_order)
     chain = ChainArray(graph.num_edges)
     builder = DendrogramBuilder(graph.num_edges)
     per_merge: Optional[List[int]] = [] if record_changes else None
 
     r = 0
-    for similarity, (vi, vj), commons in pairs:
-        for vk in commons:
-            i1 = index[graph.edge_id(vi, vk)]
-            i2 = index[graph.edge_id(vj, vk)]
-            before = chain.changes
-            outcome = chain.merge(i1, i2)
-            if per_merge is not None:
-                per_merge.append(chain.changes - before)
-            if outcome.merged:
-                r += 1
-                builder.record(
-                    r, outcome.c1, outcome.c2, outcome.parent, similarity
-                )
+    with tracer.span("phase:sweep"):
+        for similarity, (vi, vj), commons in pairs:
+            for vk in commons:
+                i1 = index[graph.edge_id(vi, vk)]
+                i2 = index[graph.edge_id(vj, vk)]
+                before = chain.changes
+                outcome = chain.merge(i1, i2)
+                if per_merge is not None:
+                    per_merge.append(chain.changes - before)
+                if outcome.merged:
+                    r += 1
+                    builder.record(
+                        r, outcome.c1, outcome.c2, outcome.parent, similarity
+                    )
+    tracer.count("merges", r)
 
     return SweepResult(
         dendrogram=builder.build(),

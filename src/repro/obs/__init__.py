@@ -1,0 +1,46 @@
+"""Observability: run-wide tracing of phases, chunks, and worker costs.
+
+See :mod:`repro.obs.tracer` for the span model and
+:mod:`repro.obs.sinks` for output destinations.  The conventional trace
+a full :class:`~repro.core.linkclust.LinkClustering` run produces::
+
+    run
+    ├─ phase:init            (Algorithm 1; init:pass1/2/3, init:finalize)
+    ├─ phase:sort            (similarity ordering)
+    └─ phase:sweep           (Algorithm 2 / coarse epochs)
+       ├─ sweep:chunk[0]
+       │  ├─ runtime:spawn   (parallel backends, first chunk only)
+       │  ├─ runtime:copy
+       │  ├─ runtime:compute
+       │  └─ runtime:merge
+       ├─ sweep:chunk[1] ...
+
+plus counters (``k1``, ``k2``, ``merges``, ``rollbacks``, ``jump_hits``,
+``worker_restarts``) and events (``sweep:level``, ``sweep:jump``).
+"""
+
+from repro.obs.sinks import JsonLinesSink, MemorySink, Sink, SummarySink, render_summary
+from repro.obs.tracer import (
+    NULL_TRACER,
+    CounterRecord,
+    EventRecord,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    as_tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "as_tracer",
+    "SpanRecord",
+    "EventRecord",
+    "CounterRecord",
+    "Sink",
+    "MemorySink",
+    "JsonLinesSink",
+    "SummarySink",
+    "render_summary",
+]

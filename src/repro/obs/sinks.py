@@ -1,0 +1,198 @@
+"""Sinks: where trace records go.
+
+A sink receives every :class:`~repro.obs.tracer.TraceRecord` the tracer
+emits.  Three are provided, matching the three consumers a run has:
+
+* :class:`MemorySink` — tests and in-process analysis;
+* :class:`JsonLinesSink` — ``repro cluster --metrics-out trace.jsonl``,
+  one JSON object per line, stable machine-readable schema;
+* :class:`SummarySink` — the human-readable table behind ``--profile``,
+  aggregating repeated spans (``sweep:chunk[17]`` collapses into
+  ``sweep:chunk[*]``).
+
+Sinks are deliberately dumb: no buffering policy beyond the file
+object's own, no threads, no dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+from typing import IO, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.tracer import CounterRecord, EventRecord, SpanRecord, TraceRecord
+
+__all__ = [
+    "Sink",
+    "MemorySink",
+    "JsonLinesSink",
+    "SummarySink",
+    "render_summary",
+]
+
+
+class Sink:
+    """Base class: receives records via :meth:`emit`; all hooks optional."""
+
+    def emit(self, record: TraceRecord) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class MemorySink(Sink):
+    """Keeps every record in a list — the test/introspection sink."""
+
+    def __init__(self) -> None:
+        self.records: List[TraceRecord] = []
+
+    def emit(self, record: TraceRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def spans(self) -> List[SpanRecord]:
+        return [r for r in self.records if isinstance(r, SpanRecord)]
+
+    @property
+    def events(self) -> List[EventRecord]:
+        return [r for r in self.records if isinstance(r, EventRecord)]
+
+    @property
+    def counters(self) -> Dict[str, Union[int, float]]:
+        """Last-write-wins view over the emitted counter snapshots."""
+        out: Dict[str, Union[int, float]] = {}
+        for r in self.records:
+            if isinstance(r, CounterRecord):
+                out[r.name] = r.value
+        return out
+
+    def span_names(self) -> List[str]:
+        """Distinct span names in first-emission order."""
+        seen: Dict[str, None] = {}
+        for span in self.spans:
+            seen.setdefault(span.name, None)
+        return list(seen)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class JsonLinesSink(Sink):
+    """Writes one compact JSON object per record.
+
+    Accepts a path (opened lazily on first emit, closed by
+    :meth:`close`) or an already-open text stream (left open — the
+    caller owns it).
+    """
+
+    def __init__(self, target: Union[str, Path, IO[str]]):
+        if isinstance(target, (str, Path)):
+            self._path: Optional[Path] = Path(target)
+            self._file: Optional[IO[str]] = None
+            self._owns_file = True
+        else:
+            self._path = None
+            self._file = target
+            self._owns_file = False
+
+    def _ensure_open(self) -> IO[str]:
+        if self._file is None:
+            assert self._path is not None
+            self._file = self._path.open("w", encoding="utf-8")
+        return self._file
+
+    def emit(self, record: TraceRecord) -> None:
+        out = self._ensure_open()
+        out.write(json.dumps(record.to_dict(), sort_keys=True))
+        out.write("\n")
+
+    def flush(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+
+    def close(self) -> None:
+        if self._file is not None and self._owns_file:
+            self._file.close()
+            self._file = None
+
+
+_CHUNK_INDEX = re.compile(r"\[\d+\]")
+
+
+def _aggregate_key(name: str) -> str:
+    """Collapse per-index span names: ``sweep:chunk[17]`` → ``sweep:chunk[*]``."""
+    return _CHUNK_INDEX.sub("[*]", name)
+
+
+def render_summary(
+    spans: Sequence[SpanRecord],
+    counters: Optional[Dict[str, Union[int, float]]] = None,
+) -> str:
+    """Format spans (and optional counters) as an aligned text table.
+
+    Spans aggregate by indexed-collapsed name; the ``share`` column is
+    relative to the longest top-level (depth-0) span so nested phases
+    read as fractions of the whole run.
+    """
+    totals: Dict[str, Tuple[int, float]] = {}
+    order: List[str] = []
+    run_total = 0.0
+    for span in spans:
+        key = _aggregate_key(span.name)
+        if key not in totals:
+            totals[key] = (0, 0.0)
+            order.append(key)
+        calls, total = totals[key]
+        totals[key] = (calls + 1, total + span.duration)
+        if span.depth == 0:
+            run_total = max(run_total, span.duration)
+
+    lines = [f"{'span':<28} {'calls':>6} {'total_s':>10} {'mean_s':>10} {'share':>7}"]
+    for key in order:
+        calls, total = totals[key]
+        share = f"{total / run_total:6.1%}" if run_total > 0 else "    --"
+        lines.append(f"{key:<28} {calls:>6} {total:>10.4f} {total / calls:>10.6f} {share:>7}")
+    if counters:
+        lines.append("")
+        lines.append(f"{'counter':<28} {'value':>10}")
+        for name in sorted(counters):
+            value = counters[name]
+            text = f"{value:.4f}" if isinstance(value, float) else str(value)
+            lines.append(f"{name:<28} {text:>10}")
+    return "\n".join(lines)
+
+
+class SummarySink(Sink):
+    """Buffers records, prints an aggregated table on :meth:`close`.
+
+    Writes to ``stream`` (default stderr so ``--profile`` composes with
+    piped stdout output).
+    """
+
+    def __init__(self, stream: Optional[IO[str]] = None):
+        self._stream = stream
+        self._spans: List[SpanRecord] = []
+        self._counters: Dict[str, Union[int, float]] = {}
+        self._closed = False
+
+    def emit(self, record: TraceRecord) -> None:
+        if isinstance(record, SpanRecord):
+            self._spans.append(record)
+        elif isinstance(record, CounterRecord):
+            self._counters[record.name] = record.value
+
+    def render(self) -> str:
+        return render_summary(self._spans, self._counters)
+
+    def close(self) -> None:
+        if self._closed or not self._spans:
+            return
+        self._closed = True
+        stream = self._stream if self._stream is not None else sys.stderr
+        print(self.render(), file=stream)

@@ -33,6 +33,7 @@ from repro.core.similarity import (
 )
 from repro.errors import ParameterError
 from repro.graph.graph import Graph
+from repro.obs import as_tracer
 from repro.parallel.partitioner import partition_range
 from repro.parallel.pool import ExecutionBackend, SerialBackend, get_backend
 
@@ -112,6 +113,7 @@ def parallel_similarity_map(
     num_workers: int = 2,
     backend: str = "thread",
     scheme: str = "round_robin",
+    tracer=None,
 ) -> SimilarityMap:
     """Phase I with ``num_workers`` workers on the named backend.
 
@@ -119,10 +121,12 @@ def parallel_similarity_map(
     :func:`repro.core.similarity.compute_similarity_map` (floating-point
     sums are accumulated in a fixed merge order, so results match the
     serial run bit-for-bit only up to addition reordering across workers —
-    tests compare with tolerances).
+    tests compare with tolerances).  ``tracer`` gets the same per-pass
+    spans as the serial path (``init:pass1`` .. ``init:finalize``).
     """
     if num_workers < 1:
         raise ParameterError(f"num_workers must be >= 1, got {num_workers}")
+    tracer = as_tracer(tracer)
     exec_backend = get_backend(backend, num_workers)
     # Map merging on the process backend would re-pickle every map; the
     # maps already live in the parent, so merge them inline there.
@@ -130,30 +134,34 @@ def parallel_similarity_map(
     parts = partition_range(graph.num_vertices, num_workers, scheme)
 
     # Pass 1: disjoint H1/H2 slices, summed (disjoint fills, zero elsewhere).
-    n = graph.num_vertices
-    h1 = [0.0] * n
-    h2 = [0.0] * n
-    for part_h1, part_h2 in exec_backend.map(
-        _pass1_worker, [(graph, part) for part in parts]
-    ):
-        for i, value in enumerate(part_h1):
-            if value:
-                h1[i] = value
-        for i, value in enumerate(part_h2):
-            if value:
-                h2[i] = value
+    with tracer.span("init:pass1", workers=len(parts)):
+        n = graph.num_vertices
+        h1 = [0.0] * n
+        h2 = [0.0] * n
+        for part_h1, part_h2 in exec_backend.map(
+            _pass1_worker, [(graph, part) for part in parts]
+        ):
+            for i, value in enumerate(part_h1):
+                if value:
+                    h1[i] = value
+            for i, value in enumerate(part_h2):
+                if value:
+                    h2[i] = value
 
     # Pass 2: private maps, then hierarchical merge.
-    local_maps = exec_backend.map(_pass2_worker, [(graph, part) for part in parts])
-    m = hierarchical_map_merge(local_maps, merge_backend)
+    with tracer.span("init:pass2", workers=len(parts)):
+        local_maps = exec_backend.map(_pass2_worker, [(graph, part) for part in parts])
+        m = hierarchical_map_merge(local_maps, merge_backend)
 
     # Pass 3: adjustments partitioned by first vertex, applied to M.
-    for adjustments in exec_backend.map(
-        _pass3_worker, [(graph, part, h1) for part in parts]
-    ):
-        for key, value in adjustments.items():
-            entry = m.get(key)
-            if entry is not None:
-                entry[0] += value
+    with tracer.span("init:pass3", workers=len(parts)):
+        for adjustments in exec_backend.map(
+            _pass3_worker, [(graph, part, h1) for part in parts]
+        ):
+            for key, value in adjustments.items():
+                entry = m.get(key)
+                if entry is not None:
+                    entry[0] += value
 
-    return finalize_similarities(m, h2)
+    with tracer.span("init:finalize"):
+        return finalize_similarities(m, h2)

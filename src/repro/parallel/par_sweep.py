@@ -58,8 +58,9 @@ class _ParallelCoarseSweeper(_CoarseSweeper):
         params: CoarseParams,
         edge_order: Optional[Sequence[int]],
         runtime: SweepRuntime,
+        tracer=None,
     ):
-        super().__init__(graph, similarity_map, params, edge_order)
+        super().__init__(graph, similarity_map, params, edge_order, tracer)
         self._runtime = runtime
 
     def _apply_chunk(self, chunk: range) -> None:
@@ -106,6 +107,7 @@ def parallel_coarse_sweep(
     edge_order: Optional[Sequence[int]] = None,
     num_workers: int = 2,
     backend: Union[str, ExecutionBackend, SweepRuntime] = "thread",
+    tracer=None,
 ) -> CoarseResult:
     """Coarse-grained sweep with parallel chunk processing.
 
@@ -127,8 +129,18 @@ def parallel_coarse_sweep(
     sim = similarity_map if similarity_map is not None else compute_similarity_map(graph)
     caller_owned = isinstance(backend, SweepRuntime)
     runtime = get_sweep_runtime(backend, num_workers)
-    sweeper = _ParallelCoarseSweeper(graph, sim, params or CoarseParams(), edge_order, runtime)
-    if caller_owned:
-        return sweeper.run()
-    with runtime:
-        return sweeper.run()
+    sweeper = _ParallelCoarseSweeper(
+        graph, sim, params or CoarseParams(), edge_order, runtime, tracer
+    )
+    # The runtime reports per-chunk costs through the sweep's tracer;
+    # restore its previous tracer afterwards so a caller-owned runtime
+    # never keeps emitting into a tracer that may since have been closed.
+    previous_tracer = runtime.tracer
+    runtime.tracer = sweeper.tracer
+    try:
+        if caller_owned:
+            return sweeper.run()
+        with runtime:
+            return sweeper.run()
+    finally:
+        runtime.tracer = previous_tracer

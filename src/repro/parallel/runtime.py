@@ -34,6 +34,7 @@ from typing import Dict, Sequence, Tuple, Union
 
 from repro.cluster.unionfind import ChainArray
 from repro.errors import ParameterError
+from repro.obs import NULL_TRACER
 from repro.parallel.merge_arrays import hierarchical_merge
 from repro.parallel.partitioner import round_robin_partition
 from repro.parallel.pool import ExecutionBackend, SerialBackend, get_backend
@@ -100,6 +101,9 @@ class SweepRuntime(ABC):
 
     def __init__(self) -> None:
         self.stats = RuntimeStats(backend=self.name)
+        # Assigned by the driver (parallel_coarse_sweep) for the duration
+        # of a sweep; per-chunk costs surface as ``runtime:*`` spans.
+        self.tracer = NULL_TRACER
 
     def start(self) -> "SweepRuntime":
         """Create worker state eagerly; returns self."""
@@ -156,6 +160,7 @@ class LocalSweepRuntime(SweepRuntime):
         self.name = self.backend.name
         super().__init__()
         self.num_workers = num_workers
+        self._spawns = 0
         # Hierarchical array merging re-pickles arrays on the process
         # backend; arrays already live in the parent after step 1, so the
         # combine step stays inline there.
@@ -164,9 +169,17 @@ class LocalSweepRuntime(SweepRuntime):
         )
 
     def start(self) -> "LocalSweepRuntime":
+        was_running = getattr(self.backend, "running", True)
         t0 = time.perf_counter()
         self.backend.start()
-        self.stats.spawn_time += time.perf_counter() - t0
+        dt = time.perf_counter() - t0
+        self.stats.spawn_time += dt
+        if not was_running:
+            # An actual pool (re-)spawn, not an idempotent no-op call.
+            self.tracer.record("runtime:spawn", dt, backend=self.name)
+            if self._spawns:
+                self.tracer.count("worker_restarts")
+            self._spawns += 1
         return self
 
     def shutdown(self) -> None:
@@ -185,19 +198,28 @@ class LocalSweepRuntime(SweepRuntime):
         if not parts:
             return chain
 
-        t0 = time.perf_counter()
+        # Spawn before the copy timer starts, so pool construction cost
+        # lands in spawn_time only (it used to leak into copy_time when
+        # the lazy start sat inside the copy window).
         self.start()
+        tracer = self.tracer
+
+        t0 = time.perf_counter()
         copies = [chain.copy() for _ in parts]
         t1 = time.perf_counter()
         stats.copy_time += t1 - t0
+        tracer.record("runtime:copy", t1 - t0, copies=len(parts))
 
         merged = self.backend.map(_merge_worker, list(zip(copies, parts)))
         stats.tasks += len(parts)
         t2 = time.perf_counter()
         stats.compute_time += t2 - t1
+        tracer.record("runtime:compute", t2 - t1, workers=len(parts))
 
         after = hierarchical_merge(list(merged), self._merge_backend)
-        stats.merge_time += time.perf_counter() - t2
+        t3 = time.perf_counter()
+        stats.merge_time += t3 - t2
+        tracer.record("runtime:merge", t3 - t2)
         return after
 
     def __repr__(self) -> str:
@@ -235,6 +257,7 @@ class ShmSweepRuntime(SweepRuntime):
             # a new sweep over a different graph — re-size the arena.
             self._arena.shutdown()
             self._arena = None
+            self.tracer.count("worker_restarts")
         if self._arena is None:
             self._arena = ShmArena(n, self.num_workers)
         return self._arena
@@ -255,8 +278,26 @@ class ShmSweepRuntime(SweepRuntime):
             self.stats.chunks += 1
             return chain
         arena = self._arena_for(len(chain))
+        stats = self.stats
+        before = (
+            stats.spawn_time,
+            stats.copy_time,
+            stats.compute_time,
+            stats.merge_time,
+        )
         merged_raw = arena.chunk_merge(list(chain.raw()), edge_pairs)
         self._sync_stats()
+        # The arena times its own steps (workers run out-of-process);
+        # this chunk's contribution is the counter delta.
+        tracer = self.tracer
+        spawn_dt = stats.spawn_time - before[0]
+        if spawn_dt > 0.0:
+            tracer.record("runtime:spawn", spawn_dt, backend=self.name)
+        tracer.record("runtime:copy", stats.copy_time - before[1])
+        tracer.record(
+            "runtime:compute", stats.compute_time - before[2], workers=self.num_workers
+        )
+        tracer.record("runtime:merge", stats.merge_time - before[3])
         return ChainArray(len(merged_raw), _init=merged_raw)
 
     def _sync_stats(self) -> None:

@@ -1,0 +1,15 @@
+"""API002 fixture: positional LinkClustering settings."""
+
+from repro.core.linkclust import LinkClustering
+
+
+def one_flag(graph):
+    return LinkClustering(graph, True)
+
+
+def several_flags(graph):
+    return LinkClustering(graph, False, "thread", 4)
+
+
+def positional_run(graph, sim):
+    return LinkClustering(graph).run(sim)

@@ -1,0 +1,21 @@
+"""API002 fixture: keyword and config= call styles."""
+
+from repro.core.config import RunConfig
+from repro.core.linkclust import LinkClustering
+
+
+def keywords(graph):
+    return LinkClustering(graph, coarse=True, backend="thread", num_workers=4)
+
+
+def via_config(graph):
+    return LinkClustering(graph, config=RunConfig(backend="shm", num_workers=2))
+
+
+def keyword_run(graph, sim):
+    return LinkClustering(graph).run(similarity_map=sim)
+
+
+def unrelated_positional(graph, sim):
+    # Other callables keep their conventions; only LinkClustering is scoped.
+    return sorted(sim, key=len)

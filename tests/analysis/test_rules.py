@@ -10,7 +10,7 @@ from repro.analysis import analyze_file, resolve_rules
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
-RULES = ["SHM001", "PAR001", "PAR002", "DET001", "COR001", "API001"]
+RULES = ["SHM001", "PAR001", "PAR002", "DET001", "COR001", "API001", "API002"]
 
 
 def run_rule(rule_id, fixture_name):
@@ -82,3 +82,13 @@ class TestApi001Details:
     def test_every_mutable_default_flagged(self):
         findings = run_rule("API001", "api001_bad.py")
         assert len(findings) == 4
+
+
+class TestApi002Details:
+    def test_constructor_and_run_sites_flagged(self):
+        findings = run_rule("API002", "api002_bad.py")
+        # two positional-constructor sites + one positional run()
+        assert len(findings) == 3
+        messages = " ".join(f.message for f in findings)
+        assert "RunConfig" in messages
+        assert "similarity_map" in messages

@@ -64,9 +64,10 @@ class TestSelectIgnore:
         with pytest.raises(AnalysisError, match="unknown rule id"):
             analyze_paths([FIXTURES], select=["NOPE999"])
 
-    def test_catalog_lists_all_six_rules(self):
+    def test_catalog_lists_all_rules(self):
         assert rule_ids() == [
             "API001",
+            "API002",
             "COR001",
             "DET001",
             "PAR001",

@@ -120,3 +120,95 @@ class TestParallelRuns:
         r1 = lc.run(similarity_map=sim)
         r2 = lc.run()
         assert r1.edge_labels() == r2.edge_labels()
+
+
+class TestConfigApi:
+    def test_config_path_equals_kwargs_path(self, weighted_caveman):
+        from repro.core.config import RunConfig
+
+        params = CoarseParams(phi=2, delta0=10)
+        via_kwargs = LinkClustering(weighted_caveman, coarse=params, seed=3).run()
+        via_config = LinkClustering(
+            weighted_caveman, config=RunConfig(coarse=params, seed=3)
+        ).run()
+        assert via_kwargs.edge_labels() == via_config.edge_labels()
+        assert via_config.config.coarse == params
+
+    def test_kwargs_fold_into_config(self, triangle):
+        lc = LinkClustering(triangle, backend="thread", num_workers=3, seed=1)
+        assert lc.config.backend == "thread"
+        assert lc.config.num_workers == 3
+        assert lc.config.seed == 1
+        assert lc.backend == "thread"  # legacy attribute view
+
+    def test_config_and_kwargs_conflict(self, triangle):
+        from repro.core.config import RunConfig
+
+        with pytest.raises(ParameterError, match="not both"):
+            LinkClustering(triangle, config=RunConfig(), backend="thread")
+
+    def test_config_must_be_runconfig(self, triangle):
+        with pytest.raises(ParameterError, match="RunConfig"):
+            LinkClustering(triangle, config={"backend": "serial"})
+
+    def test_result_carries_config(self, triangle):
+        result = LinkClustering(triangle).run()
+        assert result.config is not None
+        assert result.config.backend == "serial"
+
+    def test_result_to_dict_schema(self, weighted_caveman):
+        result = LinkClustering(weighted_caveman, coarse=True).run()
+        d = result.to_dict()
+        assert d["schema"] == 1
+        assert d["num_edges"] == weighted_caveman.num_edges
+        assert d["best_cut"]["num_clusters"] >= 1
+        assert d["coarse"]["pairs_processed"] > 0
+        assert d["config"]["coarse"]["gamma"] == 2.0
+
+    def test_result_to_json_round_trips(self, triangle):
+        import json
+
+        result = LinkClustering(triangle).run()
+        assert json.loads(result.to_json())["schema"] == 1
+
+
+class TestDeprecationShims:
+    def test_positional_settings_warn_but_work(self, weighted_caveman):
+        with pytest.warns(DeprecationWarning, match="positionally"):
+            lc = LinkClustering(weighted_caveman, True, "thread", 2)
+        assert lc.coarse_params is not None
+        assert lc.backend == "thread"
+        assert lc.num_workers == 2
+
+    def test_keyword_calls_do_not_warn(self, weighted_caveman):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            LinkClustering(weighted_caveman, coarse=True, backend="thread")
+
+    def test_positional_and_keyword_duplicate_rejected(self, triangle):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="multiple values"):
+                LinkClustering(triangle, True, coarse=False)
+
+    def test_too_many_positionals_rejected(self, triangle):
+        with pytest.raises(TypeError, match="positional"):
+            LinkClustering(triangle, True, "serial", 1, None, False, "extra")
+
+    def test_positional_similarity_map_warns(self, weighted_caveman):
+        lc = LinkClustering(weighted_caveman)
+        sim = lc.compute_similarities()
+        with pytest.warns(DeprecationWarning, match="similarity_map"):
+            result = lc.run(sim)
+        assert result.num_levels > 0
+
+    def test_run_rejects_extra_positionals(self, triangle):
+        with pytest.raises(TypeError, match="positional"):
+            LinkClustering(triangle).run(None, None)
+
+    def test_run_rejects_positional_plus_keyword(self, weighted_caveman):
+        lc = LinkClustering(weighted_caveman)
+        sim = lc.compute_similarities()
+        with pytest.raises(TypeError, match="multiple values"):
+            lc.run(sim, similarity_map=sim)

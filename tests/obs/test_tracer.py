@@ -1,0 +1,166 @@
+"""Tracer span nesting, counters, and the null tracer's no-op contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    CounterRecord,
+    MemorySink,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+)
+
+
+@pytest.fixture
+def sink():
+    return MemorySink()
+
+
+@pytest.fixture
+def tracer(sink):
+    return Tracer([sink])
+
+
+class TestSpans:
+    def test_span_emitted_on_exit(self, tracer, sink):
+        with tracer.span("work"):
+            assert sink.spans == []
+        assert [s.name for s in sink.spans] == ["work"]
+        assert sink.spans[0].duration >= 0.0
+
+    def test_nesting_depth_and_parent(self, tracer, sink):
+        with tracer.span("run"):
+            with tracer.span("phase:init"):
+                with tracer.span("init:pass1"):
+                    pass
+            with tracer.span("phase:sweep"):
+                pass
+        by_name = {s.name: s for s in sink.spans}
+        assert by_name["run"].depth == 0
+        assert by_name["run"].parent is None
+        assert by_name["phase:init"].depth == 1
+        assert by_name["phase:init"].parent == "run"
+        assert by_name["init:pass1"].depth == 2
+        assert by_name["init:pass1"].parent == "phase:init"
+        assert by_name["phase:sweep"].parent == "run"
+
+    def test_children_emitted_before_parent(self, tracer, sink):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        names = [s.name for s in sink.spans]
+        assert names == ["inner", "outer"]
+        assert sink.spans[0].seq < sink.spans[1].seq
+
+    def test_attrs_carried(self, tracer, sink):
+        with tracer.span("run", backend="shm", workers=4):
+            pass
+        assert sink.spans[0].attrs == {"backend": "shm", "workers": 4}
+
+    def test_exception_recorded_and_propagated(self, tracer, sink):
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("no")
+        assert sink.spans[0].attrs["error"] == "ValueError"
+
+    def test_record_synthetic_span(self, tracer, sink):
+        with tracer.span("chunk"):
+            tracer.record("runtime:compute", 0.25, workers=2)
+        compute = sink.spans[0]
+        assert compute.name == "runtime:compute"
+        assert compute.duration == 0.25
+        assert compute.parent == "chunk"
+        assert compute.depth == 1
+        assert compute.attrs == {"workers": 2}
+
+    def test_durations_nested_within_parent(self, tracer, sink):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        by_name = {s.name: s for s in sink.spans}
+        assert by_name["inner"].duration <= by_name["outer"].duration
+
+
+class TestEventsAndCounters:
+    def test_event(self, tracer, sink):
+        with tracer.span("phase:sweep"):
+            tracer.event("sweep:level", level=3, merges=10)
+        (event,) = sink.events
+        assert event.name == "sweep:level"
+        assert event.parent == "phase:sweep"
+        assert event.attrs["merges"] == 10
+
+    def test_count_accumulates_gauge_overwrites(self, tracer):
+        tracer.count("merges", 5)
+        tracer.count("merges", 2)
+        tracer.gauge("k1", 100)
+        tracer.gauge("k1", 40)
+        assert tracer.counters == {"merges": 7, "k1": 40}
+
+    def test_flush_emits_counter_snapshot(self, tracer, sink):
+        tracer.count("merges", 3)
+        tracer.gauge("k2", 9)
+        tracer.flush()
+        assert sink.counters == {"merges": 3, "k2": 9}
+        records = [r for r in sink.records if isinstance(r, CounterRecord)]
+        assert [r.name for r in records] == sorted(["merges", "k2"])
+
+    def test_close_flushes(self, tracer, sink):
+        tracer.count("merges")
+        tracer.close()
+        assert sink.counters == {"merges": 1}
+
+    def test_context_manager_closes(self, sink):
+        with Tracer([sink]) as tracer:
+            tracer.count("x")
+        assert sink.counters == {"x": 1}
+
+
+class TestRecordSerialization:
+    def test_span_to_dict(self, tracer, sink):
+        with tracer.span("run", backend="serial"):
+            pass
+        d = sink.spans[0].to_dict()
+        assert d["kind"] == "span"
+        assert d["name"] == "run"
+        assert d["attrs"] == {"backend": "serial"}
+        assert set(d) == {
+            "kind", "name", "start", "duration", "depth", "parent", "seq", "attrs",
+        }
+
+    def test_counter_to_dict(self):
+        record = CounterRecord(name="k1", value=7, seq=1)
+        assert record.to_dict() == {"kind": "counter", "name": "k1", "value": 7, "seq": 1}
+
+
+class TestNullTracer:
+    def test_singleton_is_disabled_subclass(self):
+        assert isinstance(NULL_TRACER, NullTracer)
+        assert isinstance(NULL_TRACER, Tracer)
+        assert NULL_TRACER.enabled is False
+        assert Tracer([]).enabled is True
+
+    def test_all_operations_are_noops(self):
+        with NULL_TRACER.span("run", backend="shm"):
+            NULL_TRACER.count("merges", 10)
+            NULL_TRACER.gauge("k1", 5)
+            NULL_TRACER.event("sweep:level")
+            NULL_TRACER.record("runtime:compute", 1.0)
+        NULL_TRACER.flush()
+        NULL_TRACER.close()
+        assert NULL_TRACER.counters == {}
+
+    def test_span_handle_is_shared(self):
+        a = NULL_TRACER.span("a")
+        b = NULL_TRACER.span("b")
+        assert a is b
+
+    def test_memory_sink_span_records_are_spanrecord(self):
+        sink = MemorySink()
+        tracer = Tracer([sink])
+        with tracer.span("x"):
+            pass
+        assert isinstance(sink.spans[0], SpanRecord)

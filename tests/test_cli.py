@@ -112,3 +112,70 @@ class TestReproduce:
         assert main(["reproduce", "--figure", "4.1"]) == 0
         out = capsys.readouterr().out
         assert "Figure 4(1)" in out
+
+
+class TestRunFlags:
+    """The uniform --backend/--workers/--profile/--metrics-out block."""
+
+    def test_both_subcommands_accept_run_flags(self):
+        parser = build_parser()
+        for head in (["cluster", "g.txt"], ["reproduce"]):
+            args = parser.parse_args(
+                head + ["--backend", "thread", "--workers", "3",
+                        "--profile", "--metrics-out", "t.jsonl"]
+            )
+            assert args.backend == "thread"
+            assert args.workers == 3
+            assert args.profile is True
+            assert args.metrics_out == "t.jsonl"
+
+    def test_cluster_profile_summary_on_stderr(self, graph_file, capsys):
+        code = main(
+            ["cluster", str(graph_file), "--int-labels",
+             "--coarse", "--phi", "2", "--delta0", "5", "--profile"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "sweep:chunk[*]" in captured.err
+        assert "phase:init" in captured.err
+        assert "sweep:chunk" not in captured.out
+
+    def test_cluster_metrics_out_writes_valid_jsonl(self, graph_file, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            ["cluster", str(graph_file), "--int-labels",
+             "--coarse", "--phi", "2", "--delta0", "5",
+             "--metrics-out", str(trace)]
+        )
+        assert code == 0
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        names = {r["name"] for r in records if r["kind"] == "span"}
+        assert {"run", "phase:init", "phase:sort", "phase:sweep"} <= names
+        assert any(n.startswith("sweep:chunk[") for n in names)
+        counters = {r["name"] for r in records if r["kind"] == "counter"}
+        assert {"k1", "k2", "merges"} <= counters
+
+    def test_cluster_json_output(self, graph_file, capsys):
+        import json
+
+        code = main(["cluster", str(graph_file), "--int-labels", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 1
+        assert payload["config"]["backend"] == "serial"
+
+    def test_reproduce_profile_traces_figures(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "tiny")
+        trace = tmp_path / "repro.jsonl"
+        code = main(
+            ["reproduce", "--figure", "4.1", "--metrics-out", str(trace)]
+        )
+        assert code == 0
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        names = {r["name"] for r in records if r["kind"] == "span"}
+        assert "figure:4.1" in names
+        assert "run" in names
