@@ -1,12 +1,19 @@
-"""SHM001 — shared-memory blocks must be released on all paths.
+"""SHM001/SHM002 — shared-memory hygiene.
 
-A ``multiprocessing.shared_memory.SharedMemory`` attach that is not
-``close()``-d leaks a file descriptor and an mmap in every worker; a
+SHM001: a ``multiprocessing.shared_memory.SharedMemory`` attach that is
+not ``close()``-d leaks a file descriptor and an mmap in every worker; a
 created block that is never ``unlink()``-ed leaks the segment itself
 until reboot (``/dev/shm`` fills up under sustained clustering load).
 The only patterns this rule accepts are the ones that release on *all*
 paths: a ``with`` statement, or a ``try``/``finally`` whose ``finally``
 calls ``close()`` (and ``unlink()`` for creators) on the bound name.
+
+SHM002: explicit ``pickle`` serialization defeats the point of the
+shared-memory transport.  The parallel layer exists to move the pair
+columns and array-``C`` rows through ``shared_memory`` blocks; a
+``pickle.dumps``/``loads`` of that data re-introduces the per-chunk
+serialization cost the design removes.  Publish columns once with
+``ShmArena.load_pairs`` and ship index ranges instead.
 """
 
 from __future__ import annotations
@@ -19,7 +26,7 @@ from repro.analysis.base import ModuleContext, Rule
 from repro.analysis.finding import Finding
 from repro.analysis.registry import register
 
-__all__ = ["SharedMemoryLifecycleRule"]
+__all__ = ["SharedMemoryLifecycleRule", "ExplicitPickleRule"]
 
 
 def _is_shm_call(node: ast.AST) -> bool:
@@ -139,3 +146,34 @@ class SharedMemoryLifecycleRule(Rule):
                     "SharedMemory must be bound to a single name (or used in "
                     "a with statement) so close()/unlink() can be verified",
                 )
+
+
+_PICKLE_FUNCS = ("dumps", "dump", "loads", "load")
+
+
+@register
+class ExplicitPickleRule(Rule):
+    rule_id = "SHM002"
+    summary = (
+        "no explicit pickle serialization — publish shared-memory columns "
+        "or index ranges instead"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.imports.resolve(node.func)
+            if resolved is None:
+                continue
+            for func in _PICKLE_FUNCS:
+                if resolved in (f"pickle.{func}", f"cPickle.{func}"):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"explicit pickle.{func}() re-serializes data the "
+                        "shared-memory transport is designed to move "
+                        "copy-free; publish columns once (ShmArena."
+                        "load_pairs) and ship index ranges instead",
+                    )
+                    break

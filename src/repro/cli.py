@@ -35,7 +35,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.core.coarse import CoarseParams
-from repro.core.config import BACKENDS, RunConfig
+from repro.core.config import BACKENDS, PAIR_FORMATS, RunConfig
 from repro.core.linkclust import LinkClustering
 from repro.core.metrics import (
     compute_metrics,
@@ -70,6 +70,13 @@ def _add_run_flags(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--workers", type=int, default=1, help="parallel workers"
+    )
+    parser.add_argument(
+        "--pairs-format",
+        choices=PAIR_FORMATS,
+        default="auto",
+        help="map M representation: dict (pure-python oracle), columnar "
+        "(numpy structure-of-arrays), or auto (size-based dispatch)",
     )
     parser.add_argument(
         "--profile",
@@ -196,6 +203,7 @@ def _run_config_from_args(args: argparse.Namespace) -> RunConfig:
         backend=args.backend,
         num_workers=args.workers,
         coarse=coarse,
+        pairs_format=args.pairs_format,
         profile=args.profile,
         metrics_out=args.metrics_out,
     )

@@ -15,8 +15,14 @@ from repro.core.coarse import (
     coarse_sweep,
     fixed_chunk_sweep,
 )
-from repro.core.config import BACKENDS, RunConfig
+from repro.core.config import (
+    AUTO_COLUMNAR_MIN_K2,
+    BACKENDS,
+    PAIR_FORMATS,
+    RunConfig,
+)
 from repro.core.linkclust import LinkClustering, LinkClusteringResult
+from repro.core.simcolumns import SimilarityColumns, wedge_edge_arrays
 from repro.core.metrics import (
     GraphMetrics,
     compute_metrics,
@@ -42,7 +48,9 @@ from repro.core.similarity import (
 from repro.core.sweep import SweepResult, build_edge_index, sweep
 
 __all__ = [
+    "AUTO_COLUMNAR_MIN_K2",
     "BACKENDS",
+    "PAIR_FORMATS",
     "CoarseParams",
     "CoarseResult",
     "CurvePoint",
@@ -56,6 +64,7 @@ __all__ = [
     "Predicates",
     "RunConfig",
     "SigmoidParams",
+    "SimilarityColumns",
     "SimilarityMap",
     "SweepResult",
     "VertexPairEntry",
@@ -79,4 +88,5 @@ __all__ = [
     "sweep",
     "sweeping_cost_bound",
     "target_clusters",
+    "wedge_edge_arrays",
 ]

@@ -40,7 +40,9 @@ Implementation notes (documented deviations, none behavioural):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.cluster.dendrogram import Dendrogram, DendrogramBuilder
 from repro.cluster.unionfind import ChainArray
@@ -52,6 +54,7 @@ from repro.core.chunking import (
     shrink_eta,
 )
 from repro.core.modes import Mode, evaluate_predicates, next_mode
+from repro.core.simcolumns import SimilarityColumns, wedge_edge_arrays
 from repro.core.similarity import SimilarityMap, compute_similarity_map
 from repro.core.sweep import build_edge_index
 from repro.errors import ParameterError
@@ -210,7 +213,7 @@ class _CoarseSweeper:
     def __init__(
         self,
         graph: Graph,
-        similarity_map: SimilarityMap,
+        similarity_map: Union[SimilarityMap, SimilarityColumns],
         params: CoarseParams,
         edge_order: Optional[Sequence[int]],
         tracer=None,
@@ -220,12 +223,42 @@ class _CoarseSweeper:
         self.tracer = as_tracer(tracer)
         self.k1 = similarity_map.k1
         self.k2 = similarity_map.k2
-        with self.tracer.span("phase:sort", k1=self.k1):
-            self.pairs = similarity_map.sorted_pairs()
+        # List L: the dict path keeps the (sim, pair, commons) tuples;
+        # the columnar path lexsorts the columns and precomputes the
+        # whole K2 merge stream as flat arrays (no per-wedge edge_id
+        # lookups in the epoch loop).
+        self.columns: Optional[SimilarityColumns] = None
+        self.pairs: Optional[
+            List[Tuple[float, Tuple[int, int], Tuple[int, ...]]]
+        ] = None
+        if isinstance(similarity_map, SimilarityColumns):
+            with self.tracer.span("phase:sort", k1=self.k1):
+                self.columns = similarity_map.sort_pairs()
+        else:
+            with self.tracer.span("phase:sort", k1=self.k1):
+                self.pairs = similarity_map.sorted_pairs()
         self.tracer.gauge("k1", self.k1)
         self.tracer.gauge("k2", self.k2)
         self.index = build_edge_index(graph, edge_order)
         self.num_edges = graph.num_edges
+
+        self.c1_arr: Optional[np.ndarray] = None
+        self.c2_arr: Optional[np.ndarray] = None
+        if self.columns is not None:
+            e1, e2 = wedge_edge_arrays(graph, self.columns)
+            index_arr = np.asarray(self.index, dtype=np.int64)
+            self.c1_arr = index_arr[e1] if len(e1) else e1
+            self.c2_arr = index_arr[e2] if len(e2) else e2
+            self.c1_list = self.c1_arr.tolist()
+            self.c2_list = self.c2_arr.tolist()
+            self.offsets_list = self.columns.common_offsets.tolist()
+            self.counts_list = self.columns.pair_counts().tolist()
+            self.sims_list = self.columns.sim.tolist()
+            self.num_pairs = self.columns.k1
+        else:
+            assert self.pairs is not None
+            self.counts_list = [len(commons) for _s, _p, commons in self.pairs]
+            self.num_pairs = len(self.pairs)
 
         self.chain = ChainArray(self.num_edges)
         self.builder = DendrogramBuilder(self.num_edges)
@@ -278,11 +311,10 @@ class _CoarseSweeper:
         # back and is retried smaller, exactly like any other epoch.
         # The chunk index counts *attempts*: a rolled-back epoch and its
         # retry are separate ``sweep:chunk[i]`` spans.
-        pairs = self.pairs
         tracer = self.tracer
         chunk_idx = 0
         with tracer.span("phase:sweep"):
-            while self.p < len(pairs):
+            while self.p < self.num_pairs:
                 with tracer.span(
                     f"sweep:chunk[{chunk_idx}]", p=self.p, delta=self.delta
                 ):
@@ -315,16 +347,16 @@ class _CoarseSweeper:
         is exhausted, honouring vertex-pair atomicity (the last pair that
         would cross the budget ends the chunk).
         """
-        pairs = self.pairs
+        counts = self.counts_list
         start = self.p
         end = start
         budget = self.epoch_start_xi + self.delta
         xi = self.xi
-        while end < len(pairs):
-            commons = pairs[end][2]
-            if end > start and xi + len(commons) >= budget:
+        while end < self.num_pairs:
+            count = counts[end]
+            if end > start and xi + count >= budget:
                 break
-            xi += len(commons)
+            xi += count
             end += 1
         return range(start, end)
 
@@ -334,12 +366,36 @@ class _CoarseSweeper:
         Overridden by the parallel sweeper (per-thread ``C`` copies plus a
         hierarchical array merge, Section VI-B).
         """
-        graph = self.graph
-        index = self.index
-        pairs = self.pairs
         # The serial path has no spawn/copy/merge steps; its whole chunk
         # cost is compute, traced under the same name the runtimes use so
         # cross-backend traces stay comparable.
+        if self.columns is not None:
+            offsets = self.offsets_list
+            c1 = self.c1_list
+            c2 = self.c2_list
+            sims = self.sims_list
+            with self.tracer.span("runtime:compute", workers=1):
+                for pos in chunk:
+                    similarity = sims[pos]
+                    start, end = offsets[pos], offsets[pos + 1]
+                    for widx in range(start, end):
+                        outcome = self.chain.merge(c1[widx], c2[widx])
+                        if outcome.merged:
+                            self.pending.append(
+                                _PendingMerge(
+                                    pos,
+                                    outcome.c1,
+                                    outcome.c2,
+                                    outcome.parent,
+                                    similarity,
+                                )
+                            )
+                    self.xi += end - start
+                    self.p = pos + 1
+            return
+        graph = self.graph
+        index = self.index
+        pairs = self.pairs
         with self.tracer.span("runtime:compute", workers=1):
             for pos in chunk:
                 similarity, (vi, vj), commons = pairs[pos]
@@ -580,7 +636,7 @@ class _CoarseSweeper:
 
 def coarse_sweep(
     graph: Graph,
-    similarity_map: Optional[SimilarityMap] = None,
+    similarity_map: Optional[Union[SimilarityMap, SimilarityColumns]] = None,
     params: Optional[CoarseParams] = None,
     edge_order: Optional[Sequence[int]] = None,
     tracer=None,
@@ -588,10 +644,12 @@ def coarse_sweep(
     """Run the coarse-grained sweeping algorithm of Section V.
 
     Parameters mirror :func:`repro.core.sweep.sweep`, with
-    :class:`CoarseParams` controlling the dendrogram shape.  ``tracer``
-    gets ``phase:sort``, ``phase:sweep``, and per-epoch
-    ``sweep:chunk[i]`` spans plus level events and merge/rollback/jump
-    counters.
+    :class:`CoarseParams` controlling the dendrogram shape;
+    ``similarity_map`` may be the dict or the columnar Phase-I output
+    (identical results — the columnar path precomputes the K2 stream
+    vectorized).  ``tracer`` gets ``phase:sort``, ``phase:sweep``, and
+    per-epoch ``sweep:chunk[i]`` spans plus level events and
+    merge/rollback/jump counters.
     """
     sim = similarity_map if similarity_map is not None else compute_similarity_map(graph)
     sweeper = _CoarseSweeper(graph, sim, params or CoarseParams(), edge_order, tracer)
@@ -615,7 +673,7 @@ class FixedChunkLevel:
 
 def fixed_chunk_sweep(
     graph: Graph,
-    similarity_map: Optional[SimilarityMap] = None,
+    similarity_map: Optional[Union[SimilarityMap, SimilarityColumns]] = None,
     chunk_size: int = 1000,
     edge_order: Optional[Sequence[int]] = None,
 ) -> List[FixedChunkLevel]:
@@ -629,6 +687,10 @@ def fixed_chunk_sweep(
     if chunk_size < 1:
         raise ParameterError(f"chunk_size must be >= 1, got {chunk_size}")
     sim = similarity_map if similarity_map is not None else compute_similarity_map(graph)
+    if isinstance(sim, SimilarityColumns):
+        # This exploratory path is not performance-critical; reuse the
+        # dict loop via lossless conversion.
+        sim = sim.to_similarity_map()
     index = build_edge_index(graph, edge_order)
     chain = ChainArray(graph.num_edges)
 

@@ -22,9 +22,19 @@ from typing import Any, Dict, Optional
 from repro.core.coarse import CoarseParams
 from repro.errors import ParameterError
 
-__all__ = ["RunConfig", "BACKENDS"]
+__all__ = ["RunConfig", "BACKENDS", "PAIR_FORMATS", "AUTO_COLUMNAR_MIN_K2"]
 
 BACKENDS = ("serial", "thread", "process", "shm")
+
+PAIR_FORMATS = ("dict", "columnar", "auto")
+
+# K2 threshold for pairs_format="auto": below it the pure-Python dict
+# pipeline wins (array setup cost dominates — the small-graph regression
+# ablation_vectorized.json recorded), above it the columnar kernels do.
+# benchmarks/results/columnar.json puts the measured crossover near
+# K2 ~ 500-600; 2000 stays safely past the noise floor, where both
+# paths are still sub-millisecond.
+AUTO_COLUMNAR_MIN_K2 = 2_000
 
 
 @dataclass(frozen=True)
@@ -45,6 +55,15 @@ class RunConfig:
         Optional seed for random edge-order permutation.
     vectorized:
         Use the scipy.sparse fast path for Phase I.
+    pairs_format:
+        Representation of map ``M`` through the run: ``"dict"`` (the
+        pure-Python :class:`~repro.core.similarity.SimilarityMap`
+        oracle), ``"columnar"``
+        (:class:`~repro.core.simcolumns.SimilarityColumns`, flat numpy
+        arrays — vectorized init/sort and zero-copy shm transport), or
+        ``"auto"`` (default: columnar when the estimated K2 reaches
+        ``AUTO_COLUMNAR_MIN_K2``, dict below — never slower than
+        pure-Python on small graphs).
     profile:
         Collect a trace and print a human-readable summary at the end
         of the run.
@@ -58,6 +77,7 @@ class RunConfig:
     coarse: Optional[CoarseParams] = None
     seed: Optional[int] = None
     vectorized: bool = False
+    pairs_format: str = "auto"
     profile: bool = False
     metrics_out: Optional[str] = None
 
@@ -65,6 +85,11 @@ class RunConfig:
         if self.backend not in BACKENDS:
             raise ParameterError(
                 f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.pairs_format not in PAIR_FORMATS:
+            raise ParameterError(
+                f"pairs_format must be one of {PAIR_FORMATS}, "
+                f"got {self.pairs_format!r}"
             )
         if not isinstance(self.num_workers, int) or self.num_workers < 1:
             raise ParameterError(
@@ -98,6 +123,7 @@ class RunConfig:
             "coarse": dataclasses.asdict(self.coarse) if self.coarse else None,
             "seed": self.seed,
             "vectorized": self.vectorized,
+            "pairs_format": self.pairs_format,
             "profile": self.profile,
             "metrics_out": self.metrics_out,
         }

@@ -29,13 +29,14 @@ import json
 import random
 import warnings
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.cluster.dendrogram import Dendrogram
 from repro.cluster.partition import EdgePartition, node_communities
 from repro.cluster.unionfind import ChainArray
 from repro.core.coarse import CoarseParams, CoarseResult, coarse_sweep
-from repro.core.config import BACKENDS, RunConfig
+from repro.core.config import AUTO_COLUMNAR_MIN_K2, BACKENDS, RunConfig
+from repro.core.simcolumns import SimilarityColumns
 from repro.core.similarity import SimilarityMap, compute_similarity_map
 from repro.core.sweep import SweepResult, sweep
 from repro.errors import ParameterError
@@ -65,6 +66,7 @@ class LinkClusteringResult:
     num_levels: int
     coarse: Optional[CoarseResult] = None
     config: Optional[RunConfig] = None
+    pairs_format: Optional[str] = None
 
     def edge_labels(self) -> List[int]:
         """Final cluster label of every edge id (min-index canonical)."""
@@ -129,6 +131,7 @@ class LinkClusteringResult:
             },
             "coarse": None,
             "config": self.config.to_dict() if self.config is not None else None,
+            "pairs_format": self.pairs_format,
         }
         if self.coarse is not None:
             out["coarse"] = {
@@ -183,6 +186,11 @@ class LinkClustering:
         Use the scipy.sparse fast path for Phase I
         (:func:`repro.fast.fast_similarity_map`); identical output,
         faster on large dense graphs.
+    pairs_format:
+        ``"dict"``, ``"columnar"``, or ``"auto"`` (default) —
+        representation of map ``M`` through the run; see
+        :class:`RunConfig`.  ``auto`` picks columnar when the estimated
+        K2 reaches ``AUTO_COLUMNAR_MIN_K2``.
     tracer:
         Optional :class:`repro.obs.Tracer` overriding the one the config
         would build (``config.profile`` / ``config.metrics_out``).
@@ -204,6 +212,7 @@ class LinkClustering:
         num_workers: Any = _UNSET,
         seed: Any = _UNSET,
         vectorized: Any = _UNSET,
+        pairs_format: Any = _UNSET,
         tracer: Optional[Tracer] = None,
     ):
         settings: Dict[str, Any] = {}
@@ -227,6 +236,7 @@ class LinkClustering:
             ("num_workers", num_workers),
             ("seed", seed),
             ("vectorized", vectorized),
+            ("pairs_format", pairs_format),
         ):
             if value is not _UNSET:
                 if name in settings:
@@ -275,15 +285,48 @@ class LinkClustering:
     def coarse_params(self) -> Optional[CoarseParams]:
         return self.config.coarse
 
+    @property
+    def pairs_format(self) -> str:
+        return self.config.pairs_format
+
     # ------------------------------------------------------------------
-    def compute_similarities(self) -> SimilarityMap:
+    def resolved_pairs_format(self) -> str:
+        """The concrete format this run will use (``auto`` resolved).
+
+        ``auto`` estimates K2 from the degree sequence alone —
+        ``sum(d * (d - 1)) / 2`` — and picks columnar at
+        ``AUTO_COLUMNAR_MIN_K2``; below it the pure-Python dict pipeline
+        has less fixed overhead.
+        """
+        if self.pairs_format != "auto":
+            return self.pairs_format
+        k2_estimate = sum(d * (d - 1) for d in self.graph.degrees()) // 2
+        return "columnar" if k2_estimate >= AUTO_COLUMNAR_MIN_K2 else "dict"
+
+    def compute_similarities(self) -> Union[SimilarityMap, SimilarityColumns]:
         """Phase I only (useful for reuse across sweeps)."""
         with self.tracer.span(
             "phase:init", backend=self.backend, vectorized=self.vectorized
         ):
             return self._compute_similarities()
 
-    def _compute_similarities(self) -> SimilarityMap:
+    def _compute_similarities(self) -> Union[SimilarityMap, SimilarityColumns]:
+        if self.resolved_pairs_format() == "columnar":
+            if self.backend == "serial" or self.num_workers == 1:
+                from repro.fast.similarity import fast_similarity_columns
+
+                return fast_similarity_columns(self.graph, tracer=self.tracer)
+            from repro.parallel.par_init import parallel_similarity_columns
+
+            # Columnar partials are plain arrays, but the combine step
+            # runs in the parent either way; shm still uses processes.
+            init_backend = "process" if self.backend == "shm" else self.backend
+            return parallel_similarity_columns(
+                self.graph,
+                num_workers=self.num_workers,
+                backend=init_backend,
+                tracer=self.tracer,
+            )
         if self.vectorized:
             from repro.fast.similarity import fast_similarity_map
 
@@ -303,7 +346,9 @@ class LinkClustering:
         )
 
     def run(
-        self, *args: Any, similarity_map: Optional[SimilarityMap] = None
+        self,
+        *args: Any,
+        similarity_map: Optional[Union[SimilarityMap, SimilarityColumns]] = None,
     ) -> LinkClusteringResult:
         """Run both phases and return the unified result.
 
@@ -337,9 +382,15 @@ class LinkClustering:
         tracer.flush()
         return result
 
-    def _run(self, similarity_map: Optional[SimilarityMap]) -> LinkClusteringResult:
+    def _run(
+        self, similarity_map: Optional[Union[SimilarityMap, SimilarityColumns]]
+    ) -> LinkClusteringResult:
         tracer = self.tracer
         sim = similarity_map if similarity_map is not None else self.compute_similarities()
+        fmt = "columnar" if isinstance(sim, SimilarityColumns) else "dict"
+        tracer.event(
+            "run:pairs_format", format=fmt, requested=self.pairs_format
+        )
         tracer.gauge("k1", sim.k1)
         tracer.gauge("k2", sim.k2)
         edge_order = None
@@ -359,6 +410,7 @@ class LinkClustering:
                 k2=fine.k2,
                 num_levels=fine.num_levels,
                 config=self.config,
+                pairs_format=fmt,
             )
 
         if self.backend != "serial" and self.num_workers > 1:
@@ -391,4 +443,5 @@ class LinkClustering:
             num_levels=coarse.num_levels,
             coarse=coarse,
             config=self.config,
+            pairs_format=fmt,
         )

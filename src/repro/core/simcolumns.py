@@ -1,0 +1,268 @@
+"""Columnar (structure-of-arrays) representation of map ``M``.
+
+:class:`SimilarityColumns` stores the Phase-I output as five parallel
+numpy arrays instead of a Python dict of tuples:
+
+* ``u``, ``v`` — the K1 vertex pairs (``u[i] < v[i]``);
+* ``sim`` — their Tanimoto similarities;
+* ``common_offsets`` / ``common_neighbors`` — the per-pair witness
+  lists in CSR layout (``common_neighbors[common_offsets[i] :
+  common_offsets[i + 1]]`` are pair ``i``'s common neighbours, K2
+  entries total).
+
+Every downstream stage of the run becomes a C-speed kernel over these
+columns: sorting list ``L`` is one :func:`numpy.lexsort`
+(:meth:`SimilarityColumns.sort_pairs`), the sweep's K2-long merge
+stream is a gather (:func:`wedge_edge_arrays`), and the parallel layer
+can ship the columns zero-copy through shared memory.  The dict-based
+:class:`~repro.core.similarity.SimilarityMap` remains the pure-Python
+oracle; the two representations convert losslessly in both directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.similarity import SimilarityMap, VertexPairEntry
+from repro.errors import ClusteringError, ParameterError
+from repro.graph.graph import Graph
+
+__all__ = ["SimilarityColumns", "wedge_edge_arrays"]
+
+
+@dataclass(frozen=True)
+class SimilarityColumns:
+    """Map ``M`` as parallel arrays (see module docstring).
+
+    Rows may be in any order; :meth:`sort_pairs` produces the sweeping
+    phase's list ``L`` order (non-increasing similarity, ties by vertex
+    pair).  Instances are immutable: every transformation returns a new
+    object sharing no mutable state with its source.
+    """
+
+    u: np.ndarray
+    v: np.ndarray
+    sim: np.ndarray
+    common_offsets: np.ndarray
+    common_neighbors: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "u", np.ascontiguousarray(self.u, dtype=np.int64))
+        object.__setattr__(self, "v", np.ascontiguousarray(self.v, dtype=np.int64))
+        object.__setattr__(
+            self, "sim", np.ascontiguousarray(self.sim, dtype=np.float64)
+        )
+        object.__setattr__(
+            self,
+            "common_offsets",
+            np.ascontiguousarray(self.common_offsets, dtype=np.int64),
+        )
+        object.__setattr__(
+            self,
+            "common_neighbors",
+            np.ascontiguousarray(self.common_neighbors, dtype=np.int64),
+        )
+        k1 = len(self.u)
+        if self.v.shape != (k1,) or self.sim.shape != (k1,):
+            raise ParameterError(
+                f"u/v/sim must be equal-length 1-D arrays, got shapes "
+                f"{self.u.shape}/{self.v.shape}/{self.sim.shape}"
+            )
+        if self.common_offsets.shape != (k1 + 1,):
+            raise ParameterError(
+                f"common_offsets must have length k1 + 1 = {k1 + 1}, "
+                f"got shape {self.common_offsets.shape}"
+            )
+        if k1:
+            if self.common_offsets[0] != 0:
+                raise ParameterError("common_offsets must start at 0")
+            if np.any(np.diff(self.common_offsets) < 0):
+                raise ParameterError("common_offsets must be non-decreasing")
+        elif len(self.common_offsets) and self.common_offsets[0] != 0:
+            raise ParameterError("common_offsets must start at 0")
+        if self.common_offsets[-1] != len(self.common_neighbors):
+            raise ParameterError(
+                f"common_offsets must end at len(common_neighbors) = "
+                f"{len(self.common_neighbors)}, got {self.common_offsets[-1]}"
+            )
+
+    # ------------------------------------------------------------------
+    # shape
+    # ------------------------------------------------------------------
+    @property
+    def k1(self) -> int:
+        """Number of vertex pairs with at least one common neighbour."""
+        return len(self.u)
+
+    @property
+    def k2(self) -> int:
+        """Number of incident edge pairs covered (total witness count)."""
+        return len(self.common_neighbors)
+
+    def pair_counts(self) -> np.ndarray:
+        """Witness count of every pair (length K1)."""
+        return np.diff(self.common_offsets)
+
+    def __len__(self) -> int:
+        return self.k1
+
+    def __repr__(self) -> str:
+        return f"SimilarityColumns(k1={self.k1}, k2={self.k2})"
+
+    # ------------------------------------------------------------------
+    # construction / conversion
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "SimilarityColumns":
+        """The K1 = K2 = 0 instance (empty or wedge-free graphs)."""
+        empty_i = np.empty(0, dtype=np.int64)
+        return cls(
+            u=empty_i,
+            v=empty_i.copy(),
+            sim=np.empty(0, dtype=np.float64),
+            common_offsets=np.zeros(1, dtype=np.int64),
+            common_neighbors=empty_i.copy(),
+        )
+
+    @classmethod
+    def from_similarity_map(cls, similarity_map: SimilarityMap) -> "SimilarityColumns":
+        """Columnar copy of a dict map, rows in canonical ``(u, v)`` order."""
+        items = sorted(similarity_map.entries.items())
+        k1 = len(items)
+        u = np.empty(k1, dtype=np.int64)
+        v = np.empty(k1, dtype=np.int64)
+        sim = np.empty(k1, dtype=np.float64)
+        offsets = np.zeros(k1 + 1, dtype=np.int64)
+        commons: list = []
+        for i, ((pu, pv), entry) in enumerate(items):
+            u[i] = pu
+            v[i] = pv
+            sim[i] = entry.similarity
+            commons.extend(entry.common_neighbors)
+            offsets[i + 1] = len(commons)
+        return cls(
+            u=u,
+            v=v,
+            sim=sim,
+            common_offsets=offsets,
+            common_neighbors=np.asarray(commons, dtype=np.int64),
+        )
+
+    def to_similarity_map(self) -> SimilarityMap:
+        """Dict form of these columns (the pure-Python oracle format)."""
+        u_list = self.u.tolist()
+        v_list = self.v.tolist()
+        sim_list = self.sim.tolist()
+        offsets = self.common_offsets.tolist()
+        commons = self.common_neighbors.tolist()
+        entries: Dict[Tuple[int, int], VertexPairEntry] = {}
+        for i in range(self.k1):
+            entries[(u_list[i], v_list[i])] = VertexPairEntry(
+                similarity=sim_list[i],
+                common_neighbors=tuple(commons[offsets[i] : offsets[i + 1]]),
+            )
+        return SimilarityMap(entries)
+
+    # ------------------------------------------------------------------
+    # the sweep's list L
+    # ------------------------------------------------------------------
+    def sort_pairs(self) -> "SimilarityColumns":
+        """List ``L`` as new columns: non-increasing similarity, ties by
+        ``(u, v)`` — exactly :meth:`SimilarityMap.sorted_pairs` order,
+        computed as one lexsort plus a CSR gather instead of a Python
+        sort over K1 tuples."""
+        if self.k1 == 0:
+            return self
+        # Keys last-to-first: primary -sim (descending sim), then u, v.
+        # Similarities are strictly positive, so negation is order-exact.
+        order = np.lexsort((self.v, self.u, -self.sim))
+        counts = self.pair_counts()
+        new_counts = counts[order]
+        new_offsets = np.zeros(self.k1 + 1, dtype=np.int64)
+        np.cumsum(new_counts, out=new_offsets[1:])
+        # Gather the witness lists: wedge t of reordered pair j sits at
+        # old position old_starts[order[j]] + t.
+        old_starts = self.common_offsets[:-1]
+        gather = (
+            np.repeat(old_starts[order] - new_offsets[:-1], new_counts)
+            + np.arange(self.k2, dtype=np.int64)
+        )
+        return SimilarityColumns(
+            u=self.u[order],
+            v=self.v[order],
+            sim=self.sim[order],
+            common_offsets=new_offsets,
+            common_neighbors=self.common_neighbors[gather],
+        )
+
+
+# ----------------------------------------------------------------------
+# edge-id resolution for the K2 wedge stream
+# ----------------------------------------------------------------------
+
+
+def _edge_key_table(graph: Graph) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Sorted ``u * n + v`` keys of the edge list plus their edge ids.
+
+    The graph stores endpoints with ``u < v``, so one int64 key per edge
+    is collision-free and :func:`numpy.searchsorted` replaces the
+    per-wedge ``graph.edge_id`` dict lookups.
+    """
+    n = graph.num_vertices
+    m = graph.num_edges
+    eu = np.empty(m, dtype=np.int64)
+    ev = np.empty(m, dtype=np.int64)
+    for eid, (a, b) in enumerate(graph.edge_pairs()):
+        eu[eid] = a
+        ev[eid] = b
+    keys = eu * n + ev
+    order = np.argsort(keys)
+    return keys[order], order.astype(np.int64), n
+
+
+def _lookup_edge_ids(
+    sorted_keys: np.ndarray,
+    eids: np.ndarray,
+    n: int,
+    a: np.ndarray,
+    b: np.ndarray,
+) -> np.ndarray:
+    """Edge ids of vertex pairs ``(a, b)`` (any endpoint order)."""
+    lo = np.minimum(a, b)
+    hi = np.maximum(a, b)
+    queries = lo * n + hi
+    pos = np.searchsorted(sorted_keys, queries)
+    in_range = pos < len(sorted_keys)
+    if not np.all(in_range) or np.any(
+        sorted_keys[np.minimum(pos, max(len(sorted_keys) - 1, 0))] != queries
+    ):
+        raise ClusteringError("wedge references a missing edge (bug)")
+    return eids[pos]
+
+
+def wedge_edge_arrays(
+    graph: Graph, columns: SimilarityColumns
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The K2-long edge-id stream of the columns' wedges.
+
+    For every witness ``k`` of pair ``(u, v)``, returns the edge ids of
+    ``(u, k)`` and ``(v, k)`` — the two edges each MERGE call joins —
+    aligned with ``columns.common_neighbors``.  Resolution is one
+    vectorized binary search over the sorted edge keys instead of K2
+    dict probes; a miss raises :class:`ClusteringError` (it would mean
+    the columns disagree with the graph).
+    """
+    if columns.k2 == 0:
+        empty_i = np.empty(0, dtype=np.int64)
+        return empty_i, empty_i.copy()
+    counts = columns.pair_counts()
+    a = np.repeat(columns.u, counts)
+    b = np.repeat(columns.v, counts)
+    k = columns.common_neighbors
+    sorted_keys, eids, n = _edge_key_table(graph)
+    e1 = _lookup_edge_ids(sorted_keys, eids, n, a, k)
+    e2 = _lookup_edge_ids(sorted_keys, eids, n, b, k)
+    return e1, e2

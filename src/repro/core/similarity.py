@@ -72,6 +72,7 @@ class SimilarityMap:
 
     def __init__(self, entries: Dict[VertexPair, VertexPairEntry]):
         self._entries = entries
+        self._k2: Optional[int] = None
 
     @property
     def entries(self) -> Mapping[VertexPair, VertexPairEntry]:
@@ -87,8 +88,16 @@ class SimilarityMap:
 
     @property
     def k2(self) -> int:
-        """Number of incident edge pairs covered (sum of witness counts)."""
-        return sum(len(e.common_neighbors) for e in self._entries.values())
+        """Number of incident edge pairs covered (sum of witness counts).
+
+        Computed once and cached — tracers and result objects read it per
+        phase, and the entries are frozen after construction.
+        """
+        if self._k2 is None:
+            self._k2 = sum(
+                len(e.common_neighbors) for e in self._entries.values()
+            )
+        return self._k2
 
     def __contains__(self, pair: VertexPair) -> bool:
         return pair in self._entries
@@ -209,7 +218,12 @@ def apply_adjacency_terms(
     in the filter are updated — the paper's region-separation rule that
     lets threads update disjoint parts of ``M``.
     """
-    allowed = set(first_vertex_filter) if first_vertex_filter is not None else None
+    if first_vertex_filter is None:
+        allowed = None
+    elif isinstance(first_vertex_filter, (set, frozenset)):
+        allowed = first_vertex_filter
+    else:
+        allowed = set(first_vertex_filter)
     for u, v in graph.edge_pairs():
         if allowed is not None and u not in allowed:
             continue

@@ -15,10 +15,13 @@ it, default is identity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.cluster.dendrogram import Dendrogram, DendrogramBuilder
 from repro.cluster.unionfind import ChainArray
+from repro.core.simcolumns import SimilarityColumns, wedge_edge_arrays
 from repro.core.similarity import SimilarityMap, compute_similarity_map
 from repro.errors import ClusteringError
 from repro.graph.graph import Graph
@@ -91,7 +94,7 @@ class SweepResult:
 
 def sweep(
     graph: Graph,
-    similarity_map: Optional[SimilarityMap] = None,
+    similarity_map: Optional[Union[SimilarityMap, SimilarityColumns]] = None,
     edge_order: Optional[Sequence[int]] = None,
     record_changes: bool = False,
     tracer=None,
@@ -103,7 +106,10 @@ def sweep(
     graph:
         The input graph.
     similarity_map:
-        Phase-I output; computed on the fly when omitted.
+        Phase-I output — dict :class:`SimilarityMap` or columnar
+        :class:`SimilarityColumns`; computed on the fly (dict) when
+        omitted.  Both forms yield identical results; the columnar path
+        sorts and expands the K2 stream with vectorized kernels.
     edge_order:
         Optional permutation assigning array-``C`` indices to edges.
     record_changes:
@@ -118,6 +124,10 @@ def sweep(
     :class:`SweepResult` with the dendrogram over edge indices.
     """
     tracer = as_tracer(tracer)
+    if isinstance(similarity_map, SimilarityColumns):
+        return _columnar_sweep(
+            graph, similarity_map, edge_order, record_changes, tracer
+        )
     sim = similarity_map if similarity_map is not None else compute_similarity_map(graph)
     with tracer.span("phase:sort", k1=sim.k1):
         pairs = sim.sorted_pairs()  # list L
@@ -150,5 +160,56 @@ def sweep(
         num_levels=r,
         k1=sim.k1,
         k2=sim.k2,
+        per_merge_changes=per_merge,
+    )
+
+
+def _columnar_sweep(
+    graph: Graph,
+    columns: SimilarityColumns,
+    edge_order: Optional[Sequence[int]],
+    record_changes: bool,
+    tracer,
+) -> SweepResult:
+    """Algorithm 2 over columnar input: same merges, vectorized setup.
+
+    The sort is one lexsort, the K2 wedge stream comes out as flat edge
+    arrays (no per-wedge ``graph.edge_id`` dict lookups); only the
+    inherently sequential MERGE loop stays in Python.
+    """
+    with tracer.span("phase:sort", k1=columns.k1):
+        columns = columns.sort_pairs()
+    index = build_edge_index(graph, edge_order)
+    chain = ChainArray(graph.num_edges)
+    builder = DendrogramBuilder(graph.num_edges)
+    per_merge: Optional[List[int]] = [] if record_changes else None
+
+    e1, e2 = wedge_edge_arrays(graph, columns)
+    index_arr = np.asarray(index, dtype=np.int64)
+    c1_list = index_arr[e1].tolist() if len(e1) else []
+    c2_list = index_arr[e2].tolist() if len(e2) else []
+    sims_list = np.repeat(columns.sim, columns.pair_counts()).tolist()
+
+    r = 0
+    with tracer.span("phase:sweep"):
+        for i1, i2, similarity in zip(c1_list, c2_list, sims_list):
+            before = chain.changes
+            outcome = chain.merge(i1, i2)
+            if per_merge is not None:
+                per_merge.append(chain.changes - before)
+            if outcome.merged:
+                r += 1
+                builder.record(
+                    r, outcome.c1, outcome.c2, outcome.parent, similarity
+                )
+    tracer.count("merges", r)
+
+    return SweepResult(
+        dendrogram=builder.build(),
+        chain=chain,
+        edge_index=index,
+        num_levels=r,
+        k1=columns.k1,
+        k2=columns.k2,
         per_merge_changes=per_merge,
     )

@@ -7,12 +7,17 @@ by the test suite.
 """
 
 from repro.fast.assoc import fast_association_graph
-from repro.fast.similarity import adjacency_matrix, fast_similarity_map
+from repro.fast.similarity import (
+    adjacency_matrix,
+    fast_similarity_columns,
+    fast_similarity_map,
+)
 from repro.fast.sweep import fast_sweep, wedge_stream
 
 __all__ = [
     "adjacency_matrix",
     "fast_association_graph",
+    "fast_similarity_columns",
     "fast_similarity_map",
     "fast_sweep",
     "wedge_stream",

@@ -3,19 +3,19 @@
 The sweeping phase consumes, in non-increasing similarity order, the
 stream of incident edge pairs.  The pure-Python path materializes map
 ``M`` (K1 entries with common-neighbour lists) and expands it during the
-sweep; this module instead produces the K2-long merge stream directly as
-numpy arrays:
+sweep; this module produces the K2-long merge stream directly from the
+columnar Phase-I output:
 
-1. wedge arrays ``(i, j, k)`` from the CSR adjacency (vectorized);
-2. per-wedge similarity by repeating the per-pair scores over the wedge
-   groups;
-3. per-wedge edge indices from a sparse edge-id matrix (fancy indexing);
-4. one argsort by descending similarity.
+1. :func:`repro.fast.similarity.fast_similarity_columns` builds the
+   pair columns;
+2. :meth:`SimilarityColumns.sort_pairs` orders them as list ``L`` (one
+   lexsort);
+3. :func:`repro.core.simcolumns.wedge_edge_arrays` resolves each
+   witness to its two edge ids (vectorized binary search).
 
 Only the chain-array MERGE loop itself remains Python — it is inherently
 sequential.  The result is equivalent to :func:`repro.core.sweep.sweep`
-(same merges up to within-tie ordering; identical partitions at every
-similarity threshold).
+(same deterministic order, identical dendrograms).
 """
 
 from __future__ import annotations
@@ -23,13 +23,10 @@ from __future__ import annotations
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
-import scipy.sparse as sp
 
-from repro.cluster.dendrogram import DendrogramBuilder
-from repro.cluster.unionfind import ChainArray
-from repro.core.sweep import SweepResult, build_edge_index
-from repro.errors import ClusteringError
-from repro.fast.similarity import _wedge_arrays, adjacency_matrix
+from repro.core.simcolumns import wedge_edge_arrays
+from repro.core.sweep import SweepResult, sweep
+from repro.fast.similarity import fast_similarity_columns
 from repro.graph.graph import Graph
 
 __all__ = ["wedge_stream", "fast_sweep"]
@@ -45,79 +42,13 @@ def wedge_stream(
     reference implementation's deterministic order) and the number of
     distinct vertex pairs K1.
     """
-    n = graph.num_vertices
-    if n == 0 or graph.num_edges == 0:
+    columns = fast_similarity_columns(graph).sort_pairs()
+    if columns.k2 == 0:
         empty_i = np.empty(0, dtype=np.int64)
-        return empty_i, empty_i.copy(), np.empty(0, dtype=np.float64), 0
-    adjacency = adjacency_matrix(graph)
-
-    degrees = np.diff(adjacency.indptr)
-    row_sums = np.asarray(adjacency.sum(axis=1)).ravel()
-    safe_deg = np.maximum(degrees, 1)
-    h1 = row_sums / safe_deg
-    h1[degrees == 0] = 0.0
-    sq_sums = np.asarray(adjacency.multiply(adjacency).sum(axis=1)).ravel()
-    h2 = h1 * h1 + sq_sums
-
-    squared = (adjacency @ adjacency).tocsr()
-    upper = sp.triu(squared, k=1).tocoo()
-    pair_i = upper.row.astype(np.int64)
-    pair_j = upper.col.astype(np.int64)
-    dots = upper.data.astype(np.float64)
-    weights = np.asarray(adjacency[pair_i, pair_j]).ravel()
-    dots = dots + (h1[pair_i] + h1[pair_j]) * weights
-    denom = h2[pair_i] + h2[pair_j] - dots
-    if np.any(denom <= 0.0):
-        raise ClusteringError("non-positive Tanimoto denominator (bug)")
-    sims = dots / denom
-
-    # Wedges grouped by (i, j); group order must match the pair rows.
-    w_i, w_j, w_k = _wedge_arrays(adjacency)
-    if len(w_i) == 0:  # edges exist but none are incident (K2 = 0)
-        empty_i = np.empty(0, dtype=np.int64)
-        return empty_i, empty_i.copy(), np.empty(0, dtype=np.float64), 0
-    order = np.lexsort((w_k, w_j, w_i))
-    w_i, w_j, w_k = w_i[order], w_j[order], w_k[order]
-    change = np.empty(len(w_i), dtype=bool)
-    change[0] = True
-    change[1:] = (w_i[1:] != w_i[:-1]) | (w_j[1:] != w_j[:-1])
-    starts = np.flatnonzero(change)
-    sizes = np.diff(np.append(starts, len(w_i)))
-
-    sim_order = np.lexsort((pair_j, pair_i))
-    sims_aligned = sims[sim_order]
-    if len(sizes) != len(sims_aligned):
-        raise ClusteringError("wedge grouping disagrees with A^2 (bug)")
-    wedge_sims = np.repeat(sims_aligned, sizes)
-
-    # Edge ids per wedge endpoint via a sparse edge-id-plus-one matrix.
-    m = graph.num_edges
-    rows = np.empty(2 * m, dtype=np.int64)
-    cols = np.empty(2 * m, dtype=np.int64)
-    data = np.empty(2 * m, dtype=np.int64)
-    for eid, (u, v) in enumerate(graph.edge_pairs()):
-        rows[2 * eid] = u
-        cols[2 * eid] = v
-        rows[2 * eid + 1] = v
-        cols[2 * eid + 1] = u
-        data[2 * eid] = eid + 1
-        data[2 * eid + 1] = eid + 1
-    eid_matrix = sp.csr_matrix((data, (rows, cols)), shape=(n, n))
-    e1 = np.asarray(eid_matrix[w_i, w_k]).ravel() - 1
-    e2 = np.asarray(eid_matrix[w_j, w_k]).ravel() - 1
-    if np.any(e1 < 0) or np.any(e2 < 0):
-        raise ClusteringError("wedge references a missing edge (bug)")
-
-    # Final stream order: descending similarity, ties by (i, j) pair —
-    # the reference's sorted_pairs() order.  Use a stable sort over the
-    # already pair-grouped stream.
-    stream_order = np.argsort(-wedge_sims, kind="stable")
-    return (
-        e1[stream_order],
-        e2[stream_order],
-        wedge_sims[stream_order],
-        len(starts),
-    )
+        return empty_i, empty_i.copy(), np.empty(0, dtype=np.float64), columns.k1
+    e1, e2 = wedge_edge_arrays(graph, columns)
+    sims = np.repeat(columns.sim, columns.pair_counts())
+    return e1, e2, sims, columns.k1
 
 
 def fast_sweep(
@@ -127,35 +58,13 @@ def fast_sweep(
 ) -> SweepResult:
     """Vectorized-input fine-grained sweep, equivalent to ``sweep``.
 
-    Produces the same dendrogram as the reference for the same tie
-    order; final partitions and threshold cuts always agree.
+    Computes the similarity columns vectorized, then delegates to the
+    core sweep's columnar branch — identical output to the reference
+    on the same edge order.
     """
-    e1_arr, e2_arr, sim_arr, k1 = wedge_stream(graph)
-    index = build_edge_index(graph, edge_order)
-    chain = ChainArray(graph.num_edges)
-    builder = DendrogramBuilder(graph.num_edges)
-    per_merge = [] if record_changes else None
-
-    r = 0
-    index_list = index
-    for e1, e2, similarity in zip(
-        e1_arr.tolist(), e2_arr.tolist(), sim_arr.tolist()
-    ):
-        before = chain.changes
-        outcome = chain.merge(index_list[e1], index_list[e2])
-        if per_merge is not None:
-            per_merge.append(chain.changes - before)
-        if outcome.merged:
-            r += 1
-            builder.record(r, outcome.c1, outcome.c2, outcome.parent, similarity)
-
-    k2 = len(sim_arr)
-    return SweepResult(
-        dendrogram=builder.build(),
-        chain=chain,
-        edge_index=index,
-        num_levels=r,
-        k1=k1,
-        k2=k2,
-        per_merge_changes=per_merge,
+    return sweep(
+        graph,
+        similarity_map=fast_similarity_columns(graph),
+        edge_order=edge_order,
+        record_changes=record_changes,
     )

@@ -35,6 +35,7 @@ from repro.core.coarse import (
     _PendingMerge,
     transition_merges,
 )
+from repro.core.simcolumns import SimilarityColumns
 from repro.core.similarity import SimilarityMap, compute_similarity_map
 from repro.errors import ParameterError
 from repro.graph.graph import Graph
@@ -54,7 +55,7 @@ class _ParallelCoarseSweeper(_CoarseSweeper):
     def __init__(
         self,
         graph: Graph,
-        similarity_map: SimilarityMap,
+        similarity_map: Union[SimilarityMap, SimilarityColumns],
         params: CoarseParams,
         edge_order: Optional[Sequence[int]],
         runtime: SweepRuntime,
@@ -64,6 +65,25 @@ class _ParallelCoarseSweeper(_CoarseSweeper):
         self._runtime = runtime
 
     def _apply_chunk(self, chunk: range) -> None:
+        if self.columns is not None:
+            # Columnar: the wedge stream is already flat; the runtime
+            # holds the edge-index columns (loaded once per sweep), so
+            # the chunk reduces to a [w_start, w_end) range.
+            w_start = self.offsets_list[chunk.start]
+            w_end = self.offsets_list[chunk.stop]
+            self.xi += w_end - w_start
+            self.p = chunk.stop
+            if w_start == w_end:
+                return  # nothing to merge; the runtime is not consulted
+            before = self.chain
+            after = self._runtime.chunk_merge_range(before, w_start, w_end)
+            if after is before:
+                return
+            for c1, c2, parent in transition_merges(before, after):
+                self.pending.append(_PendingMerge(chunk.start, c1, c2, parent, None))
+            self.chain = after
+            return
+
         graph = self.graph
         index = self.index
         pairs = self.pairs
@@ -102,7 +122,7 @@ class _ParallelCoarseSweeper(_CoarseSweeper):
 
 def parallel_coarse_sweep(
     graph: Graph,
-    similarity_map: Optional[SimilarityMap] = None,
+    similarity_map: Optional[Union[SimilarityMap, SimilarityColumns]] = None,
     params: Optional[CoarseParams] = None,
     edge_order: Optional[Sequence[int]] = None,
     num_workers: int = 2,
@@ -132,6 +152,11 @@ def parallel_coarse_sweep(
     sweeper = _ParallelCoarseSweeper(
         graph, sim, params or CoarseParams(), edge_order, runtime, tracer
     )
+    if sweeper.columns is not None:
+        # Columnar: publish the sorted wedge columns to the runtime once;
+        # every chunk then dispatches as a bare index range (the shm
+        # runtime ships them zero-copy through a shared block).
+        runtime.load_pairs(sweeper.c1_arr, sweeper.c2_arr)
     # The runtime reports per-chunk costs through the sweep's tracer;
     # restore its previous tracer afterwards so a caller-owned runtime
     # never keeps emitting into a tracer that may since have been closed.

@@ -30,7 +30,9 @@ from __future__ import annotations
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.cluster.unionfind import ChainArray
 from repro.errors import ParameterError
@@ -104,6 +106,11 @@ class SweepRuntime(ABC):
         # Assigned by the driver (parallel_coarse_sweep) for the duration
         # of a sweep; per-chunk costs surface as ``runtime:*`` spans.
         self.tracer = NULL_TRACER
+        # Columnar pair columns loaded once per sweep (load_pairs); range
+        # chunks then reference [start, stop) windows instead of shipping
+        # pair lists.  The token lets backends detect staleness.
+        self._pairs: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._pairs_token = 0
 
     def start(self) -> "SweepRuntime":
         """Create worker state eagerly; returns self."""
@@ -128,6 +135,56 @@ class SweepRuntime(ABC):
         the chunk carries no pairs); never mutates ``chain``.
         """
 
+    # ------------------------------------------------------------------
+    # columnar pair transport
+    # ------------------------------------------------------------------
+    def load_pairs(self, i1: np.ndarray, i2: np.ndarray) -> None:
+        """Load the sweep's full K2 pair columns once.
+
+        ``i1``/``i2`` are the array-``C`` indices of every wedge's two
+        edges, in list-L order.  Subsequent
+        :meth:`chunk_merge_range` calls address ``[start, stop)`` windows
+        of these columns, so per-chunk dispatch ships only two ints —
+        and on the shm backend the columns are written into shared
+        memory exactly once.
+        """
+        i1 = np.ascontiguousarray(i1, dtype=np.int64)
+        i2 = np.ascontiguousarray(i2, dtype=np.int64)
+        if i1.ndim != 1 or i1.shape != i2.shape:
+            raise ParameterError(
+                f"i1/i2 must be equal-length 1-D arrays, got shapes "
+                f"{i1.shape}/{i2.shape}"
+            )
+        self._pairs = (i1, i2)
+        self._pairs_token += 1
+
+    def _require_pairs(self, start: int, stop: int) -> Tuple[np.ndarray, np.ndarray]:
+        if self._pairs is None:
+            raise ParameterError(
+                "chunk_merge_range requires load_pairs() to be called first"
+            )
+        i1, i2 = self._pairs
+        if not (0 <= start <= stop <= len(i1)):
+            raise ParameterError(
+                f"pair range [{start}, {stop}) out of bounds for "
+                f"{len(i1)} loaded pairs"
+            )
+        return i1, i2
+
+    def chunk_merge_range(
+        self, chain: ChainArray, start: int, stop: int
+    ) -> ChainArray:
+        """MERGE the loaded pair columns' ``[start, stop)`` window.
+
+        Baseline implementation re-materializes the window as pair
+        tuples and delegates to :meth:`chunk_merge`; backends override
+        it to skip that (strided array slices, shared-memory ranges).
+        """
+        i1, i2 = self._require_pairs(start, stop)
+        return self.chunk_merge(
+            chain, list(zip(i1[start:stop].tolist(), i2[start:stop].tolist()))
+        )
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(chunks={self.stats.chunks})"
 
@@ -138,6 +195,15 @@ def _merge_worker(
     """Run MERGE over ``pairs`` on a private copy of array ``C``."""
     for i1, i2 in pairs:
         chain.merge(i1, i2)
+    return chain
+
+
+def _merge_arrays_worker(
+    chain: ChainArray, i1: np.ndarray, i2: np.ndarray
+) -> ChainArray:
+    """Run MERGE over parallel index arrays on a private copy of ``C``."""
+    for a, b in zip(i1.tolist(), i2.tolist()):
+        chain.merge(a, b)
     return chain
 
 
@@ -185,19 +251,19 @@ class LocalSweepRuntime(SweepRuntime):
     def shutdown(self) -> None:
         self.backend.shutdown()
 
-    def chunk_merge(
-        self, chain: ChainArray, edge_pairs: Sequence[Tuple[int, int]]
+    def _merge_on_copies(
+        self,
+        chain: ChainArray,
+        fn: Callable[..., ChainArray],
+        part_args: List[Tuple],
     ) -> ChainArray:
-        stats = self.stats
-        stats.chunks += 1
-        parts = [
-            part
-            for part in round_robin_partition(list(edge_pairs), self.num_workers)
-            if part
-        ]
-        if not parts:
-            return chain
+        """The two-step chunk recipe over per-worker argument tuples.
 
+        Step 1: copy array ``C`` per busy worker and map ``fn`` over
+        ``(copy, *args)``; step 2: hierarchical array merge.  Shared by
+        the pair-list and index-range chunk entry points.
+        """
+        stats = self.stats
         # Spawn before the copy timer starts, so pool construction cost
         # lands in spawn_time only (it used to leak into copy_time when
         # the lazy start sat inside the copy window).
@@ -205,22 +271,54 @@ class LocalSweepRuntime(SweepRuntime):
         tracer = self.tracer
 
         t0 = time.perf_counter()
-        copies = [chain.copy() for _ in parts]
+        copies = [chain.copy() for _ in part_args]
         t1 = time.perf_counter()
         stats.copy_time += t1 - t0
-        tracer.record("runtime:copy", t1 - t0, copies=len(parts))
+        tracer.record("runtime:copy", t1 - t0, copies=len(part_args))
 
-        merged = self.backend.map(_merge_worker, list(zip(copies, parts)))
-        stats.tasks += len(parts)
+        merged = self.backend.map(
+            fn, [(copy, *args) for copy, args in zip(copies, part_args)]
+        )
+        stats.tasks += len(part_args)
         t2 = time.perf_counter()
         stats.compute_time += t2 - t1
-        tracer.record("runtime:compute", t2 - t1, workers=len(parts))
+        tracer.record("runtime:compute", t2 - t1, workers=len(part_args))
 
         after = hierarchical_merge(list(merged), self._merge_backend)
         t3 = time.perf_counter()
         stats.merge_time += t3 - t2
         tracer.record("runtime:merge", t3 - t2)
         return after
+
+    def chunk_merge(
+        self, chain: ChainArray, edge_pairs: Sequence[Tuple[int, int]]
+    ) -> ChainArray:
+        self.stats.chunks += 1
+        parts = [
+            part
+            for part in round_robin_partition(list(edge_pairs), self.num_workers)
+            if part
+        ]
+        if not parts:
+            return chain
+        return self._merge_on_copies(chain, _merge_worker, [(part,) for part in parts])
+
+    def chunk_merge_range(
+        self, chain: ChainArray, start: int, stop: int
+    ) -> ChainArray:
+        i1, i2 = self._require_pairs(start, stop)
+        self.stats.chunks += 1
+        if start == stop:
+            return chain
+        # Strided slices reproduce round_robin_partition exactly (item r
+        # of the window goes to worker r % k) without materializing pair
+        # tuples.
+        k = self.num_workers
+        part_args = [
+            (i1[start + r : stop : k], i2[start + r : stop : k])
+            for r in range(min(k, stop - start))
+        ]
+        return self._merge_on_copies(chain, _merge_arrays_worker, part_args)
 
     def __repr__(self) -> str:
         return (
@@ -271,13 +369,12 @@ class ShmSweepRuntime(SweepRuntime):
         if self._arena is not None:
             self._arena.shutdown()
 
-    def chunk_merge(
-        self, chain: ChainArray, edge_pairs: Sequence[Tuple[int, int]]
-    ) -> ChainArray:
-        if not edge_pairs:
-            self.stats.chunks += 1
-            return chain
-        arena = self._arena_for(len(chain))
+    def _run_on_arena(self, call: Callable[[], List[int]]) -> ChainArray:
+        """Run one arena chunk call and surface its cost deltas.
+
+        The arena times its own steps (workers run out-of-process); this
+        chunk's contribution is the counter delta around ``call``.
+        """
         stats = self.stats
         before = (
             stats.spawn_time,
@@ -285,10 +382,8 @@ class ShmSweepRuntime(SweepRuntime):
             stats.compute_time,
             stats.merge_time,
         )
-        merged_raw = arena.chunk_merge(list(chain.raw()), edge_pairs)
+        merged_raw = call()
         self._sync_stats()
-        # The arena times its own steps (workers run out-of-process);
-        # this chunk's contribution is the counter delta.
         tracer = self.tracer
         spawn_dt = stats.spawn_time - before[0]
         if spawn_dt > 0.0:
@@ -299,6 +394,34 @@ class ShmSweepRuntime(SweepRuntime):
         )
         tracer.record("runtime:merge", stats.merge_time - before[3])
         return ChainArray(len(merged_raw), _init=merged_raw)
+
+    def chunk_merge(
+        self, chain: ChainArray, edge_pairs: Sequence[Tuple[int, int]]
+    ) -> ChainArray:
+        if not edge_pairs:
+            self.stats.chunks += 1
+            return chain
+        arena = self._arena_for(len(chain))
+        return self._run_on_arena(
+            lambda: arena.chunk_merge(list(chain.raw()), edge_pairs)
+        )
+
+    def chunk_merge_range(
+        self, chain: ChainArray, start: int, stop: int
+    ) -> ChainArray:
+        i1, i2 = self._require_pairs(start, stop)
+        if start == stop:
+            self.stats.chunks += 1
+            return chain
+        arena = self._arena_for(len(chain))
+        if arena.pairs_token != self._pairs_token:
+            # First range chunk of this sweep (or the arena was re-sized):
+            # write the full pair columns into shared memory once; every
+            # chunk after this ships only (start, stop).
+            arena.load_pairs(i1, i2, token=self._pairs_token)
+        return self._run_on_arena(
+            lambda: arena.chunk_merge_range(list(chain.raw()), start, stop)
+        )
 
     def _sync_stats(self) -> None:
         """Mirror the arena's counters into this runtime's stats."""

@@ -8,8 +8,13 @@ copies as rows of an int64 matrix, worker processes attach and run
 MERGE over their row in place, and the parent combines rows with the
 corrected array-merge scheme without any copy leaving shared memory.
 
-Only each worker's *edge-pair slice* crosses a queue (two ints per
-incident pair), which is the chunk's natural input anyway.
+With the columnar pipeline, not even the edge-pair slices cross a
+queue: :meth:`ShmArena.load_pairs` writes the sweep's sorted pair
+columns into a second shared block *once per sweep*, and each chunk's
+task message shrinks to a ``("range", ...)`` tuple naming the block
+plus a strided index range — workers read their pairs straight from
+shared memory.  The legacy list-of-pairs task path remains for the
+dict pipeline.
 
 :class:`ShmArena` is the persistent realization of Section VI-B's
 design (the paper starts its pthreads once per run): the block is
@@ -104,11 +109,21 @@ def _worker(
     """Long-lived arena worker: MERGE each task's pairs on row ``row``.
 
     Attaches to the shared block once, then serves tasks until the
-    ``None`` sentinel.  A failure while merging is reported to the
-    parent through the result queue (the worker stays alive — its row is
-    rewritten from ``base`` at the next chunk anyway).
+    ``None`` sentinel.  Two task shapes are served:
+
+    * a list of ``(i1, i2)`` pairs (legacy dict-pipeline path), merged
+      directly;
+    * a ``("range", name, capacity, offset, stop, stride)`` tuple
+      (columnar path): the worker lazily attaches to the named pairs
+      block and merges the strided slice — no pair data on the queue.
+
+    A failure while merging is reported to the parent through the
+    result queue (the worker stays alive — its row is rewritten from
+    ``base`` at the next chunk anyway).
     """
     block = _attach_untracked(shm_name)
+    pairs_block: Optional[shared_memory.SharedMemory] = None
+    pairs_name: Optional[str] = None
     try:
         matrix = np.ndarray((row + 1, n), dtype=np.int64, buffer=block.buf)
         row_view = matrix[row]
@@ -118,13 +133,34 @@ def _worker(
                 break
             try:
                 chain = NumpyChainArray(n, buffer=row_view, initialized=True)
-                for i1, i2 in task:
-                    chain.merge(i1, i2)
+                if isinstance(task, tuple) and task and task[0] == "range":
+                    _, name, capacity, offset, stop, stride = task
+                    if pairs_name != name:
+                        # A new sweep reloaded the pairs under a fresh
+                        # block; drop the stale attachment first.
+                        if pairs_block is not None:
+                            pairs_block.close()
+                            pairs_block = None
+                        pairs_block = _attach_untracked(name)
+                        pairs_name = name
+                    pairs_mat = np.ndarray(
+                        (2, capacity), dtype=np.int64, buffer=pairs_block.buf
+                    )
+                    for i1, i2 in zip(
+                        pairs_mat[0, offset:stop:stride].tolist(),
+                        pairs_mat[1, offset:stop:stride].tolist(),
+                    ):
+                        chain.merge(i1, i2)
+                else:
+                    for i1, i2 in task:
+                        chain.merge(i1, i2)
             except Exception as exc:  # repro: noqa: COR001 — reported to the parent, which raises
                 result_queue.put((row, f"{type(exc).__name__}: {exc}"))
             else:
                 result_queue.put((row, None))
     finally:
+        if pairs_block is not None:
+            pairs_block.close()
         block.close()
 
 
@@ -156,12 +192,25 @@ class ShmArena:
         self._procs: List[Any] = []
         self._task_queues: List[Any] = []
         self._result_queue: Any = None
+        self._pairs_block: Optional[shared_memory.SharedMemory] = None
+        self._pairs_capacity = 0
+        self._pairs_len = 0
+        # The caller's arrays, kept for the inline (single-busy-worker)
+        # path so it never touches the shared block's buffer directly.
+        self._pairs_host: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        # Opaque staleness marker for the currently loaded pairs; None
+        # means "nothing loaded".  Callers compare it against their own
+        # token to decide whether load_pairs must run again.
+        self.pairs_token: Optional[object] = None
         self.spawn_time = 0.0
         self.copy_time = 0.0
         self.compute_time = 0.0
         self.merge_time = 0.0
         self.chunks = 0
         self.tasks = 0
+        self.pair_loads = 0
+        self.range_tasks = 0
+        self.list_tasks = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -228,9 +277,70 @@ class ShmArena:
                     q.close()
                     q.join_thread()
         finally:
-            if block is not None:
-                block.close()
-                block.unlink()
+            try:
+                if block is not None:
+                    block.close()
+                    block.unlink()
+            finally:
+                self._release_pairs_block()
+
+    # ------------------------------------------------------------------
+    # sorted-pair columns (columnar zero-copy path)
+    # ------------------------------------------------------------------
+    def load_pairs(
+        self,
+        i1: Sequence[int],
+        i2: Sequence[int],
+        token: Optional[object] = None,
+    ) -> None:
+        """Publish a sweep's sorted pair columns into shared memory.
+
+        Called once per sweep (not per chunk): the two edge-index
+        columns are written into a dedicated shared block that
+        :meth:`chunk_merge_range` tasks reference by name, so chunk
+        dispatch ships only a range tuple.  The block is grown on
+        demand and reused across loads that fit; :meth:`shutdown`
+        releases it.  ``token`` (any object) is stored as
+        :attr:`pairs_token` so callers can detect staleness.
+        """
+        i1_arr = np.ascontiguousarray(i1, dtype=np.int64)
+        i2_arr = np.ascontiguousarray(i2, dtype=np.int64)
+        if i1_arr.ndim != 1 or i1_arr.shape != i2_arr.shape:
+            raise ParameterError(
+                "pair columns must be one-dimensional and of equal length, "
+                f"got shapes {i1_arr.shape} and {i2_arr.shape}"
+            )
+        k2 = int(i1_arr.shape[0])
+        t0 = time.perf_counter()
+        if self._pairs_block is None or self._pairs_capacity < k2:
+            self._release_pairs_block()
+            capacity = max(1, k2)
+            self._pairs_block = shared_memory.SharedMemory(  # repro: noqa: SHM001 — arena-owned; _release_pairs_block() closes+unlinks on all paths (shutdown + reload)
+                create=True, size=2 * capacity * 8
+            )
+            self._pairs_capacity = capacity
+        mat = np.ndarray(
+            (2, self._pairs_capacity), dtype=np.int64, buffer=self._pairs_block.buf
+        )
+        mat[0, :k2] = i1_arr
+        mat[1, :k2] = i2_arr
+        del mat  # keep no view on the buffer past this call
+        self.copy_time += time.perf_counter() - t0
+        self._pairs_len = k2
+        self._pairs_host = (i1_arr, i2_arr)
+        self.pairs_token = token if token is not None else object()
+        self.pair_loads += 1
+
+    def _release_pairs_block(self) -> None:
+        """Close and unlink the pairs block (if any); idempotent."""
+        block, self._pairs_block = self._pairs_block, None
+        self._pairs_capacity = 0
+        self._pairs_len = 0
+        self._pairs_host = None
+        self.pairs_token = None
+        if block is not None:
+            block.close()
+            block.unlink()
 
     def __enter__(self) -> "ShmArena":
         # Lazy: chunk_merge starts the workers only when a chunk really
@@ -292,10 +402,87 @@ class ShmArena:
         for row, part in enumerate(parts):
             self._task_queues[row].put(part)
         self.tasks += t
+        self.list_tasks += t
         self._collect(t)
         self.compute_time += time.perf_counter() - t0
 
-        # Step 2: combine rows pairwise (corrected scheme) in the parent.
+        return self._combine_rows(t)
+
+    def chunk_merge_range(
+        self, base: Sequence[int], start: int, stop: int
+    ) -> List[int]:
+        """Process pairs ``[start, stop)`` of the loaded columns.
+
+        The columnar counterpart of :meth:`chunk_merge`: requires a
+        prior :meth:`load_pairs`, and dispatches only
+        ``("range", ...)`` tuples — worker ``r`` merges the strided
+        slice ``start + r :: num_workers``, which is exactly the
+        round-robin partition of the range.
+        """
+        base_arr = np.asarray(base, dtype=np.int64)
+        if base_arr.shape != (self.n,):
+            raise ParameterError(
+                f"base must be one-dimensional of length {self.n}, "
+                f"got shape {base_arr.shape}"
+            )
+        if self._pairs_host is None:
+            raise ParameterError(
+                "no pair columns loaded — call load_pairs() before "
+                "chunk_merge_range()"
+            )
+        if not (0 <= start <= stop <= self._pairs_len):
+            raise ParameterError(
+                f"pair range [{start}, {stop}) out of bounds for "
+                f"{self._pairs_len} loaded pairs"
+            )
+        self.chunks += 1
+        total = stop - start
+        if total == 0 or self.n == 0:
+            return base_arr.tolist()
+        busy = min(self.num_workers, total)
+        if busy == 1:
+            # One busy worker: IPC buys nothing; merge inline off the
+            # host copy of the columns.
+            host_i1, host_i2 = self._pairs_host
+            t0 = time.perf_counter()
+            chain = NumpyChainArray(self.n, buffer=base_arr.copy(), initialized=True)
+            for i1, i2 in zip(
+                host_i1[start:stop].tolist(), host_i2[start:stop].tolist()
+            ):
+                chain.merge(i1, i2)
+            self.compute_time += time.perf_counter() - t0
+            return chain.raw().tolist()
+
+        self.start()
+        assert self._matrix is not None
+        assert self._pairs_block is not None
+
+        t0 = time.perf_counter()
+        self._matrix[:busy] = base_arr
+        self.copy_time += time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        for row in range(busy):
+            self._task_queues[row].put(
+                (
+                    "range",
+                    self._pairs_block.name,
+                    self._pairs_capacity,
+                    start + row,
+                    stop,
+                    self.num_workers,
+                )
+            )
+        self.tasks += busy
+        self.range_tasks += busy
+        self._collect(busy)
+        self.compute_time += time.perf_counter() - t0
+
+        return self._combine_rows(busy)
+
+    def _combine_rows(self, t: int) -> List[int]:
+        """Step 2: combine rows pairwise (corrected scheme) in the parent."""
+        assert self._matrix is not None
         t0 = time.perf_counter()
         chains = [
             NumpyChainArray(self.n, buffer=self._matrix[row], initialized=True)

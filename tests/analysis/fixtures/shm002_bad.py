@@ -1,0 +1,16 @@
+"""SHM002 fixture: explicit pickle of pair data crossing the queue."""
+
+import pickle
+from pickle import dumps
+
+
+def ship_pairs(pairs, queue):
+    queue.put(pickle.dumps(pairs))
+
+
+def receive_pairs(queue):
+    return pickle.loads(queue.get())
+
+
+def alias_form(pairs):
+    return dumps(pairs)

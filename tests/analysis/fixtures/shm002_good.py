@@ -1,0 +1,18 @@
+"""SHM002 fixture: pair columns ship through shared memory, not pickle."""
+
+import json
+
+
+def publish(arena, i1, i2, token):
+    # Columns are written into the arena's shared block once per sweep.
+    arena.load_pairs(i1, i2, token=token)
+
+
+def dispatch(queue, name, capacity, start, stop, stride):
+    # Chunks reference the block by name plus a strided index range.
+    queue.put(("range", name, capacity, start, stop, stride))
+
+
+def summarize(stats):
+    # Non-pickle serialization of non-pair data is fine.
+    return json.dumps(stats)

@@ -10,7 +10,7 @@ from repro.analysis import analyze_file, resolve_rules
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
-RULES = ["SHM001", "PAR001", "PAR002", "DET001", "COR001", "API001", "API002"]
+RULES = ["SHM001", "SHM002", "PAR001", "PAR002", "DET001", "COR001", "API001", "API002"]
 
 
 def run_rule(rule_id, fixture_name):
@@ -55,6 +55,15 @@ class TestShm001Details:
         assert "unlink()" in messages
         # three sites: plain attach, create-without-unlink, anonymous use
         assert len(findings) == 3
+
+
+class TestShm002Details:
+    def test_module_attribute_and_from_import_forms_flagged(self):
+        findings = run_rule("SHM002", "shm002_bad.py")
+        # pickle.dumps, pickle.loads, and the from-imported dumps alias
+        assert len(findings) == 3
+        messages = " ".join(f.message for f in findings)
+        assert "load_pairs" in messages
 
 
 class TestPar001Details:

@@ -73,6 +73,7 @@ class TestSelectIgnore:
             "PAR001",
             "PAR002",
             "SHM001",
+            "SHM002",
         ]
 
 

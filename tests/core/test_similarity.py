@@ -143,6 +143,19 @@ class TestAdjacencyTerms:
         for key in m_all:
             assert m_split[key][0] == pytest.approx(m_all[key][0])
 
+    def test_first_vertex_filter_set_used_directly(self):
+        """A set/frozenset filter is used as-is (the par-init fan-out
+        passes the same set T times; rebuilding it per call was O(T*|E|))."""
+        g = generators.complete_graph(4)
+        h1, _ = compute_h_arrays(g)
+        m_set = accumulate_pair_map(g)
+        apply_adjacency_terms(g, m_set, h1, first_vertex_filter=frozenset({0, 1}))
+        apply_adjacency_terms(g, m_set, h1, first_vertex_filter={2, 3})
+        m_all = accumulate_pair_map(g)
+        apply_adjacency_terms(g, m_all, h1)
+        for key in m_all:
+            assert m_set[key][0] == pytest.approx(m_all[key][0])
+
 
 class TestFinalize:
     def test_similarity_in_unit_interval(self, weighted_caveman):
@@ -163,6 +176,13 @@ class TestSimilarityMapAPI:
 
         assert sim.k1 == count_k1(paper_example_graph)
         assert sim.k2 == count_k2(paper_example_graph)
+
+    def test_k2_cached(self, paper_example_graph):
+        sim = compute_similarity_map(paper_example_graph)
+        assert sim._k2 is None  # lazy until first read
+        first = sim.k2
+        assert sim._k2 == first
+        assert sim.k2 == first  # second read served from the cache
 
     def test_sorted_pairs_non_increasing(self, weighted_caveman):
         pairs = compute_similarity_map(weighted_caveman).sorted_pairs()

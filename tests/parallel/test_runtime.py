@@ -88,6 +88,62 @@ class TestChunkMerge:
             assert chain.labels() == reference_merge(list(range(n)), flat)
 
 
+@pytest.mark.parametrize("backend", ["serial", "thread", "process", "shm"])
+class TestChunkMergeRange:
+    """runtime.load_pairs + chunk_merge_range ≡ chunk_merge over slices."""
+
+    def test_requires_load_pairs(self, backend):
+        with get_sweep_runtime(backend, 2) as runtime:
+            with pytest.raises(ParameterError, match="load_pairs"):
+                runtime.chunk_merge_range(ChainArray(6), 0, 1)
+
+    def test_range_bounds_checked(self, backend):
+        with get_sweep_runtime(backend, 2) as runtime:
+            runtime.load_pairs([0, 1], [1, 2])
+            with pytest.raises(ParameterError, match="out of bounds"):
+                runtime.chunk_merge_range(ChainArray(6), 0, 5)
+
+    def test_empty_range_returns_chain_unchanged(self, backend):
+        with get_sweep_runtime(backend, 2) as runtime:
+            runtime.load_pairs([0, 1], [1, 2])
+            chain = ChainArray(6)
+            assert runtime.chunk_merge_range(chain, 1, 1) is chain
+
+    def test_matches_chunk_merge(self, backend):
+        n = 30
+        pairs = [p for chunk in random_chunks(n, 3, 20, seed=13) for p in chunk]
+        with get_sweep_runtime(backend, 3) as by_list:
+            with get_sweep_runtime(backend, 3) as by_range:
+                by_range.load_pairs(
+                    [a for a, _ in pairs], [b for _, b in pairs]
+                )
+                chain_l = ChainArray(n)
+                chain_r = ChainArray(n)
+                for start in range(0, len(pairs), 20):
+                    stop = min(start + 20, len(pairs))
+                    chain_l = by_list.chunk_merge(chain_l, pairs[start:stop])
+                    chain_r = by_range.chunk_merge_range(chain_r, start, stop)
+                    assert same_partition(chain_l.labels(), chain_r.labels())
+                assert chain_r.labels() == reference_merge(list(range(n)), pairs)
+
+    def test_shm_ships_ranges_not_pairs(self, backend):
+        if backend != "shm":
+            pytest.skip("arena counters are shm-specific")
+        n = 30
+        pairs = [p for chunk in random_chunks(n, 3, 20, seed=13) for p in chunk]
+        with ShmSweepRuntime(3) as runtime:
+            runtime.load_pairs([a for a, _ in pairs], [b for _, b in pairs])
+            chain = ChainArray(n)
+            for start in range(0, len(pairs), 20):
+                chain = runtime.chunk_merge_range(
+                    chain, start, min(start + 20, len(pairs))
+                )
+            arena = runtime.arena
+            assert arena.list_tasks == 0
+            assert arena.range_tasks > 0
+            assert arena.pair_loads == 1  # columns crossed exactly once
+
+
 class TestPersistence:
     """Worker state must survive across >= 3 consecutive chunks."""
 
@@ -292,6 +348,11 @@ def test_shm_run_is_warning_clean():
         "    chain = ChainArray(32)\n"
         "    for _ in range(3):\n"
         "        chain = rt.chunk_merge(chain, [(i, i + 2) for i in range(20)])\n"
+        "with ShmSweepRuntime(2) as rt:\n"
+        "    rt.load_pairs(list(range(20)), list(range(2, 22)))\n"
+        "    chain = ChainArray(32)\n"
+        "    for start in (0, 10):\n"
+        "        chain = rt.chunk_merge_range(chain, start, start + 10)\n"
         "print('done')\n"
     )
     src = str(Path(__file__).resolve().parents[2] / "src")

@@ -10,7 +10,7 @@ from hypothesis import strategies as st
 
 from repro.cluster.unionfind import ChainArray
 from repro.errors import ParameterError
-from repro.parallel.shm_sweep import shm_chunk_merge
+from repro.parallel.shm_sweep import ShmArena, shm_chunk_merge
 
 
 def serial_reference(base, pairs):
@@ -86,6 +86,96 @@ class TestShmFailures:
         # run — reaching here without exceptions is the check.
 
 
+class TestChunkMergeRange:
+    """The zero-copy columnar path: columns loaded once, ranges dispatched."""
+
+    def make_pairs(self, n, count, seed=0):
+        rng = random.Random(seed)
+        return [(rng.randrange(n), rng.randrange(n)) for _ in range(count)]
+
+    def test_requires_load_pairs(self):
+        with ShmArena(5, 2) as arena:
+            with pytest.raises(ParameterError, match="load_pairs"):
+                arena.chunk_merge_range(list(range(5)), 0, 1)
+
+    def test_range_bounds_checked(self):
+        with ShmArena(5, 2) as arena:
+            arena.load_pairs([0, 1], [1, 2])
+            with pytest.raises(ParameterError, match="out of bounds"):
+                arena.chunk_merge_range(list(range(5)), 0, 3)
+
+    def test_column_shape_checked(self):
+        with ShmArena(5, 2) as arena:
+            with pytest.raises(ParameterError, match="equal length"):
+                arena.load_pairs([0, 1], [1])
+
+    def test_empty_range_is_identity(self):
+        with ShmArena(5, 2) as arena:
+            arena.load_pairs([0, 1], [1, 2])
+            base = list(range(5))
+            assert arena.chunk_merge_range(base, 1, 1) == base
+
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_matches_chunk_merge(self, workers):
+        n = 30
+        pairs = self.make_pairs(n, 50, seed=workers)
+        i1 = [a for a, _ in pairs]
+        i2 = [b for _, b in pairs]
+        with ShmArena(n, workers) as by_range, ShmArena(n, workers) as by_list:
+            by_range.load_pairs(i1, i2)
+            base_r = list(range(n))
+            base_l = list(range(n))
+            for start in range(0, len(pairs), 17):
+                stop = min(start + 17, len(pairs))
+                base_r = by_range.chunk_merge_range(base_r, start, stop)
+                base_l = by_list.chunk_merge(base_l, pairs[start:stop])
+                assert labels_of(base_r) == labels_of(base_l)
+
+    def test_no_pair_data_crosses_the_queue(self):
+        """The columnar path must dispatch range tuples only."""
+        n = 24
+        pairs = self.make_pairs(n, 48, seed=9)
+        with ShmArena(n, 3) as arena:
+            arena.load_pairs([a for a, _ in pairs], [b for _, b in pairs])
+            base = list(range(n))
+            for start in range(0, len(pairs), 12):
+                base = arena.chunk_merge_range(base, start, min(start + 12, 48))
+            assert arena.list_tasks == 0
+            assert arena.range_tasks > 0
+            assert arena.pair_loads == 1
+            assert labels_of(base) == serial_reference(list(range(n)), pairs)
+
+    def test_block_reused_across_loads_that_fit(self):
+        with ShmArena(10, 2) as arena:
+            arena.load_pairs([0, 1, 2], [3, 4, 5])
+            first = arena._pairs_block.name
+            arena.load_pairs([5, 6], [7, 8])  # smaller: fits in place
+            assert arena._pairs_block.name == first
+            arena.load_pairs(list(range(9)), list(range(1, 10)))  # grows
+            assert arena._pairs_block.name != first
+            assert arena.pair_loads == 3
+
+    def test_token_tracks_loads(self):
+        with ShmArena(10, 2) as arena:
+            assert arena.pairs_token is None
+            arena.load_pairs([0], [1], token="sweep-1")
+            assert arena.pairs_token == "sweep-1"
+            arena.load_pairs([0], [1])
+            assert arena.pairs_token not in (None, "sweep-1")
+
+    def test_shutdown_releases_pairs_block(self):
+        arena = ShmArena(10, 2)
+        arena.load_pairs([0, 1], [1, 2])
+        arena.shutdown()
+        assert arena.pairs_token is None
+        assert arena._pairs_block is None
+        # A fresh load after shutdown works (the arena restarts lazily).
+        arena.load_pairs([0], [1])
+        base = arena.chunk_merge_range(list(range(10)), 0, 1)
+        assert labels_of(base) == serial_reference(list(range(10)), [(0, 1)])
+        arena.shutdown()
+
+
 @settings(max_examples=10, deadline=None)
 @given(
     n=st.integers(3, 25),
@@ -98,3 +188,18 @@ def test_property_shm_equals_serial(n, seed, workers):
     pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(2 * n)]
     merged = shm_chunk_merge(base, pairs, num_workers=workers)
     assert labels_of(merged) == serial_reference(base, pairs)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(3, 25),
+    seed=st.integers(0, 500),
+    workers=st.integers(2, 4),
+)
+def test_property_range_equals_serial(n, seed, workers):
+    rng = random.Random(seed)
+    pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(2 * n)]
+    with ShmArena(n, workers) as arena:
+        arena.load_pairs([a for a, _ in pairs], [b for _, b in pairs])
+        merged = arena.chunk_merge_range(list(range(n)), 0, len(pairs))
+    assert labels_of(merged) == serial_reference(list(range(n)), pairs)
