@@ -4,11 +4,15 @@ The static-analysis gate runs on every push (and inside
 ``tests/analysis/test_repo_clean.py``), so its wall time is part of the
 developer loop.  This benchmark records files-scanned / findings /
 wall-time for the library tree under ``benchmarks/results/`` so future
-PRs that add rules or files can see whether the gate is getting slow.
+PRs that add rules or files can see whether the gate is getting slow —
+and, since the result cache landed, the cold-vs-warm split that
+developers actually feel: the cold number is a fresh run, the warm
+number reuses the mtime-keyed cache for every unchanged file.
 """
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 
 from repro.analysis import analyze_paths
@@ -17,23 +21,45 @@ from repro.bench.runner import ResultTable, save_json
 REPO = Path(__file__).resolve().parents[1]
 
 
-def test_analyzer_runtime(benchmark, results_dir):
+def _timed(paths, cache_path=None):
+    t0 = time.perf_counter()
+    result = analyze_paths(paths, cache_path=cache_path)
+    return result, time.perf_counter() - t0
+
+
+def test_analyzer_runtime(benchmark, results_dir, tmp_path):
     result = benchmark(analyze_paths, [REPO / "src"])
 
     table = ResultTable(
         "repro analyze: gate runtime on the repository's own trees",
-        ["tree", "files_scanned", "findings", "suppressed", "wall_seconds"],
+        [
+            "tree",
+            "files_scanned",
+            "findings",
+            "suppressed",
+            "cold_seconds",
+            "warm_seconds",
+            "warm_files_reused",
+        ],
     )
-    rows = {"src": result}
-    for name in ("examples", "benchmarks"):
-        rows[name] = analyze_paths([REPO / name])
-    for name, res in rows.items():
+    trees = {
+        "src": [REPO / "src"],
+        "examples": [REPO / "examples"],
+        "benchmarks": [REPO / "benchmarks"],
+    }
+    for name, paths in trees.items():
+        cache = tmp_path / f"{name}.cache.json"
+        cold, cold_secs = _timed(paths, cache_path=cache)
+        warm, warm_secs = _timed(paths, cache_path=cache)
+        assert warm.stats.files_reused == warm.stats.files_scanned
         table.add_row(
             tree=name,
-            files_scanned=res.stats.files_scanned,
-            findings=res.stats.findings,
-            suppressed=res.stats.suppressed,
-            wall_seconds=round(res.stats.duration_seconds, 4),
+            files_scanned=cold.stats.files_scanned,
+            findings=cold.stats.findings,
+            suppressed=cold.stats.suppressed,
+            cold_seconds=round(cold_secs, 4),
+            warm_seconds=round(warm_secs, 4),
+            warm_files_reused=warm.stats.files_reused,
         )
     table.show()
     save_json(table, results_dir / "static_analysis_runtime.json")

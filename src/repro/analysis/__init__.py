@@ -8,12 +8,23 @@ yet fatal at production scale.  Parallel-clustering systems engineer
 these bug classes away with tooling rather than code review; this
 package is that tooling for ``repro``.
 
-It is a small AST-based framework — a visitor core over per-module
-:class:`~repro.analysis.base.ModuleContext` objects, a rule registry, a
-:class:`~repro.analysis.finding.Finding` dataclass, and text/JSON
-reporters — plus an initial catalog of rules (SHM001, PAR001, PAR002,
-DET001, COR001, API001) targeting the parallel and clustering layers.
-See ``docs/static_analysis.md`` for the rule catalog and suppression
+It is a whole-program, flow-aware analyzer in three layers:
+
+* a per-module AST layer — :class:`~repro.analysis.base.ModuleContext`,
+  the rule registry, :class:`~repro.analysis.finding.Finding`, and the
+  text/JSON reporters;
+* a **flow engine** (:mod:`repro.analysis.flow`) — per-scope CFGs with
+  exception edges and a resource-lifecycle dataflow that accepts
+  close-on-all-paths however it is spelled (SHM001, PAR001);
+* a **project model** (:mod:`repro.analysis.project`) — module index,
+  symbol table, call graph, and the *worker-reachable* set that powers
+  the PAR1xx/DET1xx whole-program rules; OBS1xx checks every tracer
+  name against the declared vocabulary in :mod:`repro.obs.vocabulary`.
+
+The workflow layer supports an ``analysis-baseline.json`` snapshot (CI
+gates on *new* findings only), an mtime-keyed result cache, and a
+``--changed-only`` git-diff mode.  See ``docs/static_analysis.md`` for
+the rule catalog, the baseline/burn-down workflow, and the suppression
 syntax (``# repro: noqa RULE``).
 
 Entry points
@@ -26,8 +37,11 @@ Entry points
 
 from __future__ import annotations
 
-from repro.analysis.base import ModuleContext, Rule
+from repro.analysis.base import ModuleContext, ProjectRule, Rule
+from repro.analysis.baseline import Baseline, partition_findings, write_baseline
+from repro.analysis.cache import ResultCache
 from repro.analysis.finding import Finding, Severity
+from repro.analysis.project import ProjectModel, build_project
 from repro.analysis.registry import all_rules, resolve_rules, rule_ids
 from repro.analysis.reporters import render_json, render_text
 from repro.analysis.runner import (
@@ -35,22 +49,31 @@ from repro.analysis.runner import (
     RunStats,
     analyze_file,
     analyze_paths,
+    git_changed_files,
     iter_python_files,
 )
 
 __all__ = [
     "AnalysisResult",
+    "Baseline",
     "Finding",
     "ModuleContext",
+    "ProjectModel",
+    "ProjectRule",
+    "ResultCache",
     "Rule",
     "RunStats",
     "Severity",
     "all_rules",
     "analyze_file",
     "analyze_paths",
+    "build_project",
+    "git_changed_files",
     "iter_python_files",
+    "partition_findings",
     "render_json",
     "render_text",
     "resolve_rules",
     "rule_ids",
+    "write_baseline",
 ]

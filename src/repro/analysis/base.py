@@ -1,14 +1,17 @@
-"""Rule base class and per-module analysis context."""
+"""Rule base classes and per-module analysis context."""
 
 from __future__ import annotations
 
 import ast
-from typing import Iterable, List, Optional
+from typing import TYPE_CHECKING, Iterable, List, Optional
 
 from repro.analysis.astutils import ImportMap
 from repro.analysis.finding import Finding, Severity
 
-__all__ = ["ModuleContext", "Rule"]
+if TYPE_CHECKING:  # circular at runtime: project builds on ModuleContext
+    from repro.analysis.project import ProjectModel
+
+__all__ = ["ModuleContext", "ProjectRule", "Rule"]
 
 
 class ModuleContext:
@@ -72,3 +75,19 @@ class Rule:
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.rule_id}>"
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole-program view.
+
+    Project rules run once per analyzer invocation against the
+    :class:`~repro.analysis.project.ProjectModel` built from every
+    successfully parsed module, instead of once per file.  ``check`` is
+    a no-op so the per-file pass can treat the catalog uniformly.
+    """
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: "ProjectModel") -> Iterable[Finding]:
+        raise NotImplementedError

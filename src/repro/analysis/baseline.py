@@ -1,0 +1,121 @@
+"""Baseline support: gate on *new* findings while old ones burn down.
+
+Turning on a new rule family against an existing codebase produces a
+wall of findings nobody can fix in one sitting.  The standard answer
+(ratcheting, as in ruff's ``--add-noqa`` or mypy's baseline wrappers)
+is a committed snapshot of the currently-accepted findings: CI fails
+only on findings *not* in the snapshot, and the snapshot is only ever
+allowed to shrink.
+
+A baseline entry is keyed by ``(file, rule_id, message)`` — line
+numbers are deliberately excluded so that unrelated edits shifting a
+file do not resurrect baselined findings.  Matching is multiset-style:
+two identical findings in one file consume two baseline entries, so a
+*third* copy of an already-baselined bug still fails the gate.
+
+The file is plain sorted JSON so diffs review well; regenerate it with
+``repro analyze --write-baseline`` (which records post-noqa findings
+only — a suppressed finding never re-enters the baseline).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.analysis.finding import Finding
+from repro.errors import AnalysisError
+
+__all__ = ["Baseline", "partition_findings", "write_baseline"]
+
+_Key = Tuple[str, str, str]
+
+_VERSION = 1
+
+
+def _key(finding: Finding) -> _Key:
+    return (finding.file, finding.rule_id, finding.message)
+
+
+class Baseline:
+    """An accepted-findings snapshot loaded from ``analysis-baseline.json``."""
+
+    def __init__(self, entries: Counter):
+        self.entries: Counter = entries
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        try:
+            raw = Path(path).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise AnalysisError(f"cannot read baseline {path}: {exc}") from exc
+        try:
+            payload = json.loads(raw)
+        except ValueError as exc:
+            raise AnalysisError(
+                f"baseline {path} is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(payload, dict) or "findings" not in payload:
+            raise AnalysisError(
+                f"baseline {path} has no 'findings' key; regenerate it "
+                "with `repro analyze --write-baseline`"
+            )
+        entries: Counter = Counter()
+        for item in payload["findings"]:
+            entries[(item["file"], item["rule_id"], item["message"])] += int(
+                item.get("count", 1)
+            )
+        return cls(entries)
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())
+
+
+def partition_findings(
+    findings: Sequence[Finding], baseline: Baseline
+) -> Tuple[List[Finding], int]:
+    """Split findings into (new, baselined-count).
+
+    Order is preserved; each baseline entry absorbs at most ``count``
+    matching findings.
+    """
+    budget = Counter(baseline.entries)
+    new: List[Finding] = []
+    baselined = 0
+    for finding in findings:
+        key = _key(finding)
+        if budget[key] > 0:
+            budget[key] -= 1
+            baselined += 1
+        else:
+            new.append(finding)
+    return new, baselined
+
+
+def write_baseline(
+    path: Union[str, Path], findings: Sequence[Finding]
+) -> int:
+    """Snapshot ``findings`` (already noqa-filtered) to ``path``.
+
+    Returns the number of entries written.  The output is sorted and
+    count-aggregated so regeneration is deterministic and diffs stay
+    reviewable.
+    """
+    counts: Counter = Counter(_key(f) for f in findings)
+    items: List[Dict[str, Union[str, int]]] = []
+    for (file, rule_id, message), count in sorted(counts.items()):
+        entry: Dict[str, Union[str, int]] = {
+            "file": file,
+            "rule_id": rule_id,
+            "message": message,
+        }
+        if count != 1:
+            entry["count"] = count
+        items.append(entry)
+    payload = {"version": _VERSION, "findings": items}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return sum(counts.values())

@@ -1,0 +1,191 @@
+"""mtime-keyed result cache: repeated analyzer runs skip unchanged files.
+
+The analyzer is a CI gate and a pre-commit hook, so its steady-state
+cost is what developers feel.  Parsing and re-checking ~100 unchanged
+files on every run is pure waste: a file's (post-noqa) module-rule
+findings are a pure function of its bytes and the rule set, so they are
+cached keyed by ``(mtime_ns, size, rules_sig)`` — the classic ccache
+trade: mtime+size validity is cheap and only wrong if a file is
+rewritten byte-identically within the stat granularity, in which case
+the cached answer is right anyway.
+
+Whole-program (ProjectRule) findings depend on *every* module, so they
+are cached under a single project signature — the sorted list of
+``(path, mtime_ns, size)`` plus the rule signature.  A fully warm run
+therefore does no parsing at all; touching one file re-parses the tree
+for the project pass but still reuses every other file's module-rule
+results.
+
+The cache lives in ``.repro-analysis-cache.json`` (gitignored) and is
+best-effort: unreadable or version-mismatched caches are silently
+discarded, never trusted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.finding import Finding, Severity
+
+__all__ = ["CachedFile", "ResultCache", "file_signature", "project_signature"]
+
+_VERSION = 1
+
+
+def file_signature(path: Union[str, Path]) -> Optional[Tuple[int, int]]:
+    """``(mtime_ns, size)`` for a file, or ``None`` when unstat-able."""
+    try:
+        st = os.stat(path)
+    except OSError:
+        return None
+    return (st.st_mtime_ns, st.st_size)
+
+
+def _finding_to_json(finding: Finding) -> Dict[str, Union[str, int]]:
+    return finding.to_dict()
+
+
+def _finding_from_json(item: Dict[str, Union[str, int]]) -> Finding:
+    return Finding(
+        file=str(item["file"]),
+        line=int(item["line"]),
+        col=int(item["col"]),
+        rule_id=str(item["rule_id"]),
+        severity=Severity(str(item["severity"])),
+        message=str(item["message"]),
+    )
+
+
+@dataclass
+class CachedFile:
+    """Reusable per-file result: post-noqa findings plus counters."""
+
+    findings: List[Finding]
+    suppressed: int
+    parse_errors: int
+
+
+class ResultCache:
+    """Best-effort JSON cache for module-rule and project-rule results."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._files: Dict[str, dict] = {}
+        self._project: Optional[dict] = None
+        self._dirty = False
+        self.hits = 0
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+            return
+        files = payload.get("files")
+        if isinstance(files, dict):
+            self._files = files
+        project = payload.get("project")
+        if isinstance(project, dict):
+            self._project = project
+
+    # ------------------------------------------------------------------
+    # per-file results
+    # ------------------------------------------------------------------
+    def lookup_file(
+        self, path: Union[str, Path], rules_sig: str
+    ) -> Optional[CachedFile]:
+        key = os.path.abspath(str(path))
+        entry = self._files.get(key)
+        if entry is None or entry.get("rules_sig") != rules_sig:
+            return None
+        sig = file_signature(path)
+        if sig is None or [sig[0], sig[1]] != [
+            entry.get("mtime_ns"),
+            entry.get("size"),
+        ]:
+            return None
+        try:
+            findings = [_finding_from_json(i) for i in entry["findings"]]
+            cached = CachedFile(
+                findings=findings,
+                suppressed=int(entry["suppressed"]),
+                parse_errors=int(entry["parse_errors"]),
+            )
+        except (KeyError, ValueError, TypeError):
+            return None
+        self.hits += 1
+        return cached
+
+    def store_file(
+        self,
+        path: Union[str, Path],
+        rules_sig: str,
+        result: CachedFile,
+    ) -> None:
+        sig = file_signature(path)
+        if sig is None:
+            return
+        self._files[os.path.abspath(str(path))] = {
+            "rules_sig": rules_sig,
+            "mtime_ns": sig[0],
+            "size": sig[1],
+            "findings": [_finding_to_json(f) for f in result.findings],
+            "suppressed": result.suppressed,
+            "parse_errors": result.parse_errors,
+        }
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    # whole-program results
+    # ------------------------------------------------------------------
+    def lookup_project(self, project_sig: str) -> Optional[CachedFile]:
+        entry = self._project
+        if entry is None or entry.get("sig") != project_sig:
+            return None
+        try:
+            return CachedFile(
+                findings=[_finding_from_json(i) for i in entry["findings"]],
+                suppressed=int(entry["suppressed"]),
+                parse_errors=0,
+            )
+        except (KeyError, ValueError, TypeError):
+            return None
+
+    def store_project(self, project_sig: str, result: CachedFile) -> None:
+        self._project = {
+            "sig": project_sig,
+            "findings": [_finding_to_json(f) for f in result.findings],
+            "suppressed": result.suppressed,
+        }
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        payload = {
+            "version": _VERSION,
+            "files": self._files,
+            "project": self._project,
+        }
+        try:
+            self.path.write_text(
+                json.dumps(payload, sort_keys=True), encoding="utf-8"
+            )
+        except OSError:
+            pass  # a read-only checkout must not break the gate
+
+
+def project_signature(
+    files: Sequence[Union[str, Path]], rules_sig: str
+) -> str:
+    """Stable signature over every analyzed file's identity and mtime."""
+    parts = [rules_sig]
+    for path in sorted(os.path.abspath(str(p)) for p in files):
+        sig = file_signature(path)
+        parts.append(f"{path}:{sig[0]}:{sig[1]}" if sig else f"{path}:gone")
+    return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()

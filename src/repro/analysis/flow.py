@@ -1,0 +1,751 @@
+"""Per-scope control-flow graphs and the resource-lifecycle flow engine.
+
+The first-generation lifecycle rules (SHM001/PAR001) were syntactic:
+they accepted exactly two spellings — a ``with`` statement or a
+``try``/``finally`` naming the right cleanup call — and were blind to
+everything else.  That is both too strict (close-on-all-paths spelled
+with an ``if``/``else`` is rejected) and too loose (an early ``return``
+*between* attach and the ``try`` walks straight past the ``finally``).
+
+This module replaces the syntax test with a small flow analysis:
+
+* :func:`build_cfg` lowers one scope (module or function body, nested
+  functions excluded) to a statement-level CFG.  Explicit control flow
+  (``if``/loops/``return``/``raise``/``break``/``continue``) is modeled
+  precisely; statements that may raise (any call, ``raise``, ``assert``)
+  additionally get an *exception edge* to the innermost handler /
+  ``finally`` / function exit, so "an exception here leaks the block"
+  is a path the analysis actually walks.
+* :func:`check_resource_flow` runs a forward may-be-open dataflow over
+  that CFG for a :class:`ResourceSpec` (which call opens a resource,
+  which methods release which *aspects* — e.g. ``close`` and ``unlink``
+  for shared memory).  A finding is produced for every open site with
+  an aspect still unreleased on *some* path reaching the scope exit.
+
+Ownership transfer is recognized: a resource that is returned, yielded,
+stored into an attribute/subscript/container, or aliased to another
+name *escapes* the scope and stops being this scope's responsibility
+(its owner is checked where the stored handle is released).  That is
+what lets ``self._block = SharedMemory(...)`` pass without suppression
+while ``block = SharedMemory(...); return block.buf[0]`` is flagged.
+
+The lattice is a finite powerset of ``(site, aspect)`` pairs with union
+as meet, so the worklist converges quickly; exception edges only add
+paths, which for a may-analysis means added strictness, never missed
+leaks.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.analysis.astutils import ScopeNode, walk_scope
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "Leak",
+    "OpenSite",
+    "ResourceSpec",
+    "build_cfg",
+    "check_resource_flow",
+    "may_raise",
+]
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+# Methods whose argument is being handed to a longer-lived container —
+# the caller transfers ownership of the resource along with it.
+_ESCAPE_METHODS = {
+    "add",
+    "append",
+    "appendleft",
+    "extend",
+    "insert",
+    "push",
+    "put",
+    "put_nowait",
+    "register",
+    "setdefault",
+}
+
+
+def may_raise(node: Optional[ast.AST]) -> bool:
+    """Heuristic "can this statement raise?" used for exception edges.
+
+    Any call can raise; ``raise``/``assert`` obviously do.  Attribute
+    and subscript loads can too, but flagging those would force every
+    statement onto the exception path — the analysis stays useful by
+    modeling the overwhelmingly likely raisers only.
+    """
+    if node is None:
+        return False
+    if isinstance(node, (ast.Raise, ast.Assert)):
+        return True
+    for sub in ast.walk(node):
+        if isinstance(sub, (ast.Call, ast.Raise, ast.Assert, ast.Await)):
+            return True
+    return False
+
+
+class CFGNode:
+    """One CFG node: a statement (or synthetic marker) plus its edges.
+
+    ``succ`` are normal-completion edges; ``exc`` are exception edges.
+    The distinction matters to analyses whose node effects differ on
+    the two (a binding produced by a call does not exist if the call
+    raised).
+    """
+
+    __slots__ = ("stmt", "label", "succ", "exc")
+
+    def __init__(self, stmt: Optional[ast.AST] = None, label: str = "stmt"):
+        self.stmt = stmt
+        self.label = label
+        self.succ: List["CFGNode"] = []
+        self.exc: List["CFGNode"] = []
+
+    def __repr__(self) -> str:
+        line = getattr(self.stmt, "lineno", "-")
+        return f"<CFGNode {self.label}@{line}>"
+
+
+@dataclass
+class CFG:
+    """Control-flow graph of one scope."""
+
+    entry: CFGNode
+    exit: CFGNode
+    nodes: List[CFGNode] = field(default_factory=list)
+
+    def statement_nodes(self) -> Iterator[CFGNode]:
+        for node in self.nodes:
+            if node.stmt is not None:
+                yield node
+
+
+class _LoopCtx:
+    __slots__ = ("head", "cleanup_depth")
+
+    def __init__(self, head: CFGNode, cleanup_depth: int):
+        self.head = head
+        self.cleanup_depth = cleanup_depth
+
+
+class _Builder:
+    """Recursive statement-list lowering with a frontier of open ends."""
+
+    def __init__(self) -> None:
+        self.nodes: List[CFGNode] = []
+        self.exit = self._new(None, "exit")
+        self.entry = self._new(None, "entry")
+        # Innermost-first stack of cleanup entries (finally bodies and
+        # with-exit nodes) that abrupt exits must route through.
+        self._cleanup: List[CFGNode] = []
+        self._loops: List[_LoopCtx] = []
+        self._exc_target: CFGNode = self.exit
+
+    def _new(self, stmt: Optional[ast.AST], label: str) -> CFGNode:
+        node = CFGNode(stmt, label)
+        self.nodes.append(node)
+        return node
+
+    @staticmethod
+    def _connect(preds: Sequence[CFGNode], node: CFGNode) -> None:
+        for pred in preds:
+            pred.succ.append(node)
+
+    def _abrupt_target(self) -> CFGNode:
+        """Where ``return`` lands: the innermost cleanup, else the exit."""
+        return self._cleanup[-1] if self._cleanup else self.exit
+
+    def _stmt_node(
+        self, stmt: ast.AST, preds: Sequence[CFGNode], label: str = "stmt"
+    ) -> CFGNode:
+        node = self._new(stmt, label)
+        self._connect(preds, node)
+        if may_raise(stmt if label == "stmt" else None):
+            node.exc.append(self._exc_target)
+        return node
+
+    def build(self, scope: ScopeNode) -> CFG:
+        frontier = self._block(list(scope.body), [self.entry])
+        self._connect(frontier, self.exit)
+        return CFG(entry=self.entry, exit=self.exit, nodes=self.nodes)
+
+    # ------------------------------------------------------------------
+    # statement lowering
+    # ------------------------------------------------------------------
+    def _block(
+        self, stmts: Sequence[ast.stmt], preds: Sequence[CFGNode]
+    ) -> List[CFGNode]:
+        frontier = list(preds)
+        for stmt in stmts:
+            frontier = self._statement(stmt, frontier)
+            if not frontier:
+                break  # unreachable code after return/raise/break
+        return frontier
+
+    def _statement(
+        self, stmt: ast.stmt, preds: Sequence[CFGNode]
+    ) -> List[CFGNode]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, preds)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, preds)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, preds)
+        if isinstance(stmt, ast.Try) or (
+            hasattr(ast, "TryStar") and isinstance(stmt, ast.TryStar)
+        ):
+            return self._try(stmt, preds)
+        if isinstance(stmt, ast.Return):
+            node = self._new(stmt, "return")
+            self._connect(preds, node)
+            if may_raise(stmt.value):
+                node.exc.append(self._exc_target)
+            node.succ.append(self._abrupt_target())
+            return []
+        if isinstance(stmt, ast.Raise):
+            node = self._new(stmt, "raise")
+            self._connect(preds, node)
+            node.succ.append(self._exc_target)
+            return []
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            node = self._new(stmt, "break")
+            self._connect(preds, node)
+            if self._loops:
+                loop = self._loops[-1]
+                if len(self._cleanup) > loop.cleanup_depth:
+                    # Route through the finally/with-exit opened inside
+                    # the loop; its propagation edges reach the rest.
+                    node.succ.append(self._cleanup[-1])
+                elif isinstance(stmt, ast.Continue):
+                    node.succ.append(loop.head)
+                # A plain break's successor is the loop's continuation,
+                # which the head->after edge already represents.
+            return []
+        if isinstance(stmt, ast.ClassDef):
+            # Class bodies execute inline at definition time; methods are
+            # separate scopes and stay opaque.
+            node = self._stmt_node(stmt, preds, "class")
+            return self._block(list(stmt.body), [node])
+        if isinstance(stmt, _FUNC_NODES):
+            node = self._new(stmt, "def")
+            self._connect(preds, node)
+            return [node]
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, preds)
+        return [self._stmt_node(stmt, preds)]
+
+    def _if(self, stmt: ast.If, preds: Sequence[CFGNode]) -> List[CFGNode]:
+        test = self._new(stmt, "if")
+        self._connect(preds, test)
+        if may_raise(stmt.test):
+            test.exc.append(self._exc_target)
+        frontier = self._block(stmt.body, [test])
+        if stmt.orelse:
+            frontier += self._block(stmt.orelse, [test])
+        else:
+            frontier.append(test)
+        return frontier
+
+    def _match(self, stmt: ast.Match, preds: Sequence[CFGNode]) -> List[CFGNode]:
+        subject = self._stmt_node(stmt, preds, "match")
+        frontier: List[CFGNode] = [subject]
+        for case in stmt.cases:
+            frontier += self._block(case.body, [subject])
+        return frontier
+
+    def _loop(self, stmt: ast.stmt, preds: Sequence[CFGNode]) -> List[CFGNode]:
+        head = self._new(stmt, "loop")
+        self._connect(preds, head)
+        test = stmt.test if isinstance(stmt, ast.While) else stmt.iter  # type: ignore[attr-defined]
+        if may_raise(test):
+            head.exc.append(self._exc_target)
+        self._loops.append(_LoopCtx(head, len(self._cleanup)))
+        body_frontier = self._block(stmt.body, [head])  # type: ignore[attr-defined]
+        self._connect(body_frontier, head)
+        self._loops.pop()
+        frontier: List[CFGNode] = [head]
+        orelse = getattr(stmt, "orelse", [])
+        if orelse:
+            frontier = self._block(orelse, [head])
+        return frontier
+
+    def _with(self, stmt: ast.stmt, preds: Sequence[CFGNode]) -> List[CFGNode]:
+        enter = self._new(stmt, "with")
+        self._connect(preds, enter)
+        enter.exc.append(self._exc_target)  # item exprs / __enter__ can raise
+        wexit = self._new(stmt, "with_exit")
+        outer_exc = self._exc_target
+        self._exc_target = wexit
+        self._cleanup.append(wexit)
+        body_frontier = self._block(stmt.body, [enter])  # type: ignore[attr-defined]
+        self._cleanup.pop()
+        self._exc_target = outer_exc
+        self._connect(body_frontier, wexit)
+        # __exit__ ran; the exception (or return) keeps propagating.
+        wexit.exc.append(outer_exc)
+        return [wexit]
+
+    def _try(self, stmt: ast.stmt, preds: Sequence[CFGNode]) -> List[CFGNode]:
+        outer_exc = self._exc_target
+        body = stmt.body  # type: ignore[attr-defined]
+        handlers = stmt.handlers  # type: ignore[attr-defined]
+        orelse = stmt.orelse  # type: ignore[attr-defined]
+        finalbody = stmt.finalbody  # type: ignore[attr-defined]
+
+        f_entry: Optional[CFGNode] = None
+        f_frontier: List[CFGNode] = []
+        if finalbody:
+            f_entry = self._new(stmt, "finally")
+            f_frontier = self._block(finalbody, [f_entry])
+            # The finally may be reached by a propagating exception or
+            # an abrupt exit; after it runs, propagation continues.
+            for node in f_frontier:
+                node.exc.append(outer_exc)
+
+        after_cleanup = f_entry if f_entry is not None else outer_exc
+
+        # Exceptions in the body dispatch to every handler — and, when
+        # no handler matches (or none exist), to the finally/outer path.
+        # A bare ``except:`` / ``except BaseException:`` catches
+        # everything, so the no-match path does not exist.
+        catch = self._new(None, "catch")
+        catches_all = any(
+            handler.type is None
+            or (
+                isinstance(handler.type, ast.Name)
+                and handler.type.id == "BaseException"
+            )
+            for handler in handlers
+        )
+        if not catches_all:
+            catch.succ.append(after_cleanup)
+
+        if f_entry is not None:
+            self._cleanup.append(f_entry)
+        self._exc_target = catch
+        body_frontier = self._block(body, list(preds))
+        self._exc_target = after_cleanup if finalbody else outer_exc
+        handler_frontier: List[CFGNode] = []
+        for handler in handlers:
+            h_entry = self._new(handler, "except")
+            catch.succ.append(h_entry)
+            handler_frontier += self._block(handler.body, [h_entry])
+        if orelse:
+            body_frontier = self._block(orelse, body_frontier)
+        if f_entry is not None:
+            self._cleanup.pop()
+        self._exc_target = outer_exc
+
+        normal = body_frontier + handler_frontier
+        if f_entry is not None:
+            self._connect(normal, f_entry)
+            return list(f_frontier)
+        return normal
+
+
+def build_cfg(scope: ScopeNode) -> CFG:
+    """Lower one scope's body (nested functions excluded) to a CFG."""
+    return _Builder().build(scope)
+
+
+# ----------------------------------------------------------------------
+# resource-lifecycle analysis
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ResourceSpec:
+    """What a lifecycle rule tracks.
+
+    ``matcher`` maps a call node to the tuple of aspects the resource
+    needs released (``None`` when the call is not an open).
+    ``release_methods`` maps each aspect to the method names that
+    satisfy it; ``with_releases`` are aspects a ``with`` statement
+    releases automatically on every exit.
+    """
+
+    kind: str
+    matcher: Callable[[ast.Call], Optional[Tuple[str, ...]]]
+    release_methods: Dict[str, FrozenSet[str]]
+    with_releases: FrozenSet[str] = frozenset()
+
+
+@dataclass(frozen=True)
+class OpenSite:
+    """One tracked resource binding."""
+
+    site_id: int
+    name: str
+    call: ast.Call
+    aspects: Tuple[str, ...]
+    via_with: bool
+
+
+@dataclass(frozen=True)
+class Leak:
+    """An aspect of an open site left unreleased on some path to exit."""
+
+    site: OpenSite
+    aspect: str
+
+
+@dataclass(frozen=True)
+class UnboundOpen:
+    """An opening call whose result can be neither tracked nor escapes."""
+
+    call: ast.Call
+
+
+def _node_fragments(node: CFGNode) -> List[ast.AST]:
+    """The AST fragments a CFG node actually *evaluates*.
+
+    A compound statement's head node owns only its test/iter — the body
+    statements have CFG nodes of their own.  Walking ``node.stmt``
+    wholesale would double-count effects (and, at module scope, walk
+    into function bodies that are separate scopes entirely).
+    """
+    stmt = node.stmt
+    if stmt is None:
+        return []
+    label = node.label
+    if label in ("stmt", "return", "raise", "break"):
+        return [stmt]
+    if label == "if":
+        return [stmt.test]  # type: ignore[attr-defined]
+    if label == "loop":
+        if isinstance(stmt, ast.While):
+            return [stmt.test]
+        return [stmt.target, stmt.iter]  # type: ignore[attr-defined]
+    if label == "match":
+        return [stmt.subject]  # type: ignore[attr-defined]
+    if label == "except":
+        return [stmt.type] if getattr(stmt, "type", None) else []
+    return []  # with/with_exit (items handled as opens), def, class, finally
+
+
+def _collection_element_calls(value: ast.expr) -> Iterator[ast.Call]:
+    """Calls constructed directly as elements of a container literal.
+
+    ``procs = [Process(...) for i in items]`` binds every constructed
+    resource to the collection name; releases then happen through
+    iteration (``for p in procs: p.join()``).
+    """
+    if isinstance(value, (ast.List, ast.Tuple, ast.Set)):
+        for elt in value.elts:
+            if isinstance(elt, ast.Call):
+                yield elt
+    elif isinstance(value, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+        if isinstance(value.elt, ast.Call):
+            yield value.elt
+
+
+def _loop_alias_releases(
+    scope: ScopeNode, spec: "ResourceSpec"
+) -> Dict[int, Set[Tuple[str, str]]]:
+    """Releases performed by iterating a collection of resources.
+
+    ``for proc in procs: proc.join()`` releases every element of
+    ``procs``; the kill is attributed to the loop *head* (which
+    dominates both the taken and the zero-iteration path — an empty
+    collection owes nothing).
+    """
+    releases: Dict[int, Set[Tuple[str, str]]] = {}
+    for node in walk_scope(scope):
+        if not isinstance(node, (ast.For, ast.AsyncFor)):
+            continue
+        if not (
+            isinstance(node.iter, ast.Name) and isinstance(node.target, ast.Name)
+        ):
+            continue
+        found: Set[Tuple[str, str]] = set()
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and isinstance(sub.func.value, ast.Name)
+                and sub.func.value.id == node.target.id
+            ):
+                for aspect, methods in spec.release_methods.items():
+                    if sub.func.attr in methods:
+                        found.add((node.iter.id, aspect))
+        if found:
+            releases[id(node)] = found
+    return releases
+
+
+def _single_name_target(stmt: ast.stmt) -> Optional[str]:
+    if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+        target = stmt.targets[0]
+        if isinstance(target, ast.Name):
+            return target.id
+    elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+        return stmt.target.id
+    return None
+
+
+def _escapes_at_birth(stmt: ast.stmt, call: ast.Call) -> bool:
+    """True when the open call's value leaves the scope immediately."""
+    if isinstance(stmt, (ast.Return, ast.Expr)):
+        value = stmt.value
+        if value is call:
+            return isinstance(stmt, ast.Return)
+        if isinstance(value, (ast.Yield, ast.YieldFrom)) and value.value is call:
+            return True
+    if isinstance(stmt, ast.Assign) and stmt.value is call:
+        return all(
+            isinstance(t, (ast.Attribute, ast.Subscript)) for t in stmt.targets
+        )
+    if isinstance(stmt, ast.AnnAssign) and stmt.value is call:
+        return isinstance(stmt.target, (ast.Attribute, ast.Subscript))
+    for sub in ast.walk(stmt):
+        if (
+            isinstance(sub, ast.Call)
+            and sub is not call
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr in _ESCAPE_METHODS
+            and call in sub.args
+        ):
+            return True
+    return False
+
+
+def _escaped_names(stmt: ast.AST) -> Set[str]:
+    """Names whose resource leaves this scope at ``stmt``."""
+    escaped: Set[str] = set()
+
+    def value_names(value: Optional[ast.expr]) -> Iterator[str]:
+        if isinstance(value, ast.Name):
+            yield value.id
+        elif isinstance(value, (ast.Tuple, ast.List)):
+            for elt in value.elts:
+                if isinstance(elt, ast.Name):
+                    yield elt.id
+
+    if isinstance(stmt, ast.Return):
+        escaped.update(value_names(stmt.value))
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript, ast.Name)):
+                escaped.update(value_names(stmt.value))
+    if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        if isinstance(stmt.target, (ast.Attribute, ast.Subscript, ast.Name)):
+            escaped.update(value_names(stmt.value))
+    for sub in ast.walk(stmt):
+        if isinstance(sub, (ast.Yield, ast.YieldFrom)):
+            escaped.update(value_names(getattr(sub, "value", None)))
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr in _ESCAPE_METHODS
+        ):
+            for arg in sub.args:
+                if isinstance(arg, ast.Name):
+                    escaped.add(arg.id)
+    return escaped
+
+
+def _released_aspects(
+    stmt: ast.AST, spec: ResourceSpec
+) -> Set[Tuple[str, str]]:
+    """``(name, aspect)`` pairs released by method calls in ``stmt``."""
+    released: Set[Tuple[str, str]] = set()
+    for sub in ast.walk(stmt):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and isinstance(sub.func.value, ast.Name)
+        ):
+            for aspect, methods in spec.release_methods.items():
+                if sub.func.attr in methods:
+                    released.add((sub.func.value.id, aspect))
+    return released
+
+
+def _is_release_only(node: CFGNode, spec: ResourceSpec) -> bool:
+    """True for a bare ``name.close()``-style cleanup statement.
+
+    Release calls are assumed not to raise; without this, every
+    sequential cleanup (``close()`` then ``unlink()``) would report the
+    later aspects as leaked on the imaginary path where the earlier
+    release blew up.
+    """
+    stmt = node.stmt
+    if not (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call)):
+        return False
+    func = stmt.value.func
+    return isinstance(func, ast.Attribute) and any(
+        func.attr in methods for methods in spec.release_methods.values()
+    )
+
+
+def check_resource_flow(
+    scope: ScopeNode, spec: ResourceSpec
+) -> Tuple[List[Leak], List[UnboundOpen]]:
+    """Run the may-be-open dataflow for ``spec`` over one scope.
+
+    Returns the leaks (open site × unreleased aspect, each reported
+    once) plus any opening calls that could not be bound to a name and
+    do not escape at birth.
+    """
+    cfg = build_cfg(scope)
+
+    sites: Dict[int, OpenSite] = {}
+    opens_at: Dict[int, List[OpenSite]] = {}  # id(node) -> sites opened
+    with_sites: Dict[int, List[OpenSite]] = {}  # id(with stmt) -> sites
+    unbound: List[UnboundOpen] = []
+    handled_calls: Set[int] = set()
+    next_site = 0
+
+    def add_site(
+        name: str, call: ast.Call, aspects: Tuple[str, ...], via_with: bool
+    ) -> OpenSite:
+        nonlocal next_site
+        site = OpenSite(next_site, name, call, aspects, via_with)
+        next_site += 1
+        sites[site.site_id] = site
+        handled_calls.add(id(call))
+        return site
+
+    # Pass 1: find open sites on the CFG's statement nodes.
+    for node in cfg.statement_nodes():
+        stmt = node.stmt
+        if node.label == "with":
+            for item in stmt.items:  # type: ignore[union-attr]
+                call = item.context_expr
+                if not isinstance(call, ast.Call):
+                    continue
+                aspects = spec.matcher(call)
+                if aspects is None:
+                    continue
+                needed = tuple(
+                    a for a in aspects if a not in spec.with_releases
+                )
+                var = item.optional_vars
+                if isinstance(var, ast.Name):
+                    site = add_site(var.id, call, needed, via_with=True)
+                    opens_at.setdefault(id(node), []).append(site)
+                    with_sites.setdefault(id(stmt), []).append(site)
+                elif needed:
+                    # e.g. `with SharedMemory(create=True):` — unlink is
+                    # still owed but there is no name to call it on.
+                    handled_calls.add(id(call))
+                    unbound.append(UnboundOpen(call))
+                else:
+                    handled_calls.add(id(call))
+        elif node.label in ("stmt", "return"):
+            name = _single_name_target(stmt)  # type: ignore[arg-type]
+            value = getattr(stmt, "value", None)
+            if (
+                name is not None
+                and isinstance(value, ast.Call)
+                and spec.matcher(value) is not None
+            ):
+                site = add_site(name, value, spec.matcher(value), False)
+                opens_at.setdefault(id(node), []).append(site)
+            elif name is not None and value is not None:
+                # `procs = [Process(...) for i in items]`: the collection
+                # name owns every constructed resource.
+                for call in _collection_element_calls(value):
+                    aspects = spec.matcher(call)
+                    if aspects is None:
+                        continue
+                    site = add_site(name, call, aspects, False)
+                    opens_at.setdefault(id(node), []).append(site)
+
+    # Any other construction site: escaping at birth is fine, anything
+    # else cannot be proven released.
+    for node in cfg.statement_nodes():
+        if node.label == "with_exit":
+            continue  # same fragments as its opening "with" node
+        for fragment in _node_fragments(node):
+            for sub in ast.walk(fragment):
+                if (
+                    isinstance(sub, ast.Call)
+                    and id(sub) not in handled_calls
+                    and spec.matcher(sub) is not None
+                ):
+                    handled_calls.add(id(sub))
+                    if not _escapes_at_birth(node.stmt, sub):  # type: ignore[arg-type]
+                        unbound.append(UnboundOpen(sub))
+
+    if not sites:
+        return [], unbound
+
+    loop_releases = _loop_alias_releases(scope, spec)
+
+    # Pass 2: forward may-open dataflow.  State: frozenset of
+    # (site_id, aspect) pairs still owed.
+    empty: FrozenSet[Tuple[int, str]] = frozenset()
+    in_state: Dict[int, FrozenSet[Tuple[int, str]]] = {id(cfg.entry): empty}
+
+    def transfer(
+        node: CFGNode, state: FrozenSet[Tuple[int, str]], exceptional: bool
+    ) -> FrozenSet[Tuple[int, str]]:
+        out = set(state)
+        released: Set[Tuple[str, str]] = set()
+        escaped: Set[str] = set()
+        for fragment in _node_fragments(node):
+            released |= _released_aspects(fragment, spec)
+            escaped |= _escaped_names(fragment)
+        if node.label == "loop":
+            released |= loop_releases.get(id(node.stmt), set())
+        if released or escaped:
+            out = {
+                (sid, aspect)
+                for sid, aspect in out
+                if (sites[sid].name, aspect) not in released
+                and sites[sid].name not in escaped
+            }
+        if node.label == "with_exit":
+            closing = {s.site_id for s in with_sites.get(id(node.stmt), [])}
+            out = {
+                (sid, aspect)
+                for sid, aspect in out
+                if not (sid in closing and aspect in spec.with_releases)
+            }
+        if not exceptional:
+            # A binding produced by a raising call never happened.
+            for site in opens_at.get(id(node), []):
+                # Rebinding a name drops this scope's handle on the
+                # previous resource; it stays owed (flagged at exit).
+                for aspect in site.aspects:
+                    out.add((site.site_id, aspect))
+        return frozenset(out)
+
+    worklist: List[CFGNode] = [cfg.entry]
+    while worklist:
+        node = worklist.pop()
+        state = in_state.get(id(node), empty)
+        out_normal = transfer(node, state, exceptional=False)
+        out_exc = transfer(node, state, exceptional=True)
+        exc_edges = [] if _is_release_only(node, spec) else node.exc
+        for succ, out in [(s, out_normal) for s in node.succ] + [
+            (s, out_exc) for s in exc_edges
+        ]:
+            seen = in_state.get(id(succ))
+            merged = out if seen is None else (seen | out)
+            if seen is None or merged != seen:
+                in_state[id(succ)] = merged
+                worklist.append(succ)
+
+    at_exit = in_state.get(id(cfg.exit), empty)
+    leaks = sorted(
+        {Leak(sites[sid], aspect) for sid, aspect in at_exit},
+        key=lambda leak: (leak.site.call.lineno, leak.site.site_id, leak.aspect),
+    )
+    return leaks, unbound

@@ -15,9 +15,14 @@ def render_text(findings: Sequence[Finding], stats: RunStats) -> str:
     """One ``file:line:col: RULE [severity] message`` line per finding."""
     lines: List[str] = [str(f) for f in findings]
     noun = "finding" if stats.findings == 1 else "findings"
+    extras = [f"{stats.suppressed} suppressed"]
+    if stats.baselined:
+        extras.append(f"{stats.baselined} baselined")
+    if stats.files_reused:
+        extras.append(f"{stats.files_reused} files from cache")
     lines.append(
         f"{stats.files_scanned} files scanned, {stats.findings} {noun} "
-        f"({stats.suppressed} suppressed) in {stats.duration_seconds:.3f}s"
+        f"({', '.join(extras)}) in {stats.duration_seconds:.3f}s"
     )
     return "\n".join(lines)
 

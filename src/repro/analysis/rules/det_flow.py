@@ -1,0 +1,252 @@
+"""DET101/DET102 — determinism-taint rules.
+
+The paper's figures are only reproducible if two runs (and two worker
+processes) make identical choices.  DET001 already bans unseeded RNG
+syntactically; these rules track the *other* two ways nondeterminism
+sneaks in.
+
+DET101: iterating a ``set``/``frozenset`` has hash-randomized order.
+That is harmless when the consumer is order-insensitive (``sum``,
+``min``, ``len``, ``any``, ...) but silently nondeterministic when the
+iteration feeds an *ordered sink* — a list being appended to, a yield,
+an emitted pair column, a joined string.  The taint here is a one-step
+lattice: an expression is *unordered* if it is a set display/call/
+comprehension, a name bound to one in the same scope, or a set-algebra
+``BinOp`` over unordered operands; a finding fires when an unordered
+value is iterated into an ordered sink without ``sorted(...)``.
+
+DET102: an unseeded-RNG call (DET001's detector) *inside a
+worker-reachable function* is escalated to an error: each worker
+process inherits or re-derives its own global generator state, so the
+divergence is guaranteed, not merely possible, and it varies with the
+worker count — the exact failure mode the paper's speedup comparisons
+cannot tolerate.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from repro.analysis.astutils import ScopeNode, call_tail, iter_scopes, walk_scope
+from repro.analysis.base import ModuleContext, ProjectRule, Rule
+from repro.analysis.finding import Finding, Severity
+from repro.analysis.project import ProjectModel
+from repro.analysis.registry import register
+from repro.analysis.rules.determinism import unseeded_rng_message
+
+__all__ = ["UnorderedIterationRule", "WorkerUnseededRandomRule"]
+
+# Consumers whose result does not depend on iteration order.
+_ORDER_INSENSITIVE = {
+    "all",
+    "any",
+    "frozenset",
+    "len",
+    "max",
+    "min",
+    "set",
+    "sorted",
+    "sum",
+    "Counter",
+}
+
+# Calls that materialize their argument's iteration order.
+_ORDERING_CALLS = {"list", "tuple", "enumerate"}
+
+# Method calls inside a loop body that make it an ordered sink.
+_ORDERED_SINK_METHODS = {
+    "append",
+    "appendleft",
+    "extend",
+    "insert",
+    "put",
+    "put_nowait",
+    "write",
+    "writerow",
+}
+
+
+def _is_set_display(node: ast.expr) -> bool:
+    return isinstance(node, (ast.Set, ast.SetComp))
+
+
+class _UnorderedTracker:
+    """Per-scope taint: which expressions have nondeterministic order."""
+
+    def __init__(self, scope: ScopeNode):
+        self.names: Set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for node in walk_scope(scope):
+                if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                    continue
+                target = node.targets[0]
+                if not isinstance(target, ast.Name):
+                    continue
+                if target.id not in self.names and self.is_unordered(
+                    node.value
+                ):
+                    self.names.add(target.id)
+                    changed = True
+
+    def is_unordered(self, node: ast.expr) -> bool:
+        if _is_set_display(node):
+            return True
+        if isinstance(node, ast.Call) and call_tail(node) in (
+            "set",
+            "frozenset",
+        ):
+            return True
+        if isinstance(node, ast.Name) and node.id in self.names:
+            return True
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            return self.is_unordered(node.left) or self.is_unordered(
+                node.right
+            )
+        return False
+
+
+def _parent_map(scope: ScopeNode) -> Dict[int, ast.AST]:
+    parents: Dict[int, ast.AST] = {}
+    stack: list = [scope]
+    while stack:
+        node = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # nested scopes track their own parents
+            parents[id(child)] = node
+            stack.append(child)
+    return parents
+
+
+def _nearest_call(
+    node: ast.AST, parents: Dict[int, ast.AST]
+) -> Optional[ast.Call]:
+    current = parents.get(id(node))
+    while current is not None:
+        if isinstance(current, ast.Call):
+            return current
+        if isinstance(current, ast.stmt):
+            return None
+        current = parents.get(id(current))
+    return None
+
+
+def _loop_has_ordered_sink(loop: ast.stmt) -> bool:
+    for sub in ast.walk(loop):
+        if isinstance(sub, (ast.Yield, ast.YieldFrom)):
+            return True
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr in _ORDERED_SINK_METHODS
+        ):
+            return True
+    return False
+
+
+@register
+class UnorderedIterationRule(Rule):
+    rule_id = "DET101"
+    severity = Severity.WARNING
+    summary = (
+        "set iteration order is nondeterministic; sort before feeding "
+        "an ordered sink (appends, yields, emitted columns)"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for scope in iter_scopes(ctx.tree):
+            yield from self._check_scope(ctx, scope)
+
+    def _check_scope(
+        self, ctx: ModuleContext, scope: ScopeNode
+    ) -> Iterator[Finding]:
+        tracker = _UnorderedTracker(scope)
+        parents = _parent_map(scope)
+        for node in walk_scope(scope):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if tracker.is_unordered(node.iter) and _loop_has_ordered_sink(
+                    node
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "iterating a set here feeds an ordered sink; the "
+                        "hash-randomized order changes between runs — "
+                        "iterate sorted(...) instead",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                if not any(
+                    tracker.is_unordered(gen.iter) for gen in node.generators
+                ):
+                    continue
+                consumer = _nearest_call(node, parents)
+                if (
+                    consumer is not None
+                    and call_tail(consumer) in _ORDER_INSENSITIVE
+                ):
+                    continue
+                yield self.finding(
+                    ctx,
+                    node,
+                    "comprehension over a set produces nondeterministic "
+                    "order; wrap the source in sorted(...) or consume it "
+                    "order-insensitively",
+                )
+            elif isinstance(node, ast.Call):
+                yield from self._check_ordering_call(ctx, node, tracker, parents)
+
+    def _check_ordering_call(
+        self,
+        ctx: ModuleContext,
+        call: ast.Call,
+        tracker: _UnorderedTracker,
+        parents: Dict[int, ast.AST],
+    ) -> Iterator[Finding]:
+        tail = call_tail(call)
+        ordering = tail in _ORDERING_CALLS or (
+            isinstance(call.func, ast.Attribute) and call.func.attr == "join"
+        )
+        if not ordering or not call.args:
+            return
+        if not tracker.is_unordered(call.args[0]):
+            return
+        consumer = _nearest_call(call, parents)
+        if consumer is not None and call_tail(consumer) in _ORDER_INSENSITIVE:
+            return
+        what = "join" if tail not in _ORDERING_CALLS else tail
+        yield self.finding(
+            ctx,
+            call,
+            f"{what}() materializes a set's hash-randomized order; "
+            "apply sorted(...) first to make the result deterministic",
+        )
+
+
+@register
+class WorkerUnseededRandomRule(ProjectRule):
+    rule_id = "DET102"
+    summary = (
+        "unseeded RNG in worker-reachable code diverges per process; "
+        "seeds must be passed through the task arguments"
+    )
+
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        for info in project.worker_functions():
+            for node in walk_scope(info.node):  # type: ignore[arg-type]
+                if not isinstance(node, ast.Call):
+                    continue
+                message = unseeded_rng_message(info.ctx, node)
+                if message is not None:
+                    yield self.finding(
+                        info.ctx,
+                        node,
+                        f"{message} (function {info.qualname!r} is "
+                        "worker-reachable: every worker derives different "
+                        "global state, so results vary with the worker "
+                        "count)",
+                    )

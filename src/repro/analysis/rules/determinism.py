@@ -8,6 +8,11 @@ interpreter-wide unseeded state, so two runs — or two worker processes —
 silently disagree.  Construct ``random.Random(seed)`` /
 ``numpy.random.default_rng(seed)`` with a seed that comes from a
 parameter instead.
+
+:func:`unseeded_rng_message` is the shared detector; DET102
+(:mod:`repro.analysis.rules.det_flow`) reuses it to escalate the same
+pattern to an error when the call sits in *worker-reachable* code,
+where per-process generator state guarantees divergence.
 """
 
 from __future__ import annotations
@@ -19,7 +24,7 @@ from repro.analysis.base import ModuleContext, Rule
 from repro.analysis.finding import Finding, Severity
 from repro.analysis.registry import register
 
-__all__ = ["UnseededRandomRule"]
+__all__ = ["UnseededRandomRule", "unseeded_rng_message"]
 
 _RANDOM_FUNCS = {
     "betavariate",
@@ -68,6 +73,59 @@ _NUMPY_RANDOM_FUNCS = {
 }
 
 
+def _boolop_fallback(ctx: ModuleContext, func: ast.Attribute) -> Optional[str]:
+    if not isinstance(func.value, ast.BoolOp):
+        return None
+    for operand in func.value.values:
+        resolved = ctx.imports.resolve(operand)
+        if resolved in ("random", "numpy.random"):
+            return f"{resolved}.{func.attr}"
+    return None
+
+
+def unseeded_rng_message(ctx: ModuleContext, call: ast.Call) -> Optional[str]:
+    """Explain why ``call`` is unseeded randomness, or ``None`` if it isn't."""
+    resolved = ctx.imports.resolve(call.func)
+    if resolved is None and isinstance(call.func, ast.Attribute):
+        # `(rng or random).shuffle(...)`: a BoolOp receiver falling
+        # back to the global module is unseeded on the fallback path.
+        resolved = _boolop_fallback(ctx, call.func)
+    if resolved is None:
+        return None
+
+    if resolved.startswith("random."):
+        tail = resolved[len("random.") :]
+        if tail in _RANDOM_FUNCS:
+            return (
+                f"random.{tail}() draws from the unseeded global "
+                "generator; use a random.Random(seed) built from a "
+                "parameter"
+            )
+        if tail == "Random" and not call.args and not call.keywords:
+            return (
+                "random.Random() without a seed is nondeterministic; "
+                "the seed must flow from a parameter"
+            )
+    elif resolved.startswith("numpy.random."):
+        tail = resolved[len("numpy.random.") :]
+        if tail in _NUMPY_RANDOM_FUNCS:
+            return (
+                f"numpy.random.{tail}() uses the legacy global state; "
+                "use numpy.random.default_rng(seed) with a seed from a "
+                "parameter"
+            )
+        if (
+            tail in ("default_rng", "RandomState")
+            and not call.args
+            and not call.keywords
+        ):
+            return (
+                f"numpy.random.{tail}() without a seed is "
+                "nondeterministic; the seed must flow from a parameter"
+            )
+    return None
+
+
 @register
 class UnseededRandomRule(Rule):
     rule_id = "DET001"
@@ -81,67 +139,6 @@ class UnseededRandomRule(Rule):
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
-            finding = self._check_call(ctx, node)
-            if finding is not None:
-                yield finding
-
-    def _check_call(
-        self, ctx: ModuleContext, call: ast.Call
-    ) -> Optional[Finding]:
-        resolved = ctx.imports.resolve(call.func)
-        if resolved is None and isinstance(call.func, ast.Attribute):
-            # `(rng or random).shuffle(...)`: a BoolOp receiver falling
-            # back to the global module is unseeded on the fallback path.
-            resolved = self._boolop_fallback(ctx, call.func)
-        if resolved is None:
-            return None
-
-        if resolved.startswith("random."):
-            tail = resolved[len("random.") :]
-            if tail in _RANDOM_FUNCS:
-                return self.finding(
-                    ctx,
-                    call,
-                    f"random.{tail}() draws from the unseeded global "
-                    "generator; use a random.Random(seed) built from a "
-                    "parameter",
-                )
-            if tail == "Random" and not call.args and not call.keywords:
-                return self.finding(
-                    ctx,
-                    call,
-                    "random.Random() without a seed is nondeterministic; "
-                    "the seed must flow from a parameter",
-                )
-        elif resolved.startswith("numpy.random."):
-            tail = resolved[len("numpy.random.") :]
-            if tail in _NUMPY_RANDOM_FUNCS:
-                return self.finding(
-                    ctx,
-                    call,
-                    f"numpy.random.{tail}() uses the legacy global state; "
-                    "use numpy.random.default_rng(seed) with a seed from a "
-                    "parameter",
-                )
-            if (
-                tail in ("default_rng", "RandomState")
-                and not call.args
-                and not call.keywords
-            ):
-                return self.finding(
-                    ctx,
-                    call,
-                    f"numpy.random.{tail}() without a seed is "
-                    "nondeterministic; the seed must flow from a parameter",
-                )
-        return None
-
-    @staticmethod
-    def _boolop_fallback(ctx: ModuleContext, func: ast.Attribute) -> Optional[str]:
-        if not isinstance(func.value, ast.BoolOp):
-            return None
-        for operand in func.value.values:
-            resolved = ctx.imports.resolve(operand)
-            if resolved in ("random", "numpy.random"):
-                return f"{resolved}.{func.attr}"
-        return None
+            message = unseeded_rng_message(ctx, node)
+            if message is not None:
+                yield self.finding(ctx, node, message)

@@ -1,0 +1,144 @@
+"""OBS101/OBS102/OBS103 — the span-vocabulary contract.
+
+``docs/observability.md`` documents a fixed span tree and promises that
+all execution backends emit identical core span names.  These rules
+turn that promise into a static guarantee: every name passed to
+``tracer.span(...)``/``tracer.record(...)`` (OBS101),
+``tracer.event(...)`` (OBS102), and ``tracer.count(...)``/
+``tracer.gauge(...)`` (OBS103) is checked against the declared
+vocabulary in :mod:`repro.obs.vocabulary`.  A typo like
+``span("phase:swep")`` — which would otherwise produce a silently
+missing phase in every trace and a hole in the figures built from them
+— fails ``repro analyze`` instead.
+
+F-strings are matched structurally: each formatted hole becomes a
+wildcard, so ``f"sweep:chunk[{i}]"`` satisfies the vocabulary entry
+``sweep:chunk[*]`` while ``f"sweep:chnk[{i}]"`` does not.  Names that
+are arbitrary runtime expressions (a variable, a function call) cannot
+be checked statically and are skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.astutils import dotted_name
+from repro.analysis.base import ModuleContext, Rule
+from repro.analysis.finding import Finding
+from repro.analysis.registry import register
+from repro.obs.vocabulary import (
+    is_known_counter,
+    is_known_event,
+    is_known_span,
+)
+
+__all__ = ["SpanVocabularyRule", "EventVocabularyRule", "CounterVocabularyRule"]
+
+# Receivers we treat as tracers: `tracer.span(...)`, `self.tracer...`,
+# `self._tracer...`.  Matching on the receiver name keeps the rule
+# honest on any module without needing type inference.
+_TRACER_TAILS = {"tracer", "_tracer"}
+
+
+def _tracer_method(call: ast.Call) -> Optional[str]:
+    if not isinstance(call.func, ast.Attribute):
+        return None
+    receiver = dotted_name(call.func.value)
+    if receiver is None:
+        return None
+    if receiver.rsplit(".", 1)[-1] not in _TRACER_TAILS:
+        return None
+    return call.func.attr
+
+
+def _static_name(call: ast.Call) -> Optional[str]:
+    """The name argument as a checkable string; f-string holes become ``*``."""
+    if not call.args:
+        return None
+    arg = call.args[0]
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return arg.value
+    if isinstance(arg, ast.JoinedStr):
+        parts = []
+        for piece in arg.values:
+            if isinstance(piece, ast.Constant):
+                parts.append(str(piece.value))
+            else:
+                parts.append("*")
+        return "".join(parts)
+    return None
+
+
+def _checkable(name: str) -> str:
+    """Replace f-string holes with a placeholder the wildcard entries match."""
+    return name.replace("*", "\x00")
+
+
+class _VocabularyRule(Rule):
+    methods: frozenset = frozenset()
+    noun = ""
+    registry_name = ""
+
+    def is_known(self, name: str) -> bool:
+        raise NotImplementedError
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            method = _tracer_method(node)
+            if method is None or method not in self.methods:
+                continue
+            name = _static_name(node)
+            if name is None:
+                continue
+            if not self.is_known(_checkable(name)):
+                display = name.replace("*", "{...}")
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{self.noun} name {display!r} is not in the declared "
+                    f"vocabulary (repro.obs.vocabulary.{self.registry_name}); "
+                    "register it there and in docs/observability.md, or "
+                    "fix the typo",
+                )
+
+
+@register
+class SpanVocabularyRule(_VocabularyRule):
+    rule_id = "OBS101"
+    summary = "tracer span names must come from the declared span vocabulary"
+    methods = frozenset({"span", "record"})
+    noun = "span"
+    registry_name = "SPANS"
+
+    def is_known(self, name: str) -> bool:
+        return is_known_span(name)
+
+
+@register
+class EventVocabularyRule(_VocabularyRule):
+    rule_id = "OBS102"
+    summary = "tracer event names must come from the declared event vocabulary"
+    methods = frozenset({"event"})
+    noun = "event"
+    registry_name = "EVENTS"
+
+    def is_known(self, name: str) -> bool:
+        return is_known_event(name)
+
+
+@register
+class CounterVocabularyRule(_VocabularyRule):
+    rule_id = "OBS103"
+    summary = (
+        "tracer counter/gauge names must come from the declared "
+        "counter vocabulary"
+    )
+    methods = frozenset({"count", "gauge"})
+    noun = "counter"
+    registry_name = "COUNTERS"
+
+    def is_known(self, name: str) -> bool:
+        return is_known_counter(name)

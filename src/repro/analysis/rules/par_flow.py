@@ -1,0 +1,404 @@
+"""PAR101/PAR102/PAR103 — call-graph-aware process-safety rules.
+
+These rules consume the :class:`~repro.analysis.project.ProjectModel`:
+its *worker-reachable* set is the call-graph closure of everything
+submitted to ``ExecutionBackend.map``, ``SweepRuntime``/``ShmArena``
+tasks, and ``ProcessPoolExecutor``/``Process`` targets, so the checks
+apply to exactly the code that can execute inside a worker — including
+helpers three calls below the submitted function, which no per-file
+rule can see.
+
+PAR101: a worker-reachable function that writes a module global (via a
+``global`` declaration or by mutating a module-level mutable in place)
+or mutates a captured closure variable is a race: under fork/spawn each
+process mutates a private copy and the results silently diverge; under
+the thread backend the writes genuinely interleave.
+
+PAR102: a ``lambda`` or a locally-nested ``def`` submitted to a
+*process* backend cannot be pickled; the failure surfaces at dispatch
+time deep inside ``multiprocessing``.  Flagged at the submission site,
+where the fix (hoist to module level) is obvious.
+
+PAR103: a worker that writes a shared-memory view through a slice that
+does not depend on any of its parameters writes the *same* bytes in
+every worker — chunk-partitioned output ranges must be derived from the
+chunk arguments, or the workers overlap and the merge reads torn data.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.analysis.astutils import call_tail, walk_scope
+from repro.analysis.base import ProjectRule
+from repro.analysis.finding import Finding
+from repro.analysis.project import (
+    DISPATCH_METHODS,
+    PROCESS_FACTORIES,
+    FunctionInfo,
+    ProjectModel,
+    module_name_for,
+)
+from repro.analysis.registry import register
+from repro.analysis.rules.parallel import ModuleStateInWorkerRule
+
+__all__ = [
+    "WorkerGlobalWriteRule",
+    "UnpicklableWorkerRule",
+    "OverlappingShmWriteRule",
+]
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+_MUTATING_METHODS = {
+    "add",
+    "append",
+    "appendleft",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "pop",
+    "popitem",
+    "popleft",
+    "remove",
+    "reverse",
+    "setdefault",
+    "sort",
+    "update",
+}
+
+
+def _target_names(target: ast.expr) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _target_names(elt)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+
+
+def _local_bindings(func: ast.AST) -> Set[str]:
+    """Names bound inside a function scope (params, assigns, loops, ...)."""
+    args = func.args  # type: ignore[attr-defined]
+    names: Set[str] = {
+        a.arg for a in args.posonlyargs + args.args + args.kwonlyargs
+    }
+    for vararg in (args.vararg, args.kwarg):
+        if vararg is not None:
+            names.add(vararg.arg)
+    for node in walk_scope(func):  # type: ignore[arg-type]
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                names.update(_target_names(target))
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            names.update(_target_names(node.target))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            names.update(_target_names(node.target))
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    names.update(_target_names(item.optional_vars))
+        elif isinstance(node, ast.NamedExpr):
+            names.add(node.target.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).split(".", 1)[0])
+        elif isinstance(node, ast.comprehension):
+            # Comprehension targets live in their own scope, but
+            # treating them as local only makes the rule quieter.
+            names.update(_target_names(node.target))
+        elif isinstance(node, _FUNC_NODES):
+            names.add(node.name)
+    for node in walk_scope(func):  # type: ignore[arg-type]
+        if isinstance(node, ast.Global):
+            names.difference_update(node.names)
+    return names
+
+
+def _declared(func: ast.AST, kind: type) -> Set[str]:
+    names: Set[str] = set()
+    for node in walk_scope(func):  # type: ignore[arg-type]
+        if isinstance(node, kind):
+            names.update(node.names)  # type: ignore[attr-defined]
+    return names
+
+
+def _subscript_root(target: ast.expr) -> Optional[str]:
+    if isinstance(target, ast.Subscript) and isinstance(target.value, ast.Name):
+        return target.value.id
+    return None
+
+
+@register
+class WorkerGlobalWriteRule(ProjectRule):
+    rule_id = "PAR101"
+    summary = (
+        "worker-reachable functions must not write module globals or "
+        "mutate captured closure variables"
+    )
+
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        for info in project.worker_functions():
+            yield from self._check_function(project, info)
+
+    def _enclosing_locals(
+        self, project: ProjectModel, info: FunctionInfo
+    ) -> Set[str]:
+        names: Set[str] = set()
+        parent = project.functions.get(info.parent) if info.parent else None
+        while parent is not None:
+            names |= _local_bindings(parent.node)
+            parent = (
+                project.functions.get(parent.parent) if parent.parent else None
+            )
+        return names
+
+    def _check_function(
+        self, project: ProjectModel, info: FunctionInfo
+    ) -> Iterator[Finding]:
+        func = info.node
+        ctx = info.ctx
+        mutables = ModuleStateInWorkerRule._module_level_mutables(ctx.tree)
+        locals_ = _local_bindings(func)
+        globals_ = _declared(func, ast.Global)
+        nonlocals = _declared(func, ast.Nonlocal)
+        enclosing = self._enclosing_locals(project, info)
+
+        def classify(name: str, node: ast.AST, how: str) -> Optional[Finding]:
+            if name in locals_:
+                return None
+            if name in mutables or name in globals_:
+                return self.finding(
+                    ctx,
+                    node,
+                    f"worker-reachable function {info.qualname!r} {how} "
+                    f"module global {name!r}; each worker process mutates "
+                    "a private copy (threads race outright) — return the "
+                    "value or write through shared memory instead",
+                )
+            if name in nonlocals or name in enclosing:
+                return self.finding(
+                    ctx,
+                    node,
+                    f"worker-reachable function {info.qualname!r} {how} "
+                    f"captured variable {name!r}; closures are copied into "
+                    "workers, so the write never reaches the parent — pass "
+                    "state explicitly and return results",
+                )
+            return None
+
+        for node in walk_scope(func):  # type: ignore[arg-type]
+            finding: Optional[Finding] = None
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    for name in _target_names(target):
+                        if name in globals_ or name in nonlocals:
+                            finding = classify(name, node, "rebinds")
+                            if finding is not None:
+                                break
+                    root = _subscript_root(target)
+                    if finding is None and root is not None:
+                        finding = classify(root, node, "writes into")
+                    if finding is not None:
+                        break
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.attr in _MUTATING_METHODS
+            ):
+                finding = classify(
+                    node.func.value.id, node, f"calls .{node.func.attr}() on"
+                )
+            if finding is not None:
+                yield finding
+
+
+@register
+class UnpicklableWorkerRule(ProjectRule):
+    rule_id = "PAR102"
+    summary = (
+        "lambdas and nested functions cannot be submitted to process "
+        "backends (they do not pickle)"
+    )
+
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        for ctx in project.contexts:
+            yield from self._check_module(project, ctx)
+
+    def _check_module(
+        self, project: ProjectModel, ctx
+    ) -> Iterator[Finding]:
+        module = module_name_for(ctx.path)
+        process_names: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Call
+            ):
+                if call_tail(node.value) in PROCESS_FACTORIES:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            process_names.add(target.id)
+
+        for info in list(project.functions.values()) + [None]:
+            if info is not None and info.ctx is not ctx:
+                continue
+            scope = info.node if info is not None else ctx.tree
+            for node in walk_scope(scope):  # type: ignore[arg-type]
+                if not isinstance(node, ast.Call):
+                    continue
+                yield from self._check_call(
+                    project, ctx, module, info, node, process_names
+                )
+
+    def _check_call(
+        self,
+        project: ProjectModel,
+        ctx,
+        module: str,
+        caller: Optional[FunctionInfo],
+        call: ast.Call,
+        process_names: Set[str],
+    ) -> Iterator[Finding]:
+        # Process(target=...) is always a process boundary.
+        if call_tail(call) in PROCESS_FACTORIES:
+            for kw in call.keywords:
+                if kw.arg == "target":
+                    yield from self._check_payload(
+                        project, ctx, module, caller, kw.value
+                    )
+        # recv.submit(fn)/recv.map(fn) where recv is a known process pool.
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in DISPATCH_METHODS
+            and call.args
+        ):
+            recv = call.func.value
+            is_process = (
+                isinstance(recv, ast.Name) and recv.id in process_names
+            ) or (
+                isinstance(recv, ast.Call)
+                and call_tail(recv) in PROCESS_FACTORIES
+            )
+            if is_process:
+                yield from self._check_payload(
+                    project, ctx, module, caller, call.args[0]
+                )
+
+    def _check_payload(
+        self,
+        project: ProjectModel,
+        ctx,
+        module: str,
+        caller: Optional[FunctionInfo],
+        payload: ast.expr,
+    ) -> Iterator[Finding]:
+        if isinstance(payload, ast.Lambda):
+            yield self.finding(
+                ctx,
+                payload,
+                "lambda submitted to a process backend cannot be pickled; "
+                "define a module-level function instead",
+            )
+            return
+        fid = project.resolve_callable(payload, ctx, module, caller)
+        if fid is None:
+            return
+        info = project.functions.get(fid)
+        if info is not None and info.parent is not None:
+            yield self.finding(
+                ctx,
+                payload,
+                f"nested function {info.name!r} submitted to a process "
+                "backend cannot be pickled; hoist it to module level",
+            )
+
+
+@register
+class OverlappingShmWriteRule(ProjectRule):
+    rule_id = "PAR103"
+    summary = (
+        "shared-memory slice writes in workers must derive their range "
+        "from the worker's chunk arguments"
+    )
+
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        for info in project.worker_functions():
+            yield from self._check_function(info)
+
+    @staticmethod
+    def _expr_names(node: Optional[ast.AST]) -> Set[str]:
+        if node is None:
+            return set()
+        return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+    def _check_function(self, info: FunctionInfo) -> Iterator[Finding]:
+        func = info.node
+        views: Set[str] = set()
+        derived: Set[str] = set(info.params)
+
+        def is_view_expr(value: ast.expr) -> bool:
+            for sub in ast.walk(value):
+                if isinstance(sub, ast.Attribute) and sub.attr == "buf":
+                    return True
+                if isinstance(sub, ast.Name) and sub.id in views:
+                    return True
+            return False
+
+        changed = True
+        while changed:
+            changed = False
+            for node in walk_scope(func):  # type: ignore[arg-type]
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target = node.targets[0]
+                    if not isinstance(target, ast.Name):
+                        continue
+                    if target.id not in views and is_view_expr(node.value):
+                        views.add(target.id)
+                        changed = True
+                    if (
+                        target.id not in derived
+                        and self._expr_names(node.value) & derived
+                    ):
+                        derived.add(target.id)
+                        changed = True
+                elif isinstance(node, (ast.For, ast.AsyncFor)):
+                    if self._expr_names(node.iter) & derived:
+                        for name in _target_names(node.target):
+                            if name not in derived:
+                                derived.add(name)
+                                changed = True
+
+        if not views:
+            return
+        for node in walk_scope(func):  # type: ignore[arg-type]
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if not isinstance(target, ast.Subscript):
+                        continue
+                    root = _subscript_root(target)
+                    if root is None or root not in views:
+                        continue
+                    if not (self._expr_names(target.slice) & derived):
+                        yield self.finding(
+                            info.ctx,
+                            node,
+                            f"worker {info.qualname!r} writes shm view "
+                            f"{root!r} through a slice independent of its "
+                            "chunk arguments; every worker writes the same "
+                            "range — derive the slice from the chunk "
+                            "bounds",
+                        )

@@ -1,43 +1,37 @@
 """PAR001 / PAR002 — multiprocessing hygiene for the sweeping backends.
 
-PAR001: a ``multiprocessing.Pool`` or ``Process`` that is not joined
-(or terminated) on all paths leaves orphan workers holding copies of
-array ``C`` — under the paper's Section VI sweeping that is gigabytes
-of pinned memory per leaked worker.  The accepted patterns are a
-``with`` statement on the pool, or join/terminate cleanup inside a
-``finally`` block in the same function.
+PAR001: a ``multiprocessing.Pool``/``Process`` (or executor) that is
+not joined, terminated, or shut down on all paths leaves orphan workers
+holding copies of array ``C`` — under the paper's Section VI sweeping
+that is gigabytes of pinned memory per leaked worker.  The rule runs
+the resource-lifecycle dataflow from :mod:`repro.analysis.flow`, so any
+spelling that cleans up on *every* CFG path (including exception edges
+out of a ``pool.map`` between construction and ``join()``) is accepted,
+and ownership transfer (``self._procs.append(proc)``,
+``self._executor = executor``) moves the obligation to the new owner.
 
 PAR002: a worker function that reads module-level mutable state gets a
 *copy* under the fork/spawn start methods; mutations are silently lost
 and results diverge between start methods.  State must flow through
 worker arguments (that is how every sweep worker in this repo receives
-its edge-pair slice).
+its edge-pair slice).  The deeper, call-graph-aware generalization of
+this check is PAR101 in :mod:`repro.analysis.rules.par_flow`.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Set
+from typing import Dict, Iterator, Optional, Set, Tuple
 
-from repro.analysis.astutils import ScopeNode, call_tail, iter_scopes, walk_scope
+from repro.analysis.astutils import ScopeNode, call_tail, iter_scopes
 from repro.analysis.base import ModuleContext, Rule
 from repro.analysis.finding import Finding, Severity
+from repro.analysis.flow import ResourceSpec, check_resource_flow
+from repro.analysis.project import DISPATCH_METHODS, WORKER_FACTORIES
 from repro.analysis.registry import register
 
 __all__ = ["ModuleStateInWorkerRule", "UnjoinedWorkerRule"]
 
-_WORKER_FACTORIES = {"Pool", "Process", "ThreadPool"}
-_DISPATCH_METHODS = {
-    "submit",
-    "apply",
-    "apply_async",
-    "map",
-    "map_async",
-    "imap",
-    "imap_unordered",
-    "starmap",
-    "starmap_async",
-}
 _MUTABLE_CALLS = {
     "list",
     "dict",
@@ -58,57 +52,53 @@ _MUTABLE_LITERALS = (
 )
 
 
-def _is_worker_factory_call(node: ast.AST) -> bool:
-    return isinstance(node, ast.Call) and call_tail(node) in _WORKER_FACTORIES
+def _match_worker_factory(call: ast.Call) -> Optional[Tuple[str, ...]]:
+    if call_tail(call) in WORKER_FACTORIES:
+        return ("join",)
+    return None
+
+
+_POOL_SPEC = ResourceSpec(
+    kind="worker pool",
+    matcher=_match_worker_factory,
+    release_methods={
+        "join": frozenset({"join", "terminate", "shutdown", "kill"})
+    },
+    # `with Pool(...)` terminates on exit; `with Executor()` shuts down.
+    with_releases=frozenset({"join"}),
+)
 
 
 @register
 class UnjoinedWorkerRule(Rule):
     rule_id = "PAR001"
     summary = (
-        "Pool/Process must be joined or terminated on all paths "
-        "(with statement, or cleanup in a finally block)"
+        "Pool/Process/executor must be joined, terminated, or shut down "
+        "on every path through the scope"
     )
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for scope in iter_scopes(ctx.tree):
-            yield from self._check_scope(ctx, scope)
-
-    def _check_scope(
-        self, ctx: ModuleContext, scope: ScopeNode
-    ) -> Iterator[Finding]:
-        constructions: List[ast.Call] = []
-        managed: Set[int] = set()
-        has_finally_cleanup = False
-
-        for node in walk_scope(scope):
-            if _is_worker_factory_call(node):
-                assert isinstance(node, ast.Call)
-                constructions.append(node)
-            if isinstance(node, (ast.With, ast.AsyncWith)):
-                for item in node.items:
-                    if _is_worker_factory_call(item.context_expr):
-                        managed.add(id(item.context_expr))
-            if isinstance(node, ast.Try) and node.finalbody:
-                for stmt in node.finalbody:
-                    for sub in ast.walk(stmt):
-                        if (
-                            isinstance(sub, ast.Call)
-                            and isinstance(sub.func, ast.Attribute)
-                            and sub.func.attr in ("join", "terminate")
-                        ):
-                            has_finally_cleanup = True
-
-        for call in constructions:
-            if id(call) in managed or has_finally_cleanup:
-                continue
-            yield self.finding(
-                ctx,
-                call,
-                f"{call_tail(call)} is started without join()/terminate() "
-                "guaranteed on all paths; use a with statement or clean up "
-                "in a finally block",
-            )
+            leaks, unbound = check_resource_flow(scope, _POOL_SPEC)
+            for leak in leaks:
+                tail = call_tail(leak.site.call)
+                yield self.finding(
+                    ctx,
+                    leak.site.call,
+                    f"{tail} {leak.site.name!r} is started here but a path "
+                    "through this scope exits without join()/terminate(); "
+                    "an exception between start and cleanup leaks the "
+                    "workers",
+                )
+            for open_site in unbound:
+                yield self.finding(
+                    ctx,
+                    open_site.call,
+                    f"{call_tail(open_site.call)} is started without "
+                    "join()/terminate() guaranteed on all paths; bind it "
+                    "to a name, use a with statement, or hand it off at "
+                    "creation",
+                )
 
 
 @register
@@ -163,7 +153,7 @@ class ModuleStateInWorkerRule(Rule):
                     names.add(kw.value.id)
             if (
                 isinstance(node.func, ast.Attribute)
-                and node.func.attr in _DISPATCH_METHODS
+                and node.func.attr in DISPATCH_METHODS
                 and node.args
                 and isinstance(node.args[0], ast.Name)
             ):

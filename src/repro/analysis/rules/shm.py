@@ -4,9 +4,17 @@ SHM001: a ``multiprocessing.shared_memory.SharedMemory`` attach that is
 not ``close()``-d leaks a file descriptor and an mmap in every worker; a
 created block that is never ``unlink()``-ed leaks the segment itself
 until reboot (``/dev/shm`` fills up under sustained clustering load).
-The only patterns this rule accepts are the ones that release on *all*
-paths: a ``with`` statement, or a ``try``/``finally`` whose ``finally``
-calls ``close()`` (and ``unlink()`` for creators) on the bound name.
+
+The rule is *flow-aware*: it runs the resource-lifecycle dataflow from
+:mod:`repro.analysis.flow` over each scope's CFG and accepts any code
+that releases on **every** path — ``with`` statements, ``try/finally``,
+close-on-all-branches spelled with ``if``/``else``, whatever.  It
+equally rejects shapes the old syntactic rule could not see, such as an
+early ``return`` between the attach and the ``close()``, or an
+exception edge out of a statement between them.  Ownership transfer is
+understood: a block that is returned, yielded, stored on ``self``, or
+appended to a registry escapes the scope and is its new owner's
+responsibility.
 
 SHM002: explicit ``pickle`` serialization defeats the point of the
 shared-memory transport.  The parallel layer exists to move the pair
@@ -19,18 +27,15 @@ serialization cost the design removes.  Publish columns once with
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Set, Tuple
+from typing import Iterator, Optional, Tuple
 
-from repro.analysis.astutils import ScopeNode, call_tail, iter_scopes, walk_scope
+from repro.analysis.astutils import call_tail, iter_scopes
 from repro.analysis.base import ModuleContext, Rule
 from repro.analysis.finding import Finding
+from repro.analysis.flow import ResourceSpec, check_resource_flow
 from repro.analysis.registry import register
 
 __all__ = ["SharedMemoryLifecycleRule", "ExplicitPickleRule"]
-
-
-def _is_shm_call(node: ast.AST) -> bool:
-    return isinstance(node, ast.Call) and call_tail(node) == "SharedMemory"
 
 
 def _is_creator(call: ast.Call) -> bool:
@@ -43,108 +48,60 @@ def _is_creator(call: ast.Call) -> bool:
     return False
 
 
-def _finally_method_calls(scope: ScopeNode) -> Set[Tuple[str, str]]:
-    """All ``name.method()`` calls inside any ``finally`` block of ``scope``."""
-    calls: Set[Tuple[str, str]] = set()
-    for node in walk_scope(scope):
-        if not isinstance(node, ast.Try) or not node.finalbody:
-            continue
-        for stmt in node.finalbody:
-            for sub in ast.walk(stmt):
-                if (
-                    isinstance(sub, ast.Call)
-                    and isinstance(sub.func, ast.Attribute)
-                    and isinstance(sub.func.value, ast.Name)
-                ):
-                    calls.add((sub.func.value.id, sub.func.attr))
-    return calls
+def _match_shm(call: ast.Call) -> Optional[Tuple[str, ...]]:
+    if call_tail(call) != "SharedMemory":
+        return None
+    return ("close", "unlink") if _is_creator(call) else ("close",)
+
+
+_SHM_SPEC = ResourceSpec(
+    kind="shared-memory block",
+    matcher=_match_shm,
+    release_methods={
+        "close": frozenset({"close"}),
+        "unlink": frozenset({"unlink"}),
+    },
+    with_releases=frozenset({"close"}),
+)
 
 
 @register
 class SharedMemoryLifecycleRule(Rule):
     rule_id = "SHM001"
     summary = (
-        "SharedMemory must be close()d (creators also unlink()ed) on all "
-        "paths via try/finally or a with statement"
+        "SharedMemory must be close()d (creators also unlink()ed) on "
+        "every path through the scope, or ownership must escape"
     )
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for scope in iter_scopes(ctx.tree):
-            yield from self._check_scope(ctx, scope)
-
-    def _check_scope(
-        self, ctx: ModuleContext, scope: ScopeNode
-    ) -> Iterator[Finding]:
-        handled: Set[int] = set()
-        finally_calls = _finally_method_calls(scope)
-        bindings: Dict[str, List[ast.Call]] = {}
-
-        for node in walk_scope(scope):
-            if isinstance(node, (ast.With, ast.AsyncWith)):
-                for item in node.items:
-                    if not _is_shm_call(item.context_expr):
-                        continue
-                    call = item.context_expr
-                    assert isinstance(call, ast.Call)
-                    handled.add(id(call))
-                    if not _is_creator(call):
-                        continue  # with-statement guarantees close()
-                    var = item.optional_vars
-                    if not isinstance(var, ast.Name):
-                        yield self.finding(
-                            ctx,
-                            call,
-                            "SharedMemory created with create=True must be "
-                            "bound to a name so it can be unlink()ed",
-                        )
-                    elif (var.id, "unlink") not in finally_calls:
-                        yield self.finding(
-                            ctx,
-                            call,
-                            f"shared-memory block {var.id!r} is created here "
-                            "but never unlink()ed in a finally block; the "
-                            "segment outlives the process",
-                        )
-            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
-                value = node.value
-                if value is None or not _is_shm_call(value):
-                    continue
-                assert isinstance(value, ast.Call)
-                targets = (
-                    node.targets if isinstance(node, ast.Assign) else [node.target]
-                )
-                if len(targets) == 1 and isinstance(targets[0], ast.Name):
-                    handled.add(id(value))
-                    bindings.setdefault(targets[0].id, []).append(value)
-
-        for name, calls in bindings.items():
-            for call in calls:
-                if (name, "close") not in finally_calls:
+            leaks, unbound = check_resource_flow(scope, _SHM_SPEC)
+            for leak in leaks:
+                name = leak.site.name
+                if leak.aspect == "close":
                     yield self.finding(
                         ctx,
-                        call,
+                        leak.site.call,
                         f"shared-memory block {name!r} is attached here but "
-                        "not close()d in a finally block (or use a with "
-                        "statement); a raised exception leaks the mapping",
+                        "a path through this scope exits without close(); "
+                        "a raised exception or early return leaks the "
+                        "mapping",
                     )
-                if _is_creator(call) and (name, "unlink") not in finally_calls:
+                else:
                     yield self.finding(
                         ctx,
-                        call,
+                        leak.site.call,
                         f"shared-memory block {name!r} is created here but "
-                        "never unlink()ed in a finally block; the segment "
-                        "outlives the process",
+                        "a path through this scope exits without unlink(); "
+                        "the segment outlives the process",
                     )
-
-        # Any other construction site (bare expression, argument, tuple
-        # unpack, ...) cannot be proven to release the block.
-        for node in walk_scope(scope):
-            if _is_shm_call(node) and id(node) not in handled:
+            for open_site in unbound:
                 yield self.finding(
                     ctx,
-                    node,
-                    "SharedMemory must be bound to a single name (or used in "
-                    "a with statement) so close()/unlink() can be verified",
+                    open_site.call,
+                    "SharedMemory must be bound to a single name (or used "
+                    "in a with statement, or handed off at creation) so "
+                    "close()/unlink() can be verified",
                 )
 
 

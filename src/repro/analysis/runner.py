@@ -1,16 +1,36 @@
-"""File discovery, rule execution, and ``# repro: noqa`` suppression."""
+"""File discovery, rule execution, caching, and baseline gating.
+
+The run pipeline is:
+
+1. discover files (``iter_python_files``), optionally restricted to
+   git-changed files (``--changed-only``);
+2. per-file pass: module rules over each parsed file, with ``# repro:
+   noqa`` suppression, reusing mtime-cached results for unchanged files;
+3. whole-program pass: build the :class:`~repro.analysis.project.
+   ProjectModel` from every parseable module and run the
+   :class:`~repro.analysis.base.ProjectRule` catalog once (also cached,
+   under a signature covering every file);
+4. baseline partition: findings present in ``analysis-baseline.json``
+   are counted but do not fail the gate — only *new* findings do.
+"""
 
 from __future__ import annotations
 
 import ast
+import hashlib
+import os
 import re
+import subprocess
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
-from repro.analysis.base import ModuleContext, Rule
+from repro.analysis.base import ModuleContext, ProjectRule, Rule
+from repro.analysis.baseline import Baseline, partition_findings
+from repro.analysis.cache import CachedFile, ResultCache, project_signature
 from repro.analysis.finding import Finding, Severity
+from repro.analysis.project import build_project
 from repro.analysis.registry import resolve_rules
 from repro.errors import AnalysisError
 
@@ -19,6 +39,7 @@ __all__ = [
     "RunStats",
     "analyze_file",
     "analyze_paths",
+    "git_changed_files",
     "iter_python_files",
 ]
 
@@ -35,6 +56,8 @@ class RunStats:
     findings: int = 0
     suppressed: int = 0
     parse_errors: int = 0
+    baselined: int = 0
+    files_reused: int = 0
     duration_seconds: float = 0.0
 
     def to_dict(self) -> Dict[str, Union[int, float]]:
@@ -43,6 +66,8 @@ class RunStats:
             "findings": self.findings,
             "suppressed": self.suppressed,
             "parse_errors": self.parse_errors,
+            "baselined": self.baselined,
+            "files_reused": self.files_reused,
             "duration_seconds": self.duration_seconds,
         }
 
@@ -76,6 +101,36 @@ def iter_python_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
     return list(seen)
 
 
+def git_changed_files(diff_base: str = "HEAD") -> Set[str]:
+    """Absolute paths changed vs ``diff_base``, plus untracked files."""
+
+    def run(*args: str) -> str:
+        try:
+            proc = subprocess.run(
+                ["git", *args],
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+        except (OSError, subprocess.CalledProcessError) as exc:
+            detail = getattr(exc, "stderr", "") or str(exc)
+            raise AnalysisError(
+                f"--changed-only requires a git checkout: {detail.strip()}"
+            ) from exc
+        return proc.stdout
+
+    top = run("rev-parse", "--show-toplevel").strip()
+    names = run("diff", "--name-only", "-z", diff_base, "--").split("\0")
+    names += run(
+        "ls-files", "--others", "--exclude-standard", "-z"
+    ).split("\0")
+    return {
+        os.path.abspath(os.path.join(top, name))
+        for name in names
+        if name
+    }
+
+
 def _suppressed_rules(line: str) -> Optional[List[str]]:
     """Rule ids silenced on ``line``; ``[]`` means "all", None means none."""
     match = _NOQA_RE.search(line)
@@ -87,43 +142,96 @@ def _suppressed_rules(line: str) -> Optional[List[str]]:
     return [r.strip() for r in rules.split(",")]
 
 
-def analyze_file(
-    path: Union[str, Path], rules: Sequence[Rule], stats: Optional[RunStats] = None
+def _apply_noqa(
+    findings: Sequence[Finding],
+    contexts: Dict[str, ModuleContext],
+    stats: RunStats,
 ) -> List[Finding]:
-    """Run ``rules`` over one file, applying noqa suppression."""
-    stats = stats if stats is not None else RunStats()
+    """Drop findings suppressed by a ``# repro: noqa`` on their line."""
+    kept: List[Finding] = []
+    for finding in findings:
+        ctx = contexts.get(finding.file)
+        silenced = (
+            _suppressed_rules(ctx.line_text(finding.line))
+            if ctx is not None
+            else None
+        )
+        if silenced is not None and (not silenced or finding.rule_id in silenced):
+            stats.suppressed += 1
+        else:
+            kept.append(finding)
+    return kept
+
+
+def _parse_context(path: Union[str, Path]) -> Tuple[Optional[ModuleContext], Optional[Finding]]:
+    """Parse one file into a context, or a PARSE finding on failure."""
     display = str(path)
     try:
         source = Path(path).read_text(encoding="utf-8")
     except OSError as exc:
         raise AnalysisError(f"cannot read {display}: {exc}") from exc
-    stats.files_scanned += 1
     try:
         tree = ast.parse(source, filename=display)
     except SyntaxError as exc:
+        return None, Finding(
+            file=display,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            rule_id="PARSE",
+            severity=Severity.ERROR,
+            message=f"syntax error: {exc.msg}",
+        )
+    return ModuleContext(display, source, tree), None
+
+
+def _split_rules(rules: Sequence[Rule]) -> Tuple[List[Rule], List[ProjectRule]]:
+    module_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    return module_rules, project_rules
+
+
+def _rules_signature(rules: Sequence[Rule]) -> str:
+    ids = ",".join(sorted(r.rule_id for r in rules))
+    return hashlib.sha256(f"v2:{ids}".encode("utf-8")).hexdigest()[:16]
+
+
+def _check_module(
+    ctx: ModuleContext, module_rules: Sequence[Rule], stats: RunStats
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for rule in module_rules:
+        findings.extend(rule.check(ctx))
+    findings = _apply_noqa(findings, {ctx.path: ctx}, stats)
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def analyze_file(
+    path: Union[str, Path], rules: Sequence[Rule], stats: Optional[RunStats] = None
+) -> List[Finding]:
+    """Run ``rules`` over one file, applying noqa suppression.
+
+    Project rules run against a single-module project model, so the
+    whole catalog remains exercisable on one file (fixtures, editors).
+    """
+    stats = stats if stats is not None else RunStats()
+    module_rules, project_rules = _split_rules(rules)
+    stats.files_scanned += 1
+    ctx, parse_finding = _parse_context(path)
+    if parse_finding is not None:
         stats.parse_errors += 1
         stats.findings += 1
-        return [
-            Finding(
-                file=display,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                rule_id="PARSE",
-                severity=Severity.ERROR,
-                message=f"syntax error: {exc.msg}",
-            )
-        ]
-    ctx = ModuleContext(display, source, tree)
-    findings: List[Finding] = []
-    for rule in rules:
-        for finding in rule.check(ctx):
-            silenced = _suppressed_rules(ctx.line_text(finding.line))
-            if silenced is not None and (
-                not silenced or finding.rule_id in silenced
-            ):
-                stats.suppressed += 1
-                continue
-            findings.append(finding)
+        return [parse_finding]
+    assert ctx is not None
+    findings = _check_module(ctx, module_rules, stats)
+    if project_rules:
+        project = build_project([ctx])
+        project_findings: List[Finding] = []
+        for rule in project_rules:
+            project_findings.extend(rule.check_project(project))
+        findings.extend(
+            _apply_noqa(project_findings, {ctx.path: ctx}, stats)
+        )
     findings.sort(key=Finding.sort_key)
     stats.findings += len(findings)
     return findings
@@ -133,13 +241,138 @@ def analyze_paths(
     paths: Sequence[Union[str, Path]],
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
+    *,
+    cache_path: Optional[Union[str, Path]] = None,
+    baseline_path: Optional[Union[str, Path]] = None,
+    changed_only: bool = False,
+    diff_base: str = "HEAD",
 ) -> AnalysisResult:
-    """Analyze files/directories with the (filtered) rule catalog."""
+    """Analyze files/directories with the (filtered) rule catalog.
+
+    ``cache_path`` enables the mtime-keyed result cache;
+    ``baseline_path`` partitions findings so only non-baselined ones
+    remain in ``result.findings`` (the gate); ``changed_only``
+    restricts the per-file pass to files changed vs ``diff_base``.
+    """
     start = time.perf_counter()
     rules = resolve_rules(select=select, ignore=ignore)
+    module_rules, project_rules = _split_rules(rules)
+    rules_sig = _rules_signature(rules)
     result = AnalysisResult()
-    for path in iter_python_files(paths):
-        result.findings.extend(analyze_file(path, rules, stats=result.stats))
+    stats = result.stats
+
+    files = iter_python_files(paths)
+    if changed_only:
+        changed = git_changed_files(diff_base)
+        files = [f for f in files if os.path.abspath(str(f)) in changed]
+
+    cache = ResultCache(cache_path) if cache_path is not None else None
+    contexts: Dict[str, ModuleContext] = {}
+    parse_failed: Set[str] = set()
+
+    def context_for(path: Path) -> Optional[ModuleContext]:
+        display = str(path)
+        if display in contexts:
+            return contexts[display]
+        if display in parse_failed:
+            return None
+        ctx, parse_finding = _parse_context(path)
+        if ctx is None:
+            parse_failed.add(display)
+            return None
+        contexts[display] = ctx
+        return ctx
+
+    # ------------------------------------------------------------------
+    # per-file pass (module rules)
+    # ------------------------------------------------------------------
+    for path in files:
+        stats.files_scanned += 1
+        cached = (
+            cache.lookup_file(path, rules_sig) if cache is not None else None
+        )
+        if cached is not None:
+            stats.files_reused += 1
+            stats.suppressed += cached.suppressed
+            stats.parse_errors += cached.parse_errors
+            result.findings.extend(cached.findings)
+            if cached.parse_errors:
+                parse_failed.add(str(path))
+            continue
+        before_suppressed = stats.suppressed
+        ctx, parse_finding = _parse_context(path)
+        if parse_finding is not None:
+            stats.parse_errors += 1
+            result.findings.append(parse_finding)
+            parse_failed.add(str(path))
+            if cache is not None:
+                cache.store_file(
+                    path,
+                    rules_sig,
+                    CachedFile([parse_finding], 0, 1),
+                )
+            continue
+        assert ctx is not None
+        contexts[str(path)] = ctx
+        file_findings = _check_module(ctx, module_rules, stats)
+        result.findings.extend(file_findings)
+        if cache is not None:
+            cache.store_file(
+                path,
+                rules_sig,
+                CachedFile(
+                    file_findings, stats.suppressed - before_suppressed, 0
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # whole-program pass (project rules)
+    # ------------------------------------------------------------------
+    if project_rules and files:
+        project_sig = project_signature([str(f) for f in files], rules_sig)
+        cached_project = (
+            cache.lookup_project(project_sig) if cache is not None else None
+        )
+        if cached_project is not None:
+            stats.suppressed += cached_project.suppressed
+            result.findings.extend(cached_project.findings)
+        else:
+            project_contexts = [
+                ctx
+                for ctx in (context_for(path) for path in files)
+                if ctx is not None
+            ]
+            project = build_project(project_contexts)
+            raw: List[Finding] = []
+            for rule in project_rules:
+                raw.extend(rule.check_project(project))
+            before_suppressed = stats.suppressed
+            project_findings = _apply_noqa(raw, contexts, stats)
+            result.findings.extend(project_findings)
+            if cache is not None:
+                cache.store_project(
+                    project_sig,
+                    CachedFile(
+                        project_findings,
+                        stats.suppressed - before_suppressed,
+                        0,
+                    ),
+                )
+
+    if cache is not None:
+        cache.save()
+
     result.findings.sort(key=Finding.sort_key)
-    result.stats.duration_seconds = time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    # baseline partition
+    # ------------------------------------------------------------------
+    if baseline_path is not None and Path(baseline_path).is_file():
+        baseline = Baseline.load(baseline_path)
+        result.findings, stats.baselined = partition_findings(
+            result.findings, baseline
+        )
+
+    stats.findings = len(result.findings)
+    stats.duration_seconds = time.perf_counter() - start
     return result

@@ -177,6 +177,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
     )
+    p_analyze.add_argument(
+        "--baseline", metavar="PATH", default="analysis-baseline.json",
+        help="baseline file: findings listed there do not fail the gate "
+        "(default: analysis-baseline.json when present)",
+    )
+    p_analyze.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    p_analyze.add_argument(
+        "--write-baseline", action="store_true",
+        help="snapshot current findings into the baseline file and exit 0",
+    )
+    p_analyze.add_argument(
+        "--changed-only", action="store_true",
+        help="scan only files changed vs --diff-base (plus untracked)",
+    )
+    p_analyze.add_argument(
+        "--diff-base", metavar="REF", default="HEAD",
+        help="git ref for --changed-only (default: HEAD)",
+    )
+    p_analyze.add_argument(
+        "--cache", metavar="PATH", default=".repro-analysis-cache.json",
+        help="result-cache file (default: .repro-analysis-cache.json)",
+    )
+    p_analyze.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the mtime-keyed result cache",
+    )
     return parser
 
 
@@ -302,7 +331,13 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    from repro.analysis import all_rules, analyze_paths, render_json, render_text
+    from repro.analysis import (
+        all_rules,
+        analyze_paths,
+        render_json,
+        render_text,
+        write_baseline,
+    )
 
     if args.list_rules:
         for rule in all_rules():
@@ -311,7 +346,21 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     if not args.paths:
         print("error: no paths given (or use --list-rules)", file=sys.stderr)
         return 2
-    result = analyze_paths(args.paths, select=args.select, ignore=args.ignore)
+    cache_path = None if args.no_cache else args.cache
+    baseline_path = None if (args.no_baseline or args.write_baseline) else args.baseline
+    result = analyze_paths(
+        args.paths,
+        select=args.select,
+        ignore=args.ignore,
+        cache_path=cache_path,
+        baseline_path=baseline_path,
+        changed_only=args.changed_only,
+        diff_base=args.diff_base,
+    )
+    if args.write_baseline:
+        count = write_baseline(args.baseline, result.findings)
+        print(f"wrote {count} findings to {args.baseline}")
+        return 0
     if args.format == "json":
         print(render_json(result.findings, result.stats))
     else:

@@ -108,7 +108,7 @@ def _triu_template(d: int) -> Tuple[np.ndarray, np.ndarray]:
     template = _TRIU_CACHE.get(d)
     if template is None:
         template = np.triu_indices(d, k=1)
-        _TRIU_CACHE[d] = template
+        _TRIU_CACHE[d] = template  # repro: noqa PAR101 (idempotent memo)
     return template
 
 

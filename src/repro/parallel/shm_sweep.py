@@ -88,13 +88,13 @@ def _attach_untracked(name: str) -> shared_memory.SharedMemory:
     the attach (the documented workaround for bpo-39959).
     """
     try:
-        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]  # repro: noqa: SHM001 — attach-only
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
     except TypeError:  # Python < 3.13: no track parameter
         pass
     original_register = resource_tracker.register
     resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
     try:
-        return shared_memory.SharedMemory(name=name)  # repro: noqa: SHM001 — attach-only
+        return shared_memory.SharedMemory(name=name)
     finally:
         resource_tracker.register = original_register
 
@@ -229,7 +229,7 @@ class ShmArena:
             return self
         t0 = time.perf_counter()
         size = max(1, self.num_workers * self.n * 8)
-        block = shared_memory.SharedMemory(create=True, size=size)  # repro: noqa: SHM001 — arena-owned; shutdown() closes+unlinks on all paths
+        block = shared_memory.SharedMemory(create=True, size=size)
         try:
             self._matrix = np.ndarray(
                 (self.num_workers, self.n), dtype=np.int64, buffer=block.buf
@@ -315,7 +315,7 @@ class ShmArena:
         if self._pairs_block is None or self._pairs_capacity < k2:
             self._release_pairs_block()
             capacity = max(1, k2)
-            self._pairs_block = shared_memory.SharedMemory(  # repro: noqa: SHM001 — arena-owned; _release_pairs_block() closes+unlinks on all paths (shutdown + reload)
+            self._pairs_block = shared_memory.SharedMemory(
                 create=True, size=2 * capacity * 8
             )
             self._pairs_capacity = capacity

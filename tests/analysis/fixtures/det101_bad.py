@@ -1,0 +1,24 @@
+"""DET101 fixture: set iteration feeding ordered sinks."""
+
+
+def collect_members(groups):
+    members = set()
+    for group in groups:
+        members |= group
+    ordered = []
+    for member in members:
+        ordered.append(member)
+    return ordered
+
+
+def emit_levels(levels):
+    for level in set(levels):
+        yield level
+
+
+def label(edges):
+    return ",".join({str(e) for e in edges})
+
+
+def snapshot(active):
+    return list(active & {1, 2, 3})

@@ -1,0 +1,25 @@
+"""DET101 fixture: sorted before ordered sinks; order-insensitive consumers."""
+
+
+def collect_members(groups):
+    members = set()
+    for group in groups:
+        members |= group
+    ordered = []
+    for member in sorted(members):
+        ordered.append(member)
+    return ordered
+
+
+def emit_levels(levels):
+    for level in sorted(set(levels)):
+        yield level
+
+
+def total(edges):
+    return sum(weight for weight in {e.weight for e in edges})
+
+
+def stats(values):
+    uniques = set(values)
+    return len(uniques), max(uniques)

@@ -1,0 +1,24 @@
+"""DET102 fixture: unseeded RNG inside worker-reachable code."""
+
+import random
+
+from multiprocessing import Pool
+
+
+def _jitter(value):
+    return value + random.random()
+
+
+def _sample(chunk):
+    return _pick(chunk)
+
+
+def _pick(chunk):
+    return random.choice(chunk)
+
+
+def run(values):
+    with Pool(4) as pool:
+        jittered = pool.map(_jitter, values)
+        sampled = pool.map(_sample, [jittered])
+    return sampled

@@ -1,0 +1,15 @@
+"""DET102 fixture: seeds flow through the task arguments."""
+
+import random
+
+from multiprocessing import Pool
+
+
+def _jitter(task):
+    rng = random.Random(task.seed)
+    return task.value + rng.random()
+
+
+def run(tasks):
+    with Pool(4) as pool:
+        return pool.map(_jitter, tasks)

@@ -1,0 +1,8 @@
+"""OBS101 fixture: span names outside the declared vocabulary."""
+
+
+def trace_run(tracer, chunks):
+    with tracer.span("phase:swep"):
+        for index, chunk in enumerate(chunks):
+            with tracer.span(f"sweep:chnk[{index}]"):
+                del chunk

@@ -1,0 +1,10 @@
+"""OBS101 fixture: declared span names, wildcards, and dynamic names."""
+
+
+def trace_run(tracer, chunks, name):
+    with tracer.span("phase:sweep"):
+        for index, chunk in enumerate(chunks):
+            with tracer.span(f"sweep:chunk[{index}]"):
+                del chunk
+    tracer.record("runtime:compute", 1.0)
+    tracer.span(name)

@@ -1,0 +1,5 @@
+"""OBS102 fixture: event name outside the declared vocabulary."""
+
+
+def trace_levels(tracer, level):
+    tracer.event("sweep:levels", value=level)

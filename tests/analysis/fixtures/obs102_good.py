@@ -1,0 +1,6 @@
+"""OBS102 fixture: declared event names only."""
+
+
+def trace_levels(tracer, level):
+    tracer.event("sweep:level", value=level)
+    tracer.event("sweep:jump", value=level)

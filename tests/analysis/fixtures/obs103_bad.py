@@ -1,0 +1,5 @@
+"""OBS103 fixture: counter name outside the declared vocabulary."""
+
+
+def count_merges(tracer, n):
+    tracer.count("merge_count", n)

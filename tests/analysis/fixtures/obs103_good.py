@@ -1,0 +1,6 @@
+"""OBS103 fixture: declared counter names only."""
+
+
+def count_merges(tracer, n, depth):
+    tracer.count("merges", n)
+    tracer.gauge("rollbacks", depth)

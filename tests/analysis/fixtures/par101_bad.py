@@ -1,0 +1,18 @@
+"""PAR101 fixture: workers write module globals."""
+
+from multiprocessing import Pool
+
+_TOTALS = {}
+_calls = 0
+
+
+def _tally(pair):
+    global _calls
+    _calls += 1
+    _TOTALS[pair[0]] = pair[1]
+    return pair
+
+
+def run(pairs):
+    with Pool(4) as pool:
+        return pool.map(_tally, pairs)

@@ -1,0 +1,20 @@
+"""PAR101 fixture: workers keep state local and return results."""
+
+from multiprocessing import Pool
+
+
+def _histogram(chunk):
+    counts = {}
+    for value in chunk:
+        counts[value] = counts.get(value, 0) + 1
+    return counts
+
+
+def run(chunks):
+    with Pool(4) as pool:
+        partials = pool.map(_histogram, chunks)
+    totals = {}
+    for partial in partials:
+        for key, value in partial.items():
+            totals[key] = totals.get(key, 0) + value
+    return totals

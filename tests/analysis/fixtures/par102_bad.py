@@ -1,0 +1,25 @@
+"""PAR102 fixture: unpicklable callables handed to process backends."""
+
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import Process
+
+
+def run_lambda(items):
+    pool = ProcessPoolExecutor(2)
+    try:
+        return list(pool.map(lambda x: x + 1, items))
+    finally:
+        pool.shutdown()
+
+
+def run_nested(values, queue):
+    def _produce():
+        for value in values:
+            queue.put(value)
+
+    proc = Process(target=_produce)
+    try:
+        proc.start()
+        return queue.get()
+    finally:
+        proc.join()

@@ -1,0 +1,23 @@
+"""PAR102 fixture: module-level workers for processes; lambdas stay on threads."""
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+
+def _increment(x):
+    return x + 1
+
+
+def run(items):
+    pool = ProcessPoolExecutor(2)
+    try:
+        return list(pool.map(_increment, items))
+    finally:
+        pool.shutdown()
+
+
+def run_threads(items):
+    tpool = ThreadPoolExecutor(2)
+    try:
+        return list(tpool.map(lambda x: x + 1, items))
+    finally:
+        tpool.shutdown()

@@ -1,0 +1,27 @@
+"""PAR103 fixture: workers write the same shm range regardless of chunk."""
+
+from multiprocessing import Pool, shared_memory
+
+
+def _fill(task):
+    block = shared_memory.SharedMemory(name=task.shm_name)
+    try:
+        view = block.buf
+        view[0:64] = task.payload
+    finally:
+        block.close()
+
+
+def _overwrite(task):
+    block = shared_memory.SharedMemory(name=task.shm_name)
+    try:
+        out = block.buf
+        out[:] = task.column
+    finally:
+        block.close()
+
+
+def run(tasks):
+    with Pool(4) as pool:
+        pool.map(_fill, tasks)
+        pool.map(_overwrite, tasks)

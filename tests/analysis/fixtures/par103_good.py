@@ -1,0 +1,28 @@
+"""PAR103 fixture: shm slice ranges derived from the chunk arguments."""
+
+from multiprocessing import Pool, shared_memory
+
+
+def _fill(task):
+    block = shared_memory.SharedMemory(name=task.shm_name)
+    try:
+        view = block.buf
+        view[task.start : task.stop] = task.payload
+    finally:
+        block.close()
+
+
+def _fill_offset(task):
+    block = shared_memory.SharedMemory(name=task.shm_name)
+    try:
+        offset = task.index * task.width
+        view = block.buf
+        view[offset : offset + task.width] = task.payload
+    finally:
+        block.close()
+
+
+def run(tasks):
+    with Pool(4) as pool:
+        pool.map(_fill, tasks)
+        pool.map(_fill_offset, tasks)

@@ -1,0 +1,92 @@
+"""Baseline semantics: multiset matching, round-trips, error handling."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, partition_findings, write_baseline
+from repro.analysis.finding import Finding, Severity
+from repro.errors import AnalysisError
+
+
+def make_finding(file="a.py", line=1, rule="SHM001", message="leak"):
+    return Finding(
+        file=file,
+        line=line,
+        col=0,
+        rule_id=rule,
+        severity=Severity.ERROR,
+        message=message,
+    )
+
+
+class TestRoundTrip:
+    def test_write_then_partition_baselines_everything(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        findings = [make_finding(line=1), make_finding(line=9, rule="PAR001")]
+        assert write_baseline(path, findings) == 2
+        new, baselined = partition_findings(findings, Baseline.load(path))
+        assert new == []
+        assert baselined == 2
+
+    def test_line_number_drift_still_matches(self, tmp_path):
+        """Baselines key on (file, rule, message), not line numbers, so
+        unrelated edits above a finding do not resurrect it."""
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [make_finding(line=10)])
+        moved = [make_finding(line=42)]
+        new, baselined = partition_findings(moved, Baseline.load(path))
+        assert new == []
+        assert baselined == 1
+
+    def test_multiset_budget_is_respected(self, tmp_path):
+        """Two identical findings against a baseline holding one: exactly
+        one is new."""
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [make_finding()])
+        pair = [make_finding(line=1), make_finding(line=2)]
+        new, baselined = partition_findings(pair, Baseline.load(path))
+        assert len(new) == 1
+        assert baselined == 1
+
+    def test_different_message_is_new(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [make_finding(message="close leak")])
+        other = [make_finding(message="unlink leak")]
+        new, baselined = partition_findings(other, Baseline.load(path))
+        assert len(new) == 1
+        assert baselined == 0
+
+
+class TestFileFormat:
+    def test_written_file_is_sorted_and_versioned(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(
+            path,
+            [make_finding(file="z.py"), make_finding(file="a.py")],
+        )
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 1
+        files = [entry["file"] for entry in payload["findings"]]
+        assert files == sorted(files)
+
+    def test_empty_baseline_loads(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [])
+        baseline = Baseline.load(path)
+        assert len(baseline) == 0
+        new, baselined = partition_findings([make_finding()], baseline)
+        assert len(new) == 1
+        assert baselined == 0
+
+    def test_invalid_json_raises_analysis_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json")
+        with pytest.raises(AnalysisError):
+            Baseline.load(path)
+
+    def test_missing_file_raises_analysis_error(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            Baseline.load(tmp_path / "nope.json")

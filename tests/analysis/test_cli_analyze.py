@@ -34,6 +34,8 @@ def test_json_format_shape(capsys):
         "findings",
         "suppressed",
         "parse_errors",
+        "baselined",
+        "files_reused",
         "duration_seconds",
     }
     assert payload["stats"]["findings"] == len(payload["findings"])
@@ -75,3 +77,45 @@ def test_list_rules(capsys):
 def test_no_paths_is_an_error(capsys):
     assert main(["analyze"]) == 2
     assert "no paths" in capsys.readouterr().err
+
+
+def test_missing_path_exits_two_with_one_line_error(capsys):
+    assert main(["analyze", "definitely/not/there.py"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "no such file" in err
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_write_baseline_then_gate_passes(tmp_path, capsys):
+    fixture = str(FIXTURES / "api001_bad.py")
+    baseline = str(tmp_path / "baseline.json")
+    assert main(["analyze", fixture, "--baseline", baseline,
+                 "--write-baseline", "--no-cache"]) == 0
+    assert "wrote 4 findings" in capsys.readouterr().out
+
+    assert main(["analyze", fixture, "--baseline", baseline,
+                 "--no-cache"]) == 0
+    assert "4 baselined" in capsys.readouterr().out
+
+    # --no-baseline reports everything again
+    assert main(["analyze", fixture, "--baseline", baseline,
+                 "--no-baseline", "--no-cache"]) == 1
+    capsys.readouterr()
+
+
+def test_cache_reuse_reported(tmp_path, capsys):
+    cache = str(tmp_path / "cache.json")
+    fixture = str(FIXTURES / "api001_bad.py")
+    assert main(["analyze", fixture, "--cache", cache, "--no-baseline"]) == 1
+    capsys.readouterr()
+    assert main(["analyze", fixture, "--cache", cache, "--no-baseline"]) == 1
+    assert "1 files from cache" in capsys.readouterr().out
+
+
+def test_changed_only_requires_git(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "a.py").write_text("x = 1\n")
+    assert main(["analyze", "a.py", "--changed-only",
+                 "--no-cache", "--no-baseline"]) == 2
+    assert "git checkout" in capsys.readouterr().err

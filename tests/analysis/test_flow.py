@@ -1,0 +1,244 @@
+"""Flow-engine unit tests: CFG paths and the resource-lifecycle dataflow.
+
+These test :func:`check_resource_flow` directly on small synthetic
+scopes, so regressions point at the engine rather than at a rule.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.flow import ResourceSpec, build_cfg, check_resource_flow
+
+SHM_SPEC = ResourceSpec(
+    kind="shm",
+    matcher=lambda call: (
+        ("close",)
+        if isinstance(call.func, ast.Attribute)
+        and call.func.attr == "SharedMemory"
+        or isinstance(call.func, ast.Name)
+        and call.func.id == "SharedMemory"
+        else None
+    ),
+    release_methods={"close": frozenset({"close"})},
+    with_releases=frozenset({"close"}),
+)
+
+
+def run(source: str, scope_name: str = "f"):
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and node.name == scope_name:
+            return check_resource_flow(node, SHM_SPEC)
+    raise AssertionError(f"no function {scope_name!r} in source")
+
+
+class TestLeakPaths:
+    def test_early_return_between_open_and_finally_leaks(self):
+        leaks, unbound = run(
+            """
+def f(name):
+    block = SharedMemory(name)
+    if name:
+        return None
+    try:
+        return block.buf
+    finally:
+        block.close()
+"""
+        )
+        assert len(leaks) == 1
+        assert leaks[0].aspect == "close"
+        assert unbound == []
+
+    def test_exception_between_open_and_close_leaks(self):
+        leaks, _ = run(
+            """
+def f(name):
+    block = SharedMemory(name)
+    use(block)
+    block.close()
+"""
+        )
+        assert len(leaks) == 1
+
+    def test_close_on_every_branch_is_clean(self):
+        leaks, unbound = run(
+            """
+def f(name, flag):
+    block = SharedMemory(name)
+    if flag:
+        block.close()
+        return 1
+    else:
+        block.close()
+        return 2
+"""
+        )
+        assert leaks == []
+        assert unbound == []
+
+    def test_with_statement_is_clean(self):
+        leaks, unbound = run(
+            """
+def f(name):
+    with SharedMemory(name) as block:
+        return block.buf
+"""
+        )
+        assert leaks == []
+        assert unbound == []
+
+    def test_try_finally_is_clean(self):
+        leaks, _ = run(
+            """
+def f(name):
+    block = SharedMemory(name)
+    try:
+        return use(block)
+    finally:
+        block.close()
+"""
+        )
+        assert leaks == []
+
+    def test_raising_open_call_owes_nothing(self):
+        # If the constructor raises, the binding never existed.
+        leaks, _ = run(
+            """
+def f(name):
+    block = SharedMemory(name)
+    block.close()
+"""
+        )
+        assert leaks == []
+
+
+class TestCatchAll:
+    def test_catch_all_handler_has_no_phantom_escape_path(self):
+        leaks, _ = run(
+            """
+def f(name):
+    block = SharedMemory(name)
+    try:
+        use(block)
+    except BaseException:
+        block.close()
+        raise
+    block.close()
+"""
+        )
+        assert leaks == []
+
+    def test_narrow_handler_keeps_the_unmatched_path(self):
+        leaks, _ = run(
+            """
+def f(name):
+    block = SharedMemory(name)
+    try:
+        use(block)
+    except ValueError:
+        block.close()
+        raise
+    block.close()
+"""
+        )
+        # a non-ValueError exception walks past both close() calls
+        assert len(leaks) == 1
+
+
+class TestOwnershipTransfer:
+    def test_returned_resource_escapes(self):
+        leaks, unbound = run(
+            """
+def f(name):
+    block = SharedMemory(name)
+    return block
+"""
+        )
+        assert leaks == []
+        assert unbound == []
+
+    def test_attribute_store_escapes(self):
+        leaks, unbound = run(
+            """
+def f(self, name):
+    self._block = SharedMemory(name)
+"""
+        )
+        assert leaks == []
+        assert unbound == []
+
+    def test_append_to_container_escapes(self):
+        leaks, _ = run(
+            """
+def f(name, registry):
+    block = SharedMemory(name)
+    registry.append(block)
+"""
+        )
+        assert leaks == []
+
+    def test_direct_return_of_call_escapes_at_birth(self):
+        leaks, unbound = run(
+            """
+def f(name):
+    return SharedMemory(name)
+"""
+        )
+        assert leaks == []
+        assert unbound == []
+
+    def test_anonymous_use_is_unbound(self):
+        leaks, unbound = run(
+            """
+def f(name):
+    return SharedMemory(name).buf[0]
+"""
+        )
+        assert leaks == []
+        assert len(unbound) == 1
+
+
+class TestCollections:
+    def test_listcomp_collection_released_by_iteration(self):
+        leaks, unbound = run(
+            """
+def f(names):
+    blocks = [SharedMemory(n) for n in names]
+    try:
+        return [b.buf[0] for b in blocks]
+    finally:
+        for b in blocks:
+            b.close()
+"""
+        )
+        assert leaks == []
+        assert unbound == []
+
+    def test_collection_without_release_leaks(self):
+        leaks, _ = run(
+            """
+def f(names):
+    blocks = [SharedMemory(n) for n in names]
+    return [b.buf[0] for b in blocks]
+"""
+        )
+        assert len(leaks) == 1
+
+
+class TestCfgShape:
+    def test_loop_back_edge_and_exit(self):
+        tree = ast.parse("def f(xs):\n    for x in xs:\n        use(x)\n")
+        func = tree.body[0]
+        cfg = build_cfg(func)
+        labels = {n.label for n in cfg.nodes}
+        assert "loop" in labels
+        loop = next(n for n in cfg.nodes if n.label == "loop")
+        body = next(n for n in cfg.nodes if n.label == "stmt")
+        assert loop in body.succ  # back edge
+
+    def test_while_true_body_unreachable_exit_still_exists(self):
+        tree = ast.parse("def f():\n    while True:\n        pass\n")
+        cfg = build_cfg(tree.body[0])
+        assert cfg.exit in [s for n in cfg.nodes for s in n.succ]

@@ -1,0 +1,182 @@
+"""Project-model tests: module naming, call graph, worker reachability."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.base import ModuleContext
+from repro.analysis.project import build_project, module_name_for
+
+
+def ctx_for(source: str, path: str = "mod.py") -> ModuleContext:
+    return ModuleContext(path, source, ast.parse(source))
+
+
+class TestModuleNames:
+    def test_bare_file_uses_stem(self, tmp_path):
+        assert module_name_for(tmp_path / "thing.py") == "thing"
+
+    def test_package_walk(self, tmp_path):
+        pkg = tmp_path / "pkg" / "sub"
+        pkg.mkdir(parents=True)
+        (tmp_path / "pkg" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "mod.py").write_text("")
+        assert module_name_for(pkg / "mod.py") == "pkg.sub.mod"
+
+    def test_init_file_names_the_package(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        assert module_name_for(pkg / "__init__.py") == "pkg"
+
+
+class TestWorkerReachability:
+    def test_process_target_seeds(self):
+        project = build_project(
+            [
+                ctx_for(
+                    """
+from multiprocessing import Process
+
+def _worker(q):
+    q.get()
+
+def main(q):
+    Process(target=_worker, args=(q,)).start()
+"""
+                )
+            ]
+        )
+        assert project.is_worker_reachable("mod._worker")
+        assert not project.is_worker_reachable("mod.main")
+
+    def test_dispatch_method_seeds(self):
+        project = build_project(
+            [
+                ctx_for(
+                    """
+def _task(x):
+    return x
+
+def main(pool, items):
+    return pool.map(_task, items)
+"""
+                )
+            ]
+        )
+        assert project.is_worker_reachable("mod._task")
+
+    def test_reachability_is_transitive(self):
+        project = build_project(
+            [
+                ctx_for(
+                    """
+def _leaf(x):
+    return x + 1
+
+def _task(x):
+    return _leaf(x)
+
+def main(pool, items):
+    return pool.map(_task, items)
+"""
+                )
+            ]
+        )
+        assert project.is_worker_reachable("mod._task")
+        assert project.is_worker_reachable("mod._leaf")
+
+    def test_dispatcher_fixpoint_marks_forwarded_callables(self):
+        """A function forwarding its own parameter into a dispatch makes
+        every call-site argument a seed — no annotation needed."""
+        project = build_project(
+            [
+                ctx_for(
+                    """
+def _merge_worker(part):
+    return part
+
+def _run_on_workers(backend, fn, parts):
+    return backend.map(fn, parts)
+
+def merge(backend, parts):
+    return _run_on_workers(backend, _merge_worker, parts)
+"""
+                )
+            ]
+        )
+        assert project.is_worker_reachable("mod._merge_worker")
+
+    def test_self_method_calls_resolve(self):
+        project = build_project(
+            [
+                ctx_for(
+                    """
+class Runtime:
+    def _worker(self, chunk):
+        return self._inner(chunk)
+
+    def _inner(self, chunk):
+        return chunk
+
+    def run(self, pool, chunks):
+        return pool.map(self._worker, chunks)
+"""
+                )
+            ]
+        )
+        assert project.is_worker_reachable("mod.Runtime._worker")
+        assert project.is_worker_reachable("mod.Runtime._inner")
+
+    def test_unrelated_functions_stay_unreachable(self):
+        project = build_project(
+            [
+                ctx_for(
+                    """
+def helper(x):
+    return x
+
+def main(items):
+    return [helper(i) for i in items]
+"""
+                )
+            ]
+        )
+        assert project.worker_reachable == set()
+
+
+class TestCrossModule:
+    def test_seed_in_one_module_reaches_function_in_another(self, tmp_path):
+        worker_src = "def _task(x):\n    return x\n"
+        main_src = (
+            "from workermod import _task\n"
+            "def main(pool, items):\n"
+            "    return pool.map(_task, items)\n"
+        )
+        contexts = [
+            ModuleContext("workermod.py", worker_src, ast.parse(worker_src)),
+            ModuleContext("mainmod.py", main_src, ast.parse(main_src)),
+        ]
+        project = build_project(contexts)
+        assert project.is_worker_reachable("workermod._task")
+
+    def test_worker_functions_sorted_stably(self):
+        project = build_project(
+            [
+                ctx_for(
+                    """
+def _b(x):
+    return x
+
+def _a(x):
+    return _b(x)
+
+def main(pool, items):
+    return pool.map(_a, items)
+"""
+                )
+            ]
+        )
+        names = [info.qualname for info in project.worker_functions()]
+        assert names == ["_b", "_a"]  # file order, not alphabetical

@@ -7,10 +7,38 @@ from pathlib import Path
 import pytest
 
 from repro.analysis import analyze_file, resolve_rules
+from repro.analysis.finding import Severity
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
-RULES = ["SHM001", "SHM002", "PAR001", "PAR002", "DET001", "COR001", "API001", "API002"]
+RULES = [
+    "SHM001",
+    "SHM002",
+    "PAR001",
+    "PAR002",
+    "PAR101",
+    "PAR102",
+    "PAR103",
+    "DET001",
+    "DET101",
+    "DET102",
+    "OBS101",
+    "OBS102",
+    "OBS103",
+    "COR001",
+    "API001",
+    "API002",
+]
+
+# Some bad fixtures legitimately violate a sibling rule too: a worker
+# that writes a module global is both the PAR101 flow violation and the
+# older syntactic PAR002 pattern, and DET102 escalates DET001's
+# detector inside worker-reachable code.
+ALLOWED_EXTRAS = {
+    "PAR002": {"PAR101"},
+    "PAR101": {"PAR002"},
+    "DET102": {"DET001"},
+}
 
 
 def run_rule(rule_id, fixture_name):
@@ -38,13 +66,15 @@ def test_good_fixture_clean_under_all_rules(rule_id):
     assert findings == [], findings
 
 
-def test_bad_fixtures_do_not_cross_trigger():
-    """Each bad fixture only violates the rule it exercises."""
-    for rule_id in RULES:
-        findings = analyze_file(
-            FIXTURES / f"{rule_id.lower()}_bad.py", resolve_rules()
-        )
-        assert {f.rule_id for f in findings} == {rule_id}
+@pytest.mark.parametrize("rule_id", RULES)
+def test_bad_fixtures_do_not_cross_trigger(rule_id):
+    """Each bad fixture only violates its own rule (plus declared overlaps)."""
+    findings = analyze_file(
+        FIXTURES / f"{rule_id.lower()}_bad.py", resolve_rules()
+    )
+    fired = {f.rule_id for f in findings}
+    assert rule_id in fired
+    assert fired <= {rule_id} | ALLOWED_EXTRAS.get(rule_id, set())
 
 
 class TestShm001Details:
@@ -72,6 +102,37 @@ class TestPar001Details:
         assert len(findings) == 2
 
 
+class TestPar101Details:
+    def test_global_rebind_and_subscript_write_flagged(self):
+        findings = run_rule("PAR101", "par101_bad.py")
+        assert len(findings) == 2
+        messages = " ".join(f.message for f in findings)
+        assert "module global" in messages
+        assert "_calls" in messages
+        assert "_TOTALS" in messages
+
+    def test_severity_is_error(self):
+        findings = run_rule("PAR101", "par101_bad.py")
+        assert all(f.severity is Severity.ERROR for f in findings)
+
+
+class TestPar102Details:
+    def test_lambda_and_nested_def_flagged(self):
+        findings = run_rule("PAR102", "par102_bad.py")
+        assert len(findings) == 2
+        messages = " ".join(f.message for f in findings)
+        assert "lambda" in messages
+        assert "_produce" in messages
+        assert "pickle" in messages
+
+
+class TestPar103Details:
+    def test_parameter_independent_slices_flagged(self):
+        findings = run_rule("PAR103", "par103_bad.py")
+        assert len(findings) == 2
+        assert all("slice" in f.message for f in findings)
+
+
 class TestDet001Details:
     def test_boolop_fallback_to_global_module_is_flagged(self):
         findings = run_rule("DET001", "det001_bad.py")
@@ -79,6 +140,46 @@ class TestDet001Details:
         assert len(findings) == 4
         assert any("shuffle" in f.message for f in findings)
         assert len(lines) == 4  # one finding per distinct call site
+
+
+class TestDet101Details:
+    def test_every_ordered_sink_flagged(self):
+        findings = run_rule("DET101", "det101_bad.py")
+        # append loop, yield loop, join of a set comp, list() of set algebra
+        assert len(findings) == 4
+        assert all(f.severity is Severity.WARNING for f in findings)
+        messages = " ".join(f.message for f in findings)
+        assert "sorted" in messages
+
+
+class TestDet102Details:
+    def test_worker_reachable_rng_flagged_with_context(self):
+        findings = run_rule("DET102", "det102_bad.py")
+        # direct worker (_jitter) and a helper two edges away (_pick)
+        assert len(findings) == 2
+        assert all("worker-reachable" in f.message for f in findings)
+        qualnames = " ".join(f.message for f in findings)
+        assert "_jitter" in qualnames
+        assert "_pick" in qualnames
+
+
+class TestObsDetails:
+    def test_misspelled_span_names_flagged(self):
+        findings = run_rule("OBS101", "obs101_bad.py")
+        assert len(findings) == 2
+        messages = " ".join(f.message for f in findings)
+        assert "phase:swep" in messages
+        assert "sweep:chnk[{...}]" in messages
+
+    def test_unknown_event_name_flagged(self):
+        findings = run_rule("OBS102", "obs102_bad.py")
+        assert len(findings) == 1
+        assert "sweep:levels" in findings[0].message
+
+    def test_unknown_counter_name_flagged(self):
+        findings = run_rule("OBS103", "obs103_bad.py")
+        assert len(findings) == 1
+        assert "merge_count" in findings[0].message
 
 
 class TestCor001Details:

@@ -70,8 +70,16 @@ class TestSelectIgnore:
             "API002",
             "COR001",
             "DET001",
+            "DET101",
+            "DET102",
+            "OBS101",
+            "OBS102",
+            "OBS103",
             "PAR001",
             "PAR002",
+            "PAR101",
+            "PAR102",
+            "PAR103",
             "SHM001",
             "SHM002",
         ]
@@ -85,6 +93,120 @@ class TestParseErrors:
         assert result.stats.parse_errors == 1
         assert result.findings[0].rule_id == "PARSE"
         assert result.findings[0].severity.value == "error"
+
+
+class TestBaselineInteraction:
+    def test_baselined_findings_do_not_gate(self, tmp_path):
+        from repro.analysis import write_baseline
+
+        target = FIXTURES / "api001_bad.py"
+        first = analyze_paths([target])
+        assert first.findings
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, first.findings)
+        second = analyze_paths([target], baseline_path=baseline)
+        assert second.findings == []
+        assert second.stats.baselined == len(first.findings)
+        assert not second  # gate passes
+
+    def test_new_findings_still_gate(self, tmp_path):
+        from repro.analysis import write_baseline
+
+        target = FIXTURES / "api001_bad.py"
+        first = analyze_paths([target], select=["API001"])
+        baseline = tmp_path / "baseline.json"
+        # Baseline only some findings: the rest must still fail the gate.
+        write_baseline(baseline, first.findings[:2])
+        second = analyze_paths([target], baseline_path=baseline)
+        assert len(second.findings) == len(first.findings) - 2
+        assert second.stats.baselined == 2
+
+    def test_noqa_suppressed_findings_never_enter_baseline(self, tmp_path):
+        from repro.analysis import Baseline, write_baseline
+
+        result = analyze_paths([FIXTURES / "noqa_suppressed.py"])
+        assert result.stats.suppressed == 2
+        baseline = tmp_path / "baseline.json"
+        count = write_baseline(baseline, result.findings)
+        assert count == 1  # only the unsuppressed DET001 finding
+        loaded = Baseline.load(baseline)
+        assert len(loaded) == 1
+
+    def test_baseline_respects_select_and_ignore(self, tmp_path):
+        from repro.analysis import write_baseline
+
+        target = FIXTURES / "det001_bad.py"
+        all_rules = analyze_paths([target])
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, all_rules.findings)
+        # Ignoring the baselined rule yields nothing new and nothing
+        # baselined (the findings never materialize to be matched).
+        ignored = analyze_paths([target], ignore=["DET001"],
+                                baseline_path=baseline)
+        assert ignored.findings == []
+        assert ignored.stats.baselined == 0
+        selected = analyze_paths([target], select=["DET001"],
+                                 baseline_path=baseline)
+        assert selected.findings == []
+        assert selected.stats.baselined == 4
+
+
+class TestResultCache:
+    def test_warm_run_reuses_every_file(self, tmp_path):
+        cache = tmp_path / "cache.json"
+        cold = analyze_paths([FIXTURES], cache_path=cache)
+        assert cold.stats.files_reused == 0
+        warm = analyze_paths([FIXTURES], cache_path=cache)
+        assert warm.stats.files_reused == warm.stats.files_scanned
+        assert [f.to_dict() for f in warm.findings] == [
+            f.to_dict() for f in cold.findings
+        ]
+        assert warm.stats.suppressed == cold.stats.suppressed
+
+    def test_modified_file_invalidates_its_entry(self, tmp_path):
+        cache = tmp_path / "cache.json"
+        src = tmp_path / "mod.py"
+        src.write_text("import random\nrandom.random()\n")
+        first = analyze_paths([src], cache_path=cache)
+        assert len(first.findings) == 1
+        src.write_text("x = 1\n")
+        second = analyze_paths([src], cache_path=cache)
+        assert second.stats.files_reused == 0
+        assert second.findings == []
+
+    def test_rule_selection_changes_invalidate(self, tmp_path):
+        cache = tmp_path / "cache.json"
+        analyze_paths([FIXTURES / "api001_bad.py"], cache_path=cache)
+        narrowed = analyze_paths(
+            [FIXTURES / "api001_bad.py"], select=["DET001"], cache_path=cache
+        )
+        assert narrowed.stats.files_reused == 0
+        assert narrowed.findings == []
+
+
+class TestChangedOnly:
+    def test_changed_only_outside_git_raises(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        src = tmp_path / "a.py"
+        src.write_text("x = 1\n")
+        with pytest.raises(AnalysisError, match="git checkout"):
+            analyze_paths([src], changed_only=True)
+
+    def test_changed_only_filters_to_dirty_files(self, tmp_path, monkeypatch):
+        import subprocess
+
+        monkeypatch.chdir(tmp_path)
+        subprocess.run(["git", "init", "-q"], check=True)
+        subprocess.run(["git", "config", "user.email", "t@t"], check=True)
+        subprocess.run(["git", "config", "user.name", "t"], check=True)
+        clean = tmp_path / "clean.py"
+        clean.write_text("import random\nrandom.random()\n")
+        subprocess.run(["git", "add", "."], check=True)
+        subprocess.run(["git", "commit", "-qm", "init"], check=True)
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\nrandom.random()\n")
+        result = analyze_paths([tmp_path], changed_only=True)
+        assert {f.file for f in result.findings} == {str(dirty)}
 
 
 class TestStatsAndOrdering:
