@@ -35,7 +35,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.core.coarse import CoarseParams
-from repro.core.config import BACKENDS, PAIR_FORMATS, RunConfig
+from repro.core.config import BACKENDS, ENGINES, PAIR_FORMATS, RunConfig
 from repro.core.linkclust import LinkClustering
 from repro.core.metrics import (
     compute_metrics,
@@ -77,6 +77,14 @@ def _add_run_flags(parser: argparse.ArgumentParser) -> None:
         default="auto",
         help="map M representation: dict (pure-python oracle), columnar "
         "(numpy structure-of-arrays), or auto (size-based dispatch)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="chained",
+        help="sweep merge engine: chained (the paper's sequential MERGE "
+        "chain) or batch (per-level vectorized connected components; "
+        "requires --coarse)",
     )
     parser.add_argument(
         "--profile",
@@ -233,6 +241,7 @@ def _run_config_from_args(args: argparse.Namespace) -> RunConfig:
         num_workers=args.workers,
         coarse=coarse,
         pairs_format=args.pairs_format,
+        engine=args.engine,
         profile=args.profile,
         metrics_out=args.metrics_out,
     )

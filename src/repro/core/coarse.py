@@ -208,7 +208,16 @@ def transition_merges(
 
 
 class _CoarseSweeper:
-    """Single-use driver holding the epoch machine's mutable state."""
+    """Single-use driver holding the epoch machine's mutable state.
+
+    ``engine`` selects how a chunk's merge stream is applied:
+    ``"chained"`` runs the paper's sequential ``MERGE`` per wedge;
+    ``"batch"`` unions the whole chunk with vectorized connected-
+    components rounds (:mod:`repro.fast.batch_sweep`).  Chunk
+    boundaries depend only on the pair counts and the per-level
+    partitions are identical, so the two engines walk the same epoch
+    sequence and build the same dendrogram levels.
+    """
 
     def __init__(
         self,
@@ -217,7 +226,21 @@ class _CoarseSweeper:
         params: CoarseParams,
         edge_order: Optional[Sequence[int]],
         tracer=None,
+        engine: str = "chained",
     ):
+        if engine not in ("chained", "batch"):
+            raise ParameterError(
+                f"engine must be 'chained' or 'batch', got {engine!r}"
+            )
+        if engine == "batch" and isinstance(similarity_map, SimilarityMap):
+            # The batch kernels consume the flat columnar wedge stream;
+            # the dict map converts losslessly (same list-L order).
+            similarity_map = SimilarityColumns.from_similarity_map(similarity_map)
+        self.engine = engine
+        # Chained serial replays saved merge events on a state jump; the
+        # batch engine (and the parallel driver, which overrides this)
+        # has no per-merge event stream and diffs partitions instead.
+        self.records_by_diff = engine == "batch"
         self.graph = graph
         self.params = params
         self.tracer = as_tracer(tracer)
@@ -369,6 +392,9 @@ class _CoarseSweeper:
         # The serial path has no spawn/copy/merge steps; its whole chunk
         # cost is compute, traced under the same name the runtimes use so
         # cross-backend traces stay comparable.
+        if self.engine == "batch":
+            self._apply_chunk_batch(chunk)
+            return
         if self.columns is not None:
             offsets = self.offsets_list
             c1 = self.c1_list
@@ -411,6 +437,40 @@ class _CoarseSweeper:
                         )
                 self.xi += len(commons)
                 self.p = pos + 1
+
+    def _apply_chunk_batch(self, chunk: range) -> None:
+        """Union the whole chunk in O(log n) vectorized rounds.
+
+        The chunk's wedge window ``[offsets[start], offsets[stop])`` of
+        the precomputed edge-index stream goes through one connected-
+        components contraction; level records come from the partition
+        diff (within a level merge records are unordered by
+        construction, so per-level partitions — and therefore the
+        dendrogram — match the chained engine exactly).  Merge records
+        carry no similarity: a batch level is one set-union, not a
+        sequence of per-wedge events.
+        """
+        from repro.fast.batch_sweep import batch_chunk_merge
+
+        offsets = self.offsets_list
+        w_start = offsets[chunk.start]
+        w_end = offsets[chunk.stop]
+        self.xi += w_end - w_start
+        self.p = chunk.stop
+        if w_start == w_end:
+            return
+        before = self.chain
+        assert self.c1_arr is not None and self.c2_arr is not None
+        with self.tracer.span("runtime:compute", workers=1):
+            after = batch_chunk_merge(
+                before,
+                self.c1_arr[w_start:w_end],
+                self.c2_arr[w_start:w_end],
+                tracer=self.tracer,
+            )
+        for c1, c2, parent in transition_merges(before, after):
+            self.pending.append(_PendingMerge(chunk.start, c1, c2, parent, None))
+        self.chain = after
 
     # ------------------------------------------------------------------
     # epoch boundary handling
@@ -532,14 +592,19 @@ class _CoarseSweeper:
     def _record_jump_merges(self, target: _EpochState) -> None:
         """Record the merges a jump to ``target`` contributes to the level.
 
-        The serial driver replays the saved state's pending merge
-        events, skipping those already emitted (``pos < p``).  The
-        parallel driver overrides this — per-worker merging has no
-        global event stream, so it diffs the partitions instead.  This
-        hook is the *only* part of the jump the two drivers do
-        differently; all state mutation lives in :meth:`_try_jump` so it
-        cannot drift between them.
+        The chained serial driver replays the saved state's pending
+        merge events, skipping those already emitted (``pos < p``).
+        Drivers without a global per-merge event stream — the batch
+        engine and the parallel driver, both of which set
+        ``records_by_diff`` — diff the partitions instead.  This is the
+        *only* part of the jump the drivers do differently; all state
+        mutation lives in :meth:`_try_jump` so it cannot drift between
+        them.
         """
+        if self.records_by_diff:
+            for c1, c2, parent in transition_merges(self.chain, target.chain):
+                self.builder.record(self.level, c1, c2, parent, None)
+            return
         current_pos = self.p
         for pm in target.pending:
             if pm.pos >= current_pos:
@@ -640,6 +705,7 @@ def coarse_sweep(
     params: Optional[CoarseParams] = None,
     edge_order: Optional[Sequence[int]] = None,
     tracer=None,
+    engine: str = "chained",
 ) -> CoarseResult:
     """Run the coarse-grained sweeping algorithm of Section V.
 
@@ -647,12 +713,19 @@ def coarse_sweep(
     :class:`CoarseParams` controlling the dendrogram shape;
     ``similarity_map`` may be the dict or the columnar Phase-I output
     (identical results — the columnar path precomputes the K2 stream
-    vectorized).  ``tracer`` gets ``phase:sort``, ``phase:sweep``, and
-    per-epoch ``sweep:chunk[i]`` spans plus level events and
+    vectorized).  ``engine`` selects the chunk merge engine:
+    ``"chained"`` (sequential MERGE, the oracle) or ``"batch"``
+    (per-level vectorized connected components; dict input is
+    converted to columns).  ``tracer`` gets ``phase:sort``,
+    ``phase:sweep``, and per-epoch ``sweep:chunk[i]`` spans (the batch
+    engine adds per-round ``sweep:batch_round`` spans and a
+    ``batch_rounds`` counter) plus level events and
     merge/rollback/jump counters.
     """
     sim = similarity_map if similarity_map is not None else compute_similarity_map(graph)
-    sweeper = _CoarseSweeper(graph, sim, params or CoarseParams(), edge_order, tracer)
+    sweeper = _CoarseSweeper(
+        graph, sim, params or CoarseParams(), edge_order, tracer, engine=engine
+    )
     return sweeper.run()
 
 

@@ -22,9 +22,15 @@ from typing import Any, Dict, Optional
 from repro.core.coarse import CoarseParams
 from repro.errors import ParameterError
 
-__all__ = ["RunConfig", "BACKENDS", "PAIR_FORMATS", "AUTO_COLUMNAR_MIN_K2"]
+__all__ = ["RunConfig", "BACKENDS", "ENGINES", "PAIR_FORMATS", "AUTO_COLUMNAR_MIN_K2"]
 
 BACKENDS = ("serial", "thread", "process", "shm")
+
+# Sweep merge engines: "chained" is the paper's sequential MERGE chain
+# (the oracle), "batch" the per-level vectorized connected-components
+# engine (repro.fast.batch_sweep) — dendrogram-identical, and it
+# requires the columnar wedge stream plus a coarse (chunked) sweep.
+ENGINES = ("chained", "batch")
 
 PAIR_FORMATS = ("dict", "columnar", "auto")
 
@@ -64,6 +70,14 @@ class RunConfig:
         ``"auto"`` (default: columnar when the estimated K2 reaches
         ``AUTO_COLUMNAR_MIN_K2``, dict below — never slower than
         pure-Python on small graphs).
+    engine:
+        Sweep merge engine: ``"chained"`` (default — the paper's
+        sequential MERGE chain, the tested oracle) or ``"batch"``
+        (per-level vectorized connected-components rounds,
+        :mod:`repro.fast.batch_sweep`; dendrogram-identical output).
+        ``"batch"`` requires a coarse sweep and the columnar pair
+        format (``pairs_format="dict"`` is rejected; ``"auto"``
+        resolves to columnar).
     profile:
         Collect a trace and print a human-readable summary at the end
         of the run.
@@ -78,6 +92,7 @@ class RunConfig:
     seed: Optional[int] = None
     vectorized: bool = False
     pairs_format: str = "auto"
+    engine: str = "chained"
     profile: bool = False
     metrics_out: Optional[str] = None
 
@@ -90,6 +105,10 @@ class RunConfig:
             raise ParameterError(
                 f"pairs_format must be one of {PAIR_FORMATS}, "
                 f"got {self.pairs_format!r}"
+            )
+        if self.engine not in ENGINES:
+            raise ParameterError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
             )
         if not isinstance(self.num_workers, int) or self.num_workers < 1:
             raise ParameterError(
@@ -107,6 +126,20 @@ class RunConfig:
             )
         if self.seed is not None and not isinstance(self.seed, int):
             raise ParameterError(f"seed must be None or an int, got {self.seed!r}")
+        # The batch engine merges per level over the columnar wedge
+        # stream; it has no fine-grained or dict-pipeline counterpart.
+        if self.engine == "batch":
+            if self.coarse is None:
+                raise ParameterError(
+                    "engine='batch' requires coarse sweeping "
+                    "(pass coarse=True or CoarseParams)"
+                )
+            if self.pairs_format == "dict":
+                raise ParameterError(
+                    "engine='batch' requires the columnar pair format; "
+                    "pairs_format='dict' is not supported "
+                    "(use 'columnar' or 'auto')"
+                )
         object.__setattr__(self, "vectorized", bool(self.vectorized))
         object.__setattr__(self, "profile", bool(self.profile))
         if self.metrics_out is not None:
@@ -124,6 +157,7 @@ class RunConfig:
             "seed": self.seed,
             "vectorized": self.vectorized,
             "pairs_format": self.pairs_format,
+            "engine": self.engine,
             "profile": self.profile,
             "metrics_out": self.metrics_out,
         }

@@ -296,10 +296,14 @@ class LinkClustering:
         ``auto`` estimates K2 from the degree sequence alone —
         ``sum(d * (d - 1)) / 2`` — and picks columnar at
         ``AUTO_COLUMNAR_MIN_K2``; below it the pure-Python dict pipeline
-        has less fixed overhead.
+        has less fixed overhead.  The batch engine consumes the columnar
+        wedge stream, so ``engine="batch"`` forces ``auto`` to columnar
+        regardless of size.
         """
         if self.pairs_format != "auto":
             return self.pairs_format
+        if self.config.engine == "batch":
+            return "columnar"
         k2_estimate = sum(d * (d - 1) for d in self.graph.degrees()) // 2
         return "columnar" if k2_estimate >= AUTO_COLUMNAR_MIN_K2 else "dict"
 
@@ -377,6 +381,7 @@ class LinkClustering:
             num_workers=self.num_workers,
             coarse=self.coarse_params is not None,
             vectorized=self.vectorized,
+            engine=self.config.engine,
         ):
             result = self._run(similarity_map)
         tracer.flush()
@@ -424,6 +429,7 @@ class LinkClustering:
                 num_workers=self.num_workers,
                 backend=self.backend,
                 tracer=tracer,
+                engine=self.config.engine,
             )
         else:
             coarse = coarse_sweep(
@@ -432,6 +438,7 @@ class LinkClustering:
                 params=self.coarse_params,
                 edge_order=edge_order,
                 tracer=tracer,
+                engine=self.config.engine,
             )
         return LinkClusteringResult(
             graph=self.graph,

@@ -7,6 +7,12 @@ by the test suite.
 """
 
 from repro.fast.assoc import fast_association_graph
+from repro.fast.batch_sweep import (
+    batch_chunk_merge,
+    batch_components,
+    batch_join_rows,
+    compress_labels,
+)
 from repro.fast.similarity import (
     adjacency_matrix,
     fast_similarity_columns,
@@ -16,6 +22,10 @@ from repro.fast.sweep import fast_sweep, wedge_stream
 
 __all__ = [
     "adjacency_matrix",
+    "batch_chunk_merge",
+    "batch_components",
+    "batch_join_rows",
+    "compress_labels",
     "fast_association_graph",
     "fast_similarity_columns",
     "fast_similarity_map",

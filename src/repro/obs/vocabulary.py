@@ -47,6 +47,7 @@ SPANS: FrozenSet[str] = frozenset(
         "init:pass3",
         "init:finalize",
         "sweep:chunk[*]",
+        "sweep:batch_round",
         "runtime:spawn",
         "runtime:copy",
         "runtime:compute",
@@ -72,6 +73,7 @@ COUNTERS: FrozenSet[str] = frozenset(
         "merges",
         "rollbacks",
         "jump_hits",
+        "batch_rounds",
         "worker_restarts",
     }
 )

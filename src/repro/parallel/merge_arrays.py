@@ -99,7 +99,9 @@ def merge_chain_into_flawed(c0: List[int], c1: List[int]) -> List[int]:
 
 
 def hierarchical_merge(
-    arrays: List[ChainArray], backend: ExecutionBackend | None = None
+    arrays: List[ChainArray],
+    backend: ExecutionBackend | None = None,
+    n: int | None = None,
 ) -> ChainArray:
     """Combine ``T`` per-thread arrays with the paper's tournament scheme.
 
@@ -107,8 +109,16 @@ def hierarchical_merge(
     concurrently (one task per pair, odd array carried over); once at most
     three remain they are merged by a single task.  The first array is
     mutated and returned.
+
+    A level whose chunks were all empty dispatches no worker tasks, so
+    ``arrays`` can legitimately be empty: with ``n`` given, the merge of
+    zero arrays is the identity ``C`` over ``n`` items (the join's
+    neutral element) instead of an error.  Without ``n`` the size is
+    unknowable and the empty call still raises.
     """
     if not arrays:
+        if n is not None:
+            return ChainArray(n)
         raise ParallelError("hierarchical_merge needs at least one array")
     backend = backend or SerialBackend()
     active = list(arrays)
@@ -128,13 +138,19 @@ def hierarchical_merge(
     return result
 
 
-def join_partition_labels(arrays: List[ChainArray]) -> List[int]:
+def join_partition_labels(
+    arrays: List[ChainArray], n: int | None = None
+) -> List[int]:
     """Reference join of several chain arrays via a classic DSU.
 
     Used by tests to validate :func:`merge_chain_into` /
     :func:`hierarchical_merge` independently of the paper's scheme.
+    Mirrors :func:`hierarchical_merge`'s empty-input contract: zero
+    arrays with ``n`` given yield the identity labelling.
     """
     if not arrays:
+        if n is not None:
+            return list(range(n))
         raise ParallelError("join_partition_labels needs at least one array")
     n = len(arrays[0])
     dsu = DisjointSet(n)

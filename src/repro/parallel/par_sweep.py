@@ -31,7 +31,6 @@ from repro.core.coarse import (
     CoarseParams,
     CoarseResult,
     _CoarseSweeper,
-    _EpochState,
     _PendingMerge,
     transition_merges,
 )
@@ -60,9 +59,15 @@ class _ParallelCoarseSweeper(_CoarseSweeper):
         edge_order: Optional[Sequence[int]],
         runtime: SweepRuntime,
         tracer=None,
+        engine: str = "chained",
     ):
-        super().__init__(graph, similarity_map, params, edge_order, tracer)
+        super().__init__(
+            graph, similarity_map, params, edge_order, tracer, engine=engine
+        )
         self._runtime = runtime
+        # Per-worker merging never yields a global merge-event stream,
+        # regardless of engine: level records always come from diffs.
+        self.records_by_diff = True
 
     def _apply_chunk(self, chunk: range) -> None:
         if self.columns is not None:
@@ -76,7 +81,10 @@ class _ParallelCoarseSweeper(_CoarseSweeper):
             if w_start == w_end:
                 return  # nothing to merge; the runtime is not consulted
             before = self.chain
-            after = self._runtime.chunk_merge_range(before, w_start, w_end)
+            if self.engine == "batch":
+                after = self._runtime.chunk_batch_range(before, w_start, w_end)
+            else:
+                after = self._runtime.chunk_merge_range(before, w_start, w_end)
             if after is before:
                 return
             for c1, c2, parent in transition_merges(before, after):
@@ -109,16 +117,6 @@ class _ParallelCoarseSweeper(_CoarseSweeper):
             self.pending.append(_PendingMerge(chunk.start, c1, c2, parent, None))
         self.chain = after
 
-    def _record_jump_merges(self, target: _EpochState) -> None:
-        """Derive the jump's level records by partition diff.
-
-        Per-worker merging yields no global merge-event stream, so the
-        saved state's pending events cannot be replayed; the diff gives
-        the same per-level partition (see module docstring).
-        """
-        for c1, c2, parent in transition_merges(self.chain, target.chain):
-            self.builder.record(self.level, c1, c2, parent, None)
-
 
 def parallel_coarse_sweep(
     graph: Graph,
@@ -128,6 +126,7 @@ def parallel_coarse_sweep(
     num_workers: int = 2,
     backend: Union[str, ExecutionBackend, SweepRuntime] = "thread",
     tracer=None,
+    engine: str = "chained",
 ) -> CoarseResult:
     """Coarse-grained sweep with parallel chunk processing.
 
@@ -140,6 +139,13 @@ def parallel_coarse_sweep(
     passed instead of a name; the caller then owns its lifecycle, which
     lets one warm runtime serve several sweeps.
 
+    ``engine`` selects how each worker applies its share of a chunk:
+    ``"chained"`` walks the paper's sequential MERGE chain,
+    ``"batch"`` contracts the share vectorized
+    (:mod:`repro.fast.batch_sweep`) and the runtime joins the rows with
+    one more contraction.  ``"batch"`` implies the columnar pair
+    pipeline (a dict ``similarity_map`` is converted up front).
+
     Produces the same per-level partitions as
     :func:`repro.core.coarse.coarse_sweep` for the same chunk boundaries;
     see the module docstring for how dendrogram records are derived.
@@ -150,7 +156,13 @@ def parallel_coarse_sweep(
     caller_owned = isinstance(backend, SweepRuntime)
     runtime = get_sweep_runtime(backend, num_workers)
     sweeper = _ParallelCoarseSweeper(
-        graph, sim, params or CoarseParams(), edge_order, runtime, tracer
+        graph,
+        sim,
+        params or CoarseParams(),
+        edge_order,
+        runtime,
+        tracer,
+        engine=engine,
     )
     if sweeper.columns is not None:
         # Columnar: publish the sorted wedge columns to the runtime once;

@@ -18,6 +18,7 @@ __all__ = [
     "round_robin_partition",
     "lpt_partition",
     "partition_range",
+    "strided_partition",
 ]
 
 T = TypeVar("T")
@@ -70,6 +71,26 @@ def lpt_partition(
         parts[lightest].append(item)
         loads[lightest] += cost(item)
     return parts
+
+
+def strided_partition(start: int, stop: int, k: int) -> List[range]:
+    """Strided ``k``-way split of the index window ``[start, stop)``.
+
+    Part ``r`` is ``range(start + r, stop, k)`` — item ``j`` of the
+    window lands in part ``j % k``, which is exactly
+    :func:`round_robin_partition` of the window's items (property-
+    tested).  Unlike a naive ``range(k)`` loop, only **non-empty**
+    parts are returned: when ``k`` exceeds the window size the excess
+    workers get nothing rather than a degenerate zero-length slice
+    (which previously reached ``chunk_merge_range`` call sites and
+    wasted a dispatch/queue round-trip per idle worker).
+    """
+    _check_k(k)
+    if stop < start:
+        raise ParameterError(
+            f"invalid index window [{start}, {stop}): stop < start"
+        )
+    return [range(start + r, stop, k) for r in range(min(k, stop - start))]
 
 
 def partition_range(n: int, k: int, scheme: str = "round_robin") -> List[List[int]]:

@@ -37,8 +37,9 @@ import numpy as np
 from repro.cluster.unionfind import ChainArray
 from repro.errors import ParameterError
 from repro.obs import NULL_TRACER
+from repro.fast.batch_sweep import batch_chunk_merge, batch_components, batch_join_rows
 from repro.parallel.merge_arrays import hierarchical_merge
-from repro.parallel.partitioner import round_robin_partition
+from repro.parallel.partitioner import round_robin_partition, strided_partition
 from repro.parallel.pool import ExecutionBackend, SerialBackend, get_backend
 from repro.parallel.shm_sweep import ShmArena
 
@@ -185,6 +186,31 @@ class SweepRuntime(ABC):
             chain, list(zip(i1[start:stop].tolist(), i2[start:stop].tolist()))
         )
 
+    def chunk_batch_range(
+        self, chain: ChainArray, start: int, stop: int
+    ) -> ChainArray:
+        """Batch-engine counterpart of :meth:`chunk_merge_range`.
+
+        Unions the loaded pair columns' ``[start, stop)`` window into
+        ``chain`` with the vectorized connected-components kernel
+        (:func:`repro.fast.batch_sweep.batch_components`) instead of
+        sequential MERGE calls; same contract (never mutates ``chain``,
+        returns it unchanged for an empty window).  This baseline runs
+        one in-process contraction; :class:`LocalSweepRuntime` and
+        :class:`ShmSweepRuntime` override it with per-worker strided
+        contractions plus a batch join.
+        """
+        i1, i2 = self._require_pairs(start, stop)
+        self.stats.chunks += 1
+        if start == stop:
+            return chain
+        t0 = time.perf_counter()
+        after = batch_chunk_merge(chain, i1[start:stop], i2[start:stop])
+        dt = time.perf_counter() - t0
+        self.stats.compute_time += dt
+        self.tracer.record("runtime:compute", dt, workers=1)
+        return after
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(chunks={self.stats.chunks})"
 
@@ -205,6 +231,19 @@ def _merge_arrays_worker(
     for a, b in zip(i1.tolist(), i2.tolist()):
         chain.merge(a, b)
     return chain
+
+
+def _batch_merge_worker(
+    labels: np.ndarray, i1: np.ndarray, i2: np.ndarray
+) -> np.ndarray:
+    """Batch-engine worker: one contraction over this worker's slice.
+
+    ``labels`` is shared read-only between thread workers — the kernel
+    copies internally, so no per-worker duplicate of array ``C`` is
+    made up front (the batch engine's "copy" step is folded into the
+    contraction).  Returns the fully compressed label row.
+    """
+    return batch_components(labels, i1, i2)
 
 
 class LocalSweepRuntime(SweepRuntime):
@@ -284,7 +323,7 @@ class LocalSweepRuntime(SweepRuntime):
         stats.compute_time += t2 - t1
         tracer.record("runtime:compute", t2 - t1, workers=len(part_args))
 
-        after = hierarchical_merge(list(merged), self._merge_backend)
+        after = hierarchical_merge(list(merged), self._merge_backend, n=len(chain))
         t3 = time.perf_counter()
         stats.merge_time += t3 - t2
         tracer.record("runtime:merge", t3 - t2)
@@ -312,13 +351,62 @@ class LocalSweepRuntime(SweepRuntime):
             return chain
         # Strided slices reproduce round_robin_partition exactly (item r
         # of the window goes to worker r % k) without materializing pair
-        # tuples.
-        k = self.num_workers
+        # tuples; strided_partition never yields an empty slice, so no
+        # idle worker gets a degenerate task.
         part_args = [
-            (i1[start + r : stop : k], i2[start + r : stop : k])
-            for r in range(min(k, stop - start))
+            (i1[p.start : p.stop : p.step], i2[p.start : p.stop : p.step])
+            for p in strided_partition(start, stop, self.num_workers)
         ]
         return self._merge_on_copies(chain, _merge_arrays_worker, part_args)
+
+    def chunk_batch_range(
+        self, chain: ChainArray, start: int, stop: int
+    ) -> ChainArray:
+        """Batch engine over the pool: strided contractions + batch join.
+
+        Step 1 maps :func:`_batch_merge_worker` over the window's
+        strided slices (each worker contracts its share against the
+        same read-only base labels — the kernel copies internally, so
+        no up-front per-worker copy of ``C`` is paid); step 2 joins the
+        resulting label rows with one more contraction
+        (:func:`repro.fast.batch_sweep.batch_join_rows`) instead of the
+        pairwise chain-walk merge.
+        """
+        i1, i2 = self._require_pairs(start, stop)
+        self.stats.chunks += 1
+        if start == stop:
+            return chain
+        stats = self.stats
+        parts = strided_partition(start, stop, self.num_workers)
+        base = np.asarray(chain.raw(), dtype=np.int64)
+        if len(parts) == 1:
+            # One busy worker: dispatch buys nothing; contract inline.
+            t0 = time.perf_counter()
+            after = batch_chunk_merge(chain, i1[start:stop], i2[start:stop])
+            dt = time.perf_counter() - t0
+            stats.compute_time += dt
+            self.tracer.record("runtime:compute", dt, workers=1)
+            return after
+        self.start()
+        tracer = self.tracer
+
+        t1 = time.perf_counter()
+        rows = self.backend.map(
+            _batch_merge_worker,
+            [(base, i1[p.start : p.stop : p.step], i2[p.start : p.stop : p.step])
+             for p in parts],
+        )
+        stats.tasks += len(parts)
+        t2 = time.perf_counter()
+        stats.compute_time += t2 - t1
+        tracer.record("runtime:compute", t2 - t1, workers=len(parts))
+
+        joined = batch_join_rows(list(rows), tracer=tracer)
+        after = ChainArray(len(chain), _init=joined.tolist())
+        t3 = time.perf_counter()
+        stats.merge_time += t3 - t2
+        tracer.record("runtime:merge", t3 - t2)
+        return after
 
     def __repr__(self) -> str:
         return (
@@ -421,6 +509,28 @@ class ShmSweepRuntime(SweepRuntime):
             arena.load_pairs(i1, i2, token=self._pairs_token)
         return self._run_on_arena(
             lambda: arena.chunk_merge_range(list(chain.raw()), start, stop)
+        )
+
+    def chunk_batch_range(
+        self, chain: ChainArray, start: int, stop: int
+    ) -> ChainArray:
+        """Batch engine over the arena (``("batch_range", ...)`` tasks).
+
+        Same shared-memory transport as :meth:`chunk_merge_range` —
+        pair columns loaded once, only a range tuple per task — but
+        each worker contracts its strided slice vectorized in place of
+        its row, and the parent joins the rows with one batch
+        contraction instead of the pairwise chain-walk merge.
+        """
+        i1, i2 = self._require_pairs(start, stop)
+        if start == stop:
+            self.stats.chunks += 1
+            return chain
+        arena = self._arena_for(len(chain))
+        if arena.pairs_token != self._pairs_token:
+            arena.load_pairs(i1, i2, token=self._pairs_token)
+        return self._run_on_arena(
+            lambda: arena.chunk_batch_range(list(chain.raw()), start, stop)
         )
 
     def _sync_stats(self) -> None:

@@ -37,8 +37,9 @@ import numpy as np
 
 from repro.cluster.shm import NumpyChainArray
 from repro.errors import ParallelError, ParameterError
+from repro.fast.batch_sweep import batch_components, batch_join_rows
 from repro.parallel.merge_arrays import merge_chain_into
-from repro.parallel.partitioner import round_robin_partition
+from repro.parallel.partitioner import round_robin_partition, strided_partition
 
 __all__ = ["ShmArena", "shm_chunk_merge", "describe_exitcode"]
 
@@ -109,13 +110,17 @@ def _worker(
     """Long-lived arena worker: MERGE each task's pairs on row ``row``.
 
     Attaches to the shared block once, then serves tasks until the
-    ``None`` sentinel.  Two task shapes are served:
+    ``None`` sentinel.  Three task shapes are served:
 
     * a list of ``(i1, i2)`` pairs (legacy dict-pipeline path), merged
       directly;
     * a ``("range", name, capacity, offset, stop, stride)`` tuple
       (columnar path): the worker lazily attaches to the named pairs
-      block and merges the strided slice — no pair data on the queue.
+      block and merges the strided slice — no pair data on the queue;
+    * a ``("batch_range", ...)`` tuple with the same fields (batch
+      engine): the strided slice is contracted vectorized
+      (:func:`repro.fast.batch_sweep.batch_components`) and the fully
+      compressed labels written back into the worker's row.
 
     A failure while merging is reported to the parent through the
     result queue (the worker stays alive — its row is rewritten from
@@ -133,8 +138,12 @@ def _worker(
                 break
             try:
                 chain = NumpyChainArray(n, buffer=row_view, initialized=True)
-                if isinstance(task, tuple) and task and task[0] == "range":
-                    _, name, capacity, offset, stop, stride = task
+                if (
+                    isinstance(task, tuple)
+                    and task
+                    and task[0] in ("range", "batch_range")
+                ):
+                    kind, name, capacity, offset, stop, stride = task
                     if pairs_name != name:
                         # A new sweep reloaded the pairs under a fresh
                         # block; drop the stale attachment first.
@@ -146,11 +155,21 @@ def _worker(
                     pairs_mat = np.ndarray(
                         (2, capacity), dtype=np.int64, buffer=pairs_block.buf
                     )
-                    for i1, i2 in zip(
-                        pairs_mat[0, offset:stop:stride].tolist(),
-                        pairs_mat[1, offset:stop:stride].tolist(),
-                    ):
-                        chain.merge(i1, i2)
+                    if kind == "batch_range":
+                        # The kernel reads the shared slices and copies
+                        # internally; only the final labels touch this
+                        # worker's own row.
+                        matrix[row, :] = batch_components(
+                            row_view,
+                            pairs_mat[0, offset:stop:stride],
+                            pairs_mat[1, offset:stop:stride],
+                        )
+                    else:
+                        for i1, i2 in zip(
+                            pairs_mat[0, offset:stop:stride].tolist(),
+                            pairs_mat[1, offset:stop:stride].tolist(),
+                        ):
+                            chain.merge(i1, i2)
                 else:
                     for i1, i2 in task:
                         chain.merge(i1, i2)
@@ -211,6 +230,7 @@ class ShmArena:
         self.pair_loads = 0
         self.range_tasks = 0
         self.list_tasks = 0
+        self.batch_tasks = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -479,6 +499,79 @@ class ShmArena:
         self.compute_time += time.perf_counter() - t0
 
         return self._combine_rows(busy)
+
+    def chunk_batch_range(
+        self, base: Sequence[int], start: int, stop: int
+    ) -> List[int]:
+        """Batch-engine counterpart of :meth:`chunk_merge_range`.
+
+        Worker ``r`` contracts its strided slice of pairs ``[start,
+        stop)`` vectorized (:func:`repro.fast.batch_sweep.batch_components`)
+        instead of walking the MERGE chain pair by pair, and the parent
+        joins the resulting rows with one more vectorized contraction
+        (:func:`repro.fast.batch_sweep.batch_join_rows`).  Returns fully
+        compressed labels; the partition equals the chained result's.
+        """
+        base_arr = np.asarray(base, dtype=np.int64)
+        if base_arr.shape != (self.n,):
+            raise ParameterError(
+                f"base must be one-dimensional of length {self.n}, "
+                f"got shape {base_arr.shape}"
+            )
+        if self._pairs_host is None:
+            raise ParameterError(
+                "no pair columns loaded — call load_pairs() before "
+                "chunk_batch_range()"
+            )
+        if not (0 <= start <= stop <= self._pairs_len):
+            raise ParameterError(
+                f"pair range [{start}, {stop}) out of bounds for "
+                f"{self._pairs_len} loaded pairs"
+            )
+        self.chunks += 1
+        total = stop - start
+        if total == 0 or self.n == 0:
+            return base_arr.tolist()
+        parts = strided_partition(start, stop, min(self.num_workers, total))
+        busy = len(parts)
+        if busy == 1:
+            host_i1, host_i2 = self._pairs_host
+            t0 = time.perf_counter()
+            merged = batch_components(
+                base_arr, host_i1[start:stop], host_i2[start:stop]
+            )
+            self.compute_time += time.perf_counter() - t0
+            return merged.tolist()
+
+        self.start()
+        assert self._matrix is not None
+        assert self._pairs_block is not None
+
+        t0 = time.perf_counter()
+        self._matrix[:busy] = base_arr
+        self.copy_time += time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        for row, part in enumerate(parts):
+            self._task_queues[row].put(
+                (
+                    "batch_range",
+                    self._pairs_block.name,
+                    self._pairs_capacity,
+                    part.start,
+                    part.stop,
+                    part.step,
+                )
+            )
+        self.tasks += busy
+        self.batch_tasks += busy
+        self._collect(busy)
+        self.compute_time += time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        joined = batch_join_rows([self._matrix[row] for row in range(busy)])
+        self.merge_time += time.perf_counter() - t0
+        return joined.tolist()
 
     def _combine_rows(self, t: int) -> List[int]:
         """Step 2: combine rows pairwise (corrected scheme) in the parent."""

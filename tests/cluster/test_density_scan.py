@@ -92,6 +92,52 @@ class TestBestCut:
         assert part.density() == pytest.approx(density, abs=1e-12)
 
 
+class TestDegenerateShapes:
+    """Singleton/tree-like clusters where the density formula's
+    denominator ``(n_c - 2)(n_c - 1)`` vanishes: every contribution
+    must be an exact 0.0 — never NaN or a division error."""
+
+    def test_star_graph_density_is_zero_everywhere(self):
+        # K_{1,6}: every cluster of m edges spans m+1 vertices (a tree),
+        # so (m - (n-1)) = 0 at every level of the dendrogram.
+        g = generators.star_graph(6)
+        result = sweep(g)
+        curve = density_curve(g, result.dendrogram)
+        assert curve  # the scan must produce points, not blow up
+        for point in curve:
+            assert point.density == 0.0
+            assert point.density == point.density  # not NaN
+
+    def test_star_graph_best_cut_well_defined(self):
+        g = generators.star_graph(6)
+        result = sweep(g)
+        level, density = best_cut(g, result.dendrogram)
+        assert density == 0.0
+        assert 0 <= level <= result.num_levels
+        partition, p_level, p_density = best_partition(g, result.dendrogram)
+        assert p_density == 0.0
+        assert sorted(e for c in partition.clusters() for e in c) == list(
+            range(g.num_edges)
+        )
+
+    def test_two_edge_path(self):
+        # The smallest mergeable graph: one wedge, clusters of size <= 2
+        # only (n_c <= 3 vertices) — all contributions are zero.
+        g = generators.path_graph(3)
+        result = sweep(g)
+        for point in density_curve(g, result.dendrogram):
+            assert point.density == 0.0
+
+    def test_singleton_clusters_contribute_zero(self, weighted_caveman):
+        # Level 0 is all singletons; its density must be exactly 0.0
+        # and equal to the naive recomputation.
+        g = weighted_caveman
+        result = sweep(g)
+        curve = density_curve(g, result.dendrogram)
+        assert curve[0].density == 0.0
+        assert partition_density(g, list(range(g.num_edges))) == 0.0
+
+
 @settings(max_examples=25, deadline=None)
 @given(n=st.integers(4, 11), p=st.floats(0.3, 0.9), seed=st.integers(0, 500))
 def test_property_incremental_equals_naive(n, p, seed):

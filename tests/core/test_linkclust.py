@@ -172,6 +172,57 @@ class TestConfigApi:
         assert json.loads(result.to_json())["schema"] == 1
 
 
+class TestBatchEngineRuns:
+    def test_auto_pairs_format_forced_columnar(self, triangle):
+        from repro.core.config import RunConfig
+
+        lc = LinkClustering(
+            triangle, config=RunConfig(coarse=True, engine="batch")
+        )
+        assert lc.pairs_format == "auto"
+        assert lc.resolved_pairs_format() == "columnar"
+
+    def test_batch_run_matches_chained(self, weighted_caveman):
+        from repro.core.config import RunConfig
+
+        chained = LinkClustering(
+            weighted_caveman,
+            config=RunConfig(coarse=True, pairs_format="columnar"),
+        ).run()
+        batch = LinkClustering(
+            weighted_caveman, config=RunConfig(coarse=True, engine="batch")
+        ).run()
+        assert batch.pairs_format == "columnar"
+        assert chained.num_levels == batch.num_levels
+        for level in range(chained.num_levels + 1):
+            assert same_partition(
+                chained.dendrogram.labels_at_level(level),
+                batch.dendrogram.labels_at_level(level),
+            )
+
+    @pytest.mark.parametrize("backend", ["thread", "shm"])
+    def test_parallel_batch_matches_serial_chained(self, planted, backend):
+        from repro.core.config import RunConfig
+
+        serial = LinkClustering(planted, coarse=True).run()
+        batch = LinkClustering(
+            planted,
+            config=RunConfig(
+                coarse=True, engine="batch", backend=backend, num_workers=3
+            ),
+        ).run()
+        assert same_partition(serial.edge_labels(), batch.edge_labels())
+
+    def test_result_config_carries_engine(self, triangle):
+        from repro.core.config import RunConfig
+
+        result = LinkClustering(
+            triangle, config=RunConfig(coarse=True, engine="batch")
+        ).run()
+        assert result.config.engine == "batch"
+        assert result.to_dict()["config"]["engine"] == "batch"
+
+
 class TestDeprecationShims:
     def test_positional_settings_warn_but_work(self, weighted_caveman):
         with pytest.warns(DeprecationWarning, match="positionally"):
@@ -179,6 +230,20 @@ class TestDeprecationShims:
         assert lc.coarse_params is not None
         assert lc.backend == "thread"
         assert lc.num_workers == 2
+
+    def test_positional_settings_warning_points_at_caller(self, triangle):
+        # stacklevel=2: the warning must blame this file, not the shim's
+        # own frame inside linkclust.py.
+        with pytest.warns(DeprecationWarning) as record:
+            LinkClustering(triangle, True)
+        assert record[0].filename == __file__
+
+    def test_positional_similarity_map_warning_points_at_caller(self, triangle):
+        lc = LinkClustering(triangle)
+        sim = lc.compute_similarities()
+        with pytest.warns(DeprecationWarning) as record:
+            lc.run(sim)
+        assert record[0].filename == __file__
 
     def test_keyword_calls_do_not_warn(self, weighted_caveman):
         import warnings

@@ -44,6 +44,32 @@ class TestValidation:
         assert RunConfig(coarse=True).coarse == CoarseParams()
         assert RunConfig(coarse=False).coarse is None
 
+    def test_default_engine_is_chained(self):
+        assert RunConfig().engine == "chained"
+
+    def test_bad_engine(self):
+        with pytest.raises(ParameterError, match="engine"):
+            RunConfig(engine="quantum")
+
+    def test_batch_engine_requires_coarse(self):
+        with pytest.raises(ParameterError, match="coarse"):
+            RunConfig(engine="batch")
+        with pytest.raises(ParameterError, match="coarse"):
+            RunConfig(engine="batch", coarse=False)
+
+    def test_batch_engine_rejects_dict_pairs(self):
+        with pytest.raises(ParameterError, match="columnar"):
+            RunConfig(engine="batch", coarse=True, pairs_format="dict")
+
+    def test_batch_engine_with_coarse_accepted(self):
+        # The check must run after bool coercion: coarse=True is enough.
+        assert RunConfig(engine="batch", coarse=True).engine == "batch"
+        cfg = RunConfig(engine="batch", coarse=CoarseParams(phi=5))
+        assert cfg.coarse.phi == 5
+        assert RunConfig(
+            engine="batch", coarse=True, pairs_format="columnar"
+        ).pairs_format == "columnar"
+
     def test_frozen(self):
         cfg = RunConfig()
         with pytest.raises(AttributeError):
@@ -68,6 +94,12 @@ class TestRoundTrip:
             metrics_out="trace.jsonl",
         )
         assert RunConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_engine_round_trips(self):
+        cfg = RunConfig(engine="batch", coarse=True)
+        d = cfg.to_dict()
+        assert d["engine"] == "batch"
+        assert RunConfig.from_dict(d) == cfg
 
     def test_fine_config_round_trip(self):
         cfg = RunConfig()

@@ -31,6 +31,7 @@ class TestDeclaredNames:
             "runtime:copy",
             "runtime:compute",
             "runtime:merge",
+            "sweep:batch_round",
         ):
             assert name in SPANS, name
             assert is_known_span(name)
@@ -39,7 +40,9 @@ class TestDeclaredNames:
         assert is_known_event("sweep:level")
         assert is_known_event("sweep:jump")
         assert is_known_event("run:pairs_format")
-        for counter in ("k1", "k2", "merges", "rollbacks", "jump_hits"):
+        for counter in (
+            "k1", "k2", "merges", "rollbacks", "jump_hits", "batch_rounds",
+        ):
             assert counter in COUNTERS
             assert is_known_counter(counter)
         assert EVENTS  # non-empty contract

@@ -86,9 +86,24 @@ class TestMergeChainInto:
 
 
 class TestHierarchicalMerge:
-    def test_requires_arrays(self):
+    def test_requires_arrays_without_size(self):
         with pytest.raises(ParallelError):
             hierarchical_merge([])
+
+    def test_empty_with_size_is_identity(self):
+        # A level whose chunks were all empty dispatches no tasks; the
+        # join of zero partitions is the identity C, not an error.
+        merged = hierarchical_merge([], n=5)
+        assert merged.labels() == list(range(5))
+        assert merged.num_clusters() == 5
+
+    def test_empty_with_zero_size(self):
+        assert len(hierarchical_merge([], n=0)) == 0
+
+    def test_size_ignored_when_arrays_given(self):
+        a = ChainArray(4)
+        a.merge(0, 3)
+        assert hierarchical_merge([a], n=9) is a
 
     def test_single_array_returned(self):
         a = ChainArray(4)
@@ -132,6 +147,9 @@ class TestJoinPartitionLabels:
         labels = join_partition_labels([a, b])
         assert labels == [0, 0, 0, 3]
 
-    def test_empty_rejected(self):
+    def test_empty_rejected_without_size(self):
         with pytest.raises(ParallelError):
             join_partition_labels([])
+
+    def test_empty_with_size_is_identity(self):
+        assert join_partition_labels([], n=4) == [0, 1, 2, 3]

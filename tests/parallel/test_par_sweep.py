@@ -94,6 +94,93 @@ class TestParallelCoarseSweep:
         assert same_partition(fine.edge_labels(), parallel.edge_labels())
 
 
+class TestBatchEngineParallel:
+    """engine="batch" must yield the exact merge records the chained
+    parallel driver produces (both record by partition diff, so the
+    streams are bitwise comparable)."""
+
+    PARAMS = CoarseParams(phi=2, delta0=8)
+
+    @pytest.mark.parametrize("backend", ["thread", "process", "shm"])
+    def test_merges_match_chained(self, planted, backend):
+        sim = compute_similarity_map(planted)
+        chained = parallel_coarse_sweep(
+            planted, sim, self.PARAMS, num_workers=3, backend=backend,
+            engine="chained",
+        )
+        batch = parallel_coarse_sweep(
+            planted, sim, self.PARAMS, num_workers=3, backend=backend,
+            engine="batch",
+        )
+        assert chained.dendrogram.merges == batch.dendrogram.merges
+        assert batch.dendrogram.merges  # non-trivial comparison
+        assert [(e.kind, e.level, e.xi, e.p) for e in chained.epochs] == [
+            (e.kind, e.level, e.xi, e.p) for e in batch.epochs
+        ]
+
+    def test_matches_serial_chained_oracle(self, weighted_caveman):
+        g = weighted_caveman
+        sim = compute_similarity_map(g)
+        params = CoarseParams(phi=2, delta0=8)
+        serial = coarse_sweep(g, sim, params)
+        batch = parallel_coarse_sweep(
+            g, sim, params, num_workers=4, backend="thread", engine="batch"
+        )
+        for level in range(serial.num_levels + 1):
+            assert same_partition(
+                serial.dendrogram.labels_at_level(level),
+                batch.dendrogram.labels_at_level(level),
+            )
+
+    def test_more_workers_than_pairs(self, triangle):
+        # K3 has 3 wedge pairs; 8 workers must not produce degenerate
+        # empty shares (strided partitioning drops them).
+        sim = compute_similarity_map(triangle)
+        serial = coarse_sweep(triangle, sim, CoarseParams(phi=1, delta0=2))
+        batch = parallel_coarse_sweep(
+            triangle, sim, CoarseParams(phi=1, delta0=2),
+            num_workers=8, backend="thread", engine="batch",
+        )
+        assert same_partition(serial.edge_labels(), batch.edge_labels())
+
+    def test_single_worker(self, planted):
+        sim = compute_similarity_map(planted)
+        params = CoarseParams(phi=2, delta0=10)
+        serial = coarse_sweep(planted, sim, params)
+        batch = parallel_coarse_sweep(
+            planted, sim, params, num_workers=1, backend="thread",
+            engine="batch",
+        )
+        assert same_partition(serial.edge_labels(), batch.edge_labels())
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(5, 10),
+    p=st.floats(0.4, 0.9),
+    seed=st.integers(0, 100),
+    workers=st.integers(2, 4),
+    delta0=st.integers(2, 20),
+)
+def test_property_batch_parallel_equals_chained_parallel(
+    n, p, seed, workers, delta0
+):
+    g = generators.erdos_renyi(
+        n, p, seed=seed, weight=generators.random_weights(seed=seed)
+    )
+    if g.num_edges < 2:
+        return
+    sim = compute_similarity_map(g)
+    params = CoarseParams(phi=1, delta0=delta0, finalize_root=False)
+    chained = parallel_coarse_sweep(
+        g, sim, params, num_workers=workers, backend="thread", engine="chained"
+    )
+    batch = parallel_coarse_sweep(
+        g, sim, params, num_workers=workers, backend="thread", engine="batch"
+    )
+    assert chained.dendrogram.merges == batch.dendrogram.merges
+
+
 @settings(max_examples=10, deadline=None)
 @given(
     n=st.integers(5, 10),

@@ -12,6 +12,7 @@ from repro.parallel.partitioner import (
     lpt_partition,
     partition_range,
     round_robin_partition,
+    strided_partition,
 )
 
 
@@ -41,6 +42,49 @@ class TestRoundRobin:
         parts = round_robin_partition(list(range(10)), 3)
         sizes = [len(p) for p in parts]
         assert max(sizes) - min(sizes) <= 1
+
+
+class TestStridedPartition:
+    def test_dealing(self):
+        parts = strided_partition(0, 5, 2)
+        assert [list(p) for p in parts] == [[0, 2, 4], [1, 3]]
+
+    def test_window_offset(self):
+        parts = strided_partition(10, 16, 3)
+        assert [list(p) for p in parts] == [[10, 13], [11, 14], [12, 15]]
+
+    def test_never_emits_empty_parts(self):
+        # More workers than items: exactly one index per part, no
+        # degenerate empty ranges.
+        parts = strided_partition(4, 7, 8)
+        assert len(parts) == 3
+        assert [list(p) for p in parts] == [[4], [5], [6]]
+
+    def test_empty_window(self):
+        assert strided_partition(3, 3, 4) == []
+
+    def test_invalid_window(self):
+        with pytest.raises(ParameterError, match="stop < start"):
+            strided_partition(5, 4, 2)
+
+    def test_invalid_k(self):
+        with pytest.raises(ParameterError):
+            strided_partition(0, 4, 0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(start=st.integers(0, 50), size=st.integers(0, 60), k=st.integers(1, 12))
+def test_property_strided_matches_round_robin(start, size, k):
+    stop = start + size
+    parts = strided_partition(start, stop, k)
+    # Same dealing as round_robin_partition over the window's items.
+    rr = [p for p in round_robin_partition(list(range(start, stop)), k) if p]
+    assert [list(p) for p in parts] == rr
+    # A partition: every index exactly once, and never an empty part.
+    flat = sorted(i for p in parts for i in p)
+    assert flat == list(range(start, stop))
+    assert all(len(p) > 0 for p in parts)
+    assert len(parts) == min(k, size)
 
 
 class TestLPT:

@@ -144,6 +144,69 @@ class TestChunkMergeRange:
             assert arena.pair_loads == 1  # columns crossed exactly once
 
 
+@pytest.mark.parametrize("backend", ["serial", "thread", "process", "shm"])
+class TestChunkBatchRange:
+    """chunk_batch_range ≡ chunk_merge_range at the labels level."""
+
+    def test_requires_load_pairs(self, backend):
+        with get_sweep_runtime(backend, 2) as runtime:
+            with pytest.raises(ParameterError, match="load_pairs"):
+                runtime.chunk_batch_range(ChainArray(6), 0, 1)
+
+    def test_empty_range_returns_chain_unchanged(self, backend):
+        with get_sweep_runtime(backend, 2) as runtime:
+            runtime.load_pairs([0, 1], [1, 2])
+            chain = ChainArray(6)
+            assert runtime.chunk_batch_range(chain, 1, 1) is chain
+
+    def test_matches_chunk_merge_range(self, backend):
+        n = 30
+        pairs = [p for chunk in random_chunks(n, 3, 20, seed=13) for p in chunk]
+        i1 = [a for a, _ in pairs]
+        i2 = [b for _, b in pairs]
+        with get_sweep_runtime(backend, 3) as chained:
+            with get_sweep_runtime(backend, 3) as batch:
+                chained.load_pairs(i1, i2)
+                batch.load_pairs(i1, i2)
+                chain_c = ChainArray(n)
+                chain_b = ChainArray(n)
+                for start in range(0, len(pairs), 20):
+                    stop = min(start + 20, len(pairs))
+                    chain_c = chained.chunk_merge_range(chain_c, start, stop)
+                    chain_b = batch.chunk_batch_range(chain_b, start, stop)
+                    assert chain_c.labels() == chain_b.labels()
+                    assert chain_c.num_clusters() == chain_b.num_clusters()
+                assert chain_b.labels() == reference_merge(list(range(n)), pairs)
+
+    def test_more_workers_than_pairs(self, backend):
+        # 8 workers over 3 pairs: strided partitioning never hands a
+        # worker an empty share, and the result is still exact.
+        with get_sweep_runtime(backend, 8) as runtime:
+            runtime.load_pairs([0, 1, 2], [3, 4, 5])
+            chain = runtime.chunk_batch_range(ChainArray(6), 0, 3)
+            assert chain.labels() == reference_merge(
+                list(range(6)), [(0, 3), (1, 4), (2, 5)]
+            )
+
+    def test_shm_dispatches_batch_tasks(self, backend):
+        if backend != "shm":
+            pytest.skip("arena counters are shm-specific")
+        n = 30
+        pairs = [p for chunk in random_chunks(n, 3, 20, seed=13) for p in chunk]
+        with ShmSweepRuntime(3) as runtime:
+            runtime.load_pairs([a for a, _ in pairs], [b for _, b in pairs])
+            chain = ChainArray(n)
+            for start in range(0, len(pairs), 20):
+                chain = runtime.chunk_batch_range(
+                    chain, start, min(start + 20, len(pairs))
+                )
+            arena = runtime.arena
+            assert arena.batch_tasks > 0
+            assert arena.list_tasks == 0
+            assert arena.range_tasks == 0
+            assert arena.pair_loads == 1
+
+
 class TestPersistence:
     """Worker state must survive across >= 3 consecutive chunks."""
 

@@ -176,6 +176,85 @@ class TestChunkMergeRange:
         arena.shutdown()
 
 
+class TestChunkBatchRange:
+    """The batch engine on the arena: vectorized rows, vectorized join."""
+
+    def make_pairs(self, n, count, seed=0):
+        rng = random.Random(seed)
+        return [(rng.randrange(n), rng.randrange(n)) for _ in range(count)]
+
+    def test_requires_load_pairs(self):
+        with ShmArena(5, 2) as arena:
+            with pytest.raises(ParameterError, match="load_pairs"):
+                arena.chunk_batch_range(list(range(5)), 0, 1)
+
+    def test_range_bounds_checked(self):
+        with ShmArena(5, 2) as arena:
+            arena.load_pairs([0, 1], [1, 2])
+            with pytest.raises(ParameterError, match="out of bounds"):
+                arena.chunk_batch_range(list(range(5)), 0, 3)
+
+    def test_empty_range_is_identity(self):
+        with ShmArena(5, 2) as arena:
+            arena.load_pairs([0, 1], [1, 2])
+            base = list(range(5))
+            assert arena.chunk_batch_range(base, 1, 1) == base
+
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_matches_chunk_merge_range(self, workers):
+        n = 30
+        pairs = self.make_pairs(n, 50, seed=workers)
+        i1 = [a for a, _ in pairs]
+        i2 = [b for _, b in pairs]
+        with ShmArena(n, workers) as chained, ShmArena(n, workers) as batch:
+            chained.load_pairs(i1, i2)
+            batch.load_pairs(i1, i2)
+            base_c = list(range(n))
+            base_b = list(range(n))
+            for start in range(0, len(pairs), 17):
+                stop = min(start + 17, len(pairs))
+                base_c = chained.chunk_merge_range(base_c, start, stop)
+                base_b = batch.chunk_batch_range(base_b, start, stop)
+                assert labels_of(base_b) == labels_of(base_c)
+            assert labels_of(base_b) == serial_reference(list(range(n)), pairs)
+
+    def test_more_workers_than_pairs(self):
+        with ShmArena(8, 6) as arena:
+            arena.load_pairs([0, 1], [4, 5])
+            base = arena.chunk_batch_range(list(range(8)), 0, 2)
+            assert labels_of(base) == serial_reference(
+                list(range(8)), [(0, 4), (1, 5)]
+            )
+
+    def test_dispatches_batch_tasks_only(self):
+        n = 24
+        pairs = self.make_pairs(n, 48, seed=9)
+        with ShmArena(n, 3) as arena:
+            arena.load_pairs([a for a, _ in pairs], [b for _, b in pairs])
+            base = list(range(n))
+            for start in range(0, len(pairs), 12):
+                base = arena.chunk_batch_range(base, start, min(start + 12, 48))
+            assert arena.batch_tasks > 0
+            assert arena.range_tasks == 0
+            assert arena.list_tasks == 0
+            assert arena.pair_loads == 1
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(3, 25),
+    seed=st.integers(0, 500),
+    workers=st.integers(2, 4),
+)
+def test_property_batch_range_equals_serial(n, seed, workers):
+    rng = random.Random(seed)
+    pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(2 * n)]
+    with ShmArena(n, workers) as arena:
+        arena.load_pairs([a for a, _ in pairs], [b for _, b in pairs])
+        merged = arena.chunk_batch_range(list(range(n)), 0, len(pairs))
+    assert labels_of(merged) == serial_reference(list(range(n)), pairs)
+
+
 @settings(max_examples=10, deadline=None)
 @given(
     n=st.integers(3, 25),

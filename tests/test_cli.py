@@ -91,6 +91,46 @@ class TestCluster:
         )
         assert code == 0
 
+    def test_batch_engine(self, graph_file, capsys):
+        code = main(
+            [
+                "cluster", str(graph_file), "--int-labels",
+                "--coarse", "--engine", "batch",
+            ]
+        )
+        assert code == 0
+        assert "best cut" in capsys.readouterr().out
+
+    def test_batch_engine_matches_chained_output(self, graph_file, capsys):
+        assert main(
+            ["cluster", str(graph_file), "--int-labels", "--coarse"]
+        ) == 0
+        chained_out = capsys.readouterr().out
+        assert main(
+            [
+                "cluster", str(graph_file), "--int-labels",
+                "--coarse", "--engine", "batch",
+                "--backend", "thread", "--workers", "2",
+            ]
+        ) == 0
+        batch_out = capsys.readouterr().out
+        # Same graph, same knobs: the human-readable report must agree
+        # on the cut (the engines are dendrogram-identical).
+        chained_cut = [ln for ln in chained_out.splitlines() if "best cut" in ln]
+        batch_cut = [ln for ln in batch_out.splitlines() if "best cut" in ln]
+        assert chained_cut == batch_cut
+
+    def test_batch_engine_without_coarse_rejected(self, graph_file, capsys):
+        code = main(
+            ["cluster", str(graph_file), "--int-labels", "--engine", "batch"]
+        )
+        assert code == 2
+        assert "coarse" in capsys.readouterr().err
+
+    def test_unknown_engine_rejected(self, graph_file):
+        with pytest.raises(SystemExit):
+            main(["cluster", str(graph_file), "--engine", "quantum"])
+
 
 class TestCorpus:
     def test_builds_edge_list(self, texts_file, tmp_path, capsys):
@@ -122,12 +162,18 @@ class TestRunFlags:
         for head in (["cluster", "g.txt"], ["reproduce"]):
             args = parser.parse_args(
                 head + ["--backend", "thread", "--workers", "3",
+                        "--engine", "batch",
                         "--profile", "--metrics-out", "t.jsonl"]
             )
             assert args.backend == "thread"
             assert args.workers == 3
+            assert args.engine == "batch"
             assert args.profile is True
             assert args.metrics_out == "t.jsonl"
+
+    def test_engine_defaults_to_chained(self):
+        args = build_parser().parse_args(["cluster", "g.txt"])
+        assert args.engine == "chained"
 
     def test_cluster_profile_summary_on_stderr(self, graph_file, capsys):
         code = main(
