@@ -17,13 +17,11 @@ meaningless.
 
 from __future__ import annotations
 
-from repro.bench.datasets import association_graph
-from repro.bench.experiments import coarse_params_for
 from repro.bench.runner import ResultTable, save_json
 from repro.bench.timing import time_call
+from repro.bench.workloads import fig5_workload
 from repro.cluster.validation import same_partition
 from repro.core.coarse import coarse_sweep
-from repro.fast.similarity import fast_similarity_columns
 from repro.parallel.par_sweep import parallel_coarse_sweep
 
 REPEAT = 3
@@ -44,10 +42,8 @@ def test_batch_sweep(benchmark, results_dir, preset):
         ["alpha", "k2", "chained_seconds", "batch_seconds", "speedup"],
     )
     for alpha in preset.alphas:
-        graph = association_graph(alpha, preset)
-        cols = fast_similarity_columns(graph)
-        cols.sort_pairs()
-        params = coarse_params_for(graph, k2=cols.k2)
+        work = fig5_workload(alpha, preset)
+        graph, cols, params = work.graph, work.cols, work.params
         _verify_engines_agree(graph, cols, params)
         _, t_chained = time_call(
             lambda: coarse_sweep(graph, cols, params=params, engine="chained"),
@@ -75,10 +71,8 @@ def test_batch_sweep(benchmark, results_dir, preset):
         ],
     )
     top_alpha = preset.alphas[-1]
-    graph = association_graph(top_alpha, preset)
-    cols = fast_similarity_columns(graph)
-    cols.sort_pairs()
-    params = coarse_params_for(graph, k2=cols.k2)
+    work = fig5_workload(top_alpha, preset)
+    graph, cols, params = work.graph, work.cols, work.params
     oracle = coarse_sweep(graph, cols, params=params)
     for backend in ("thread", "shm"):
         result, t_chained = time_call(

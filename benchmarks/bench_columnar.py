@@ -20,32 +20,19 @@ Three sections, all written into ``benchmarks/results/columnar.json``:
 from __future__ import annotations
 
 from repro.bench.datasets import association_graph
-from repro.bench.experiments import coarse_params_for
 from repro.bench.runner import ResultTable, save_json
 from repro.bench.timing import time_call
+from repro.bench.workloads import fig5_workload, small_graph_corpus
 from repro.cluster.validation import same_partition
 from repro.core.config import AUTO_COLUMNAR_MIN_K2
 from repro.core.coarse import coarse_sweep
 from repro.core.linkclust import LinkClustering
 from repro.core.similarity import compute_similarity_map
 from repro.fast.similarity import fast_similarity_columns
-from repro.graph import generators
 from repro.parallel.par_sweep import parallel_coarse_sweep
 from repro.parallel.runtime import ShmSweepRuntime
 
 REPEAT = 3
-
-#: Small-graph workloads for the auto-dispatch section: all far below
-#: ``AUTO_COLUMNAR_MIN_K2``, where the dict path must keep winning.
-_SMALL_GRAPHS = {
-    "caveman_2x4": lambda: generators.caveman_graph(
-        2, 4, weight=generators.random_weights(seed=1)
-    ),
-    "caveman_3x5": lambda: generators.caveman_graph(
-        3, 5, weight=generators.random_weights(seed=1)
-    ),
-    "grid_5x5": lambda: generators.grid_graph(5, 5),
-}
 
 
 def _time_init_sort(graph):
@@ -95,9 +82,8 @@ def test_columnar_pipeline(benchmark, results_dir, preset):
         ["alpha", "k2", "seconds", "range_tasks", "list_tasks", "pair_loads"],
     )
     mid_alpha = preset.alphas[len(preset.alphas) // 2]
-    graph = association_graph(mid_alpha, preset)
-    cols = fast_similarity_columns(graph)
-    params = coarse_params_for(graph, k2=cols.k2)
+    work = fig5_workload(mid_alpha, preset, sort=False)
+    graph, cols, params = work.graph, work.cols, work.params
     serial = coarse_sweep(graph, cols, params=params)
     with ShmSweepRuntime(2) as runtime:
         result, stats = time_call(
@@ -135,7 +121,7 @@ def test_columnar_pipeline(benchmark, results_dir, preset):
         "auto dispatch on small graphs",
         ["graph", "k2", "resolved", "dict_seconds", "auto_seconds", "ratio"],
     )
-    for name, make in sorted(_SMALL_GRAPHS.items()):
+    for name, make in sorted(small_graph_corpus().items()):
         graph = make()
         lc = LinkClustering(graph, pairs_format="auto")
         resolved = lc.resolved_pairs_format()

@@ -11,12 +11,13 @@ Writes ``benchmarks/results/parallel_runtime.json``.
 
 from __future__ import annotations
 
-from repro.bench.parallel_runtime import make_chunk_workload, runtime_spawn_comparison
+from repro.bench.parallel_runtime import runtime_spawn_comparison
 from repro.bench.runner import save_json
+from repro.bench.workloads import DEFAULT_CHUNK_WORKLOAD, make_chunk_workload
 from repro.cluster.unionfind import ChainArray
 from repro.parallel.runtime import get_sweep_runtime
 
-_WORKLOAD = dict(n=2000, num_chunks=12, pairs_per_chunk=60)
+_WORKLOAD = DEFAULT_CHUNK_WORKLOAD
 
 
 def test_persistent_runtime_speedup(benchmark, results_dir):

@@ -359,6 +359,15 @@ class OverlappingShmWriteRule(ProjectRule):
             for node in walk_scope(func):  # type: ignore[arg-type]
                 if isinstance(node, ast.Assign) and len(node.targets) == 1:
                     target = node.targets[0]
+                    if isinstance(target, (ast.Tuple, ast.List)):
+                        # Tuple unpacking (`kind, lo, hi = task`): every
+                        # bound name derives from the unpacked value.
+                        if self._expr_names(node.value) & derived:
+                            for name in _target_names(target):
+                                if name not in derived:
+                                    derived.add(name)
+                                    changed = True
+                        continue
                     if not isinstance(target, ast.Name):
                         continue
                     if target.id not in views and is_view_expr(node.value):

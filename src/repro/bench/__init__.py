@@ -35,8 +35,16 @@ from repro.bench.sensitivity import (
     phi_sensitivity,
 )
 from repro.bench.timing import Timer, TimingStats, time_call
+from repro.bench.workloads import (
+    DEFAULT_CHUNK_WORKLOAD,
+    Fig5Workload,
+    fig5_workload,
+    small_graph_corpus,
+)
 
 __all__ = [
+    "DEFAULT_CHUNK_WORKLOAD",
+    "Fig5Workload",
     "PRESETS",
     "ResultTable",
     "ScalePreset",
@@ -58,6 +66,7 @@ __all__ = [
     "fig4_3_memory",
     "fig5_1_epoch_breakdown",
     "fig5_2_time_memory",
+    "fig5_workload",
     "fig6_1_init_speedup",
     "fig6_2_sweep_speedup",
     "format_number",
@@ -69,6 +78,7 @@ __all__ = [
     "phi_sensitivity",
     "runtime_spawn_comparison",
     "save_json",
+    "small_graph_corpus",
     "sparkline",
     "time_call",
 ]

@@ -83,8 +83,16 @@ def _add_run_flags(parser: argparse.ArgumentParser) -> None:
         choices=ENGINES,
         default="chained",
         help="sweep merge engine: chained (the paper's sequential MERGE "
-        "chain) or batch (per-level vectorized connected components; "
-        "requires --coarse)",
+        "chain), batch (per-level vectorized connected components), or "
+        "sharded (owner-computes C shards with boundary reconciliation); "
+        "batch and sharded require --coarse",
+    )
+    parser.add_argument(
+        "--epsilon",
+        type=float,
+        default=0.0,
+        help="boundary-reconciliation slack for --engine sharded "
+        "(0.0 = exact per-level reconciliation)",
     )
     parser.add_argument(
         "--profile",
@@ -242,6 +250,7 @@ def _run_config_from_args(args: argparse.Namespace) -> RunConfig:
         coarse=coarse,
         pairs_format=args.pairs_format,
         engine=args.engine,
+        epsilon=args.epsilon,
         profile=args.profile,
         metrics_out=args.metrics_out,
     )

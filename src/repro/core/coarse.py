@@ -70,6 +70,12 @@ __all__ = [
     "fixed_chunk_sweep",
 ]
 
+# Shard count for serial sharded runs when the caller does not pick one.
+# Results are shard-count-invariant (tested), so this only controls how
+# much boundary machinery a serial run exercises; 4 matches the paper's
+# reference worker count.
+DEFAULT_SERIAL_SHARDS = 4
+
 
 @dataclass(frozen=True)
 class CoarseParams:
@@ -118,13 +124,20 @@ class _PendingMerge:
 
 @dataclass
 class _EpochState:
-    """Snapshot ``Q = (beta, xi, p, C)`` plus pending merges."""
+    """Snapshot ``Q = (beta, xi, p, C)`` plus pending merges.
+
+    ``deferred`` carries the sharded engine's not-yet-reconciled
+    boundary pairs when ``epsilon > 0`` (``None`` otherwise), so
+    rollback/restore/jump keep the deferred set consistent with the
+    chain it belongs to.
+    """
 
     beta: int
     xi: int
     p: int
     chain: ChainArray
     pending: List[_PendingMerge]
+    deferred: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
 
 @dataclass(frozen=True)
@@ -213,10 +226,19 @@ class _CoarseSweeper:
     ``engine`` selects how a chunk's merge stream is applied:
     ``"chained"`` runs the paper's sequential ``MERGE`` per wedge;
     ``"batch"`` unions the whole chunk with vectorized connected-
-    components rounds (:mod:`repro.fast.batch_sweep`).  Chunk
-    boundaries depend only on the pair counts and the per-level
-    partitions are identical, so the two engines walk the same epoch
-    sequence and build the same dendrogram levels.
+    components rounds (:mod:`repro.fast.batch_sweep`); ``"sharded"``
+    splits the chunk by contiguous vertex ownership, contracts each
+    shard locally, and reconciles boundary pairs on the host
+    (:mod:`repro.parallel.sharded_sweep`).  Chunk boundaries depend
+    only on the pair counts and the per-level partitions are
+    identical, so all engines walk the same epoch sequence and build
+    the same dendrogram levels.
+
+    ``epsilon > 0`` (sharded only) defers boundary reconciliation
+    across levels while the local cluster count stays within
+    ``(1 + epsilon)`` of the reconciled count; deferred merges are
+    flushed when the bound breaks, on a state jump, and always before
+    the sweep ends, so the final partition is unchanged.
     """
 
     def __init__(
@@ -227,20 +249,37 @@ class _CoarseSweeper:
         edge_order: Optional[Sequence[int]],
         tracer=None,
         engine: str = "chained",
+        num_shards: Optional[int] = None,
+        epsilon: float = 0.0,
     ):
-        if engine not in ("chained", "batch"):
+        if engine not in ("chained", "batch", "sharded"):
             raise ParameterError(
-                f"engine must be 'chained' or 'batch', got {engine!r}"
+                f"engine must be 'chained', 'batch', or 'sharded', got {engine!r}"
             )
-        if engine == "batch" and isinstance(similarity_map, SimilarityMap):
-            # The batch kernels consume the flat columnar wedge stream;
-            # the dict map converts losslessly (same list-L order).
+        if epsilon < 0:
+            raise ParameterError(f"epsilon must be >= 0, got {epsilon}")
+        if epsilon > 0 and engine != "sharded":
+            raise ParameterError(
+                f"epsilon > 0 requires engine='sharded', got {engine!r}"
+            )
+        if num_shards is not None and engine != "sharded":
+            raise ParameterError(
+                f"num_shards requires engine='sharded', got {engine!r}"
+            )
+        if num_shards is not None and num_shards < 1:
+            raise ParameterError(f"num_shards must be >= 1, got {num_shards}")
+        if engine in ("batch", "sharded") and isinstance(
+            similarity_map, SimilarityMap
+        ):
+            # The batch/sharded kernels consume the flat columnar wedge
+            # stream; the dict map converts losslessly (same list-L order).
             similarity_map = SimilarityColumns.from_similarity_map(similarity_map)
         self.engine = engine
+        self.epsilon = float(epsilon)
         # Chained serial replays saved merge events on a state jump; the
-        # batch engine (and the parallel driver, which overrides this)
-        # has no per-merge event stream and diffs partitions instead.
-        self.records_by_diff = engine == "batch"
+        # batch/sharded engines (and the parallel driver, which overrides
+        # this) have no per-merge event stream and diff partitions instead.
+        self.records_by_diff = engine in ("batch", "sharded")
         self.graph = graph
         self.params = params
         self.tracer = as_tracer(tracer)
@@ -265,6 +304,18 @@ class _CoarseSweeper:
         self.index = build_edge_index(graph, edge_order)
         self.num_edges = graph.num_edges
 
+        # Vertex-ownership map for the serial sharded engine (the
+        # parallel driver shards by its runtime's worker count instead).
+        # Results are shard-count-invariant, so the default only decides
+        # how much boundary machinery a serial run exercises.
+        self.shard_part = None
+        if engine == "sharded":
+            from repro.parallel.partitioner import ShardedPartition
+
+            self.shard_part = ShardedPartition.build(
+                self.num_edges, num_shards or DEFAULT_SERIAL_SHARDS
+            )
+
         self.c1_arr: Optional[np.ndarray] = None
         self.c2_arr: Optional[np.ndarray] = None
         if self.columns is not None:
@@ -288,6 +339,10 @@ class _CoarseSweeper:
         self.pending: List[_PendingMerge] = []
         self.epochs: List[EpochRecord] = []
         self.rollback_list: List[_EpochState] = []
+        # Deferred boundary pairs (sharded engine with epsilon > 0):
+        # unique (lo, hi) root pairs whose reconciliation is postponed.
+        self._deferred_a = np.empty(0, dtype=np.int64)
+        self._deferred_b = np.empty(0, dtype=np.int64)
 
         self.beta = self.num_edges
         self.xi = 0
@@ -314,6 +369,7 @@ class _CoarseSweeper:
             p=self.p,
             chain=self.chain.copy(),
             pending=[],
+            deferred=self._deferred_copy(),
         )
 
     def _restore(self, state: _EpochState) -> None:
@@ -322,7 +378,96 @@ class _CoarseSweeper:
         self.p = state.p
         self.chain = state.chain.copy()
         self.pending = []
+        if state.deferred is None:
+            self._deferred_a = np.empty(0, dtype=np.int64)
+            self._deferred_b = np.empty(0, dtype=np.int64)
+        else:
+            self._deferred_a = state.deferred[0].copy()
+            self._deferred_b = state.deferred[1].copy()
         self.epoch_start_xi = self.xi
+
+    # ------------------------------------------------------------------
+    # deferred boundary reconciliation (sharded engine, epsilon > 0)
+    # ------------------------------------------------------------------
+    def _deferred_copy(self) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        if self._deferred_a.size == 0:
+            return None
+        return self._deferred_a.copy(), self._deferred_b.copy()
+
+    def _push_deferred(self, pairs: Tuple[np.ndarray, np.ndarray]) -> None:
+        da, db = pairs
+        if da.size == 0:
+            return
+        self._deferred_a = np.concatenate([self._deferred_a, da])
+        self._deferred_b = np.concatenate([self._deferred_b, db])
+
+    def _clear_deferred(self) -> None:
+        self._deferred_a = np.empty(0, dtype=np.int64)
+        self._deferred_b = np.empty(0, dtype=np.int64)
+
+    def _maybe_flush_deferred(self) -> None:
+        """At an epoch boundary: flush deferred boundary merges when due.
+
+        Deferred pairs are first re-rooted through the current chain and
+        pruned of dead ones.  A flush happens when the local cluster
+        count exceeds ``(1 + epsilon)`` times the reconciled count the
+        live deferred merges would produce, or when the pair list is
+        exhausted (the final level must be exact).  Flushed merges join
+        ``pending``, so they commit — or roll back — with the epoch
+        they flushed into.
+        """
+        if self._deferred_a.size == 0:
+            return
+        from repro.fast.batch_sweep import batch_chunk_merge, compress_labels
+
+        lab = compress_labels(np.asarray(self.chain.raw(), dtype=np.int64))
+        da = lab[self._deferred_a]
+        db = lab[self._deferred_b]
+        live = da != db
+        if not live.any():
+            self._clear_deferred()
+            return
+        self._deferred_a = da[live]
+        self._deferred_b = db[live]
+        d = int(live.sum())
+        beta_local = self.chain.num_clusters()
+        # d live pairs merge at most d cluster pairs; beta_local - d
+        # lower-bounds the reconciled count.
+        within = beta_local <= (1.0 + self.epsilon) * max(1, beta_local - d)
+        if within and self.p < self.num_pairs:
+            return
+        before = self.chain
+        after = batch_chunk_merge(before, self._deferred_a, self._deferred_b)
+        pos = max(self.p - 1, 0)
+        for c1, c2, parent in transition_merges(before, after):
+            self.pending.append(_PendingMerge(pos, c1, c2, parent, None))
+        self.chain = after
+        self._clear_deferred()
+
+    def _flush_deferred_tail(self) -> None:
+        """Flush remaining deferred merges as one extra level at a stop.
+
+        The epoch loop can stop (C3) with merges still deferred; they
+        must land in the dendrogram before the sweep returns.  Recorded
+        as their own level — with ``finalize_root`` they would be
+        subsumed by the root merge anyway, but the final chain must be
+        exact either way.
+        """
+        if self._deferred_a.size == 0:
+            return
+        from repro.fast.batch_sweep import batch_chunk_merge
+
+        before = self.chain
+        after = batch_chunk_merge(before, self._deferred_a, self._deferred_b)
+        merges = transition_merges(before, after)
+        if merges:
+            self.level += 1
+            for c1, c2, parent in merges:
+                self.builder.record(self.level, c1, c2, parent, None)
+            self.tracer.count("merges", len(merges))
+        self.chain = after
+        self.beta = after.num_clusters()
+        self._clear_deferred()
 
     # ------------------------------------------------------------------
     # main loop
@@ -394,6 +539,9 @@ class _CoarseSweeper:
         # cross-backend traces stay comparable.
         if self.engine == "batch":
             self._apply_chunk_batch(chunk)
+            return
+        if self.engine == "sharded":
+            self._apply_chunk_sharded(chunk)
             return
         if self.columns is not None:
             offsets = self.offsets_list
@@ -472,12 +620,51 @@ class _CoarseSweeper:
             self.pending.append(_PendingMerge(chunk.start, c1, c2, parent, None))
         self.chain = after
 
+    def _apply_chunk_sharded(self, chunk: range) -> None:
+        """Owner-computes chunk: per-shard local contraction + reconcile.
+
+        Same level records as :meth:`_apply_chunk_batch` (partition
+        diff), but the contraction runs shard-by-shard over identity
+        labels of each owned slice with a host reconciliation of the
+        deduplicated boundary pairs — exact unless ``epsilon > 0``, in
+        which case the boundary pairs are pushed onto the deferred set
+        instead of applied.
+        """
+        from repro.parallel.sharded_sweep import sharded_components
+
+        offsets = self.offsets_list
+        w_start = offsets[chunk.start]
+        w_end = offsets[chunk.stop]
+        self.xi += w_end - w_start
+        self.p = chunk.stop
+        if w_start == w_end:
+            return
+        before = self.chain
+        assert self.c1_arr is not None and self.c2_arr is not None
+        assert self.shard_part is not None
+        base = np.asarray(before.raw(), dtype=np.int64)
+        with self.tracer.span("runtime:compute", workers=1):
+            merged, deferred, _stats = sharded_components(
+                base,
+                self.c1_arr[w_start:w_end],
+                self.c2_arr[w_start:w_end],
+                self.shard_part,
+                tracer=self.tracer,
+                defer_boundary=self.epsilon > 0,
+            )
+        after = ChainArray(len(before), _init=merged.tolist())
+        self._push_deferred(deferred)
+        for c1, c2, parent in transition_merges(before, after):
+            self.pending.append(_PendingMerge(chunk.start, c1, c2, parent, None))
+        self.chain = after
+
     # ------------------------------------------------------------------
     # epoch boundary handling
     # ------------------------------------------------------------------
     def _epoch_boundary(self) -> bool:
         """Handle one boundary; returns True when the sweep should stop."""
         params = self.params
+        self._maybe_flush_deferred()
         beta_new = self.chain.num_clusters()
         preds = evaluate_predicates(
             self.beta, beta_new, self.num_edges, params.gamma, params.phi
@@ -501,11 +688,13 @@ class _CoarseSweeper:
 
         if preds.c3 and beta_new <= self.num_edges / 2.0:
             self.stopped_by_phi = True
+            self._flush_deferred_tail()
             return True
 
         if self._try_jump():
             if self.beta <= params.phi:
                 self.stopped_by_phi = True
+                self._flush_deferred_tail()
                 return True
 
         self._estimate_next_chunk()
@@ -521,6 +710,7 @@ class _CoarseSweeper:
                 p=self.p,
                 chain=self.chain.copy(),
                 pending=list(self.pending),
+                deferred=self._deferred_copy(),
             )
         )
         self.epochs.append(
@@ -602,6 +792,20 @@ class _CoarseSweeper:
         them.
         """
         if self.records_by_diff:
+            # A jump adopts the target state wholesale, so its deferred
+            # boundary merges (epsilon > 0) must be applied first: the
+            # diff below is only well-defined when the target partition
+            # coarsens the current one, and the current chain may already
+            # contain merges the target still defers.  (The current
+            # state's own deferred pairs all sit at earlier positions
+            # than the target's, so the flushed target subsumes them.)
+            if target.deferred is not None:
+                from repro.fast.batch_sweep import batch_chunk_merge
+
+                target.chain = batch_chunk_merge(target.chain, *target.deferred)
+                target.beta = target.chain.num_clusters()
+                target.deferred = None
+            self._clear_deferred()
             for c1, c2, parent in transition_merges(self.chain, target.chain):
                 self.builder.record(self.level, c1, c2, parent, None)
             return
@@ -706,6 +910,8 @@ def coarse_sweep(
     edge_order: Optional[Sequence[int]] = None,
     tracer=None,
     engine: str = "chained",
+    num_shards: Optional[int] = None,
+    epsilon: float = 0.0,
 ) -> CoarseResult:
     """Run the coarse-grained sweeping algorithm of Section V.
 
@@ -714,17 +920,30 @@ def coarse_sweep(
     ``similarity_map`` may be the dict or the columnar Phase-I output
     (identical results — the columnar path precomputes the K2 stream
     vectorized).  ``engine`` selects the chunk merge engine:
-    ``"chained"`` (sequential MERGE, the oracle) or ``"batch"``
-    (per-level vectorized connected components; dict input is
-    converted to columns).  ``tracer`` gets ``phase:sort``,
+    ``"chained"`` (sequential MERGE, the oracle), ``"batch"``
+    (per-level vectorized connected components), or ``"sharded"``
+    (owner-computes contiguous C shards — ``num_shards`` of them,
+    default ``DEFAULT_SERIAL_SHARDS`` — with host boundary
+    reconciliation; ``epsilon > 0`` defers reconciliation within a
+    ``(1 + epsilon)`` cluster-count bound); dict input is converted to
+    columns for both alternates.  ``tracer`` gets ``phase:sort``,
     ``phase:sweep``, and per-epoch ``sweep:chunk[i]`` spans (the batch
     engine adds per-round ``sweep:batch_round`` spans and a
-    ``batch_rounds`` counter) plus level events and
-    merge/rollback/jump counters.
+    ``batch_rounds`` counter; the sharded engine ``sweep:shard[s]`` /
+    ``sweep:reconcile`` spans and ``boundary_edges`` /
+    ``reconcile_rounds`` / ``shard_bytes`` counters) plus level events
+    and merge/rollback/jump counters.
     """
     sim = similarity_map if similarity_map is not None else compute_similarity_map(graph)
     sweeper = _CoarseSweeper(
-        graph, sim, params or CoarseParams(), edge_order, tracer, engine=engine
+        graph,
+        sim,
+        params or CoarseParams(),
+        edge_order,
+        tracer,
+        engine=engine,
+        num_shards=num_shards,
+        epsilon=epsilon,
     )
     return sweeper.run()
 

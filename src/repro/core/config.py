@@ -28,9 +28,12 @@ BACKENDS = ("serial", "thread", "process", "shm")
 
 # Sweep merge engines: "chained" is the paper's sequential MERGE chain
 # (the oracle), "batch" the per-level vectorized connected-components
-# engine (repro.fast.batch_sweep) — dendrogram-identical, and it
-# requires the columnar wedge stream plus a coarse (chunked) sweep.
-ENGINES = ("chained", "batch")
+# engine (repro.fast.batch_sweep), "sharded" the owner-computes variant
+# where each worker holds only its contiguous C slice and the host
+# reconciles boundary edges per level (repro.parallel.sharded_sweep).
+# Both alternates are dendrogram-identical to chained and require the
+# columnar wedge stream plus a coarse (chunked) sweep.
+ENGINES = ("chained", "batch", "sharded")
 
 PAIR_FORMATS = ("dict", "columnar", "auto")
 
@@ -72,12 +75,24 @@ class RunConfig:
         pure-Python on small graphs).
     engine:
         Sweep merge engine: ``"chained"`` (default — the paper's
-        sequential MERGE chain, the tested oracle) or ``"batch"``
+        sequential MERGE chain, the tested oracle), ``"batch"``
         (per-level vectorized connected-components rounds,
-        :mod:`repro.fast.batch_sweep`; dendrogram-identical output).
-        ``"batch"`` requires a coarse sweep and the columnar pair
-        format (``pairs_format="dict"`` is rejected; ``"auto"``
-        resolves to columnar).
+        :mod:`repro.fast.batch_sweep`), or ``"sharded"``
+        (owner-computes contiguous C shards with host boundary
+        reconciliation, :mod:`repro.parallel.sharded_sweep`).  Both
+        alternates are dendrogram-identical to chained and require a
+        coarse sweep plus the columnar pair format
+        (``pairs_format="dict"`` is rejected; ``"auto"`` resolves to
+        columnar).
+    epsilon:
+        Boundary-reconciliation slack for the sharded engine (TeraHAC-
+        style).  ``0.0`` (default) reconciles every level exactly;
+        ``epsilon > 0`` lets the sweep defer cross-shard merges while
+        the local cluster count stays within ``(1 + epsilon)`` of the
+        reconciled count.  The final partition is unchanged (deferred
+        merges are always flushed before the sweep ends); intermediate
+        levels may split merges differently.  Requires
+        ``engine="sharded"``.
     profile:
         Collect a trace and print a human-readable summary at the end
         of the run.
@@ -93,6 +108,7 @@ class RunConfig:
     vectorized: bool = False
     pairs_format: str = "auto"
     engine: str = "chained"
+    epsilon: float = 0.0
     profile: bool = False
     metrics_out: Optional[str] = None
 
@@ -126,20 +142,37 @@ class RunConfig:
             )
         if self.seed is not None and not isinstance(self.seed, int):
             raise ParameterError(f"seed must be None or an int, got {self.seed!r}")
-        # The batch engine merges per level over the columnar wedge
-        # stream; it has no fine-grained or dict-pipeline counterpart.
-        if self.engine == "batch":
+        # The batch and sharded engines merge per level over the
+        # columnar wedge stream; neither has a fine-grained or
+        # dict-pipeline counterpart.
+        if self.engine in ("batch", "sharded"):
             if self.coarse is None:
                 raise ParameterError(
-                    "engine='batch' requires coarse sweeping "
+                    f"engine={self.engine!r} requires coarse sweeping "
                     "(pass coarse=True or CoarseParams)"
                 )
             if self.pairs_format == "dict":
                 raise ParameterError(
-                    "engine='batch' requires the columnar pair format; "
-                    "pairs_format='dict' is not supported "
+                    f"engine={self.engine!r} requires the columnar pair "
+                    "format; pairs_format='dict' is not supported "
                     "(use 'columnar' or 'auto')"
                 )
+        if not isinstance(self.epsilon, (int, float)) or isinstance(
+            self.epsilon, bool
+        ):
+            raise ParameterError(
+                f"epsilon must be a float >= 0, got {self.epsilon!r}"
+            )
+        object.__setattr__(self, "epsilon", float(self.epsilon))
+        if self.epsilon < 0:
+            raise ParameterError(
+                f"epsilon must be >= 0, got {self.epsilon!r}"
+            )
+        if self.epsilon > 0 and self.engine != "sharded":
+            raise ParameterError(
+                "epsilon > 0 only applies to engine='sharded', "
+                f"got engine={self.engine!r}"
+            )
         object.__setattr__(self, "vectorized", bool(self.vectorized))
         object.__setattr__(self, "profile", bool(self.profile))
         if self.metrics_out is not None:
@@ -158,6 +191,7 @@ class RunConfig:
             "vectorized": self.vectorized,
             "pairs_format": self.pairs_format,
             "engine": self.engine,
+            "epsilon": self.epsilon,
             "profile": self.profile,
             "metrics_out": self.metrics_out,
         }

@@ -296,13 +296,13 @@ class LinkClustering:
         ``auto`` estimates K2 from the degree sequence alone —
         ``sum(d * (d - 1)) / 2`` — and picks columnar at
         ``AUTO_COLUMNAR_MIN_K2``; below it the pure-Python dict pipeline
-        has less fixed overhead.  The batch engine consumes the columnar
-        wedge stream, so ``engine="batch"`` forces ``auto`` to columnar
+        has less fixed overhead.  The batch and sharded engines consume
+        the columnar wedge stream, so either forces ``auto`` to columnar
         regardless of size.
         """
         if self.pairs_format != "auto":
             return self.pairs_format
-        if self.config.engine == "batch":
+        if self.config.engine in ("batch", "sharded"):
             return "columnar"
         k2_estimate = sum(d * (d - 1) for d in self.graph.degrees()) // 2
         return "columnar" if k2_estimate >= AUTO_COLUMNAR_MIN_K2 else "dict"
@@ -430,6 +430,7 @@ class LinkClustering:
                 backend=self.backend,
                 tracer=tracer,
                 engine=self.config.engine,
+                epsilon=self.config.epsilon,
             )
         else:
             coarse = coarse_sweep(
@@ -439,6 +440,7 @@ class LinkClustering:
                 edge_order=edge_order,
                 tracer=tracer,
                 engine=self.config.engine,
+                epsilon=self.config.epsilon,
             )
         return LinkClusteringResult(
             graph=self.graph,

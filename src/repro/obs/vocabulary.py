@@ -48,6 +48,8 @@ SPANS: FrozenSet[str] = frozenset(
         "init:finalize",
         "sweep:chunk[*]",
         "sweep:batch_round",
+        "sweep:shard[*]",
+        "sweep:reconcile",
         "runtime:spawn",
         "runtime:copy",
         "runtime:compute",
@@ -74,6 +76,9 @@ COUNTERS: FrozenSet[str] = frozenset(
         "rollbacks",
         "jump_hits",
         "batch_rounds",
+        "boundary_edges",
+        "reconcile_rounds",
+        "shard_bytes",
         "worker_restarts",
     }
 )

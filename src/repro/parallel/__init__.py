@@ -19,10 +19,18 @@ from repro.parallel.runtime import (
 )
 from repro.parallel.shm_sweep import ShmArena, describe_exitcode, shm_chunk_merge
 from repro.parallel.partitioner import (
+    ClassifiedPairs,
+    ShardedPartition,
     contiguous_partition,
     lpt_partition,
     partition_range,
     round_robin_partition,
+)
+from repro.parallel.sharded_sweep import (
+    ShardedChunkStats,
+    ShardTask,
+    sharded_chunk_merge,
+    sharded_components,
 )
 from repro.parallel.pool import (
     ExecutionBackend,
@@ -39,6 +47,7 @@ from repro.parallel.workmodel import (
 )
 
 __all__ = [
+    "ClassifiedPairs",
     "CostModel",
     "ExecutionBackend",
     "InitWorkModel",
@@ -47,10 +56,15 @@ __all__ = [
     "RuntimeStats",
     "SWEEP_BACKENDS",
     "SerialBackend",
+    "ShardTask",
+    "ShardedChunkStats",
+    "ShardedPartition",
     "ShmArena",
     "ShmSweepRuntime",
     "SweepRuntime",
     "SweepWorkModel",
+    "sharded_chunk_merge",
+    "sharded_components",
     "calibrate_cost_model",
     "describe_exitcode",
     "get_sweep_runtime",

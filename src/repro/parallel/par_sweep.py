@@ -60,9 +60,16 @@ class _ParallelCoarseSweeper(_CoarseSweeper):
         runtime: SweepRuntime,
         tracer=None,
         engine: str = "chained",
+        epsilon: float = 0.0,
     ):
         super().__init__(
-            graph, similarity_map, params, edge_order, tracer, engine=engine
+            graph,
+            similarity_map,
+            params,
+            edge_order,
+            tracer,
+            engine=engine,
+            epsilon=epsilon,
         )
         self._runtime = runtime
         # Per-worker merging never yields a global merge-event stream,
@@ -83,6 +90,11 @@ class _ParallelCoarseSweeper(_CoarseSweeper):
             before = self.chain
             if self.engine == "batch":
                 after = self._runtime.chunk_batch_range(before, w_start, w_end)
+            elif self.engine == "sharded":
+                after, deferred = self._runtime.chunk_sharded_range(
+                    before, w_start, w_end, defer_boundary=self.epsilon > 0
+                )
+                self._push_deferred(deferred)
             else:
                 after = self._runtime.chunk_merge_range(before, w_start, w_end)
             if after is before:
@@ -127,6 +139,7 @@ def parallel_coarse_sweep(
     backend: Union[str, ExecutionBackend, SweepRuntime] = "thread",
     tracer=None,
     engine: str = "chained",
+    epsilon: float = 0.0,
 ) -> CoarseResult:
     """Coarse-grained sweep with parallel chunk processing.
 
@@ -143,8 +156,14 @@ def parallel_coarse_sweep(
     ``"chained"`` walks the paper's sequential MERGE chain,
     ``"batch"`` contracts the share vectorized
     (:mod:`repro.fast.batch_sweep`) and the runtime joins the rows with
-    one more contraction.  ``"batch"`` implies the columnar pair
+    one more contraction, and ``"sharded"`` gives each worker ownership
+    of one contiguous vertex range of ``C`` (no private full copies;
+    :mod:`repro.parallel.sharded_sweep`) with host-side boundary
+    reconciliation per level.  Both alternates imply the columnar pair
     pipeline (a dict ``similarity_map`` is converted up front).
+    ``epsilon > 0`` (sharded only) defers boundary reconciliation
+    across levels while local merge deltas stay within ``(1 + epsilon)``
+    of the reconciled count; the final partition is unchanged.
 
     Produces the same per-level partitions as
     :func:`repro.core.coarse.coarse_sweep` for the same chunk boundaries;
@@ -163,6 +182,7 @@ def parallel_coarse_sweep(
         runtime,
         tracer,
         engine=engine,
+        epsilon=epsilon,
     )
     if sweeper.columns is not None:
         # Columnar: publish the sorted wedge columns to the runtime once;

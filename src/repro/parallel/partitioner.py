@@ -9,7 +9,10 @@ model and ablations.
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, TypeVar
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence, Tuple, TypeVar, Union, overload
+
+import numpy as np
 
 from repro.errors import ParameterError
 
@@ -19,6 +22,8 @@ __all__ = [
     "lpt_partition",
     "partition_range",
     "strided_partition",
+    "ShardedPartition",
+    "ClassifiedPairs",
 ]
 
 T = TypeVar("T")
@@ -29,12 +34,52 @@ def _check_k(k: int) -> None:
         raise ParameterError(f"number of parts must be >= 1, got {k}")
 
 
-def contiguous_partition(items: Sequence[T], k: int) -> List[List[T]]:
-    """Split ``items`` into ``k`` contiguous slices of near-equal length.
+def _contiguous_bounds(n: int, k: int) -> Tuple[int, ...]:
+    """Shard boundaries for a never-empty contiguous split of ``range(n)``.
 
-    Empty parts are possible when ``k > len(items)``.
+    Returns ``min(k, n) + 1`` monotonically increasing offsets starting
+    at 0 and ending at ``n`` (a single ``(0,)`` when ``n == 0``).
     """
     _check_k(k)
+    if n < 0:
+        raise ParameterError(f"domain size must be >= 0, got {n}")
+    parts = min(k, n)
+    bounds = [0]
+    if parts:
+        base, extra = divmod(n, parts)
+        for part in range(parts):
+            bounds.append(bounds[-1] + base + (1 if part < extra else 0))
+    return tuple(bounds)
+
+
+@overload
+def contiguous_partition(items: int, k: int) -> List[range]: ...
+
+
+@overload
+def contiguous_partition(items: Sequence[T], k: int) -> List[List[T]]: ...
+
+
+def contiguous_partition(
+    items: Union[int, Sequence[T]], k: int
+) -> Union[List[range], List[List[T]]]:
+    """Split into ``k`` contiguous slices of near-equal length.
+
+    Two forms:
+
+    - ``contiguous_partition(n, k)`` with an **int** domain size returns
+      ``min(k, n)`` ranges covering ``range(n)``: parts are never empty
+      and sizes differ by at most 1 — the same guarantees
+      :func:`strided_partition` gives, in contiguous (vertex-ownership)
+      form.  This is the sharded sweep engine's ownership map.
+    - ``contiguous_partition(items, k)`` with a **sequence** keeps the
+      historical behaviour: exactly ``k`` list parts, empty parts
+      possible when ``k > len(items)``.
+    """
+    _check_k(k)
+    if isinstance(items, int):
+        bounds = _contiguous_bounds(items, k)
+        return [range(bounds[i], bounds[i + 1]) for i in range(len(bounds) - 1)]
     n = len(items)
     base, extra = divmod(n, k)
     parts: List[List[T]] = []
@@ -100,3 +145,93 @@ def partition_range(n: int, k: int, scheme: str = "round_robin") -> List[List[in
     if scheme == "contiguous":
         return contiguous_partition(range(n), k)
     raise ParameterError(f"unknown partition scheme {scheme!r}")
+
+
+@dataclass(frozen=True)
+class ClassifiedPairs:
+    """One level's live root pairs, split by shard ownership.
+
+    ``intra_a``/``intra_b`` are owner-sorted (stable, so original pair
+    order is preserved within each shard); shard ``s`` owns the slice
+    ``segments[s]:segments[s + 1]``.  ``boundary_a``/``boundary_b`` are
+    the pairs whose endpoints live in different shards, in original
+    order.
+    """
+
+    intra_a: np.ndarray
+    intra_b: np.ndarray
+    segments: np.ndarray  # int64, length num_shards + 1
+    boundary_a: np.ndarray
+    boundary_b: np.ndarray
+
+
+@dataclass(frozen=True)
+class ShardedPartition:
+    """Contiguous vertex-ownership map for the sharded sweep engine.
+
+    Shard ``s`` *owns* the index range ``[bounds[s], bounds[s + 1])`` of
+    array C: it is the only writer of that slice during a level's local
+    phase.  Built with :func:`contiguous_partition`'s int form, so shards
+    are never empty and balanced within one element.
+    """
+
+    n: int
+    bounds: Tuple[int, ...] = field(repr=False)
+
+    @classmethod
+    def build(cls, n: int, num_shards: int) -> "ShardedPartition":
+        """Partition ``range(n)`` over ``min(num_shards, n)`` owners."""
+        return cls(n=n, bounds=_contiguous_bounds(n, num_shards))
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.bounds) - 1
+
+    @property
+    def max_width(self) -> int:
+        """Widest owned slice — the per-shard resident C footprint."""
+        if self.num_shards == 0:
+            return 0
+        return max(
+            self.bounds[s + 1] - self.bounds[s] for s in range(self.num_shards)
+        )
+
+    def ranges(self) -> List[range]:
+        return [
+            range(self.bounds[s], self.bounds[s + 1])
+            for s in range(self.num_shards)
+        ]
+
+    def owners(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorized owner lookup: shard index for every C index."""
+        bounds = np.asarray(self.bounds, dtype=np.int64)
+        return np.searchsorted(bounds, indices, side="right") - 1
+
+    def owner_of(self, index: int) -> int:
+        if not 0 <= index < self.n:
+            raise ParameterError(f"index {index} outside [0, {self.n})")
+        return int(self.owners(np.asarray([index], dtype=np.int64))[0])
+
+    def classify(self, a: np.ndarray, b: np.ndarray) -> ClassifiedPairs:
+        """Split root pairs into per-shard intra segments and boundary pairs.
+
+        A pair is *intra* when both endpoints fall in the same owned
+        range and *boundary* otherwise.  Intra pairs come back sorted by
+        owning shard (stable) with ``segments`` delimiting each shard's
+        slice; boundary pairs keep their original order.
+        """
+        owner_a = self.owners(a)
+        intra = owner_a == self.owners(b)
+        cross = ~intra
+        owner = owner_a[intra]
+        order = np.argsort(owner, kind="stable")
+        segments = np.searchsorted(
+            owner[order], np.arange(self.num_shards + 1, dtype=np.int64)
+        )
+        return ClassifiedPairs(
+            intra_a=a[intra][order],
+            intra_b=b[intra][order],
+            segments=segments,
+            boundary_a=a[cross],
+            boundary_b=b[cross],
+        )

@@ -39,8 +39,17 @@ from repro.errors import ParameterError
 from repro.obs import NULL_TRACER
 from repro.fast.batch_sweep import batch_chunk_merge, batch_components, batch_join_rows
 from repro.parallel.merge_arrays import hierarchical_merge
-from repro.parallel.partitioner import round_robin_partition, strided_partition
+from repro.parallel.partitioner import (
+    ShardedPartition,
+    round_robin_partition,
+    strided_partition,
+)
 from repro.parallel.pool import ExecutionBackend, SerialBackend, get_backend
+from repro.parallel.sharded_sweep import (
+    ShardTask,
+    sharded_components,
+    solve_shard,
+)
 from repro.parallel.shm_sweep import ShmArena
 
 __all__ = [
@@ -112,6 +121,23 @@ class SweepRuntime(ABC):
         # pair lists.  The token lets backends detect staleness.
         self._pairs: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._pairs_token = 0
+        # Vertex-ownership maps for the sharded engine, one per array
+        # length seen (in practice one per sweep).
+        self._shard_parts: Dict[int, ShardedPartition] = {}
+
+    def _shard_partition(self, n: int) -> ShardedPartition:
+        """The contiguous ownership map this runtime shards ``C`` by.
+
+        One shard per worker (clamped to ``n``); cached per array
+        length.  Results are shard-count-invariant, so the worker count
+        only decides the fan-out width.
+        """
+        part = self._shard_parts.get(n)
+        if part is None:
+            workers = max(1, getattr(self, "num_workers", 1))
+            part = ShardedPartition.build(n, workers)
+            self._shard_parts[n] = part
+        return part
 
     def start(self) -> "SweepRuntime":
         """Create worker state eagerly; returns self."""
@@ -211,6 +237,53 @@ class SweepRuntime(ABC):
         self.tracer.record("runtime:compute", dt, workers=1)
         return after
 
+    def chunk_sharded_range(
+        self,
+        chain: ChainArray,
+        start: int,
+        stop: int,
+        defer_boundary: bool = False,
+    ) -> Tuple[ChainArray, Tuple[np.ndarray, np.ndarray]]:
+        """Sharded-engine counterpart of :meth:`chunk_merge_range`.
+
+        Splits the window's live root pairs by contiguous vertex
+        ownership, contracts each shard locally, and reconciles the
+        deduplicated boundary pairs
+        (:func:`repro.parallel.sharded_sweep.sharded_components`).
+        Returns ``(chain', (deferred_a, deferred_b))``; the deferred
+        arrays are empty unless ``defer_boundary`` is set, in which
+        case the boundary pairs come back for the driver's epsilon
+        machinery instead of being applied.  This baseline solves the
+        shards sequentially in process; subclasses fan the shard tasks
+        out to workers.
+        """
+        i1, i2 = self._require_pairs(start, stop)
+        self.stats.chunks += 1
+        if start == stop:
+            return chain, (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+            )
+        part = self._shard_partition(len(chain))
+        base = np.asarray(chain.raw(), dtype=np.int64)
+        t0 = time.perf_counter()
+        merged, deferred, _stats = sharded_components(
+            base,
+            i1[start:stop],
+            i2[start:stop],
+            part,
+            tracer=self.tracer,
+            defer_boundary=defer_boundary,
+        )
+        t1 = time.perf_counter()
+        self.stats.compute_time += t1 - t0
+        self.tracer.record("runtime:compute", t1 - t0, workers=1)
+        after = ChainArray(len(chain), _init=merged.tolist())
+        t2 = time.perf_counter()
+        self.stats.copy_time += t2 - t1
+        self.tracer.record("runtime:copy", t2 - t1, copies=1)
+        return after, deferred
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(chunks={self.stats.chunks})"
 
@@ -244,6 +317,23 @@ def _batch_merge_worker(
     contraction).  Returns the fully compressed label row.
     """
     return batch_components(labels, i1, i2)
+
+
+def _shard_local_worker(
+    width: int, a: np.ndarray, b: np.ndarray
+) -> Tuple[np.ndarray, float]:
+    """Sharded-engine worker: contract one owned slice's intra pairs.
+
+    Receives only the shard's width and its local-coordinate pairs —
+    no slice of array ``C`` crosses to the worker at all (the owned
+    slice's state is fully determined by an identity relabel plus
+    these pairs; see :func:`repro.parallel.sharded_sweep.solve_shard`).
+    Returns the local labels and the worker-side seconds for the
+    ``sweep:shard[s]`` span.
+    """
+    t0 = time.perf_counter()
+    local = solve_shard(width, a, b)
+    return local, time.perf_counter() - t0
 
 
 class LocalSweepRuntime(SweepRuntime):
@@ -402,11 +492,85 @@ class LocalSweepRuntime(SweepRuntime):
         tracer.record("runtime:compute", t2 - t1, workers=len(parts))
 
         joined = batch_join_rows(list(rows), tracer=tracer)
-        after = ChainArray(len(chain), _init=joined.tolist())
         t3 = time.perf_counter()
         stats.merge_time += t3 - t2
         tracer.record("runtime:merge", t3 - t2)
+        # Materializing the result ChainArray is transport, not joining:
+        # it lands in copy_time so runtime:copy/runtime:merge spans stay
+        # comparable across engines (chained pays its copies up front).
+        after = ChainArray(len(chain), _init=joined.tolist())
+        t4 = time.perf_counter()
+        stats.copy_time += t4 - t3
+        tracer.record("runtime:copy", t4 - t3, copies=1)
         return after
+
+    def chunk_sharded_range(
+        self,
+        chain: ChainArray,
+        start: int,
+        stop: int,
+        defer_boundary: bool = False,
+    ) -> Tuple[ChainArray, Tuple[np.ndarray, np.ndarray]]:
+        """Sharded engine over the pool: owner-computes shard tasks.
+
+        Classification and boundary reconciliation run on the host
+        (cheap vectorized passes); the per-shard local contractions fan
+        out over the pool as ``(width, local pairs)`` tasks.  Unlike
+        :meth:`chunk_batch_range`, no worker ever receives (or returns)
+        an n-sized array: task payloads and results are shard-width
+        bounded, which is what drops the process backend's pickling
+        traffic and every backend's resident footprint by ~T×.
+        """
+        i1, i2 = self._require_pairs(start, stop)
+        self.stats.chunks += 1
+        if start == stop:
+            return chain, (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+            )
+        stats = self.stats
+        tracer = self.tracer
+        part = self._shard_partition(len(chain))
+        base = np.asarray(chain.raw(), dtype=np.int64)
+        compute_cell = [0.0]
+        busy_cell = [0]
+
+        def solver(tasks: Sequence[ShardTask]) -> List[Tuple[np.ndarray, float]]:
+            self.start()
+            t0 = time.perf_counter()
+            results = self.backend.map(
+                _shard_local_worker,
+                [(t.hi - t.lo, t.a - t.lo, t.b - t.lo) for t in tasks],
+            )
+            compute_cell[0] += time.perf_counter() - t0
+            busy_cell[0] = len(tasks)
+            stats.tasks += len(tasks)
+            return list(results)
+
+        t0 = time.perf_counter()
+        merged, deferred, _stats = sharded_components(
+            base,
+            i1[start:stop],
+            i2[start:stop],
+            part,
+            tracer=tracer,
+            defer_boundary=defer_boundary,
+            shard_solver=solver,
+        )
+        t1 = time.perf_counter()
+        stats.compute_time += compute_cell[0]
+        if busy_cell[0]:
+            tracer.record("runtime:compute", compute_cell[0], workers=busy_cell[0])
+        # Host-side classification, reconciliation, and relabel
+        # composition are the combine step.
+        host_dt = max(0.0, (t1 - t0) - compute_cell[0])
+        stats.merge_time += host_dt
+        tracer.record("runtime:merge", host_dt)
+        after = ChainArray(len(chain), _init=merged.tolist())
+        t2 = time.perf_counter()
+        stats.copy_time += t2 - t1
+        tracer.record("runtime:copy", t2 - t1, copies=1)
+        return after, deferred
 
     def __repr__(self) -> str:
         return (
@@ -431,6 +595,10 @@ class ShmSweepRuntime(SweepRuntime):
         super().__init__()
         self.num_workers = num_workers
         self._arena: ShmArena | None = ShmArena(n, num_workers) if n is not None else None
+        # Host-side copy cost (list -> ChainArray materialization) that
+        # the arena cannot see; _sync_stats adds it to the arena's own
+        # copy_time so runtime:copy stays comparable across engines.
+        self._host_copy_time = 0.0
 
     @property
     def arena(self) -> ShmArena | None:
@@ -471,6 +639,9 @@ class ShmSweepRuntime(SweepRuntime):
             stats.merge_time,
         )
         merged_raw = call()
+        t0 = time.perf_counter()
+        result = ChainArray(len(merged_raw), _init=merged_raw)
+        self._host_copy_time += time.perf_counter() - t0
         self._sync_stats()
         tracer = self.tracer
         spawn_dt = stats.spawn_time - before[0]
@@ -481,7 +652,7 @@ class ShmSweepRuntime(SweepRuntime):
             "runtime:compute", stats.compute_time - before[2], workers=self.num_workers
         )
         tracer.record("runtime:merge", stats.merge_time - before[3])
-        return ChainArray(len(merged_raw), _init=merged_raw)
+        return result
 
     def chunk_merge(
         self, chain: ChainArray, edge_pairs: Sequence[Tuple[int, int]]
@@ -533,6 +704,56 @@ class ShmSweepRuntime(SweepRuntime):
             lambda: arena.chunk_batch_range(list(chain.raw()), start, stop)
         )
 
+    def chunk_sharded_range(
+        self,
+        chain: ChainArray,
+        start: int,
+        stop: int,
+        defer_boundary: bool = False,
+    ) -> Tuple[ChainArray, Tuple[np.ndarray, np.ndarray]]:
+        """Sharded engine over the arena (owner-computes shard tasks).
+
+        The arena keeps array ``C`` once in shared memory; each resident
+        worker contracts and writes back only its owned vertex slice
+        (:meth:`repro.parallel.shm_sweep.ShmArena.chunk_sharded_range`),
+        so no per-worker n-sized copy exists on any path.  Boundary and
+        reconciliation counters are surfaced as tracer counts per chunk.
+        """
+        i1, i2 = self._require_pairs(start, stop)
+        if start == stop:
+            self.stats.chunks += 1
+            return chain, (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+            )
+        arena = self._arena_for(len(chain))
+        if arena.pairs_token != self._pairs_token:
+            arena.load_pairs(i1, i2, token=self._pairs_token)
+        boundary_before = arena.boundary_edges
+        rounds_before = arena.reconcile_rounds
+        box: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+
+        def call() -> List[int]:
+            out, deferred = arena.chunk_sharded_range(
+                list(chain.raw()), start, stop, defer_boundary=defer_boundary
+            )
+            # Detach from anything arena-owned before the box crosses
+            # back to the driver (the arrays are host copies already,
+            # but the contract is explicit).
+            box["deferred"] = (deferred[0].copy(), deferred[1].copy())
+            return out
+
+        after = self._run_on_arena(call)
+        tracer = self.tracer
+        tracer.gauge("shard_bytes", arena.shard_bytes)
+        boundary_delta = arena.boundary_edges - boundary_before
+        if boundary_delta:
+            tracer.count("boundary_edges", boundary_delta)
+        rounds_delta = arena.reconcile_rounds - rounds_before
+        if rounds_delta:
+            tracer.count("reconcile_rounds", rounds_delta)
+        return after, box["deferred"]
+
     def _sync_stats(self) -> None:
         """Mirror the arena's counters into this runtime's stats."""
         arena = self._arena
@@ -542,7 +763,7 @@ class ShmSweepRuntime(SweepRuntime):
         stats.chunks = arena.chunks
         stats.tasks = arena.tasks
         stats.spawn_time = arena.spawn_time
-        stats.copy_time = arena.copy_time
+        stats.copy_time = arena.copy_time + self._host_copy_time
         stats.compute_time = arena.compute_time
         stats.merge_time = arena.merge_time
 

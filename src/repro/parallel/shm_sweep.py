@@ -37,9 +37,19 @@ import numpy as np
 
 from repro.cluster.shm import NumpyChainArray
 from repro.errors import ParallelError, ParameterError
-from repro.fast.batch_sweep import batch_components, batch_join_rows
+from repro.fast.batch_sweep import batch_components, batch_join_rows, compress_labels
 from repro.parallel.merge_arrays import merge_chain_into
-from repro.parallel.partitioner import round_robin_partition, strided_partition
+from repro.parallel.partitioner import (
+    ShardedPartition,
+    round_robin_partition,
+    strided_partition,
+)
+from repro.parallel.sharded_sweep import (
+    apply_relabels,
+    dedupe_root_pairs,
+    reconcile_labels,
+    sharded_components,
+)
 
 __all__ = ["ShmArena", "shm_chunk_merge", "describe_exitcode"]
 
@@ -103,6 +113,7 @@ def _attach_untracked(name: str) -> shared_memory.SharedMemory:
 def _worker(
     shm_name: str,
     row: int,
+    num_rows: int,
     n: int,
     task_queue: Any,
     result_queue: Any,
@@ -110,7 +121,7 @@ def _worker(
     """Long-lived arena worker: MERGE each task's pairs on row ``row``.
 
     Attaches to the shared block once, then serves tasks until the
-    ``None`` sentinel.  Three task shapes are served:
+    ``None`` sentinel.  Five task shapes are served:
 
     * a list of ``(i1, i2)`` pairs (legacy dict-pipeline path), merged
       directly;
@@ -120,7 +131,20 @@ def _worker(
     * a ``("batch_range", ...)`` tuple with the same fields (batch
       engine): the strided slice is contracted vectorized
       (:func:`repro.fast.batch_sweep.batch_components`) and the fully
-      compressed labels written back into the worker's row.
+      compressed labels written back into the worker's row;
+    * a ``("shard_local", name, capacity, seg_start, seg_stop, lo, hi)``
+      tuple (sharded engine): the worker owns vertex range ``[lo, hi)``
+      of the labels in row 0 and contracts the owner-sorted intra-shard
+      edge segment from the named edges block over *identity* labels of
+      its shard width, writing ``local + lo`` into its slice of the rho
+      row (row 1) — it never materializes an n-sized copy of ``C``;
+    * a ``("shard_writeback", lo, hi)`` tuple: the owner relabels its
+      slice of row 0 through the reconciled rho row (the right-hand
+      side is fully gathered before the slice assignment, and owners
+      write disjoint ranges, so the broadcast is race-free).
+
+    The matrix is mapped in full (``num_rows`` x ``n``) because sharded
+    tasks address rows 0/1 regardless of the worker's own row index.
 
     A failure while merging is reported to the parent through the
     result queue (the worker stays alive — its row is rewritten from
@@ -129,8 +153,10 @@ def _worker(
     block = _attach_untracked(shm_name)
     pairs_block: Optional[shared_memory.SharedMemory] = None
     pairs_name: Optional[str] = None
+    edges_block: Optional[shared_memory.SharedMemory] = None
+    edges_name: Optional[str] = None
     try:
-        matrix = np.ndarray((row + 1, n), dtype=np.int64, buffer=block.buf)
+        matrix = np.ndarray((num_rows, n), dtype=np.int64, buffer=block.buf)
         row_view = matrix[row]
         while True:
             task = task_queue.get()
@@ -170,6 +196,34 @@ def _worker(
                             pairs_mat[1, offset:stop:stride].tolist(),
                         ):
                             chain.merge(i1, i2)
+                elif (
+                    isinstance(task, tuple)
+                    and task
+                    and task[0] == "shard_local"
+                ):
+                    kind, name, capacity, seg_start, seg_stop, lo, hi = task
+                    if edges_name != name:
+                        if edges_block is not None:
+                            edges_block.close()
+                            edges_block = None
+                        edges_block = _attach_untracked(name)
+                        edges_name = name
+                    edges_mat = np.ndarray(
+                        (2, capacity), dtype=np.int64, buffer=edges_block.buf
+                    )
+                    local = batch_components(
+                        np.arange(hi - lo, dtype=np.int64),
+                        edges_mat[0, seg_start:seg_stop] - lo,
+                        edges_mat[1, seg_start:seg_stop] - lo,
+                    )
+                    matrix[1, lo:hi] = local + lo
+                elif (
+                    isinstance(task, tuple)
+                    and task
+                    and task[0] == "shard_writeback"
+                ):
+                    kind, lo, hi = task
+                    matrix[0, lo:hi] = matrix[1][matrix[0, lo:hi]]
                 else:
                     for i1, i2 in task:
                         chain.merge(i1, i2)
@@ -180,6 +234,8 @@ def _worker(
     finally:
         if pairs_block is not None:
             pairs_block.close()
+        if edges_block is not None:
+            edges_block.close()
         block.close()
 
 
@@ -214,6 +270,11 @@ class ShmArena:
         self._pairs_block: Optional[shared_memory.SharedMemory] = None
         self._pairs_capacity = 0
         self._pairs_len = 0
+        # Scratch block for the sharded engine's owner-sorted intra
+        # edges (grown on demand, reused across chunks).
+        self._edges_block: Optional[shared_memory.SharedMemory] = None
+        self._edges_capacity = 0
+        self._shard_part: Optional[ShardedPartition] = None
         # The caller's arrays, kept for the inline (single-busy-worker)
         # path so it never touches the shared block's buffer directly.
         self._pairs_host: Optional[Tuple[np.ndarray, np.ndarray]] = None
@@ -231,6 +292,9 @@ class ShmArena:
         self.range_tasks = 0
         self.list_tasks = 0
         self.batch_tasks = 0
+        self.shard_tasks = 0
+        self.boundary_edges = 0
+        self.reconcile_rounds = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -259,7 +323,14 @@ class ShmArena:
                 task_queue = self._ctx.Queue()
                 proc = self._ctx.Process(  # repro: noqa: PAR001 — resident worker; shutdown() joins/terminates on all paths
                     target=_worker,
-                    args=(block.name, row, self.n, task_queue, self._result_queue),
+                    args=(
+                        block.name,
+                        row,
+                        self.num_workers,
+                        self.n,
+                        task_queue,
+                        self._result_queue,
+                    ),
                     daemon=True,
                 )
                 proc.start()
@@ -302,7 +373,10 @@ class ShmArena:
                     block.close()
                     block.unlink()
             finally:
-                self._release_pairs_block()
+                try:
+                    self._release_pairs_block()
+                finally:
+                    self._release_edges_block()
 
     # ------------------------------------------------------------------
     # sorted-pair columns (columnar zero-copy path)
@@ -361,6 +435,39 @@ class ShmArena:
         if block is not None:
             block.close()
             block.unlink()
+
+    # ------------------------------------------------------------------
+    # sharded-engine scratch (owner-sorted intra edges)
+    # ------------------------------------------------------------------
+    def _ensure_edges_block(self, k: int) -> shared_memory.SharedMemory:
+        """Shared scratch for ``k`` intra-shard edge pairs (grown on demand)."""
+        if self._edges_block is None or self._edges_capacity < k:
+            self._release_edges_block()
+            capacity = max(1, k)
+            self._edges_block = shared_memory.SharedMemory(  # repro: noqa: SHM001 — reused across chunks; shutdown() releases it
+                create=True, size=2 * capacity * 8
+            )
+            self._edges_capacity = capacity
+        return self._edges_block
+
+    def _release_edges_block(self) -> None:
+        """Close and unlink the intra-edges scratch block; idempotent."""
+        block, self._edges_block = self._edges_block, None
+        self._edges_capacity = 0
+        if block is not None:
+            block.close()
+            block.unlink()
+
+    def shard_partition(self) -> ShardedPartition:
+        """The owner-computes vertex partition this arena shards by."""
+        if self._shard_part is None:
+            self._shard_part = ShardedPartition.build(self.n, self.num_workers)
+        return self._shard_part
+
+    @property
+    def shard_bytes(self) -> int:
+        """Peak per-worker resident bytes of ``C`` under the sharded engine."""
+        return self.shard_partition().max_width * 8
 
     def __enter__(self) -> "ShmArena":
         # Lazy: chunk_merge starts the workers only when a chunk really
@@ -570,8 +677,180 @@ class ShmArena:
 
         t0 = time.perf_counter()
         joined = batch_join_rows([self._matrix[row] for row in range(busy)])
+        t1 = time.perf_counter()
+        self.merge_time += t1 - t0
+        # Materializing the Python list is copy traffic, not join work —
+        # keep it out of merge_time so runtime:merge stays comparable
+        # across engines.
+        out = joined.tolist()
+        self.copy_time += time.perf_counter() - t1
+        return out
+
+    def chunk_sharded_range(
+        self,
+        base: Sequence[int],
+        start: int,
+        stop: int,
+        defer_boundary: bool = False,
+    ) -> Tuple[List[int], Tuple[np.ndarray, np.ndarray]]:
+        """Sharded-engine counterpart of :meth:`chunk_batch_range`.
+
+        Owner-computes over the shared block: the compressed labels live
+        *once* in matrix row 0 and the per-level relabel ``rho`` in row
+        1; each worker owns a contiguous vertex range and writes only
+        its ``[lo, hi)`` slice of row 1 (local contraction) and row 0
+        (final write-back) — no worker ever materializes an n-sized
+        private copy of ``C``, so per-worker resident bytes drop from
+        ``8n`` to :attr:`shard_bytes`.  The host classifies the window's
+        pairs, ships the owner-sorted intra segments through a reusable
+        shared scratch block (names and offsets only on the queues),
+        reconciles the deduplicated boundary cluster pairs on row 1,
+        and the owners broadcast the final relabels back into row 0.
+
+        Returns ``(labels, (deferred_a, deferred_b))``: the fully
+        compressed labels as a plain list, plus the unapplied boundary
+        cluster pairs — non-empty only with ``defer_boundary=True``
+        (plain host arrays, detached from shared memory).
+        """
+        base_arr = np.asarray(base, dtype=np.int64)
+        if base_arr.shape != (self.n,):
+            raise ParameterError(
+                f"base must be one-dimensional of length {self.n}, "
+                f"got shape {base_arr.shape}"
+            )
+        if self._pairs_host is None:
+            raise ParameterError(
+                "no pair columns loaded — call load_pairs() before "
+                "chunk_sharded_range()"
+            )
+        if not (0 <= start <= stop <= self._pairs_len):
+            raise ParameterError(
+                f"pair range [{start}, {stop}) out of bounds for "
+                f"{self._pairs_len} loaded pairs"
+            )
+        self.chunks += 1
+        empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        if stop - start == 0 or self.n == 0:
+            return base_arr.tolist(), empty
+        host_i1, host_i2 = self._pairs_host
+        part = self.shard_partition()
+        if self.num_workers == 1 or part.num_shards < 2:
+            # A single owner has nothing to shard across; run the pure
+            # level in process (identical result, no IPC).
+            t0 = time.perf_counter()
+            merged, deferred, cstats = sharded_components(
+                base_arr,
+                host_i1[start:stop],
+                host_i2[start:stop],
+                part,
+                defer_boundary=defer_boundary,
+            )
+            self.compute_time += time.perf_counter() - t0
+            self.boundary_edges += cstats.boundary_edges
+            self.reconcile_rounds += cstats.reconcile_rounds
+            return merged.tolist(), deferred
+
+        self.start()
+        assert self._matrix is not None
+
+        # Host classification: one compressed gather over the window,
+        # then the vectorized owner split (host-side join work).
+        t0 = time.perf_counter()
+        lab = compress_labels(base_arr)
+        a = lab[host_i1[start:stop]]
+        b = lab[host_i2[start:stop]]
+        live = a != b
+        a = a[live]
+        b = b[live]
+        if a.size == 0:
+            self.merge_time += time.perf_counter() - t0
+            return lab.tolist(), empty
+        cls = part.classify(a, b)
         self.merge_time += time.perf_counter() - t0
-        return joined.tolist()
+
+        # Publish the level's state: labels once (row 0), identity rho
+        # (row 1), and the owner-sorted intra pairs in the scratch block.
+        t0 = time.perf_counter()
+        self._matrix[0, :] = lab
+        self._matrix[1, :] = np.arange(self.n, dtype=np.int64)
+        intra_count = int(cls.intra_a.size)
+        edges_block = self._ensure_edges_block(intra_count)
+        emat = np.ndarray(
+            (2, self._edges_capacity), dtype=np.int64, buffer=edges_block.buf
+        )
+        emat[0, :intra_count] = cls.intra_a
+        emat[1, :intra_count] = cls.intra_b
+        del emat  # keep no view on the buffer past this call
+        self.copy_time += time.perf_counter() - t0
+
+        # Owner-computes: each busy shard contracts its intra segment
+        # and writes its slice of rho.  Untouched shards stay identity.
+        t0 = time.perf_counter()
+        busy = 0
+        for shard in range(part.num_shards):
+            seg_start = int(cls.segments[shard])
+            seg_stop = int(cls.segments[shard + 1])
+            if seg_start == seg_stop:
+                continue
+            self._task_queues[busy].put(
+                (
+                    "shard_local",
+                    edges_block.name,
+                    self._edges_capacity,
+                    seg_start,
+                    seg_stop,
+                    part.bounds[shard],
+                    part.bounds[shard + 1],
+                )
+            )
+            busy += 1
+        if busy:
+            self.tasks += busy
+            self.shard_tasks += busy
+            self._collect(busy)
+        self.compute_time += time.perf_counter() - t0
+
+        # Boundary-epoch reconciliation on the shared rho row (host).
+        deferred = empty
+        t0 = time.perf_counter()
+        rho = self._matrix[1]
+        if cls.boundary_a.size:
+            ba = rho[cls.boundary_a]
+            bb = rho[cls.boundary_b]
+            blive = ba != bb
+            ba = ba[blive]
+            bb = bb[blive]
+            if ba.size:
+                ba, bb = dedupe_root_pairs(ba, bb, self.n)
+                self.boundary_edges += int(ba.size)
+                if defer_boundary:
+                    deferred = (ba, bb)
+                else:
+                    keys, vals, rounds = reconcile_labels(ba, bb)
+                    apply_relabels(rho, keys, vals)
+                    self.reconcile_rounds += rounds
+        self.merge_time += time.perf_counter() - t0
+
+        # Owners broadcast the reconciled relabels back into row 0;
+        # every shard's slice must pass through rho (identity included).
+        t0 = time.perf_counter()
+        for shard in range(part.num_shards):
+            self._task_queues[shard].put(
+                (
+                    "shard_writeback",
+                    part.bounds[shard],
+                    part.bounds[shard + 1],
+                )
+            )
+        self.tasks += part.num_shards
+        self.shard_tasks += part.num_shards
+        self._collect(part.num_shards)
+        self.compute_time += time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        out = self._matrix[0].tolist()
+        self.copy_time += time.perf_counter() - t0
+        return out, deferred
 
     def _combine_rows(self, t: int) -> List[int]:
         """Step 2: combine rows pairwise (corrected scheme) in the parent."""

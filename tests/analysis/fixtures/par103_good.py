@@ -22,7 +22,18 @@ def _fill_offset(task):
         block.close()
 
 
+def _fill_unpacked(task):
+    block = shared_memory.SharedMemory(name=task[0])
+    try:
+        _name, lo, hi, payload = task
+        view = block.buf
+        view[lo:hi] = payload
+    finally:
+        block.close()
+
+
 def run(tasks):
     with Pool(4) as pool:
         pool.map(_fill, tasks)
         pool.map(_fill_offset, tasks)
+        pool.map(_fill_unpacked, tasks)

@@ -223,6 +223,99 @@ class TestBatchEngineRuns:
         assert result.to_dict()["config"]["engine"] == "batch"
 
 
+class TestShardedEngineRuns:
+    def test_auto_pairs_format_forced_columnar(self, triangle):
+        from repro.core.config import RunConfig
+
+        lc = LinkClustering(
+            triangle, config=RunConfig(coarse=True, engine="sharded")
+        )
+        assert lc.pairs_format == "auto"
+        assert lc.resolved_pairs_format() == "columnar"
+
+    def test_sharded_run_matches_chained(self, weighted_caveman):
+        from repro.core.config import RunConfig
+
+        chained = LinkClustering(
+            weighted_caveman,
+            config=RunConfig(coarse=True, pairs_format="columnar"),
+        ).run()
+        sharded = LinkClustering(
+            weighted_caveman, config=RunConfig(coarse=True, engine="sharded")
+        ).run()
+        assert sharded.pairs_format == "columnar"
+        assert chained.num_levels == sharded.num_levels
+        for level in range(chained.num_levels + 1):
+            assert same_partition(
+                chained.dendrogram.labels_at_level(level),
+                sharded.dendrogram.labels_at_level(level),
+            )
+
+    @pytest.mark.parametrize("backend", ["thread", "shm"])
+    def test_parallel_sharded_matches_serial_chained(self, planted, backend):
+        from repro.core.config import RunConfig
+
+        serial = LinkClustering(planted, coarse=True).run()
+        sharded = LinkClustering(
+            planted,
+            config=RunConfig(
+                coarse=True, engine="sharded", backend=backend, num_workers=3
+            ),
+        ).run()
+        assert same_partition(serial.edge_labels(), sharded.edge_labels())
+
+    def test_epsilon_run_matches_exact_partition(self, planted):
+        from repro.core.config import RunConfig
+
+        exact = LinkClustering(
+            planted, config=RunConfig(coarse=True, engine="sharded")
+        ).run()
+        slack = LinkClustering(
+            planted,
+            config=RunConfig(coarse=True, engine="sharded", epsilon=0.5),
+        ).run()
+        assert same_partition(exact.edge_labels(), slack.edge_labels())
+
+    def test_result_config_carries_engine_and_epsilon(self, triangle):
+        from repro.core.config import RunConfig
+
+        result = LinkClustering(
+            triangle,
+            config=RunConfig(coarse=True, engine="sharded", epsilon=0.25),
+        ).run()
+        assert result.config.engine == "sharded"
+        assert result.config.epsilon == 0.25
+        d = result.to_dict()["config"]
+        assert d["engine"] == "sharded"
+        assert d["epsilon"] == 0.25
+
+    def test_config_round_trips_engine_and_epsilon(self):
+        from repro.core.config import RunConfig
+
+        config = RunConfig(coarse=True, engine="sharded", epsilon=0.5)
+        assert RunConfig.from_dict(config.to_dict()) == config
+
+    def test_epsilon_validation(self, triangle):
+        from repro.core.config import RunConfig
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError, match="epsilon"):
+            RunConfig(coarse=True, engine="sharded", epsilon=-0.5)
+        with pytest.raises(ParameterError, match="epsilon"):
+            RunConfig(coarse=True, engine="batch", epsilon=0.5)
+        with pytest.raises(ParameterError, match="epsilon"):
+            RunConfig(coarse=True, engine="sharded", epsilon="lots")
+        # epsilon 0 is the exact default and valid everywhere
+        RunConfig(engine="chained", epsilon=0.0)
+
+    def test_sharded_requires_coarse(self, triangle):
+        from repro.core.config import RunConfig
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError, match="coarse"):
+            RunConfig(engine="sharded")
+
+
 class TestDeprecationShims:
     def test_positional_settings_warn_but_work(self, weighted_caveman):
         with pytest.warns(DeprecationWarning, match="positionally"):

@@ -71,6 +71,46 @@ class TestCrossBackendSpanNames:
             )
 
 
+class TestShardedEngineTraces:
+    """engine="sharded" surfaces its boundary-traffic accounting on
+    every backend: the shard_bytes gauge (per-worker resident C
+    footprint) and the boundary_edges counter are the acceptance
+    numbers the benchmark reports."""
+
+    def sharded_trace(self, backend):
+        graph = generators.caveman_graph(4, 5)
+        sink = MemorySink()
+        tracer = Tracer([sink])
+        config = RunConfig(
+            backend=backend, num_workers=2, coarse=COARSE, engine="sharded"
+        )
+        result = LinkClustering(graph, config=config, tracer=tracer).run()
+        assert result.num_levels > 0
+        return set(sink.span_names()), dict(tracer.counters)
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process", "shm"])
+    def test_shard_accounting_on_every_backend(self, backend):
+        names, counters = self.sharded_trace(backend)
+        assert counters["shard_bytes"] > 0, backend
+        assert counters["boundary_edges"] > 0, backend
+        assert counters["reconcile_rounds"] > 0, backend
+        assert CORE_SPANS <= names
+
+    def test_serial_trace_has_per_shard_spans(self):
+        names, _ = self.sharded_trace("serial")
+        assert any(n.startswith("sweep:shard[") for n in names), sorted(names)
+        assert "sweep:reconcile" in names
+
+    def test_sharded_matches_chained_result(self):
+        graph = generators.caveman_graph(4, 5)
+        chained = LinkClustering(graph, coarse=COARSE).run()
+        sharded = LinkClustering(
+            graph, config=RunConfig(coarse=COARSE, engine="sharded")
+        ).run()
+        assert chained.num_levels == sharded.num_levels
+        assert chained.edge_labels() == sharded.edge_labels()
+
+
 class TestTraceShape:
     def test_chunks_nest_under_phase_sweep(self):
         graph = generators.caveman_graph(4, 5)

@@ -32,6 +32,7 @@ class TestDeclaredNames:
             "runtime:compute",
             "runtime:merge",
             "sweep:batch_round",
+            "sweep:reconcile",
         ):
             assert name in SPANS, name
             assert is_known_span(name)
@@ -42,6 +43,7 @@ class TestDeclaredNames:
         assert is_known_event("run:pairs_format")
         for counter in (
             "k1", "k2", "merges", "rollbacks", "jump_hits", "batch_rounds",
+            "boundary_edges", "reconcile_rounds", "shard_bytes",
         ):
             assert counter in COUNTERS
             assert is_known_counter(counter)
@@ -63,6 +65,12 @@ class TestWildcards:
     def test_figure_prefix_wildcard(self):
         assert is_known_span("figure:4.1")
         assert not is_known_span("figures:4.1")
+
+    def test_shard_wildcard_matches_instances(self):
+        assert is_known_span("sweep:shard[0]")
+        assert is_known_span("sweep:shard[31]")
+        assert is_known_span("sweep:shard[\x007]")
+        assert not is_known_span("sweep:shards[0]")
 
 
 class TestContractHoldsOverCodebase:

@@ -202,3 +202,122 @@ def test_property_parallel_equals_serial_coarse(n, p, seed, workers, delta0):
         g, sim, params, num_workers=workers, backend="thread"
     )
     assert same_partition(serial.edge_labels(), parallel.edge_labels())
+
+
+class TestShardedEngineParallel:
+    """engine="sharded" through every parallel backend must stay
+    dendrogram-identical to the chained oracle: same per-level labels,
+    same epoch trace (chunk boundaries depend only on pair counts)."""
+
+    PARAMS = CoarseParams(phi=2, delta0=8)
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process", "shm"])
+    def test_levels_match_chained(self, planted, backend):
+        sim = compute_similarity_map(planted)
+        chained = parallel_coarse_sweep(
+            planted, sim, self.PARAMS, num_workers=3, backend=backend,
+            engine="chained",
+        )
+        sharded = parallel_coarse_sweep(
+            planted, sim, self.PARAMS, num_workers=3, backend=backend,
+            engine="sharded",
+        )
+        assert chained.num_levels == sharded.num_levels
+        for level in range(chained.num_levels + 1):
+            assert chained.dendrogram.labels_at_level(
+                level
+            ) == sharded.dendrogram.labels_at_level(level), (backend, level)
+        assert [(e.kind, e.level, e.xi, e.p) for e in chained.epochs] == [
+            (e.kind, e.level, e.xi, e.p) for e in sharded.epochs
+        ]
+
+    @pytest.mark.parametrize("backend", ["thread", "shm"])
+    def test_merges_match_batch(self, planted, backend):
+        # Both engines record by partition diff, so the merge streams
+        # are bitwise comparable.
+        sim = compute_similarity_map(planted)
+        batch = parallel_coarse_sweep(
+            planted, sim, self.PARAMS, num_workers=3, backend=backend,
+            engine="batch",
+        )
+        sharded = parallel_coarse_sweep(
+            planted, sim, self.PARAMS, num_workers=3, backend=backend,
+            engine="sharded",
+        )
+        assert batch.dendrogram.merges == sharded.dendrogram.merges
+        assert sharded.dendrogram.merges  # non-trivial comparison
+
+    def test_matches_serial_chained_oracle(self, weighted_caveman):
+        g = weighted_caveman
+        sim = compute_similarity_map(g)
+        serial = coarse_sweep(g, sim, self.PARAMS)
+        sharded = parallel_coarse_sweep(
+            g, sim, self.PARAMS, num_workers=4, backend="thread",
+            engine="sharded",
+        )
+        for level in range(serial.num_levels + 1):
+            assert same_partition(
+                serial.dendrogram.labels_at_level(level),
+                sharded.dendrogram.labels_at_level(level),
+            )
+
+    def test_more_workers_than_edges(self, triangle):
+        # K3 has 3 edges: 8 workers means more shards than C slots, so
+        # the ownership map clamps and every pair is boundary.
+        sim = compute_similarity_map(triangle)
+        serial = coarse_sweep(triangle, sim, CoarseParams(phi=1, delta0=2))
+        sharded = parallel_coarse_sweep(
+            triangle, sim, CoarseParams(phi=1, delta0=2),
+            num_workers=8, backend="thread", engine="sharded",
+        )
+        assert same_partition(serial.edge_labels(), sharded.edge_labels())
+
+    def test_single_worker(self, planted):
+        sim = compute_similarity_map(planted)
+        serial = coarse_sweep(planted, sim, self.PARAMS)
+        sharded = parallel_coarse_sweep(
+            planted, sim, self.PARAMS, num_workers=1, backend="thread",
+            engine="sharded",
+        )
+        assert same_partition(serial.edge_labels(), sharded.edge_labels())
+
+    @pytest.mark.parametrize("backend", ["thread", "shm"])
+    def test_epsilon_final_partition_matches_exact(self, planted, backend):
+        sim = compute_similarity_map(planted)
+        params = CoarseParams(phi=1, delta0=3, finalize_root=False)
+        exact = parallel_coarse_sweep(
+            planted, sim, params, num_workers=3, backend=backend,
+            engine="sharded",
+        )
+        slack = parallel_coarse_sweep(
+            planted, sim, params, num_workers=3, backend=backend,
+            engine="sharded", epsilon=0.5,
+        )
+        assert same_partition(exact.edge_labels(), slack.edge_labels())
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(5, 10),
+    p=st.floats(0.4, 0.9),
+    seed=st.integers(0, 100),
+    workers=st.integers(2, 4),
+    delta0=st.integers(2, 20),
+)
+def test_property_sharded_parallel_equals_chained_parallel(
+    n, p, seed, workers, delta0
+):
+    g = generators.erdos_renyi(
+        n, p, seed=seed, weight=generators.random_weights(seed=seed)
+    )
+    if g.num_edges < 2:
+        return
+    sim = compute_similarity_map(g)
+    params = CoarseParams(phi=1, delta0=delta0, finalize_root=False)
+    chained = parallel_coarse_sweep(
+        g, sim, params, num_workers=workers, backend="thread", engine="chained"
+    )
+    sharded = parallel_coarse_sweep(
+        g, sim, params, num_workers=workers, backend="thread", engine="sharded"
+    )
+    assert chained.dendrogram.merges == sharded.dendrogram.merges

@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import ParameterError
 from repro.parallel.partitioner import (
+    ShardedPartition,
     contiguous_partition,
     lpt_partition,
     partition_range,
@@ -31,6 +33,133 @@ class TestContiguous:
     def test_invalid_k(self):
         with pytest.raises(ParameterError):
             contiguous_partition([1], 0)
+
+
+class TestContiguousIntForm:
+    """contiguous_partition(n, k): never-empty balanced ranges."""
+
+    def test_returns_ranges(self):
+        parts = contiguous_partition(7, 3)
+        assert parts == [range(0, 3), range(3, 5), range(5, 7)]
+
+    def test_clamps_to_domain_size(self):
+        # int form never emits empty parts — unlike the sequence form,
+        # which keeps its historical exactly-k behaviour.
+        assert contiguous_partition(2, 5) == [range(0, 1), range(1, 2)]
+        assert contiguous_partition([1, 2], 5) == [[1], [2], [], [], []]
+
+    def test_empty_domain(self):
+        assert contiguous_partition(0, 4) == []
+
+    def test_invalid_k(self):
+        with pytest.raises(ParameterError):
+            contiguous_partition(5, 0)
+
+    def test_negative_domain_rejected(self):
+        with pytest.raises(ParameterError, match="domain size"):
+            contiguous_partition(-1, 2)
+
+
+@settings(max_examples=60, deadline=None)
+@given(n=st.integers(0, 200), k=st.integers(1, 16))
+def test_property_int_form_is_balanced_cover(n, k):
+    parts = contiguous_partition(n, k)
+    # Covers range(n) contiguously, in order, with no gaps.
+    flat = [i for p in parts for i in p]
+    assert flat == list(range(n))
+    # min(k, n) parts, none empty, balanced within one element.
+    assert len(parts) == min(k, n)
+    sizes = [len(p) for p in parts]
+    assert all(s > 0 for s in sizes)
+    if sizes:
+        assert max(sizes) - min(sizes) <= 1
+    # Agrees with the sequence form where the latter has no empties.
+    seq = [p for p in contiguous_partition(list(range(n)), k) if p]
+    assert [list(p) for p in parts] == seq
+
+
+class TestShardedPartition:
+    def test_bounds_from_int_form(self):
+        part = ShardedPartition.build(7, 3)
+        assert part.bounds == (0, 3, 5, 7)
+        assert part.num_shards == 3
+        assert part.max_width == 3
+        assert part.ranges() == contiguous_partition(7, 3)
+
+    def test_more_shards_than_items_clamped(self):
+        part = ShardedPartition.build(3, 8)
+        assert part.num_shards == 3
+        assert part.max_width == 1
+
+    def test_empty_domain(self):
+        part = ShardedPartition.build(0, 4)
+        assert part.num_shards == 0
+        assert part.max_width == 0
+        assert part.ranges() == []
+
+    def test_owners_vectorized(self):
+        part = ShardedPartition.build(10, 2)
+        owners = part.owners(np.array([0, 4, 5, 9], dtype=np.int64))
+        assert owners.tolist() == [0, 0, 1, 1]
+
+    def test_owner_of_bounds_checked(self):
+        part = ShardedPartition.build(6, 2)
+        assert part.owner_of(0) == 0
+        assert part.owner_of(5) == 1
+        with pytest.raises(ParameterError):
+            part.owner_of(6)
+        with pytest.raises(ParameterError):
+            part.owner_of(-1)
+
+    def test_classify_splits_intra_and_boundary(self):
+        part = ShardedPartition.build(8, 2)  # [0,4) / [4,8)
+        a = np.array([0, 4, 1, 6], dtype=np.int64)
+        b = np.array([1, 5, 7, 7], dtype=np.int64)
+        cls = part.classify(a, b)
+        # Intra pairs sorted by owning shard, segments delimiting each.
+        assert cls.intra_a.tolist() == [0, 4, 6]
+        assert cls.intra_b.tolist() == [1, 5, 7]
+        assert cls.segments.tolist() == [0, 1, 3]
+        # Boundary keeps original order.
+        assert cls.boundary_a.tolist() == [1]
+        assert cls.boundary_b.tolist() == [7]
+
+    def test_classify_empty(self):
+        part = ShardedPartition.build(4, 2)
+        empty = np.array([], dtype=np.int64)
+        cls = part.classify(empty, empty)
+        assert cls.intra_a.size == 0
+        assert cls.boundary_a.size == 0
+        assert cls.segments.tolist() == [0, 0, 0]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(1, 120),
+    k=st.integers(1, 10),
+    m=st.integers(0, 60),
+    seed=st.integers(0, 500),
+)
+def test_property_classify_partitions_pairs(n, k, m, seed):
+    rng = np.random.default_rng(seed)
+    part = ShardedPartition.build(n, k)
+    a = rng.integers(0, n, size=m).astype(np.int64)
+    b = rng.integers(0, n, size=m).astype(np.int64)
+    cls = part.classify(a, b)
+    # Every input pair lands in exactly one bucket.
+    assert cls.intra_a.size + cls.boundary_a.size == m
+    # Intra: both endpoints share an owner, and segment s holds only
+    # shard s's pairs.
+    for s in range(part.num_shards):
+        lo, hi = part.bounds[s], part.bounds[s + 1]
+        seg = slice(int(cls.segments[s]), int(cls.segments[s + 1]))
+        assert ((cls.intra_a[seg] >= lo) & (cls.intra_a[seg] < hi)).all()
+        assert ((cls.intra_b[seg] >= lo) & (cls.intra_b[seg] < hi)).all()
+    # Boundary: owners differ.
+    if cls.boundary_a.size:
+        assert (
+            part.owners(cls.boundary_a) != part.owners(cls.boundary_b)
+        ).all()
 
 
 class TestRoundRobin:

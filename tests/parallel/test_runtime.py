@@ -207,6 +207,173 @@ class TestChunkBatchRange:
             assert arena.pair_loads == 1
 
 
+@pytest.mark.parametrize("backend", ["serial", "thread", "process", "shm"])
+class TestChunkShardedRange:
+    """chunk_sharded_range ≡ chunk_merge_range at the labels level, with
+    owner-computes shard tasks instead of per-worker full copies of C."""
+
+    def test_requires_load_pairs(self, backend):
+        with get_sweep_runtime(backend, 2) as runtime:
+            with pytest.raises(ParameterError, match="load_pairs"):
+                runtime.chunk_sharded_range(ChainArray(6), 0, 1)
+
+    def test_empty_range_returns_chain_unchanged(self, backend):
+        with get_sweep_runtime(backend, 2) as runtime:
+            runtime.load_pairs([0, 1], [1, 2])
+            chain = ChainArray(6)
+            after, (da, db) = runtime.chunk_sharded_range(chain, 1, 1)
+            assert after is chain
+            assert da.size == 0 and db.size == 0
+
+    def test_matches_chunk_merge_range(self, backend):
+        n = 30
+        pairs = [p for chunk in random_chunks(n, 3, 20, seed=13) for p in chunk]
+        i1 = [a for a, _ in pairs]
+        i2 = [b for _, b in pairs]
+        with get_sweep_runtime(backend, 3) as chained:
+            with get_sweep_runtime(backend, 3) as sharded:
+                chained.load_pairs(i1, i2)
+                sharded.load_pairs(i1, i2)
+                chain_c = ChainArray(n)
+                chain_s = ChainArray(n)
+                for start in range(0, len(pairs), 20):
+                    stop = min(start + 20, len(pairs))
+                    chain_c = chained.chunk_merge_range(chain_c, start, stop)
+                    chain_s, (da, db) = sharded.chunk_sharded_range(
+                        chain_s, start, stop
+                    )
+                    assert da.size == 0 and db.size == 0  # exact mode
+                    assert chain_c.labels() == chain_s.labels()
+                    assert chain_c.num_clusters() == chain_s.num_clusters()
+                assert chain_s.labels() == reference_merge(list(range(n)), pairs)
+
+    def test_more_workers_than_vertices(self, backend):
+        # 8 workers over a 6-slot C: the ownership map clamps to 6
+        # single-vertex shards, every live pair is boundary, and the
+        # result is still exact.
+        with get_sweep_runtime(backend, 8) as runtime:
+            runtime.load_pairs([0, 1, 2], [3, 4, 5])
+            chain, _ = runtime.chunk_sharded_range(ChainArray(6), 0, 3)
+            assert chain.labels() == reference_merge(
+                list(range(6)), [(0, 3), (1, 4), (2, 5)]
+            )
+
+    def test_defer_boundary_heals_to_exact(self, backend):
+        import numpy as np
+
+        from repro.parallel.sharded_sweep import (
+            apply_relabels,
+            reconcile_labels,
+        )
+
+        n = 24
+        pairs = [p for chunk in random_chunks(n, 2, 18, seed=7) for p in chunk]
+        i1 = [a for a, _ in pairs]
+        i2 = [b for _, b in pairs]
+        with get_sweep_runtime(backend, 3) as runtime:
+            runtime.load_pairs(i1, i2)
+            exact, _ = runtime.chunk_sharded_range(ChainArray(n), 0, len(pairs))
+            partial, (da, db) = runtime.chunk_sharded_range(
+                ChainArray(n), 0, len(pairs), defer_boundary=True
+            )
+        keys, vals, _ = reconcile_labels(da, db)
+        healed = np.asarray(partial.raw(), dtype=np.int64)
+        apply_relabels(healed, keys, vals)
+        assert healed.tolist() == list(exact.raw())
+
+    def test_shm_dispatches_shard_tasks(self, backend):
+        if backend != "shm":
+            pytest.skip("arena counters are shm-specific")
+        n = 30
+        pairs = [p for chunk in random_chunks(n, 3, 20, seed=13) for p in chunk]
+        with ShmSweepRuntime(3) as runtime:
+            runtime.load_pairs([a for a, _ in pairs], [b for _, b in pairs])
+            chain = ChainArray(n)
+            for start in range(0, len(pairs), 20):
+                chain, _ = runtime.chunk_sharded_range(
+                    chain, start, min(start + 20, len(pairs))
+                )
+            arena = runtime.arena
+            assert arena.shard_tasks > 0
+            assert arena.list_tasks == 0
+            assert arena.batch_tasks == 0
+            assert arena.pair_loads == 1
+            assert arena.boundary_edges > 0
+            assert arena.reconcile_rounds > 0
+            assert arena.shard_bytes == 8 * arena.shard_partition().max_width
+
+    def test_tracer_surfaces_shard_accounting(self, backend):
+        from repro.obs import MemorySink, Tracer
+
+        n = 30
+        pairs = [p for chunk in random_chunks(n, 2, 20, seed=5) for p in chunk]
+        sink = MemorySink()
+        with get_sweep_runtime(backend, 3) as runtime:
+            runtime.tracer = Tracer([sink])
+            runtime.load_pairs([a for a, _ in pairs], [b for _, b in pairs])
+            chain = ChainArray(n)
+            for start in range(0, len(pairs), 20):
+                chain, _ = runtime.chunk_sharded_range(
+                    chain, start, min(start + 20, len(pairs))
+                )
+            runtime.tracer.flush()
+        counters = sink.counters
+        assert counters["shard_bytes"] > 0
+        assert counters["boundary_edges"] > 0
+        names = set(sink.span_names())
+        assert "runtime:compute" in names
+        assert "runtime:copy" in names
+
+
+class TestCopyMergeSplitAcrossEngines:
+    """Satellite contract: runtime:copy/runtime:merge mean the same
+    thing for every engine — merge is cross-worker joining only, copies
+    (ChainArray rebuilds, tolist crossings) land in copy."""
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_batch_range_emits_split_spans(self, backend):
+        from repro.obs import MemorySink, Tracer
+
+        n = 30
+        pairs = [p for chunk in random_chunks(n, 2, 20, seed=9) for p in chunk]
+        sink = MemorySink()
+        with get_sweep_runtime(backend, 3) as runtime:
+            runtime.tracer = Tracer([sink])
+            runtime.load_pairs([a for a, _ in pairs], [b for _, b in pairs])
+            chain = ChainArray(n)
+            for start in range(0, len(pairs), 20):
+                chain = runtime.chunk_batch_range(
+                    chain, start, min(start + 20, len(pairs))
+                )
+            stats = runtime.stats
+            assert stats.merge_time > 0.0
+            assert stats.copy_time > 0.0
+        names = set(sink.span_names())
+        assert {"runtime:compute", "runtime:merge", "runtime:copy"} <= names
+
+    def test_sharded_range_emits_split_spans(self):
+        from repro.obs import MemorySink, Tracer
+
+        # Sharded chunks split the same way: worker seconds in compute,
+        # host classification + reconciliation in merge, ChainArray
+        # rebuild in copy — so cross-engine span comparisons are fair.
+        n = 30
+        pairs = [p for chunk in random_chunks(n, 2, 20, seed=9) for p in chunk]
+        sink = MemorySink()
+        with get_sweep_runtime("thread", 3) as runtime:
+            runtime.tracer = Tracer([sink])
+            runtime.load_pairs([a for a, _ in pairs], [b for _, b in pairs])
+            chain = ChainArray(n)
+            for start in range(0, len(pairs), 20):
+                chain, _ = runtime.chunk_sharded_range(
+                    chain, start, min(start + 20, len(pairs))
+                )
+            assert runtime.stats.merge_time > 0.0
+            assert runtime.stats.copy_time > 0.0
+        names = set(sink.span_names())
+        assert {"runtime:compute", "runtime:merge", "runtime:copy"} <= names
+
+
 class TestPersistence:
     """Worker state must survive across >= 3 consecutive chunks."""
 

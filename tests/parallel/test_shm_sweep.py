@@ -240,6 +240,141 @@ class TestChunkBatchRange:
             assert arena.pair_loads == 1
 
 
+class TestChunkShardedRange:
+    """The sharded engine on the arena: owner-computes slice writes."""
+
+    def make_pairs(self, n, count, seed=0):
+        rng = random.Random(seed)
+        return [(rng.randrange(n), rng.randrange(n)) for _ in range(count)]
+
+    def test_requires_load_pairs(self):
+        with ShmArena(5, 2) as arena:
+            with pytest.raises(ParameterError, match="load_pairs"):
+                arena.chunk_sharded_range(list(range(5)), 0, 1)
+
+    def test_range_bounds_checked(self):
+        with ShmArena(5, 2) as arena:
+            arena.load_pairs([0, 1], [1, 2])
+            with pytest.raises(ParameterError, match="out of bounds"):
+                arena.chunk_sharded_range(list(range(5)), 0, 3)
+
+    def test_empty_range_is_identity(self):
+        with ShmArena(5, 2) as arena:
+            arena.load_pairs([0, 1], [1, 2])
+            base = list(range(5))
+            merged, (da, db) = arena.chunk_sharded_range(base, 1, 1)
+            assert merged == base
+            assert da.size == 0 and db.size == 0
+
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_matches_chunk_merge_range(self, workers):
+        n = 30
+        pairs = self.make_pairs(n, 50, seed=workers)
+        i1 = [a for a, _ in pairs]
+        i2 = [b for _, b in pairs]
+        with ShmArena(n, workers) as chained, ShmArena(n, workers) as sharded:
+            chained.load_pairs(i1, i2)
+            sharded.load_pairs(i1, i2)
+            base_c = list(range(n))
+            base_s = list(range(n))
+            for start in range(0, len(pairs), 17):
+                stop = min(start + 17, len(pairs))
+                base_c = chained.chunk_merge_range(base_c, start, stop)
+                base_s, (da, db) = sharded.chunk_sharded_range(
+                    base_s, start, stop
+                )
+                assert da.size == 0 and db.size == 0  # exact mode
+                assert labels_of(base_s) == labels_of(base_c)
+            assert labels_of(base_s) == serial_reference(list(range(n)), pairs)
+
+    def test_matches_chunk_batch_range_bitwise(self):
+        # Not just the same partition: the sharded composition must
+        # reproduce the batch engine's canonical raw labels exactly.
+        n = 26
+        pairs = self.make_pairs(n, 40, seed=3)
+        i1 = [a for a, _ in pairs]
+        i2 = [b for _, b in pairs]
+        with ShmArena(n, 3) as batch, ShmArena(n, 3) as sharded:
+            batch.load_pairs(i1, i2)
+            sharded.load_pairs(i1, i2)
+            base_b = list(range(n))
+            base_s = list(range(n))
+            for start in range(0, len(pairs), 10):
+                stop = min(start + 10, len(pairs))
+                base_b = batch.chunk_batch_range(base_b, start, stop)
+                base_s, _ = sharded.chunk_sharded_range(base_s, start, stop)
+                assert base_s == base_b
+
+    def test_more_workers_than_vertices(self):
+        # 6 workers, n=4: single-vertex shards, all pairs boundary.
+        with ShmArena(4, 6) as arena:
+            arena.load_pairs([0, 1], [2, 3])
+            merged, _ = arena.chunk_sharded_range(list(range(4)), 0, 2)
+            assert labels_of(merged) == serial_reference(
+                list(range(4)), [(0, 2), (1, 3)]
+            )
+
+    def test_dispatches_shard_tasks_only(self):
+        n = 24
+        pairs = self.make_pairs(n, 48, seed=9)
+        with ShmArena(n, 3) as arena:
+            arena.load_pairs([a for a, _ in pairs], [b for _, b in pairs])
+            base = list(range(n))
+            for start in range(0, len(pairs), 12):
+                base, _ = arena.chunk_sharded_range(
+                    base, start, min(start + 12, 48)
+                )
+            assert arena.shard_tasks > 0
+            assert arena.batch_tasks == 0
+            assert arena.range_tasks == 0
+            assert arena.list_tasks == 0
+            assert arena.pair_loads == 1
+            assert arena.boundary_edges > 0
+            assert arena.shard_bytes == 8 * arena.shard_partition().max_width
+
+    def test_defer_boundary_returns_pairs(self):
+        from repro.parallel.sharded_sweep import (
+            apply_relabels,
+            reconcile_labels,
+        )
+
+        import numpy as np
+
+        n = 20
+        pairs = self.make_pairs(n, 30, seed=4)
+        i1 = [a for a, _ in pairs]
+        i2 = [b for _, b in pairs]
+        with ShmArena(n, 3) as arena:
+            arena.load_pairs(i1, i2)
+            exact, _ = arena.chunk_sharded_range(list(range(n)), 0, len(pairs))
+            partial, (da, db) = arena.chunk_sharded_range(
+                list(range(n)), 0, len(pairs), defer_boundary=True
+            )
+            assert arena.reconcile_rounds > 0  # first (exact) call only
+        keys, vals, _ = reconcile_labels(da, db)
+        healed = np.asarray(partial, dtype=np.int64)
+        apply_relabels(healed, keys, vals)
+        assert healed.tolist() == exact
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(3, 25),
+    seed=st.integers(0, 500),
+    workers=st.integers(2, 4),
+)
+def test_property_sharded_range_equals_serial(n, seed, workers):
+    rng = random.Random(seed)
+    pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(2 * n)]
+    with ShmArena(n, workers) as arena:
+        arena.load_pairs([a for a, _ in pairs], [b for _, b in pairs])
+        merged, (da, db) = arena.chunk_sharded_range(
+            list(range(n)), 0, len(pairs)
+        )
+    assert da.size == 0 and db.size == 0
+    assert labels_of(merged) == serial_reference(list(range(n)), pairs)
+
+
 @settings(max_examples=10, deadline=None)
 @given(
     n=st.integers(3, 25),

@@ -131,6 +131,60 @@ class TestCluster:
         with pytest.raises(SystemExit):
             main(["cluster", str(graph_file), "--engine", "quantum"])
 
+    def test_sharded_engine(self, graph_file, capsys):
+        code = main(
+            [
+                "cluster", str(graph_file), "--int-labels",
+                "--coarse", "--engine", "sharded",
+            ]
+        )
+        assert code == 0
+        assert "best cut" in capsys.readouterr().out
+
+    def test_sharded_engine_matches_chained_output(self, graph_file, capsys):
+        assert main(
+            ["cluster", str(graph_file), "--int-labels", "--coarse"]
+        ) == 0
+        chained_out = capsys.readouterr().out
+        assert main(
+            [
+                "cluster", str(graph_file), "--int-labels",
+                "--coarse", "--engine", "sharded",
+                "--backend", "thread", "--workers", "2",
+            ]
+        ) == 0
+        sharded_out = capsys.readouterr().out
+        chained_cut = [ln for ln in chained_out.splitlines() if "best cut" in ln]
+        sharded_cut = [ln for ln in sharded_out.splitlines() if "best cut" in ln]
+        assert chained_cut == sharded_cut
+
+    def test_sharded_engine_with_epsilon(self, graph_file, capsys):
+        code = main(
+            [
+                "cluster", str(graph_file), "--int-labels",
+                "--coarse", "--engine", "sharded", "--epsilon", "0.5",
+            ]
+        )
+        assert code == 0
+        assert "best cut" in capsys.readouterr().out
+
+    def test_epsilon_without_sharded_rejected(self, graph_file, capsys):
+        code = main(
+            [
+                "cluster", str(graph_file), "--int-labels",
+                "--coarse", "--engine", "batch", "--epsilon", "0.5",
+            ]
+        )
+        assert code == 2
+        assert "epsilon" in capsys.readouterr().err
+
+    def test_sharded_engine_without_coarse_rejected(self, graph_file, capsys):
+        code = main(
+            ["cluster", str(graph_file), "--int-labels", "--engine", "sharded"]
+        )
+        assert code == 2
+        assert "coarse" in capsys.readouterr().err
+
 
 class TestCorpus:
     def test_builds_edge_list(self, texts_file, tmp_path, capsys):
@@ -174,6 +228,14 @@ class TestRunFlags:
     def test_engine_defaults_to_chained(self):
         args = build_parser().parse_args(["cluster", "g.txt"])
         assert args.engine == "chained"
+        assert args.epsilon == 0.0
+
+    def test_epsilon_parsed_as_float(self):
+        args = build_parser().parse_args(
+            ["cluster", "g.txt", "--engine", "sharded", "--epsilon", "0.25"]
+        )
+        assert args.engine == "sharded"
+        assert args.epsilon == 0.25
 
     def test_cluster_profile_summary_on_stderr(self, graph_file, capsys):
         code = main(
