@@ -1,0 +1,170 @@
+"""Serving-mode latency: a warm daemon must beat a cold CLI run.
+
+Starts ``repro serve`` as a real subprocess on a unix socket with a
+pre-warmed thread pool, runs the Fig. 5 coarse workload through it, and
+times the same workload as a cold ``repro cluster`` subprocess (fresh
+interpreter, fresh pools).  Three checks ride along:
+
+* the served dendrogram is bitwise-identical to a direct in-process run,
+* the served summary agrees with the cold CLI's ``--json`` output,
+* warm served latency < cold CLI latency (the daemon's reason to exist).
+
+Writes ``benchmarks/results/serve.json`` plus the served job's full
+trace as ``benchmarks/results/serve_trace.ndjson``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+from repro.bench.datasets import association_graph
+from repro.bench.runner import ResultTable, save_json
+from repro.cluster.serialize import dumps_dendrogram
+from repro.core.config import RunConfig
+from repro.core.linkclust import LinkClustering
+from repro.graph.io import write_edge_list
+from repro.serve.client import ServeClient
+
+REPEATS = 3
+WAIT_SECONDS = 300.0
+
+# Mirrors `repro cluster --coarse --backend thread --workers 2` exactly:
+# the CLI's default CoarseParams spelled out, so the daemon and the cold
+# subprocess run the same configuration.
+CONFIG = {
+    "backend": "thread",
+    "num_workers": 2,
+    "coarse": {"gamma": 2.0, "phi": 100, "delta0": 100.0},
+}
+
+
+def _spawn_daemon(socket_path):
+    env = dict(os.environ)
+    src = str(os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--socket", str(socket_path),
+            "--job-workers", "2",
+            "--warm", "thread:2",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + 30.0
+    for line in proc.stdout:
+        if "listening on" in line:
+            return proc
+        if time.monotonic() > deadline:  # pragma: no cover - hang guard
+            break
+    proc.kill()
+    raise RuntimeError("repro serve never reported readiness")
+
+
+def _stop_daemon(proc):
+    proc.send_signal(signal.SIGINT)
+    try:
+        proc.wait(timeout=10)
+    except subprocess.TimeoutExpired:  # pragma: no cover - hang guard
+        proc.kill()
+        proc.wait(timeout=10)
+    finally:
+        proc.stdout.close()
+
+
+def _timed_served_run(client, edge_file):
+    t0 = time.perf_counter()
+    submitted = client.submit(
+        graph_path=str(edge_file), config=CONFIG, use_cache=False
+    )
+    status = client.wait(submitted["job_id"], timeout=WAIT_SECONDS)
+    elapsed = time.perf_counter() - t0
+    assert status["state"] == "done", status
+    return elapsed, submitted["job_id"]
+
+
+def _timed_cold_cli(edge_file):
+    env = dict(os.environ)
+    src = str(os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH")) if p
+    )
+    t0 = time.perf_counter()
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "cluster", str(edge_file),
+            "--coarse", "--backend", "thread", "--workers", "2", "--json",
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=WAIT_SECONDS,
+        check=True,
+    )
+    return time.perf_counter() - t0, json.loads(proc.stdout)
+
+
+def test_serve_warm_vs_cold(preset, results_dir, tmp_path):
+    alpha = preset.alphas[len(preset.alphas) // 2]
+    graph = association_graph(alpha, preset)
+    edge_file = tmp_path / "serve_bench.edges"
+    write_edge_list(graph, edge_file)
+
+    socket_path = tmp_path / "repro.sock"
+    daemon = _spawn_daemon(socket_path)
+    try:
+        client = ServeClient(socket_path=str(socket_path), timeout=WAIT_SECONDS)
+        # Warm-up job: absorbs one-time costs (imports on first request)
+        # so the timed runs measure the steady serving state.
+        _timed_served_run(client, edge_file)
+
+        warm = float("inf")
+        last_job = None
+        for _ in range(REPEATS):
+            elapsed, last_job = _timed_served_run(client, edge_file)
+            warm = min(warm, elapsed)
+        served = client.result(last_job)
+
+        cold = float("inf")
+        cold_summary = None
+        for _ in range(REPEATS):
+            elapsed, cold_summary = _timed_cold_cli(edge_file)
+            cold = min(cold, elapsed)
+
+        trace_path = results_dir / "serve_trace.ndjson"
+        with open(trace_path, "w", encoding="utf-8") as fh:
+            for record in client.events(last_job, follow=False):
+                fh.write(json.dumps(record) + "\n")
+    finally:
+        _stop_daemon(daemon)
+
+    # Identity check 1: served output == direct in-process run, bitwise.
+    direct = LinkClustering(graph, config=RunConfig.from_dict(CONFIG)).run()
+    assert served["dendrogram"] == dumps_dendrogram(direct.dendrogram)
+
+    # Identity check 2: the cold CLI found the same best cut.
+    assert cold_summary["best_cut"] == served["summary"]["best_cut"]
+
+    table = ResultTable(
+        "serving latency (Fig. 5 workload, alpha=%g)" % alpha,
+        ["variant", "best_time", "speedup_vs_cold"],
+    )
+    table.add_row(variant="warm_serve", best_time=warm, speedup_vs_cold=cold / warm)
+    table.add_row(variant="cold_cli", best_time=cold, speedup_vs_cold=1.0)
+    save_json(table, results_dir / "serve.json")
+    table.show()
+
+    assert warm < cold, (
+        f"warm served run ({warm:.3f}s) should beat the cold CLI "
+        f"({cold:.3f}s; interpreter + pool spin-up amortized away)"
+    )

@@ -27,24 +27,34 @@ Quickstart
 >>> partition, level, density = result.best_partition()
 """
 
+from repro.core.cancel import CancelToken
 from repro.core.coarse import CoarseParams, CoarseResult, coarse_sweep
 from repro.core.config import RunConfig
-from repro.core.linkclust import LinkClustering, LinkClusteringResult
+from repro.core.linkclust import (
+    RESULT_SCHEMA_VERSION,
+    LinkClustering,
+    LinkClusteringResult,
+    ResultSummary,
+)
 from repro.core.similarity import SimilarityMap, compute_similarity_map
 from repro.core.sweep import SweepResult, sweep
-from repro.errors import ReproError
+from repro.errors import ReproError, RunCancelledError
 from repro.graph.graph import Edge, Graph
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "CancelToken",
     "CoarseParams",
     "CoarseResult",
     "Edge",
     "Graph",
     "LinkClustering",
     "LinkClusteringResult",
+    "RESULT_SCHEMA_VERSION",
     "ReproError",
+    "ResultSummary",
+    "RunCancelledError",
     "RunConfig",
     "SimilarityMap",
     "SweepResult",

@@ -11,8 +11,9 @@ API002 — no positional ``LinkClustering`` settings.  Everything beyond
 the graph is keyword-only as of the RunConfig redesign (a positional
 ``True`` or ``"thread"`` is unreadable and breaks when the signature
 evolves); the same applies to ``.run()``'s ``similarity_map``.  The
-runtime shim still accepts positional use with a DeprecationWarning —
-this rule keeps the repo itself off the shim.
+transitional runtime shim was removed after its deprecation window —
+positional use is now a ``TypeError`` at run time; this rule catches
+such call sites statically before they ever execute.
 """
 
 from __future__ import annotations
@@ -95,8 +96,9 @@ class PositionalConfigCallRule(Rule):
                 yield self.finding(
                     ctx,
                     node.args[1],
-                    "positional LinkClustering settings are deprecated; "
-                    "pass keyword arguments or config=RunConfig(...)",
+                    "positional LinkClustering settings were removed "
+                    "(TypeError at run time); pass keyword arguments or "
+                    "config=RunConfig(...)",
                 )
                 continue
             # LinkClustering(...).run(sim) — positional similarity_map.
@@ -110,6 +112,6 @@ class PositionalConfigCallRule(Rule):
                 yield self.finding(
                     ctx,
                     node.args[0],
-                    "positional similarity_map to run() is deprecated; "
-                    "use run(similarity_map=...)",
+                    "positional similarity_map to run() was removed "
+                    "(TypeError at run time); use run(similarity_map=...)",
                 )

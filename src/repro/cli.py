@@ -10,6 +10,9 @@ Commands
 ``analyze``     run the project's static-analysis rules (SHM/PAR/DET/
                 COR/API catalog) over python files; non-zero exit on
                 findings — this is the CI gate
+``serve``       run the clustering daemon: an async job API over HTTP
+                (TCP or unix socket) with warm runtime pools, result
+                caching, progress streaming, and cancellation
 
 Run flags (uniform across ``cluster`` and ``reproduce``)
 --------------------------------------------------------
@@ -26,6 +29,8 @@ Examples
     python -m repro corpus tweets.txt --alpha 0.01 -o words.edges
     python -m repro reproduce --figure 4.1 --profile
     python -m repro analyze src/ --format json
+    python -m repro serve --port 8137 --job-workers 2
+    python -m repro serve --socket /tmp/repro.sock
 """
 
 from __future__ import annotations
@@ -35,7 +40,8 @@ import sys
 from typing import Optional, Sequence
 
 from repro.core.coarse import CoarseParams
-from repro.core.config import BACKENDS, ENGINES, PAIR_FORMATS, RunConfig
+from repro.core.config import RunConfig
+from repro.core.registry import backend_names, engine_names, pair_format_names
 from repro.core.linkclust import LinkClustering
 from repro.core.metrics import (
     compute_metrics,
@@ -62,9 +68,11 @@ _FIGURES = {
 
 def _add_run_flags(parser: argparse.ArgumentParser) -> None:
     """The uniform run-flag block shared by ``cluster`` and ``reproduce``."""
+    # Choices come from the live capability registry so engines and
+    # backends registered by extensions surface in the CLI unchanged.
     parser.add_argument(
         "--backend",
-        choices=BACKENDS,
+        choices=backend_names(),
         default="serial",
         help="execution backend for the run",
     )
@@ -73,14 +81,14 @@ def _add_run_flags(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--pairs-format",
-        choices=PAIR_FORMATS,
+        choices=pair_format_names(),
         default="auto",
         help="map M representation: dict (pure-python oracle), columnar "
         "(numpy structure-of-arrays), or auto (size-based dispatch)",
     )
     parser.add_argument(
         "--engine",
-        choices=ENGINES,
+        choices=engine_names(),
         default="chained",
         help="sweep merge engine: chained (the paper's sequential MERGE "
         "chain), batch (per-level vectorized connected components), or "
@@ -221,6 +229,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyze.add_argument(
         "--no-cache", action="store_true",
         help="disable the mtime-keyed result cache",
+    )
+
+    p_serve = sub.add_parser(
+        "serve", help="run the clustering daemon (async job API)"
+    )
+    bind = p_serve.add_mutually_exclusive_group(required=True)
+    bind.add_argument(
+        "--port", type=int, metavar="N",
+        help="listen on TCP 127.0.0.1:N (0 = any free port)",
+    )
+    bind.add_argument(
+        "--socket", metavar="PATH", help="listen on a unix socket at PATH"
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address for --port"
+    )
+    p_serve.add_argument(
+        "--job-workers", type=int, default=2,
+        help="concurrent jobs (each job's sweep parallelism is its own)",
+    )
+    p_serve.add_argument(
+        "--queue-size", type=int, default=16,
+        help="pending-job bound; a full queue rejects submissions (429)",
+    )
+    p_serve.add_argument(
+        "--cache-entries", type=int, default=32,
+        help="result-cache LRU capacity (0 disables caching)",
+    )
+    p_serve.add_argument(
+        "--default-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock limit unless the submission sets its own",
+    )
+    p_serve.add_argument(
+        "--warm", action="append", default=None, metavar="BACKEND:WORKERS",
+        help="pre-build a warm runtime for this key at startup "
+        "(repeatable, e.g. --warm thread:4 --warm shm:4)",
+    )
+    p_serve.add_argument(
+        "--verbose", action="store_true", help="log every request to stderr"
     )
     return parser
 
@@ -386,6 +433,51 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 1 if result.findings else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.errors import ParameterError
+    from repro.serve.jobs import JobManager
+    from repro.serve.server import make_server
+
+    manager = JobManager(
+        job_workers=args.job_workers,
+        queue_size=args.queue_size,
+        cache_entries=args.cache_entries,
+        default_timeout=args.default_timeout,
+    )
+    for spec in args.warm or ():
+        backend, sep, workers = spec.partition(":")
+        if not sep or not workers.isdigit():
+            raise ParameterError(
+                f"--warm expects BACKEND:WORKERS (e.g. thread:4), got {spec!r}"
+            )
+        manager.pool.warm(backend, int(workers))
+    server = make_server(
+        manager,
+        host=args.host,
+        port=args.port,
+        socket_path=args.socket,
+        verbose=args.verbose,
+    )
+    manager.start()
+    if args.socket is not None:
+        where = args.socket
+    else:
+        host, port = server.server_address[:2]
+        where = f"http://{host}:{port}"
+    # Announce readiness on stdout so wrappers (CI smoke, benchmarks)
+    # can wait for this line instead of polling the socket.
+    print(f"repro serve: listening on {where}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        manager.shutdown()
+        print("repro serve: stopped", flush=True)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -396,6 +488,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "corpus": _cmd_corpus,
         "reproduce": _cmd_reproduce,
         "analyze": _cmd_analyze,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

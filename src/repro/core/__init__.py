@@ -21,7 +21,25 @@ from repro.core.config import (
     PAIR_FORMATS,
     RunConfig,
 )
-from repro.core.linkclust import LinkClustering, LinkClusteringResult
+from repro.core.cancel import CancelToken
+from repro.core.linkclust import (
+    RESULT_SCHEMA_VERSION,
+    LinkClustering,
+    LinkClusteringResult,
+    ResultSummary,
+)
+from repro.core.registry import (
+    BackendSpec,
+    EngineSpec,
+    PairFormatSpec,
+    backend_names,
+    engine_names,
+    pair_format_names,
+    register_backend,
+    register_engine,
+    register_pair_format,
+    validate_run_settings,
+)
 from repro.core.simcolumns import SimilarityColumns, wedge_edge_arrays
 from repro.core.metrics import (
     GraphMetrics,
@@ -50,7 +68,11 @@ from repro.core.sweep import SweepResult, build_edge_index, sweep
 __all__ = [
     "AUTO_COLUMNAR_MIN_K2",
     "BACKENDS",
+    "BackendSpec",
+    "CancelToken",
+    "EngineSpec",
     "PAIR_FORMATS",
+    "PairFormatSpec",
     "CoarseParams",
     "CoarseResult",
     "CurvePoint",
@@ -62,12 +84,15 @@ __all__ = [
     "Mode",
     "PAPER_PARAMS",
     "Predicates",
+    "RESULT_SCHEMA_VERSION",
+    "ResultSummary",
     "RunConfig",
     "SigmoidParams",
     "SimilarityColumns",
     "SimilarityMap",
     "SweepResult",
     "VertexPairEntry",
+    "backend_names",
     "build_edge_index",
     "coarse_sweep",
     "compute_metrics",
@@ -75,6 +100,7 @@ __all__ = [
     "count_k1",
     "count_k2",
     "count_k3",
+    "engine_names",
     "evaluate_predicates",
     "extrapolate_chunk",
     "fit_sigmoid",
@@ -82,11 +108,16 @@ __all__ = [
     "head_next_chunk",
     "next_mode",
     "normalize_curve",
+    "pair_format_names",
+    "register_backend",
+    "register_engine",
+    "register_pair_format",
     "shrink_eta",
     "sigmoid",
     "standard_cost_bound",
     "sweep",
     "sweeping_cost_bound",
     "target_clusters",
+    "validate_run_settings",
     "wedge_edge_arrays",
 ]

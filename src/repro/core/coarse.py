@@ -53,7 +53,9 @@ from repro.core.chunking import (
     head_next_chunk,
     shrink_eta,
 )
+from repro.core.cancel import CancelToken
 from repro.core.modes import Mode, evaluate_predicates, next_mode
+from repro.core.registry import get_engine
 from repro.core.simcolumns import SimilarityColumns, wedge_edge_arrays
 from repro.core.similarity import SimilarityMap, compute_similarity_map
 from repro.core.sweep import build_edge_index
@@ -251,14 +253,13 @@ class _CoarseSweeper:
         engine: str = "chained",
         num_shards: Optional[int] = None,
         epsilon: float = 0.0,
+        cancel: Optional[CancelToken] = None,
     ):
-        if engine not in ("chained", "batch", "sharded"):
-            raise ParameterError(
-                f"engine must be 'chained', 'batch', or 'sharded', got {engine!r}"
-            )
+        engine_spec = get_engine(engine)
+        self.cancel = cancel
         if epsilon < 0:
             raise ParameterError(f"epsilon must be >= 0, got {epsilon}")
-        if epsilon > 0 and engine != "sharded":
+        if epsilon > 0 and not engine_spec.supports_epsilon:
             raise ParameterError(
                 f"epsilon > 0 requires engine='sharded', got {engine!r}"
             )
@@ -268,13 +269,14 @@ class _CoarseSweeper:
             )
         if num_shards is not None and num_shards < 1:
             raise ParameterError(f"num_shards must be >= 1, got {num_shards}")
-        if engine in ("batch", "sharded") and isinstance(
+        if not engine_spec.accepts_dict_pairs and isinstance(
             similarity_map, SimilarityMap
         ):
             # The batch/sharded kernels consume the flat columnar wedge
             # stream; the dict map converts losslessly (same list-L order).
             similarity_map = SimilarityColumns.from_similarity_map(similarity_map)
         self.engine = engine
+        self.engine_spec = engine_spec
         self.epsilon = float(epsilon)
         # Chained serial replays saved merge events on a state jump; the
         # batch/sharded engines (and the parallel driver, which overrides
@@ -480,9 +482,16 @@ class _CoarseSweeper:
         # The chunk index counts *attempts*: a rolled-back epoch and its
         # retry are separate ``sweep:chunk[i]`` spans.
         tracer = self.tracer
+        cancel = self.cancel
         chunk_idx = 0
         with tracer.span("phase:sweep"):
             while self.p < self.num_pairs:
+                # Cooperative cancellation checkpoint: chunk (= level)
+                # boundaries, the lenticular-lens stop-flag idiom.  The
+                # raise unwinds through the open spans, so a cancelled
+                # run still flushes everything traced so far.
+                if cancel is not None:
+                    cancel.raise_if_cancelled()
                 with tracer.span(
                     f"sweep:chunk[{chunk_idx}]", p=self.p, delta=self.delta
                 ):
@@ -537,11 +546,10 @@ class _CoarseSweeper:
         # The serial path has no spawn/copy/merge steps; its whole chunk
         # cost is compute, traced under the same name the runtimes use so
         # cross-backend traces stay comparable.
-        if self.engine == "batch":
-            self._apply_chunk_batch(chunk)
-            return
-        if self.engine == "sharded":
-            self._apply_chunk_sharded(chunk)
+        if self.engine_spec.chunk_applier is not None:
+            # Registered engines name their chunk applier in the spec
+            # (_apply_chunk_batch / _apply_chunk_sharded for built-ins).
+            getattr(self, self.engine_spec.chunk_applier)(chunk)
             return
         if self.columns is not None:
             offsets = self.offsets_list
@@ -912,6 +920,7 @@ def coarse_sweep(
     engine: str = "chained",
     num_shards: Optional[int] = None,
     epsilon: float = 0.0,
+    cancel: Optional[CancelToken] = None,
 ) -> CoarseResult:
     """Run the coarse-grained sweeping algorithm of Section V.
 
@@ -932,7 +941,9 @@ def coarse_sweep(
     ``batch_rounds`` counter; the sharded engine ``sweep:shard[s]`` /
     ``sweep:reconcile`` spans and ``boundary_edges`` /
     ``reconcile_rounds`` / ``shard_bytes`` counters) plus level events
-    and merge/rollback/jump counters.
+    and merge/rollback/jump counters.  ``cancel`` is an optional
+    :class:`~repro.core.cancel.CancelToken` checked at every chunk
+    boundary (:class:`~repro.errors.RunCancelledError` when triggered).
     """
     sim = similarity_map if similarity_map is not None else compute_similarity_map(graph)
     sweeper = _CoarseSweeper(
@@ -944,6 +955,7 @@ def coarse_sweep(
         engine=engine,
         num_shards=num_shards,
         epsilon=epsilon,
+        cancel=cancel,
     )
     return sweeper.run()
 

@@ -20,11 +20,21 @@ from pathlib import Path
 from typing import Any, Dict, Optional
 
 from repro.core.coarse import CoarseParams
+from repro.core.registry import (
+    backend_names,
+    engine_names,
+    pair_format_names,
+    validate_run_settings,
+)
 from repro.errors import ParameterError
 
 __all__ = ["RunConfig", "BACKENDS", "ENGINES", "PAIR_FORMATS", "AUTO_COLUMNAR_MIN_K2"]
 
-BACKENDS = ("serial", "thread", "process", "shm")
+# Name tuples snapshot the capability registry (repro.core.registry) at
+# import time; the registry is the authoritative table — specs,
+# constraints, and factory hooks all live there, and engines/backends
+# registered later appear in registry.engine_names() etc. first.
+BACKENDS = backend_names()
 
 # Sweep merge engines: "chained" is the paper's sequential MERGE chain
 # (the oracle), "batch" the per-level vectorized connected-components
@@ -33,9 +43,9 @@ BACKENDS = ("serial", "thread", "process", "shm")
 # reconciles boundary edges per level (repro.parallel.sharded_sweep).
 # Both alternates are dendrogram-identical to chained and require the
 # columnar wedge stream plus a coarse (chunked) sweep.
-ENGINES = ("chained", "batch", "sharded")
+ENGINES = engine_names()
 
-PAIR_FORMATS = ("dict", "columnar", "auto")
+PAIR_FORMATS = pair_format_names()
 
 # K2 threshold for pairs_format="auto": below it the pure-Python dict
 # pipeline wins (array setup cost dominates — the small-graph regression
@@ -113,23 +123,6 @@ class RunConfig:
     metrics_out: Optional[str] = None
 
     def __post_init__(self) -> None:
-        if self.backend not in BACKENDS:
-            raise ParameterError(
-                f"backend must be one of {BACKENDS}, got {self.backend!r}"
-            )
-        if self.pairs_format not in PAIR_FORMATS:
-            raise ParameterError(
-                f"pairs_format must be one of {PAIR_FORMATS}, "
-                f"got {self.pairs_format!r}"
-            )
-        if self.engine not in ENGINES:
-            raise ParameterError(
-                f"engine must be one of {ENGINES}, got {self.engine!r}"
-            )
-        if not isinstance(self.num_workers, int) or self.num_workers < 1:
-            raise ParameterError(
-                f"num_workers must be an int >= 1, got {self.num_workers!r}"
-            )
         # Coerce the legacy bool spelling so every consumer sees
         # Optional[CoarseParams].
         if self.coarse is True:
@@ -142,21 +135,6 @@ class RunConfig:
             )
         if self.seed is not None and not isinstance(self.seed, int):
             raise ParameterError(f"seed must be None or an int, got {self.seed!r}")
-        # The batch and sharded engines merge per level over the
-        # columnar wedge stream; neither has a fine-grained or
-        # dict-pipeline counterpart.
-        if self.engine in ("batch", "sharded"):
-            if self.coarse is None:
-                raise ParameterError(
-                    f"engine={self.engine!r} requires coarse sweeping "
-                    "(pass coarse=True or CoarseParams)"
-                )
-            if self.pairs_format == "dict":
-                raise ParameterError(
-                    f"engine={self.engine!r} requires the columnar pair "
-                    "format; pairs_format='dict' is not supported "
-                    "(use 'columnar' or 'auto')"
-                )
         if not isinstance(self.epsilon, (int, float)) or isinstance(
             self.epsilon, bool
         ):
@@ -164,19 +142,30 @@ class RunConfig:
                 f"epsilon must be a float >= 0, got {self.epsilon!r}"
             )
         object.__setattr__(self, "epsilon", float(self.epsilon))
-        if self.epsilon < 0:
-            raise ParameterError(
-                f"epsilon must be >= 0, got {self.epsilon!r}"
-            )
-        if self.epsilon > 0 and self.engine != "sharded":
-            raise ParameterError(
-                "epsilon > 0 only applies to engine='sharded', "
-                f"got engine={self.engine!r}"
-            )
         object.__setattr__(self, "vectorized", bool(self.vectorized))
         object.__setattr__(self, "profile", bool(self.profile))
         if self.metrics_out is not None:
             object.__setattr__(self, "metrics_out", str(self.metrics_out))
+        self.validate()
+
+    def validate(self) -> None:
+        """Check this config against the capability registry.
+
+        The engine × backend × pairs_format rules live in
+        :mod:`repro.core.registry` (one table shared with the coarse
+        sweeper, the CLI, and the serving daemon); construction already
+        calls this, so an existing ``RunConfig`` is always valid — the
+        method exists for callers that rebuild configs from untrusted
+        dicts and want the check spelled out.
+        """
+        validate_run_settings(
+            backend=self.backend,
+            engine=self.engine,
+            pairs_format=self.pairs_format,
+            coarse=self.coarse is not None,
+            epsilon=self.epsilon,
+            num_workers=self.num_workers,
+        )
 
     # ------------------------------------------------------------------
     # serialization

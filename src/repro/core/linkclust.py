@@ -7,7 +7,8 @@ returns a :class:`LinkClusteringResult` exposing dendrogram cuts, edge
 partitions and overlapping node communities.
 
 Configuration lives in a :class:`~repro.core.config.RunConfig`; the
-individual keyword arguments remain as a shim that builds one::
+individual settings are also accepted as keyword-only arguments and
+folded into one::
 
     LinkClustering(graph, config=RunConfig(backend="shm", num_workers=4))
     LinkClustering(graph, backend="shm", num_workers=4)   # equivalent
@@ -25,15 +26,16 @@ True
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import random
-import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.cluster.dendrogram import Dendrogram
 from repro.cluster.partition import EdgePartition, node_communities
 from repro.cluster.unionfind import ChainArray
+from repro.core.cancel import CancelToken
 from repro.core.coarse import CoarseParams, CoarseResult, coarse_sweep
 from repro.core.config import AUTO_COLUMNAR_MIN_K2, BACKENDS, RunConfig
 from repro.core.simcolumns import SimilarityColumns
@@ -43,10 +45,88 @@ from repro.errors import ParameterError
 from repro.graph.graph import Graph
 from repro.obs import Tracer, as_tracer
 
-__all__ = ["LinkClustering", "LinkClusteringResult"]
+__all__ = [
+    "LinkClustering",
+    "LinkClusteringResult",
+    "ResultSummary",
+    "RESULT_SCHEMA_VERSION",
+]
+
+#: Version of the machine-readable result schema
+#: (:meth:`LinkClusteringResult.to_dict` / :class:`ResultSummary`).
+#: History: 1 — original summary dict under the key ``"schema"``;
+#: 2 — key renamed to ``"schema_version"``, round-trip
+#: :meth:`ResultSummary.from_dict` added (fields otherwise unchanged).
+RESULT_SCHEMA_VERSION = 2
 
 # Sentinel distinguishing "not passed" from explicit None/False.
 _UNSET: Any = object()
+
+
+@dataclass(frozen=True)
+class ResultSummary:
+    """The stable, versioned, machine-readable form of a run's result.
+
+    This is exactly the payload :meth:`LinkClusteringResult.to_dict`
+    emits and what service clients receive: counts, the best cut, the
+    coarse-epoch breakdown, and the run's config as a plain dict.  It
+    round-trips losslessly through :meth:`to_dict` /
+    :meth:`from_dict` — the full dendrogram is *not* part of the
+    summary (see :mod:`repro.cluster.serialize` for that payload).
+    The field set is documented in docs/api.md and only changes with
+    a ``schema_version`` bump.
+    """
+
+    num_vertices: int
+    num_edges: int
+    k1: int
+    k2: int
+    num_levels: int
+    best_cut: Dict[str, Any]
+    coarse: Optional[Dict[str, Any]] = None
+    config: Optional[Dict[str, Any]] = None
+    pairs_format: Optional[str] = None
+    schema_version: int = RESULT_SCHEMA_VERSION
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = dataclasses.asdict(self)
+        # Present schema_version first: readers eyeballing JSON see the
+        # contract before the data (dict order is preserved by json).
+        return {"schema_version": out.pop("schema_version"), **out}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ResultSummary":
+        """Inverse of :meth:`to_dict`.
+
+        Unknown keys and unsupported ``schema_version`` values raise
+        :class:`ParameterError` so clients fail loudly on a contract
+        drift instead of silently dropping fields.
+        """
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ParameterError(
+                f"unknown result-summary keys: {sorted(unknown)} "
+                f"(known: {sorted(known)})"
+            )
+        version = data.get("schema_version", RESULT_SCHEMA_VERSION)
+        if version != RESULT_SCHEMA_VERSION:
+            raise ParameterError(
+                f"unsupported result schema_version {version!r} "
+                f"(this library reads version {RESULT_SCHEMA_VERSION})"
+            )
+        return cls(**data)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "ResultSummary":
+        return cls.from_dict(json.loads(payload))
+
+    def run_config(self) -> Optional[RunConfig]:
+        """Rehydrate the run's :class:`RunConfig` (``None`` if absent)."""
+        return RunConfig.from_dict(self.config) if self.config is not None else None
 
 
 @dataclass
@@ -109,38 +189,53 @@ class LinkClusteringResult:
     # ------------------------------------------------------------------
     # machine-readable output
     # ------------------------------------------------------------------
-    def to_dict(self) -> Dict[str, Any]:
-        """Stable summary dict (schema version 1) for machine consumers.
+    def summary(self) -> ResultSummary:
+        """The versioned :class:`ResultSummary` for machine consumers.
 
         Holds counts, the best cut, the coarse-epoch breakdown, and the
         run's config — not the full dendrogram (that stays an in-memory
-        structure; levels can be re-derived from the result object).
+        structure; levels can be re-derived from the result object, or
+        serialized separately via :mod:`repro.cluster.serialize`).
         """
         partition, level, density = self.best_partition()
-        out: Dict[str, Any] = {
-            "schema": 1,
-            "num_vertices": self.graph.num_vertices,
-            "num_edges": self.graph.num_edges,
-            "k1": self.k1,
-            "k2": self.k2,
-            "num_levels": self.num_levels,
-            "best_cut": {
-                "level": level,
-                "density": density,
-                "num_clusters": partition.num_clusters,
-            },
-            "coarse": None,
-            "config": self.config.to_dict() if self.config is not None else None,
-            "pairs_format": self.pairs_format,
-        }
+        coarse = None
         if self.coarse is not None:
-            out["coarse"] = {
+            coarse = {
                 "pairs_processed": self.coarse.pairs_processed,
                 "processed_fraction": self.coarse.processed_fraction,
                 "stopped_by_phi": self.coarse.stopped_by_phi,
                 "epoch_kinds": self.coarse.epoch_kind_counts(),
             }
-        return out
+        return ResultSummary(
+            num_vertices=self.graph.num_vertices,
+            num_edges=self.graph.num_edges,
+            k1=self.k1,
+            k2=self.k2,
+            num_levels=self.num_levels,
+            best_cut={
+                "level": level,
+                "density": density,
+                "num_clusters": partition.num_clusters,
+            },
+            coarse=coarse,
+            config=self.config.to_dict() if self.config is not None else None,
+            pairs_format=self.pairs_format,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable summary dict (``schema_version`` 2); see
+        :class:`ResultSummary` for the round-trip reader."""
+        return self.summary().to_dict()
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> ResultSummary:
+        """Rehydrate a summary produced by :meth:`to_dict`.
+
+        Returns a :class:`ResultSummary` (the full result object cannot
+        be rebuilt from the summary alone — the dendrogram is not part
+        of it).
+        """
+        return ResultSummary.from_dict(data)
 
     def to_json(self, indent: Optional[int] = None) -> str:
         """:meth:`to_dict` serialized with sorted keys (diff-stable)."""
@@ -154,11 +249,11 @@ class LinkClustering:
 
         LinkClustering(graph, config=RunConfig(backend="thread", num_workers=4))
 
-    The individual settings below remain accepted as **keyword-only**
-    arguments and are folded into a ``RunConfig`` internally; passing
-    them positionally is deprecated (and flagged in-repo by analysis
-    rule API002).  ``config=`` and individual settings are mutually
-    exclusive.
+    The individual settings below are accepted as **keyword-only**
+    arguments and folded into a ``RunConfig`` internally; the
+    pre-RunConfig positional spelling was removed after its two-release
+    deprecation window (analysis rule API002 still flags call sites).
+    ``config=`` and individual settings are mutually exclusive.
 
     Parameters
     ----------
@@ -194,18 +289,27 @@ class LinkClustering:
     tracer:
         Optional :class:`repro.obs.Tracer` overriding the one the config
         would build (``config.profile`` / ``config.metrics_out``).
+    cancel:
+        Optional :class:`~repro.core.cancel.CancelToken`; when another
+        thread triggers it, the run raises
+        :class:`~repro.errors.RunCancelledError` at its next sweep-loop
+        checkpoint.
+    runtime:
+        Optional caller-owned
+        :class:`~repro.parallel.runtime.SweepRuntime` to process chunks
+        on instead of building one per run — the serving daemon leases
+        warm runtimes this way.  Only valid for parallel coarse configs
+        (``coarse`` set, parallel ``backend``, ``num_workers > 1``);
+        the caller keeps lifecycle ownership (the run never shuts the
+        runtime down).
     """
 
     _BACKENDS = BACKENDS
 
-    # Positional order the pre-RunConfig signature had; the shim maps
-    # legacy positional arguments through it.
-    _LEGACY_ORDER = ("coarse", "backend", "num_workers", "seed", "vectorized")
-
     def __init__(
         self,
         graph: Graph,
-        *args: Any,
+        *,
         config: Optional[RunConfig] = None,
         coarse: Any = _UNSET,
         backend: Any = _UNSET,
@@ -214,22 +318,10 @@ class LinkClustering:
         vectorized: Any = _UNSET,
         pairs_format: Any = _UNSET,
         tracer: Optional[Tracer] = None,
+        cancel: Optional[CancelToken] = None,
+        runtime: Optional[Any] = None,
     ):
         settings: Dict[str, Any] = {}
-        if args:
-            if len(args) > len(self._LEGACY_ORDER):
-                raise TypeError(
-                    f"LinkClustering takes at most {1 + len(self._LEGACY_ORDER)} "
-                    f"positional arguments ({1 + len(args)} given)"
-                )
-            warnings.warn(
-                "passing LinkClustering settings positionally is deprecated; "
-                "use keyword arguments or config=RunConfig(...)",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            for name, value in zip(self._LEGACY_ORDER, args):
-                settings[name] = value
         for name, value in (
             ("coarse", coarse),
             ("backend", backend),
@@ -239,10 +331,6 @@ class LinkClustering:
             ("pairs_format", pairs_format),
         ):
             if value is not _UNSET:
-                if name in settings:
-                    raise TypeError(
-                        f"LinkClustering got multiple values for argument {name!r}"
-                    )
                 settings[name] = value
 
         if config is not None:
@@ -261,6 +349,27 @@ class LinkClustering:
 
         self.graph = graph
         self.tracer = as_tracer(tracer) if tracer is not None else self.config.make_tracer()
+        self.cancel = cancel
+        if runtime is not None:
+            from repro.parallel.runtime import SweepRuntime
+
+            if not isinstance(runtime, SweepRuntime):
+                raise ParameterError(
+                    f"runtime must be a SweepRuntime, got {type(runtime).__name__}"
+                )
+            if (
+                self.config.coarse is None
+                or self.config.backend == "serial"
+                or self.config.num_workers < 2
+            ):
+                raise ParameterError(
+                    "runtime= is only valid for parallel coarse runs "
+                    "(coarse set, parallel backend, num_workers > 1); "
+                    f"config has backend={self.config.backend!r}, "
+                    f"num_workers={self.config.num_workers}, "
+                    f"coarse={'set' if self.config.coarse else 'unset'}"
+                )
+        self.runtime = runtime
 
     # ------------------------------------------------------------------
     # config views (kept as attributes of record for backward compat)
@@ -351,29 +460,15 @@ class LinkClustering:
 
     def run(
         self,
-        *args: Any,
+        *,
         similarity_map: Optional[Union[SimilarityMap, SimilarityColumns]] = None,
     ) -> LinkClusteringResult:
         """Run both phases and return the unified result.
 
-        ``similarity_map`` is keyword-only; the positional spelling is
-        deprecated.
+        ``similarity_map`` is keyword-only (the positional spelling was
+        removed after its deprecation window); pass a precomputed
+        Phase-I output to reuse it across sweeps.
         """
-        if args:
-            if len(args) > 1:
-                raise TypeError(
-                    f"run() takes at most 1 positional argument ({len(args)} given)"
-                )
-            if similarity_map is not None:
-                raise TypeError("run() got multiple values for 'similarity_map'")
-            warnings.warn(
-                "passing similarity_map positionally to run() is deprecated; "
-                "use run(similarity_map=...)",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            similarity_map = args[0]
-
         tracer = self.tracer
         with tracer.span(
             "run",
@@ -404,7 +499,8 @@ class LinkClustering:
 
         if self.coarse_params is None:
             fine: SweepResult = sweep(
-                self.graph, sim, edge_order=edge_order, tracer=tracer
+                self.graph, sim, edge_order=edge_order, tracer=tracer,
+                cancel=self.cancel,
             )
             return LinkClusteringResult(
                 graph=self.graph,
@@ -427,10 +523,14 @@ class LinkClustering:
                 params=self.coarse_params,
                 edge_order=edge_order,
                 num_workers=self.num_workers,
-                backend=self.backend,
+                # A caller-owned warm runtime takes over chunk
+                # processing; parallel_coarse_sweep then leaves its
+                # lifecycle alone.
+                backend=self.runtime if self.runtime is not None else self.backend,
                 tracer=tracer,
                 engine=self.config.engine,
                 epsilon=self.config.epsilon,
+                cancel=self.cancel,
             )
         else:
             coarse = coarse_sweep(
@@ -441,6 +541,7 @@ class LinkClustering:
                 tracer=tracer,
                 engine=self.config.engine,
                 epsilon=self.config.epsilon,
+                cancel=self.cancel,
             )
         return LinkClusteringResult(
             graph=self.graph,

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.cluster.dendrogram import Dendrogram, DendrogramBuilder
 from repro.cluster.unionfind import ChainArray
+from repro.core.cancel import CHECK_INTERVAL, CancelToken
 from repro.core.simcolumns import SimilarityColumns, wedge_edge_arrays
 from repro.core.similarity import SimilarityMap, compute_similarity_map
 from repro.errors import ClusteringError
@@ -98,6 +99,7 @@ def sweep(
     edge_order: Optional[Sequence[int]] = None,
     record_changes: bool = False,
     tracer=None,
+    cancel: Optional[CancelToken] = None,
 ) -> SweepResult:
     """Run Algorithm 2 (fine-grained sweeping) over ``graph``.
 
@@ -118,6 +120,11 @@ def sweep(
         Optional :class:`repro.obs.Tracer`; gets ``phase:sort`` and
         ``phase:sweep`` spans plus a ``merges`` counter.  Tracing sits
         outside the merge loop, so it costs nothing per pair.
+    cancel:
+        Optional :class:`~repro.core.cancel.CancelToken`; checked at
+        every vertex pair (dict path) / every ``CHECK_INTERVAL`` wedges
+        (columnar path) and raises
+        :class:`~repro.errors.RunCancelledError` when triggered.
 
     Returns
     -------
@@ -126,7 +133,7 @@ def sweep(
     tracer = as_tracer(tracer)
     if isinstance(similarity_map, SimilarityColumns):
         return _columnar_sweep(
-            graph, similarity_map, edge_order, record_changes, tracer
+            graph, similarity_map, edge_order, record_changes, tracer, cancel
         )
     sim = similarity_map if similarity_map is not None else compute_similarity_map(graph)
     with tracer.span("phase:sort", k1=sim.k1):
@@ -139,6 +146,8 @@ def sweep(
     r = 0
     with tracer.span("phase:sweep"):
         for similarity, (vi, vj), commons in pairs:
+            if cancel is not None:
+                cancel.raise_if_cancelled()
             for vk in commons:
                 i1 = index[graph.edge_id(vi, vk)]
                 i2 = index[graph.edge_id(vj, vk)]
@@ -170,6 +179,7 @@ def _columnar_sweep(
     edge_order: Optional[Sequence[int]],
     record_changes: bool,
     tracer,
+    cancel: Optional[CancelToken] = None,
 ) -> SweepResult:
     """Algorithm 2 over columnar input: same merges, vectorized setup.
 
@@ -191,8 +201,12 @@ def _columnar_sweep(
     sims_list = np.repeat(columns.sim, columns.pair_counts()).tolist()
 
     r = 0
+    pos = 0
     with tracer.span("phase:sweep"):
         for i1, i2, similarity in zip(c1_list, c2_list, sims_list):
+            if cancel is not None and not pos % CHECK_INTERVAL:
+                cancel.raise_if_cancelled()
+            pos += 1
             before = chain.changes
             outcome = chain.merge(i1, i2)
             if per_merge is not None:

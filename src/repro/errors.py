@@ -19,6 +19,9 @@ __all__ = [
     "ParameterError",
     "ParallelError",
     "AnalysisError",
+    "RunCancelledError",
+    "ServeError",
+    "QueueFullError",
 ]
 
 
@@ -90,3 +93,34 @@ class ParallelError(ReproError):
 
 class AnalysisError(ReproError):
     """A failure inside the static-analysis subsystem (bad rule id, ...)."""
+
+
+class RunCancelledError(ReproError):
+    """A clustering run was cancelled cooperatively.
+
+    Raised from a sweep-loop checkpoint when the run's
+    :class:`~repro.core.cancel.CancelToken` has been triggered; the
+    partially-built dendrogram is discarded but spans already opened are
+    flushed normally.  ``reason`` carries the canceller's message
+    (``None`` when no reason was given).
+    """
+
+    def __init__(self, reason: "str | None" = None):
+        super().__init__(reason or "run cancelled")
+        self.reason = reason
+
+
+class ServeError(ReproError):
+    """A failure in the serving daemon or its client protocol.
+
+    Raised for malformed submissions, unknown job ids, requests against
+    a shut-down job manager, and (client-side) non-2xx HTTP responses.
+    """
+
+
+class QueueFullError(ServeError):
+    """A job submission was rejected because the job queue is full.
+
+    The daemon bounds its backlog; clients should retry later (the
+    HTTP layer maps this to a 429 response).
+    """

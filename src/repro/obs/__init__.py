@@ -19,7 +19,14 @@ plus counters (``k1``, ``k2``, ``merges``, ``rollbacks``, ``jump_hits``,
 ``worker_restarts``) and events (``sweep:level``, ``sweep:jump``).
 """
 
-from repro.obs.sinks import JsonLinesSink, MemorySink, Sink, SummarySink, render_summary
+from repro.obs.sinks import (
+    JsonLinesSink,
+    MemorySink,
+    ReplaySink,
+    Sink,
+    SummarySink,
+    render_summary,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     CounterRecord,
@@ -41,6 +48,7 @@ __all__ = [
     "Sink",
     "MemorySink",
     "JsonLinesSink",
+    "ReplaySink",
     "SummarySink",
     "render_summary",
 ]

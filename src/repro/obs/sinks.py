@@ -11,7 +11,10 @@ emits.  Three are provided, matching the three consumers a run has:
   ``sweep:chunk[*]``).
 
 Sinks are deliberately dumb: no buffering policy beyond the file
-object's own, no threads, no dependencies.
+object's own, no threads, no dependencies.  The one exception is
+:class:`ReplaySink` — the serving daemon's per-job sink — which buffers
+record dicts behind a condition variable so progress-stream readers in
+*other* threads can replay the trace so far and block for more.
 """
 
 from __future__ import annotations
@@ -19,8 +22,9 @@ from __future__ import annotations
 import json
 import re
 import sys
+import threading
 from pathlib import Path
-from typing import IO, Dict, List, Optional, Sequence, Tuple, Union
+from typing import IO, Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.obs.tracer import CounterRecord, EventRecord, SpanRecord, TraceRecord
 
@@ -28,6 +32,7 @@ __all__ = [
     "Sink",
     "MemorySink",
     "JsonLinesSink",
+    "ReplaySink",
     "SummarySink",
     "render_summary",
 ]
@@ -120,6 +125,72 @@ class JsonLinesSink(Sink):
         if self._file is not None and self._owns_file:
             self._file.close()
             self._file = None
+
+
+class ReplaySink(Sink):
+    """Thread-safe record buffer with replay-and-follow semantics.
+
+    The serving daemon routes each job's trace into its own
+    ``ReplaySink``; any number of progress-stream readers can then
+    :meth:`replay` the records emitted so far or :meth:`follow` the
+    stream live — each record dict is exactly one NDJSON line of the
+    job's events endpoint, the same schema :class:`JsonLinesSink`
+    writes.  Records are stored as plain dicts (snapshotted at emit
+    time), so readers never alias tracer internals.
+
+    The producing tracer closes the sink when the job ends; followers
+    drain what remains and stop.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._records: List[Dict[str, Any]] = []
+        self._closed = False
+
+    def emit(self, record: TraceRecord) -> None:
+        with self._cond:
+            self._records.append(record.to_dict())
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._records)
+
+    def replay(self, start: int = 0) -> List[Dict[str, Any]]:
+        """Records ``start`` onward, non-blocking snapshot."""
+        with self._cond:
+            return list(self._records[start:])
+
+    def follow(
+        self, start: int = 0, timeout: Optional[float] = None
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield records from ``start``, blocking for new ones.
+
+        Ends when the sink is closed and drained.  ``timeout`` bounds
+        each wait for the *next* record; when it elapses the iteration
+        ends early (the caller can resume from the index it reached).
+        """
+        idx = start
+        while True:
+            with self._cond:
+                while idx >= len(self._records) and not self._closed:
+                    if not self._cond.wait(timeout):
+                        return
+                if idx >= len(self._records) and self._closed:
+                    return
+                batch = list(self._records[idx:])
+            yield from batch
+            idx += len(batch)
 
 
 _CHUNK_INDEX = re.compile(r"\[\d+\]")

@@ -64,6 +64,10 @@ EVENTS: FrozenSet[str] = frozenset(
         "run:pairs_format",
         "sweep:level",
         "sweep:jump",
+        # Serving daemon: one event per job state transition
+        # (queued/running/done/failed/cancelled), emitted into the
+        # job's own ReplaySink stream.
+        "job:state",
     }
 )
 

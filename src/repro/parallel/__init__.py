@@ -12,6 +12,7 @@ from repro.parallel.calibrate import calibrate_cost_model
 from repro.parallel.runtime import (
     SWEEP_BACKENDS,
     LocalSweepRuntime,
+    RuntimePool,
     RuntimeStats,
     ShmSweepRuntime,
     SweepRuntime,
@@ -53,6 +54,7 @@ __all__ = [
     "InitWorkModel",
     "LocalSweepRuntime",
     "ProcessBackend",
+    "RuntimePool",
     "RuntimeStats",
     "SWEEP_BACKENDS",
     "SerialBackend",

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple, Union
 
+from repro.core.cancel import CancelToken
 from repro.core.coarse import (
     CoarseParams,
     CoarseResult,
@@ -61,6 +62,7 @@ class _ParallelCoarseSweeper(_CoarseSweeper):
         tracer=None,
         engine: str = "chained",
         epsilon: float = 0.0,
+        cancel: Optional[CancelToken] = None,
     ):
         super().__init__(
             graph,
@@ -70,6 +72,7 @@ class _ParallelCoarseSweeper(_CoarseSweeper):
             tracer,
             engine=engine,
             epsilon=epsilon,
+            cancel=cancel,
         )
         self._runtime = runtime
         # Per-worker merging never yields a global merge-event stream,
@@ -140,6 +143,7 @@ def parallel_coarse_sweep(
     tracer=None,
     engine: str = "chained",
     epsilon: float = 0.0,
+    cancel: Optional[CancelToken] = None,
 ) -> CoarseResult:
     """Coarse-grained sweep with parallel chunk processing.
 
@@ -165,6 +169,10 @@ def parallel_coarse_sweep(
     across levels while local merge deltas stay within ``(1 + epsilon)``
     of the reconciled count; the final partition is unchanged.
 
+    ``cancel`` is an optional :class:`~repro.core.cancel.CancelToken`
+    checked at chunk boundaries (between runtime dispatches, never
+    inside a worker).
+
     Produces the same per-level partitions as
     :func:`repro.core.coarse.coarse_sweep` for the same chunk boundaries;
     see the module docstring for how dendrogram records are derived.
@@ -183,6 +191,7 @@ def parallel_coarse_sweep(
         tracer,
         engine=engine,
         epsilon=epsilon,
+        cancel=cancel,
     )
     if sweeper.columns is not None:
         # Columnar: publish the sorted wedge columns to the runtime once;

@@ -27,6 +27,7 @@ into spawn / copy / compute / merge time, which ``repro.bench``
 
 from __future__ import annotations
 
+import threading
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
@@ -35,6 +36,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.cluster.unionfind import ChainArray
+from repro.core.registry import backend_names, make_runtime
 from repro.errors import ParameterError
 from repro.obs import NULL_TRACER
 from repro.fast.batch_sweep import batch_chunk_merge, batch_components, batch_join_rows
@@ -57,11 +59,12 @@ __all__ = [
     "SweepRuntime",
     "LocalSweepRuntime",
     "ShmSweepRuntime",
+    "RuntimePool",
     "get_sweep_runtime",
     "SWEEP_BACKENDS",
 ]
 
-SWEEP_BACKENDS = ("serial", "thread", "process", "shm")
+SWEEP_BACKENDS = backend_names()
 
 
 @dataclass
@@ -774,26 +777,132 @@ class ShmSweepRuntime(SweepRuntime):
         )
 
 
+class RuntimePool:
+    """Keyed pool of warm :class:`SweepRuntime` instances.
+
+    A long-lived caller (the serving daemon) leases a runtime per run
+    instead of paying pool/arena construction every time: ``lease``
+    returns an idle warm runtime for the ``(backend, num_workers)`` key
+    or builds a fresh one, and ``release`` parks it again.  Releasing
+    with ``healthy=False`` (after a :class:`~repro.errors.ParallelError`
+    — a crashed worker, a poisoned arena) shuts the runtime down instead
+    of recycling it, so one crashed job never contaminates the next.
+
+    Leases are exclusive — a runtime is never handed to two callers at
+    once — which is what makes the (individually non-thread-safe)
+    runtimes safe to share across a worker fleet.  ``shutdown`` closes
+    idle runtimes only; in-flight leases finish their run and are
+    discarded on release.
+    """
+
+    def __init__(self, max_idle_per_key: int = 2):
+        if max_idle_per_key < 1:
+            raise ParameterError(
+                f"max_idle_per_key must be >= 1, got {max_idle_per_key}"
+            )
+        self.max_idle_per_key = max_idle_per_key
+        self._lock = threading.Lock()
+        self._idle: Dict[Tuple[str, int], List[SweepRuntime]] = {}
+        self._closed = False
+        self.hits = 0
+        self.misses = 0
+        self.discards = 0
+
+    def lease(self, backend: str, num_workers: int, warm: bool = True) -> SweepRuntime:
+        """An exclusive runtime for the key (idle one if available).
+
+        ``warm`` starts a freshly-built runtime's workers immediately
+        (instead of lazily on its first chunk), so the spawn cost lands
+        here — outside any job's measured wall-clock.
+        """
+        key = (backend, num_workers)
+        with self._lock:
+            stack = self._idle.get(key)
+            if stack:
+                self.hits += 1
+                return stack.pop()
+            self.misses += 1
+        runtime = make_runtime(backend, num_workers)
+        if warm:
+            runtime.start()
+        return runtime
+
+    def release(
+        self, backend: str, num_workers: int, runtime: SweepRuntime,
+        healthy: bool = True,
+    ) -> None:
+        """Return a leased runtime (park it warm, or discard on damage)."""
+        key = (backend, num_workers)
+        with self._lock:
+            if healthy and not self._closed:
+                stack = self._idle.setdefault(key, [])
+                if len(stack) < self.max_idle_per_key:
+                    stack.append(runtime)
+                    return
+            self.discards += 1
+        runtime.shutdown()
+
+    def warm(self, backend: str, num_workers: int) -> None:
+        """Pre-build and park a started runtime for the key."""
+        self.release(backend, num_workers, self.lease(backend, num_workers))
+
+    def idle_count(self) -> int:
+        with self._lock:
+            return sum(len(stack) for stack in self._idle.values())
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            idle = sum(len(stack) for stack in self._idle.values())
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "discards": self.discards,
+                "idle": idle,
+            }
+
+    def shutdown(self) -> None:
+        """Close all idle runtimes; subsequent releases discard."""
+        with self._lock:
+            self._closed = True
+            runtimes = [rt for stack in self._idle.values() for rt in stack]
+            self._idle.clear()
+        for runtime in runtimes:
+            runtime.shutdown()
+
+    def __enter__(self) -> "RuntimePool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return (
+            f"RuntimePool(hits={self.hits}, misses={self.misses}, "
+            f"discards={self.discards}, idle={self.idle_count()})"
+        )
+
+
 def get_sweep_runtime(
     backend: Union[str, ExecutionBackend, SweepRuntime], num_workers: int = 2
 ) -> SweepRuntime:
     """Runtime factory for the parallel sweep backends.
 
-    ``backend`` is one of ``"serial"``, ``"thread"``, ``"process"``,
-    ``"shm"``, an :class:`ExecutionBackend` instance (wrapped in a
+    ``backend`` is a registered backend name (see
+    :func:`repro.core.registry.backend_names` — ``"serial"``,
+    ``"thread"``, ``"process"``, ``"shm"`` built in), an
+    :class:`ExecutionBackend` instance (wrapped in a
     :class:`LocalSweepRuntime`), or an existing :class:`SweepRuntime`
     (returned unchanged, so callers can share one runtime across
-    sweeps).
+    sweeps).  String names dispatch through the capability registry's
+    per-backend runtime factories.
     """
     if isinstance(backend, SweepRuntime):
         return backend
     if isinstance(backend, ExecutionBackend):
         return LocalSweepRuntime(backend, num_workers)
-    if backend == "shm":
-        return ShmSweepRuntime(num_workers)
-    if backend in ("serial", "thread", "process"):
-        return LocalSweepRuntime(backend, num_workers)
+    if isinstance(backend, str):
+        return make_runtime(backend, num_workers)
     raise ParameterError(
-        f"unknown sweep backend {backend!r}; expected one of {SWEEP_BACKENDS} "
+        f"unknown sweep backend {backend!r}; expected one of {backend_names()} "
         "or a backend/runtime instance"
     )

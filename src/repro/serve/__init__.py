@@ -1,0 +1,68 @@
+"""Serving layer: a long-lived clustering daemon with an async job API.
+
+``repro serve`` keeps :class:`~repro.parallel.runtime.SweepRuntime`
+pools warm across requests so repeated clustering runs skip the
+worker-spawn and arena-construction cost a cold ``repro cluster``
+invocation pays every time.  The layer splits into:
+
+* :mod:`repro.serve.protocol` — the wire contract: job states, the
+  submission schema, graph/config content hashing for the result cache,
+  and the served result payload;
+* :mod:`repro.serve.cache` — a thread-safe LRU over finished payloads;
+* :mod:`repro.serve.jobs` — the job manager: a bounded FIFO queue, a
+  fixed worker-thread fleet, per-job cancellation/timeout, warm-runtime
+  leasing, and per-job trace routing into
+  :class:`~repro.obs.ReplaySink` streams;
+* :mod:`repro.serve.server` — the HTTP front (TCP or unix socket);
+* :mod:`repro.serve.client` — a small blocking client for tests,
+  benchmarks and scripts.
+
+See ``docs/serving.md`` for the endpoint reference and job lifecycle.
+"""
+
+from repro.serve.cache import ResultCache
+from repro.serve.client import ServeClient
+from repro.serve.jobs import Job, JobManager
+from repro.serve.protocol import (
+    JOB_CANCELLED,
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    JOB_STATES,
+    PROTOCOL_VERSION,
+    TERMINAL_STATES,
+    Submission,
+    graph_content_hash,
+    parse_submission,
+    result_payload,
+    run_cache_key,
+)
+from repro.serve.server import (
+    ClusterHTTPServer,
+    UnixClusterHTTPServer,
+    make_server,
+)
+
+__all__ = [
+    "ClusterHTTPServer",
+    "JOB_CANCELLED",
+    "JOB_DONE",
+    "JOB_FAILED",
+    "JOB_QUEUED",
+    "JOB_RUNNING",
+    "JOB_STATES",
+    "Job",
+    "JobManager",
+    "PROTOCOL_VERSION",
+    "ResultCache",
+    "ServeClient",
+    "Submission",
+    "TERMINAL_STATES",
+    "UnixClusterHTTPServer",
+    "graph_content_hash",
+    "make_server",
+    "parse_submission",
+    "result_payload",
+    "run_cache_key",
+]

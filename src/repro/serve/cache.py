@@ -1,0 +1,83 @@
+"""Thread-safe LRU cache over finished result payloads.
+
+The daemon keys entries by :func:`repro.serve.protocol.run_cache_key`
+(graph content hash + canonical effective config), so a duplicate
+submission — same edges, same effective settings — completes without
+re-running the sweep.  Values are the plain-dict payloads
+:func:`repro.serve.protocol.result_payload` builds; callers treat them
+as read-only (the cache hands out the same dict to every hit).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+from repro.errors import ParameterError
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """A bounded, thread-safe, least-recently-used payload cache.
+
+    ``max_entries=0`` disables caching entirely (every lookup misses,
+    every store is dropped) — useful for benchmarks that must never hit.
+    """
+
+    def __init__(self, max_entries: int = 32):
+        if max_entries < 0:
+            raise ParameterError(f"max_entries must be >= 0, got {max_entries}")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached payload for ``key`` (refreshed as most-recent), or None."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Store ``payload`` under ``key``, evicting the LRU tail if full."""
+        if self.max_entries == 0:
+            return
+        with self._lock:
+            self._entries[key] = payload
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"ResultCache(entries={s['entries']}/{self.max_entries}, "
+            f"hits={s['hits']}, misses={s['misses']}, evictions={s['evictions']})"
+        )

@@ -1,0 +1,250 @@
+"""The serving daemon's wire contract.
+
+Everything a client and the daemon must agree on lives here: the job
+state machine, the submission schema, the content hashing that keys the
+result cache, and the shape of a served result.  The HTTP layer
+(:mod:`repro.serve.server`) and the client (:mod:`repro.serve.client`)
+both import from this module and add no schema of their own.
+
+Job state machine
+-----------------
+::
+
+    queued ──► running ──► done
+       │          ├─────► failed      (error, timeout, crashed worker)
+       └──────────┴─────► cancelled   (cooperative CancelToken)
+
+Every transition is also emitted as a ``job:state`` trace event into
+the job's own :class:`~repro.obs.ReplaySink`, so the progress stream a
+client follows carries the lifecycle inline with the run's spans.
+
+Result caching
+--------------
+Finished payloads are cached under ``run_cache_key(graph_hash, config)``
+— a content hash of the input graph (labels, edges, weights, in id
+order) joined with the canonical JSON of the run config *minus* its
+observability fields (``profile`` / ``metrics_out`` never change the
+dendrogram).  Submitting the same graph with the same effective config
+is a cache hit and completes instantly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cluster.serialize import dumps_dendrogram
+from repro.core.config import RunConfig
+from repro.core.linkclust import LinkClusteringResult
+from repro.errors import ParameterError, ServeError
+from repro.graph.graph import Graph
+
+__all__ = [
+    "JOB_CANCELLED",
+    "JOB_DONE",
+    "JOB_FAILED",
+    "JOB_QUEUED",
+    "JOB_RUNNING",
+    "JOB_STATES",
+    "PROTOCOL_VERSION",
+    "Submission",
+    "TERMINAL_STATES",
+    "graph_content_hash",
+    "parse_submission",
+    "result_payload",
+    "run_cache_key",
+]
+
+#: Version of the request/response schema served under ``/healthz``.
+PROTOCOL_VERSION = 1
+
+JOB_QUEUED = "queued"
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+JOB_FAILED = "failed"
+JOB_CANCELLED = "cancelled"
+
+#: Every job state, in lifecycle order.
+JOB_STATES: Tuple[str, ...] = (
+    JOB_QUEUED,
+    JOB_RUNNING,
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_CANCELLED,
+)
+
+#: States a job never leaves (its ReplaySink is closed on entry).
+TERMINAL_STATES: Tuple[str, ...] = (JOB_DONE, JOB_FAILED, JOB_CANCELLED)
+
+
+def graph_content_hash(graph: Graph) -> str:
+    """SHA-256 over the graph's full content, in id order.
+
+    Covers vertex labels (insertion order fixes the dense ids), edge
+    endpoints and weights (edge-id order fixes the sweep's input
+    enumeration), so two graphs hash equal exactly when a clustering
+    run cannot tell them apart.
+    """
+    h = hashlib.sha256()
+    for label in graph.vertex_labels():
+        h.update(repr(label).encode("utf-8"))
+        h.update(b"\x00")
+    h.update(b"\x01")
+    for edge in graph.edges():
+        h.update(f"{edge.u},{edge.v},{edge.weight!r};".encode("utf-8"))
+    return h.hexdigest()
+
+
+def run_cache_key(graph_hash: str, config: RunConfig) -> str:
+    """Cache key for one (graph, effective config) pair.
+
+    The observability knobs (``profile``, ``metrics_out``) are dropped
+    before hashing — they route trace output but never change the
+    result, so runs differing only there share a cache entry.
+    """
+    effective = config.to_dict()
+    effective.pop("profile", None)
+    effective.pop("metrics_out", None)
+    canonical = json.dumps(effective, sort_keys=True)
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return f"{graph_hash}:{digest}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Submission:
+    """A validated job submission: the graph, the config, the knobs.
+
+    ``use_cache=False`` bypasses the cache *lookup* (the finished
+    payload is still stored) — benchmarks use it to time real runs
+    against a warm daemon without measuring the cache.
+    """
+
+    graph: Graph
+    config: RunConfig
+    timeout: Optional[float] = None
+    use_cache: bool = True
+
+
+def _parse_edges(raw: Any) -> Graph:
+    if not isinstance(raw, list) or not raw:
+        raise ParameterError("'edges' must be a non-empty list of [u, v] or [u, v, weight]")
+    edges: List[Tuple[Any, ...]] = []
+    for i, item in enumerate(raw):
+        if not isinstance(item, (list, tuple)) or len(item) not in (2, 3):
+            raise ParameterError(
+                f"edges[{i}] must be [u, v] or [u, v, weight], got {item!r}"
+            )
+        edges.append(tuple(item))
+    return Graph.from_edge_list(edges)
+
+
+def parse_submission(payload: Any) -> Submission:
+    """Validate a ``POST /jobs`` body and build the :class:`Submission`.
+
+    The body is a JSON object::
+
+        {
+          "edges": [[u, v], [u, v, w], ...],   # inline edge list, or
+          "graph_path": "path/on/daemon/host", # a graph reference
+          "int_labels": false,                  # for graph_path parsing
+          "config": { ... RunConfig.to_dict ... },
+          "timeout": 30.0,                      # optional, seconds
+          "use_cache": true                     # optional
+        }
+
+    Exactly one of ``edges`` / ``graph_path`` is required.  ``config``
+    is validated through :meth:`RunConfig.from_dict`, which applies the
+    capability registry's engine x backend x pair-format rules — an
+    invalid combination is rejected here, before the job ever queues.
+    """
+    if not isinstance(payload, dict):
+        raise ParameterError(f"submission must be a JSON object, got {type(payload).__name__}")
+    known = {"edges", "graph_path", "int_labels", "config", "timeout", "use_cache"}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise ParameterError(f"unknown submission keys: {unknown} (known: {sorted(known)})")
+
+    has_edges = payload.get("edges") is not None
+    has_path = payload.get("graph_path") is not None
+    if has_edges == has_path:
+        raise ParameterError("pass exactly one of 'edges' (inline) or 'graph_path' (reference)")
+    if has_edges:
+        graph = _parse_edges(payload["edges"])
+    else:
+        from repro.graph.io import read_edge_list
+
+        path = payload["graph_path"]
+        if not isinstance(path, str):
+            raise ParameterError(f"'graph_path' must be a string, got {path!r}")
+        try:
+            graph = read_edge_list(path, int_labels=bool(payload.get("int_labels", False)))
+        except OSError as exc:
+            raise ServeError(f"cannot read graph_path {path!r}: {exc}") from exc
+
+    raw_config = payload.get("config")
+    if raw_config is None:
+        config = RunConfig()
+    elif isinstance(raw_config, dict):
+        config = RunConfig.from_dict(raw_config)
+    else:
+        raise ParameterError(f"'config' must be an object, got {type(raw_config).__name__}")
+
+    timeout = payload.get("timeout")
+    if timeout is not None:
+        if isinstance(timeout, bool) or not isinstance(timeout, (int, float)) or timeout <= 0:
+            raise ParameterError(f"'timeout' must be a positive number, got {timeout!r}")
+        timeout = float(timeout)
+
+    return Submission(
+        graph=graph,
+        config=config,
+        timeout=timeout,
+        use_cache=bool(payload.get("use_cache", True)),
+    )
+
+
+def result_payload(result: LinkClusteringResult) -> Dict[str, Any]:
+    """The served form of a finished run.
+
+    ``summary`` is the versioned :class:`~repro.core.ResultSummary`
+    dict; ``dendrogram`` is the *string* produced by
+    :func:`repro.cluster.serialize.dumps_dendrogram`, kept opaque so
+    clients can compare served and direct runs bytewise (and feed it to
+    ``loads_dendrogram`` unchanged); ``edge_index`` / ``edge_labels``
+    pin the edge-id ↔ leaf mapping the dendrogram levels are relative
+    to.
+    """
+    return {
+        "summary": result.to_dict(),
+        "dendrogram": dumps_dendrogram(result.dendrogram),
+        "edge_index": list(result.edge_index),
+        "edge_labels": result.edge_labels(),
+    }
+
+
+def job_status_dict(
+    job_id: str,
+    state: str,
+    *,
+    cached: bool,
+    error: Optional[str],
+    cancel_requested: bool,
+    submitted_at: float,
+    started_at: Optional[float],
+    finished_at: Optional[float],
+    num_events: int,
+) -> Dict[str, Any]:
+    """The ``GET /jobs/<id>`` body (one place so client and server agree)."""
+    return {
+        "job_id": job_id,
+        "state": state,
+        "cached": cached,
+        "error": error,
+        "cancel_requested": cancel_requested,
+        "submitted_at": submitted_at,
+        "started_at": started_at,
+        "finished_at": finished_at,
+        "num_events": num_events,
+    }

@@ -157,9 +157,11 @@ class TestConfigApi:
         assert result.config.backend == "serial"
 
     def test_result_to_dict_schema(self, weighted_caveman):
+        from repro.core.linkclust import RESULT_SCHEMA_VERSION
+
         result = LinkClustering(weighted_caveman, coarse=True).run()
         d = result.to_dict()
-        assert d["schema"] == 1
+        assert d["schema_version"] == RESULT_SCHEMA_VERSION
         assert d["num_edges"] == weighted_caveman.num_edges
         assert d["best_cut"]["num_clusters"] >= 1
         assert d["coarse"]["pairs_processed"] > 0
@@ -168,8 +170,38 @@ class TestConfigApi:
     def test_result_to_json_round_trips(self, triangle):
         import json
 
+        from repro.core.linkclust import RESULT_SCHEMA_VERSION
+
         result = LinkClustering(triangle).run()
-        assert json.loads(result.to_json())["schema"] == 1
+        assert json.loads(result.to_json())["schema_version"] == RESULT_SCHEMA_VERSION
+
+    def test_summary_from_dict_round_trip(self, weighted_caveman):
+        from repro.core.linkclust import LinkClusteringResult, ResultSummary
+
+        result = LinkClustering(weighted_caveman, coarse=True, seed=7).run()
+        d = result.to_dict()
+        summary = ResultSummary.from_dict(d)
+        assert summary.to_dict() == d
+        # the classmethod on the result type delegates to the same reader
+        assert LinkClusteringResult.from_dict(d) == summary
+        # and the embedded config rehydrates to the original RunConfig
+        assert summary.run_config() == result.config
+
+    def test_summary_from_json_round_trip(self, triangle):
+        from repro.core.linkclust import ResultSummary
+
+        result = LinkClustering(triangle).run()
+        payload = result.to_json()
+        assert ResultSummary.from_json(payload).to_json() == payload
+
+    def test_summary_rejects_unknown_keys_and_versions(self, triangle):
+        from repro.core.linkclust import ResultSummary
+
+        d = LinkClustering(triangle).run().to_dict()
+        with pytest.raises(ParameterError, match="unknown result-summary"):
+            ResultSummary.from_dict({**d, "bogus": 1})
+        with pytest.raises(ParameterError, match="schema_version"):
+            ResultSummary.from_dict({**d, "schema_version": 99})
 
 
 class TestBatchEngineRuns:
@@ -316,57 +348,34 @@ class TestShardedEngineRuns:
             RunConfig(engine="sharded")
 
 
-class TestDeprecationShims:
-    def test_positional_settings_warn_but_work(self, weighted_caveman):
-        with pytest.warns(DeprecationWarning, match="positionally"):
-            lc = LinkClustering(weighted_caveman, True, "thread", 2)
-        assert lc.coarse_params is not None
-        assert lc.backend == "thread"
-        assert lc.num_workers == 2
+class TestPositionalShimsRemoved:
+    """The PR-4 deprecation shims completed their two-release window:
+    positional settings and ``run(sim)`` are now hard TypeErrors, not
+    warnings (analysis rule API002 still flags such call sites)."""
 
-    def test_positional_settings_warning_points_at_caller(self, triangle):
-        # stacklevel=2: the warning must blame this file, not the shim's
-        # own frame inside linkclust.py.
-        with pytest.warns(DeprecationWarning) as record:
+    def test_positional_settings_rejected(self, weighted_caveman):
+        with pytest.raises(TypeError, match="positional"):
+            LinkClustering(weighted_caveman, True, "thread", 2)
+
+    def test_single_positional_setting_rejected(self, triangle):
+        with pytest.raises(TypeError, match="positional"):
             LinkClustering(triangle, True)
-        assert record[0].filename == __file__
 
-    def test_positional_similarity_map_warning_points_at_caller(self, triangle):
+    def test_positional_similarity_map_rejected(self, triangle):
         lc = LinkClustering(triangle)
         sim = lc.compute_similarities()
-        with pytest.warns(DeprecationWarning) as record:
+        with pytest.raises(TypeError, match="positional"):
             lc.run(sim)
-        assert record[0].filename == __file__
 
     def test_keyword_calls_do_not_warn(self, weighted_caveman):
         import warnings
 
         with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
+            warnings.simplefilter("error")
             LinkClustering(weighted_caveman, coarse=True, backend="thread")
 
-    def test_positional_and_keyword_duplicate_rejected(self, triangle):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(TypeError, match="multiple values"):
-                LinkClustering(triangle, True, coarse=False)
-
-    def test_too_many_positionals_rejected(self, triangle):
-        with pytest.raises(TypeError, match="positional"):
-            LinkClustering(triangle, True, "serial", 1, None, False, "extra")
-
-    def test_positional_similarity_map_warns(self, weighted_caveman):
+    def test_keyword_similarity_map_still_works(self, weighted_caveman):
         lc = LinkClustering(weighted_caveman)
         sim = lc.compute_similarities()
-        with pytest.warns(DeprecationWarning, match="similarity_map"):
-            result = lc.run(sim)
+        result = lc.run(similarity_map=sim)
         assert result.num_levels > 0
-
-    def test_run_rejects_extra_positionals(self, triangle):
-        with pytest.raises(TypeError, match="positional"):
-            LinkClustering(triangle).run(None, None)
-
-    def test_run_rejects_positional_plus_keyword(self, weighted_caveman):
-        lc = LinkClustering(weighted_caveman)
-        sim = lc.compute_similarities()
-        with pytest.raises(TypeError, match="multiple values"):
-            lc.run(sim, similarity_map=sim)

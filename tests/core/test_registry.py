@@ -1,0 +1,127 @@
+"""The engine/backend capability registry and its shared validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import RunConfig
+from repro.core.registry import (
+    BackendSpec,
+    EngineSpec,
+    PairFormatSpec,
+    backend_names,
+    engine_names,
+    get_backend,
+    get_engine,
+    get_pair_format,
+    make_runtime,
+    pair_format_names,
+    register_backend,
+    register_engine,
+    register_pair_format,
+    validate_run_settings,
+)
+from repro.errors import ParameterError
+from repro.parallel.runtime import SweepRuntime
+
+
+class TestBuiltinTable:
+    def test_builtin_names(self):
+        assert backend_names() == ("serial", "thread", "process", "shm")
+        assert engine_names() == ("chained", "batch", "sharded")
+        assert pair_format_names() == ("dict", "columnar", "auto")
+
+    def test_engine_capabilities(self):
+        chained = get_engine("chained")
+        assert not chained.requires_coarse
+        assert chained.accepts_dict_pairs
+        assert not chained.supports_epsilon
+        batch = get_engine("batch")
+        assert batch.requires_coarse and not batch.accepts_dict_pairs
+        sharded = get_engine("sharded")
+        assert sharded.supports_epsilon
+
+    def test_backend_capabilities(self):
+        assert not get_backend("serial").parallel
+        for name in ("thread", "process", "shm"):
+            assert get_backend(name).parallel
+
+    def test_pair_format_concreteness(self):
+        assert get_pair_format("dict").concrete
+        assert get_pair_format("columnar").concrete
+        assert not get_pair_format("auto").concrete
+
+    def test_unknown_names_raise(self):
+        with pytest.raises(ParameterError, match="engine must be one of"):
+            get_engine("quantum")
+        with pytest.raises(ParameterError, match="backend must be one of"):
+            get_backend("gpu")
+        with pytest.raises(ParameterError, match="pairs_format must be one of"):
+            get_pair_format("parquet")
+
+
+class TestValidation:
+    def test_valid_defaults(self):
+        validate_run_settings(
+            backend="serial", engine="chained", pairs_format="auto",
+            coarse=False, epsilon=0.0, num_workers=1,
+        )
+
+    def test_engine_requires_coarse(self):
+        with pytest.raises(ParameterError, match="requires coarse sweeping"):
+            validate_run_settings(
+                backend="serial", engine="batch", pairs_format="auto",
+                coarse=False, epsilon=0.0, num_workers=1,
+            )
+
+    def test_engine_rejects_dict_pairs(self):
+        with pytest.raises(ParameterError, match="columnar"):
+            validate_run_settings(
+                backend="serial", engine="sharded", pairs_format="dict",
+                coarse=True, epsilon=0.0, num_workers=1,
+            )
+
+    def test_epsilon_only_for_sharded(self):
+        with pytest.raises(ParameterError, match="epsilon"):
+            validate_run_settings(
+                backend="serial", engine="chained", pairs_format="auto",
+                coarse=True, epsilon=0.5, num_workers=1,
+            )
+
+    def test_bad_worker_count(self):
+        with pytest.raises(ParameterError, match="num_workers"):
+            validate_run_settings(
+                backend="thread", engine="chained", pairs_format="auto",
+                coarse=True, epsilon=0.0, num_workers=0,
+            )
+
+    def test_runconfig_goes_through_registry(self):
+        # RunConfig.validate() is the same shared table.
+        with pytest.raises(ParameterError, match="engine must be one of"):
+            RunConfig(engine="quantum")
+        cfg = RunConfig(backend="thread", num_workers=2, coarse=True)
+        cfg.validate()  # an existing config is always re-validatable
+
+
+class TestFactories:
+    def test_make_runtime_builds_each_backend(self):
+        for name in ("thread", "process", "shm"):
+            runtime = make_runtime(name, 2)
+            try:
+                assert isinstance(runtime, SweepRuntime)
+            finally:
+                runtime.shutdown()
+
+    def test_make_runtime_rejects_unknown_backend(self):
+        with pytest.raises(ParameterError, match="backend must be one of"):
+            make_runtime("gpu", 2)
+
+
+class TestRegistration:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ParameterError, match="already registered"):
+            register_engine(EngineSpec(name="chained", summary="dup"))
+        with pytest.raises(ParameterError, match="already registered"):
+            register_backend(BackendSpec(name="thread", summary="dup"))
+        with pytest.raises(ParameterError, match="already registered"):
+            register_pair_format(PairFormatSpec(name="dict", summary="dup"))

@@ -91,3 +91,60 @@ class TestSummary:
         text = render_summary(sink.spans)
         lines = [line for line in text.splitlines() if line.startswith("run")]
         assert lines and "100.0%" in lines[0]
+
+
+class TestReplaySink:
+    def test_replay_snapshots_dicts(self):
+        from repro.obs import ReplaySink
+
+        sink = ReplaySink()
+        tracer = Tracer([sink])
+        _demo_run(tracer)
+        records = sink.replay()
+        assert len(records) == len(sink)
+        assert all(isinstance(r, dict) for r in records)
+        names = [r["name"] for r in records if r["kind"] == "span"]
+        assert "run" in names and "phase:sweep" in names
+        # `start` resumes mid-stream.
+        assert sink.replay(start=len(records) - 1) == records[-1:]
+
+    def test_follow_ends_when_closed(self):
+        import threading
+
+        from repro.obs import ReplaySink
+
+        sink = ReplaySink()
+        tracer = Tracer([sink])
+        seen = []
+
+        def reader():
+            for record in sink.follow(timeout=5.0):
+                seen.append(record)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        _demo_run(tracer)
+        tracer.close()
+        sink.close()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert seen == sink.replay()
+        assert sink.closed
+
+    def test_follow_timeout_returns_early(self):
+        from repro.obs import ReplaySink
+
+        sink = ReplaySink()  # never closed, never fed
+        assert list(sink.follow(timeout=0.01)) == []
+
+    def test_emit_after_close_still_drains(self):
+        from repro.obs import ReplaySink
+
+        sink = ReplaySink()
+        tracer = Tracer([sink])
+        tracer.event("run:pairs_format", format="dict", requested="auto")
+        sink.close()
+        # A follower starting after close replays then stops.
+        records = list(sink.follow(timeout=1.0))
+        assert len(records) == 1
+        assert records[0]["name"] == "run:pairs_format"

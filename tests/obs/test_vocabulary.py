@@ -41,6 +41,8 @@ class TestDeclaredNames:
         assert is_known_event("sweep:level")
         assert is_known_event("sweep:jump")
         assert is_known_event("run:pairs_format")
+        # The serving daemon's job-lifecycle event.
+        assert is_known_event("job:state")
         for counter in (
             "k1", "k2", "merges", "rollbacks", "jump_hits", "batch_rounds",
             "boundary_edges", "reconcile_rounds", "shard_bytes",

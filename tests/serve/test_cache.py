@@ -1,0 +1,75 @@
+"""The result cache: LRU bounds, stats, thread-safety basics."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.serve.cache import ResultCache
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = ResultCache(4)
+        assert cache.get("k") is None
+        cache.put("k", {"x": 1})
+        assert cache.get("k") == {"x": 1}
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1, "evictions": 0}
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(2)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        assert cache.get("a") is not None  # refresh a; b is now LRU
+        cache.put("c", {"v": 3})
+        assert cache.get("b") is None
+        assert cache.get("a") is not None and cache.get("c") is not None
+        assert cache.stats()["evictions"] == 1
+
+    def test_overwrite_same_key(self):
+        cache = ResultCache(2)
+        cache.put("k", {"v": 1})
+        cache.put("k", {"v": 2})
+        assert len(cache) == 1
+        assert cache.get("k") == {"v": 2}
+
+    def test_zero_capacity_disables(self):
+        cache = ResultCache(0)
+        cache.put("k", {"v": 1})
+        assert cache.get("k") is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ParameterError, match="max_entries"):
+            ResultCache(-1)
+
+    def test_clear(self):
+        cache = ResultCache(4)
+        cache.put("k", {})
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestConcurrency:
+    def test_concurrent_puts_and_gets(self):
+        cache = ResultCache(16)
+        errors = []
+
+        def hammer(tag):
+            try:
+                for i in range(200):
+                    cache.put(f"{tag}:{i % 20}", {"i": i})
+                    cache.get(f"{tag}:{(i + 7) % 20}")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+                raise
+
+        threads = [threading.Thread(target=hammer, args=(t,)) for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 16

@@ -1,0 +1,289 @@
+"""Job lifecycle edge cases: cancellation, caching, crashes, backpressure.
+
+Scenarios that need precise control over run timing use a stub in place
+of ``jobs.LinkClustering`` (monkeypatched); everything else drives real
+clustering runs on small graphs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.config import RunConfig
+from repro.errors import ParallelError, QueueFullError, ServeError
+from repro.graph import generators
+from repro.serve import jobs as jobs_module
+from repro.serve.jobs import JobManager
+from repro.serve.protocol import (
+    JOB_CANCELLED,
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_QUEUED,
+    JOB_RUNNING,
+)
+
+PARALLEL_COARSE = RunConfig(backend="thread", num_workers=2, coarse=True)
+
+
+@pytest.fixture()
+def graph():
+    return generators.caveman_graph(4, 5)
+
+
+def _job_states(job):
+    return [
+        r["attrs"]["state"]
+        for r in job.sink.replay()
+        if r["kind"] == "event" and r["name"] == "job:state"
+    ]
+
+
+def _wait_for(predicate, timeout=10.0, poll=0.01):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        assert time.monotonic() < deadline, "timed out waiting for condition"
+        time.sleep(poll)
+
+
+class _GateRun:
+    """Stands in for LinkClustering: blocks until released or cancelled."""
+
+    started = None  # class attrs set per-test
+    release = None
+
+    def __init__(self, graph, *, config=None, tracer=None, cancel=None, runtime=None):
+        self.tracer = tracer
+        self.cancel = cancel
+
+    def run(self):
+        type(self).started.set()
+        with self.tracer.span("phase:sweep"):
+            while not type(self).release.wait(0.01):
+                if self.cancel is not None:
+                    self.cancel.raise_if_cancelled()
+        from repro.graph import generators as gen
+        from repro.core.linkclust import LinkClustering
+
+        return LinkClustering(gen.caveman_graph(2, 3)).run()
+
+
+def _gate(monkeypatch):
+    class Gate(_GateRun):
+        started = threading.Event()
+        release = threading.Event()
+
+    monkeypatch.setattr(jobs_module, "LinkClustering", Gate)
+    return Gate
+
+
+class TestHappyPath:
+    def test_submit_runs_to_done(self, graph):
+        with JobManager(job_workers=1) as manager:
+            job = manager.submit(graph, RunConfig())
+            _wait_for(lambda: job.state == JOB_DONE)
+            assert job.result is not None
+            assert job.result["summary"]["num_edges"] == graph.num_edges
+            assert _job_states(job) == ["queued", "running", "done"]
+            assert job.sink.closed
+            assert job.started_at is not None and job.finished_at is not None
+
+    def test_parallel_job_leases_from_pool(self, graph):
+        with JobManager(job_workers=1) as manager:
+            first = manager.submit(graph, PARALLEL_COARSE, use_cache=False)
+            _wait_for(lambda: first.state == JOB_DONE)
+            second = manager.submit(graph, PARALLEL_COARSE, use_cache=False)
+            _wait_for(lambda: second.state == JOB_DONE)
+            pool = manager.pool.stats()
+            assert pool["misses"] == 1  # first job built the runtime
+            assert pool["hits"] == 1  # second reused it warm
+            assert first.result["dendrogram"] == second.result["dendrogram"]
+
+    def test_two_jobs_run_concurrently(self, graph, monkeypatch):
+        gate = _gate(monkeypatch)
+        with JobManager(job_workers=2) as manager:
+            a = manager.submit(graph, RunConfig(), use_cache=False)
+            b = manager.submit(graph, RunConfig(seed=1), use_cache=False)
+            # Both jobs must be *running* at the same time before either
+            # is released — that is the >= 2 concurrent-jobs guarantee.
+            _wait_for(lambda: a.state == JOB_RUNNING and b.state == JOB_RUNNING)
+            gate.release.set()
+            _wait_for(lambda: a.state == JOB_DONE and b.state == JOB_DONE)
+
+
+class TestCancellation:
+    def test_cancel_before_start(self, graph):
+        manager = JobManager(job_workers=1)  # fleet not started yet
+        try:
+            job = manager.submit(graph, RunConfig())
+            assert job.state == JOB_QUEUED
+            manager.cancel(job.job_id, reason="changed my mind")
+            assert job.state == JOB_CANCELLED
+            manager.start()
+            # The worker must skip the cancelled job, not run it.
+            time.sleep(0.1)
+            assert job.state == JOB_CANCELLED
+            assert _job_states(job) == ["queued", "cancelled"]
+            assert job.started_at is None
+            assert job.sink.closed
+        finally:
+            manager.shutdown()
+
+    def test_cancel_mid_sweep_flushes_partial_spans(self, graph, monkeypatch):
+        _gate(monkeypatch)
+        gate = jobs_module.LinkClustering
+        with JobManager(job_workers=1) as manager:
+            job = manager.submit(graph, RunConfig())
+            _wait_for(lambda: gate.started.is_set())
+            manager.cancel(job.job_id, reason="operator stop")
+            _wait_for(lambda: job.state == JOB_CANCELLED)
+            records = job.sink.replay()
+            # The span that was open when the token tripped must have
+            # been flushed (span __exit__ emits on exception) ...
+            spans = [r for r in records if r["kind"] == "span"]
+            assert any(s["name"] == "phase:sweep" for s in spans)
+            assert any(s["attrs"].get("error") == "RunCancelledError" for s in spans)
+            # ... and the lifecycle events bracket it.
+            assert _job_states(job) == ["queued", "running", "cancelled"]
+            reasons = [
+                r["attrs"].get("reason")
+                for r in records
+                if r["kind"] == "event" and r["attrs"].get("state") == "cancelled"
+            ]
+            assert reasons == ["operator stop"]
+
+    def test_cancel_unknown_job(self, graph):
+        with JobManager(job_workers=1) as manager:
+            with pytest.raises(ServeError, match="unknown job"):
+                manager.cancel("j999")
+
+    def test_timeout_trips_the_token(self, graph, monkeypatch):
+        _gate(monkeypatch)  # never released: runs until cancelled
+        with JobManager(job_workers=1, default_timeout=0.2) as manager:
+            job = manager.submit(graph, RunConfig())
+            _wait_for(lambda: job.state == JOB_FAILED)
+            assert job.timed_out
+            assert "timed out after 0.2s" in job.error
+
+
+class TestCaching:
+    def test_duplicate_submit_is_a_cache_hit(self, graph):
+        with JobManager(job_workers=1) as manager:
+            first = manager.submit(graph, RunConfig())
+            _wait_for(lambda: first.state == JOB_DONE)
+            second = manager.submit(graph, RunConfig())
+            # Completed synchronously, without queueing or running.
+            assert second.state == JOB_DONE and second.cached
+            assert second.result is first.result
+            assert _job_states(second) == ["queued", "done"]
+            assert manager.cache.stats()["hits"] == 1
+
+    def test_different_config_misses(self, graph):
+        with JobManager(job_workers=1) as manager:
+            first = manager.submit(graph, RunConfig())
+            _wait_for(lambda: first.state == JOB_DONE)
+            second = manager.submit(graph, RunConfig(seed=3))
+            _wait_for(lambda: second.state == JOB_DONE)
+            assert not second.cached
+
+    def test_use_cache_false_bypasses_lookup_but_stores(self, graph):
+        with JobManager(job_workers=1) as manager:
+            first = manager.submit(graph, RunConfig(), use_cache=False)
+            _wait_for(lambda: first.state == JOB_DONE)
+            second = manager.submit(graph, RunConfig(), use_cache=False)
+            _wait_for(lambda: second.state == JOB_DONE)
+            assert not first.cached and not second.cached
+            # The payloads were still stored: a normal submit hits.
+            third = manager.submit(graph, RunConfig())
+            assert third.cached
+
+
+class TestCrashIsolation:
+    def test_worker_crash_fails_job_keeps_daemon_serving(self, graph, monkeypatch):
+        class Crash:
+            calls = 0
+
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def run(self):
+                type(self).calls += 1
+                raise ParallelError(
+                    "worker 1 died: killed by signal 9 (SIGKILL; oom or manual kill)",
+                    worker=1,
+                )
+
+        monkeypatch.setattr(jobs_module, "LinkClustering", Crash)
+        manager = JobManager(job_workers=1)
+        with manager:
+            doomed = manager.submit(graph, PARALLEL_COARSE)
+            _wait_for(lambda: doomed.state == JOB_FAILED)
+            assert "SIGKILL" in doomed.error
+            assert _job_states(doomed) == ["queued", "running", "failed"]
+            # The leased runtime was released unhealthy -> discarded,
+            # never parked for the next job.
+            assert manager.pool.stats()["discards"] == 1
+            assert manager.pool.stats()["idle"] == 0
+
+            # The daemon keeps serving: restore the real runner and the
+            # next job on the same manager completes.
+            monkeypatch.setattr(jobs_module, "LinkClustering", _real_linkclustering())
+            healthy = manager.submit(graph, PARALLEL_COARSE)
+            _wait_for(lambda: healthy.state == JOB_DONE)
+            assert healthy.result is not None
+
+
+def _real_linkclustering():
+    from repro.core.linkclust import LinkClustering
+
+    return LinkClustering
+
+
+class TestBackpressure:
+    def test_queue_full_rejection(self, graph):
+        manager = JobManager(job_workers=1, queue_size=1)  # not started
+        try:
+            manager.submit(graph, RunConfig())
+            with pytest.raises(QueueFullError, match="full"):
+                manager.submit(graph, RunConfig(seed=1))
+            # The rejected job left no trace in the registry.
+            assert len(manager.jobs()) == 1
+            assert manager.stats()["submitted"] == 2  # ids are not reused
+        finally:
+            manager.shutdown()
+
+    def test_cached_submissions_skip_the_queue(self, graph):
+        manager = JobManager(job_workers=1, queue_size=1)
+        with manager:
+            first = manager.submit(graph, RunConfig())
+            _wait_for(lambda: first.state == JOB_DONE)
+        # Fleet drained and stopped; queue capacity is 1 again.
+        manager2 = JobManager(job_workers=1, queue_size=1)
+        try:
+            blocker = manager2.submit(graph, RunConfig(seed=9))  # fills the queue
+            assert blocker.state == JOB_QUEUED
+            # Prime the cache through the manager's own cache object.
+            manager2.cache.put(blocker.cache_key, {"summary": {}})
+            hit = manager2.submit(graph, RunConfig(seed=9))
+            assert hit.state == JOB_DONE and hit.cached
+        finally:
+            manager2.shutdown()
+
+
+class TestShutdown:
+    def test_submit_after_shutdown_rejected(self, graph):
+        manager = JobManager(job_workers=1)
+        manager.start()
+        manager.shutdown()
+        with pytest.raises(ServeError, match="shut down"):
+            manager.submit(graph, RunConfig())
+
+    def test_shutdown_drains_queued_jobs(self, graph):
+        manager = JobManager(job_workers=1)
+        job = manager.submit(graph, RunConfig())  # queued before start
+        manager.start()
+        manager.shutdown()
+        # The sentinel sits behind the job, so the job ran first.
+        assert job.state == JOB_DONE

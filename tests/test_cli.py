@@ -271,7 +271,7 @@ class TestRunFlags:
         code = main(["cluster", str(graph_file), "--int-labels", "--json"])
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["schema"] == 1
+        assert payload["schema_version"] == 2
         assert payload["config"]["backend"] == "serial"
 
     def test_reproduce_profile_traces_figures(self, tmp_path, capsys, monkeypatch):
