@@ -1,4 +1,4 @@
-"""SHM001/SHM002 — shared-memory hygiene.
+"""SHM001/SHM002/SHM003 — shared-memory and mapped-file hygiene.
 
 SHM001: a ``multiprocessing.shared_memory.SharedMemory`` attach that is
 not ``close()``-d leaks a file descriptor and an mmap in every worker; a
@@ -22,6 +22,17 @@ columns and array-``C`` rows through ``shared_memory`` blocks; a
 ``pickle.dumps``/``loads`` of that data re-introduces the per-chunk
 serialization cost the design removes.  Publish columns once with
 ``ShmArena.load_pairs`` and ship index ranges instead.
+
+SHM003: the same lifecycle discipline for memory maps and raw file
+handles — ``mmap.mmap``, ``numpy.memmap``, ``open``, ``os.fdopen``,
+``io.open``.  The out-of-core pair store (:mod:`repro.core.storage`)
+maps one file per run and every worker process maps it again; a map or
+handle with an exit path that skips ``close()`` pins the file (and on
+the spill path, the run directory) until interpreter shutdown.  The
+rule reuses the SHM001 flow engine, so every escape shape it accepts —
+``with``, ``try/finally``, return/yield/attribute-store ownership
+transfer — applies here too (``PairFileSpec.open_*`` returning a fresh
+map hands ownership to the caller and is clean by construction).
 """
 
 from __future__ import annotations
@@ -35,7 +46,11 @@ from repro.analysis.finding import Finding
 from repro.analysis.flow import ResourceSpec, check_resource_flow
 from repro.analysis.registry import register
 
-__all__ = ["SharedMemoryLifecycleRule", "ExplicitPickleRule"]
+__all__ = [
+    "SharedMemoryLifecycleRule",
+    "ExplicitPickleRule",
+    "MappedFileLifecycleRule",
+]
 
 
 def _is_creator(call: ast.Call) -> bool:
@@ -134,3 +149,54 @@ class ExplicitPickleRule(Rule):
                         "load_pairs) and ship index ranges instead",
                     )
                     break
+
+
+# Calls that hand back a map or raw file handle needing close().
+# Resolution goes through the module's import table, so ``import numpy
+# as np; np.memmap(...)`` and ``from mmap import mmap`` both match.
+_MAP_OPENERS = frozenset(
+    {"mmap.mmap", "numpy.memmap", "os.fdopen", "io.open", "open"}
+)
+
+
+@register
+class MappedFileLifecycleRule(Rule):
+    rule_id = "SHM003"
+    summary = (
+        "mmap / numpy.memmap / open file handles must be close()d on "
+        "every path through the scope, or ownership must escape"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        def _match_map(call: ast.Call) -> Optional[Tuple[str, ...]]:
+            resolved = ctx.imports.resolve(call.func)
+            if resolved in _MAP_OPENERS:
+                return ("close",)
+            return None
+
+        spec = ResourceSpec(
+            kind="mapped file",
+            matcher=_match_map,
+            release_methods={"close": frozenset({"close"})},
+            with_releases=frozenset({"close"}),
+        )
+        for scope in iter_scopes(ctx.tree):
+            leaks, unbound = check_resource_flow(scope, spec)
+            for leak in leaks:
+                yield self.finding(
+                    ctx,
+                    leak.site.call,
+                    f"mapped file {leak.site.name!r} is opened here but a "
+                    "path through this scope exits without close(); the "
+                    "map (and the file behind it) stays pinned until "
+                    "interpreter shutdown — use a with statement, a "
+                    "try/finally, or hand ownership off",
+                )
+            for open_site in unbound:
+                yield self.finding(
+                    ctx,
+                    open_site.call,
+                    "a map/file handle must be bound to a single name (or "
+                    "used in a with statement, or handed off at creation) "
+                    "so close() can be verified",
+                )

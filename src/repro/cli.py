@@ -84,7 +84,26 @@ def _add_run_flags(parser: argparse.ArgumentParser) -> None:
         choices=pair_format_names(),
         default="auto",
         help="map M representation: dict (pure-python oracle), columnar "
-        "(numpy structure-of-arrays), or auto (size-based dispatch)",
+        "(numpy structure-of-arrays), mmap (out-of-core memory-mapped "
+        "store; requires --coarse), or auto (size-based dispatch, "
+        "never mmap)",
+    )
+    parser.add_argument(
+        "--storage-dir",
+        metavar="DIR",
+        default=None,
+        help="root for the out-of-core store's run-scoped spill "
+        "directory (--pairs-format mmap only; system temp dir when "
+        "unset)",
+    )
+    parser.add_argument(
+        "--memory-budget-bytes",
+        type=int,
+        metavar="N",
+        default=None,
+        help="RAM cap for building/reading the out-of-core store; "
+        "exceeding it spills sorted runs and external-merges them "
+        "(--pairs-format mmap only)",
     )
     parser.add_argument(
         "--engine",
@@ -298,6 +317,8 @@ def _run_config_from_args(args: argparse.Namespace) -> RunConfig:
         pairs_format=args.pairs_format,
         engine=args.engine,
         epsilon=args.epsilon,
+        storage_dir=args.storage_dir,
+        memory_budget_bytes=args.memory_budget_bytes,
         profile=args.profile,
         metrics_out=args.metrics_out,
     )

@@ -56,8 +56,9 @@ from repro.core.chunking import (
 from repro.core.cancel import CancelToken
 from repro.core.modes import Mode, evaluate_predicates, next_mode
 from repro.core.registry import get_engine
-from repro.core.simcolumns import SimilarityColumns, wedge_edge_arrays
+from repro.core.simcolumns import SimilarityColumns
 from repro.core.similarity import SimilarityMap, compute_similarity_map
+from repro.core.storage import StorageSettings, make_pair_store
 from repro.core.sweep import build_edge_index
 from repro.errors import ParameterError
 from repro.graph.graph import Graph
@@ -246,7 +247,7 @@ class _CoarseSweeper:
     def __init__(
         self,
         graph: Graph,
-        similarity_map: Union[SimilarityMap, SimilarityColumns],
+        similarity_map: Optional[Union[SimilarityMap, SimilarityColumns]],
         params: CoarseParams,
         edge_order: Optional[Sequence[int]],
         tracer=None,
@@ -254,6 +255,7 @@ class _CoarseSweeper:
         num_shards: Optional[int] = None,
         epsilon: float = 0.0,
         cancel: Optional[CancelToken] = None,
+        storage: Optional[StorageSettings] = None,
     ):
         engine_spec = get_engine(engine)
         self.cancel = cancel
@@ -269,11 +271,13 @@ class _CoarseSweeper:
             )
         if num_shards is not None and num_shards < 1:
             raise ParameterError(f"num_shards must be >= 1, got {num_shards}")
-        if not engine_spec.accepts_dict_pairs and isinstance(
-            similarity_map, SimilarityMap
+        if isinstance(similarity_map, SimilarityMap) and (
+            not engine_spec.accepts_dict_pairs
+            or (storage is not None and storage.kind == "mmap")
         ):
-            # The batch/sharded kernels consume the flat columnar wedge
-            # stream; the dict map converts losslessly (same list-L order).
+            # The batch/sharded kernels — and the out-of-core store —
+            # consume the flat columnar wedge stream; the dict map
+            # converts losslessly (same list-L order).
             similarity_map = SimilarityColumns.from_similarity_map(similarity_map)
         self.engine = engine
         self.engine_spec = engine_spec
@@ -285,26 +289,52 @@ class _CoarseSweeper:
         self.graph = graph
         self.params = params
         self.tracer = as_tracer(tracer)
-        self.k1 = similarity_map.k1
-        self.k2 = similarity_map.k2
+        self.index = build_edge_index(graph, edge_order)
+        self.num_edges = graph.num_edges
         # List L: the dict path keeps the (sim, pair, commons) tuples;
-        # the columnar path lexsorts the columns and precomputes the
-        # whole K2 merge stream as flat arrays (no per-wedge edge_id
-        # lookups in the epoch loop).
+        # the columnar path builds a PairStore — the sorted columns plus
+        # the precomputed K2 merge stream, in RAM or memory-mapped under
+        # a spill directory depending on the storage settings.
+        # ``similarity_map=None`` asks the mmap store to run Phase I
+        # itself, streaming: wedges spill in center chunks and merge
+        # straight into the pair file, so no K2-sized array ever exists.
+        self.store = None
         self.columns: Optional[SimilarityColumns] = None
         self.pairs: Optional[
             List[Tuple[float, Tuple[int, int], Tuple[int, ...]]]
         ] = None
-        if isinstance(similarity_map, SimilarityColumns):
+        if similarity_map is None:
+            with self.tracer.span("phase:sort", streaming=True):
+                self.store = make_pair_store(
+                    graph,
+                    None,
+                    np.asarray(self.index, dtype=np.int64),
+                    settings=storage,
+                    tracer=self.tracer,
+                    cancel=cancel,
+                )
+            self.k1 = self.store.k1
+            self.k2 = self.store.k2
+        elif isinstance(similarity_map, SimilarityColumns):
+            self.k1 = similarity_map.k1
+            self.k2 = similarity_map.k2
             with self.tracer.span("phase:sort", k1=self.k1):
-                self.columns = similarity_map.sort_pairs()
+                self.store = make_pair_store(
+                    graph,
+                    similarity_map,
+                    np.asarray(self.index, dtype=np.int64),
+                    settings=storage,
+                    tracer=self.tracer,
+                    cancel=cancel,
+                )
+            self.columns = getattr(self.store, "columns", None)
         else:
+            self.k1 = similarity_map.k1
+            self.k2 = similarity_map.k2
             with self.tracer.span("phase:sort", k1=self.k1):
                 self.pairs = similarity_map.sorted_pairs()
         self.tracer.gauge("k1", self.k1)
         self.tracer.gauge("k2", self.k2)
-        self.index = build_edge_index(graph, edge_order)
-        self.num_edges = graph.num_edges
 
         # Vertex-ownership map for the serial sharded engine (the
         # parallel driver shards by its runtime's worker count instead).
@@ -320,17 +350,10 @@ class _CoarseSweeper:
 
         self.c1_arr: Optional[np.ndarray] = None
         self.c2_arr: Optional[np.ndarray] = None
-        if self.columns is not None:
-            e1, e2 = wedge_edge_arrays(graph, self.columns)
-            index_arr = np.asarray(self.index, dtype=np.int64)
-            self.c1_arr = index_arr[e1] if len(e1) else e1
-            self.c2_arr = index_arr[e2] if len(e2) else e2
-            self.c1_list = self.c1_arr.tolist()
-            self.c2_list = self.c2_arr.tolist()
-            self.offsets_list = self.columns.common_offsets.tolist()
-            self.counts_list = self.columns.pair_counts().tolist()
-            self.sims_list = self.columns.sim.tolist()
-            self.num_pairs = self.columns.k1
+        if self.store is not None:
+            self.c1_arr = self.store.c1
+            self.c2_arr = self.store.c2
+            self.num_pairs = self.store.num_pairs
         else:
             assert self.pairs is not None
             self.counts_list = [len(commons) for _s, _p, commons in self.pairs]
@@ -523,11 +546,22 @@ class _CoarseSweeper:
         Walks forward from ``p`` until the estimated chunk size ``delta``
         is exhausted, honouring vertex-pair atomicity (the last pair that
         would cross the budget ends the chunk).
+
+        In columnar mode the running pair count ``xi`` always equals
+        ``offsets[p]`` (every pair is processed whole, in order, and
+        state jumps restore both together), so the walk collapses to one
+        ``searchsorted``: the chunk ends before the first pair whose
+        *end* offset crosses the budget, clamped so at least one pair is
+        taken.  This never touches more than O(log K1) offset entries —
+        important when the offsets live in a memory-mapped store.
         """
-        counts = self.counts_list
         start = self.p
-        end = start
         budget = self.epoch_start_xi + self.delta
+        if self.store is not None:
+            j = int(np.searchsorted(self.store.offsets, budget, side="left"))
+            return range(start, min(self.num_pairs, max(start + 1, j - 1)))
+        counts = self.counts_list
+        end = start
         xi = self.xi
         while end < self.num_pairs:
             count = counts[end]
@@ -551,11 +585,14 @@ class _CoarseSweeper:
             # (_apply_chunk_batch / _apply_chunk_sharded for built-ins).
             getattr(self, self.engine_spec.chunk_applier)(chunk)
             return
-        if self.columns is not None:
-            offsets = self.offsets_list
-            c1 = self.c1_list
-            c2 = self.c2_list
-            sims = self.sims_list
+        if self.store is not None:
+            if self.store.streaming:
+                self._apply_chunk_streaming(chunk)
+                return
+            offsets = self.store.offsets_list
+            c1 = self.store.c1_list
+            c2 = self.store.c2_list
+            sims = self.store.sims_list
             with self.tracer.span("runtime:compute", workers=1):
                 for pos in chunk:
                     similarity = sims[pos]
@@ -578,6 +615,7 @@ class _CoarseSweeper:
         graph = self.graph
         index = self.index
         pairs = self.pairs
+        assert pairs is not None
         with self.tracer.span("runtime:compute", workers=1):
             for pos in chunk:
                 similarity, (vi, vj), commons = pairs[pos]
@@ -594,6 +632,47 @@ class _CoarseSweeper:
                 self.xi += len(commons)
                 self.p = pos + 1
 
+    def _apply_chunk_streaming(self, chunk: range) -> None:
+        """Chained merge loop over bounded store windows.
+
+        Behaviourally identical to the list-based loop — same merges in
+        the same order — but only ever holds one window's worth of the
+        wedge stream (plus its pair slice) in Python lists, so the
+        resident set stays bounded by the store's window size instead of
+        K2.
+        """
+        store = self.store
+        assert store is not None
+        chain = self.chain
+        with self.tracer.span("runtime:compute", workers=1):
+            pos = chunk.start
+            while pos < chunk.stop:
+                blk = store.pair_block_end(pos, chunk.stop)
+                offs = store.offsets[pos : blk + 1].tolist()
+                sims = store.sims[pos:blk].tolist()
+                w0 = offs[0]
+                c1_arr, c2_arr = store.window(w0, offs[-1])
+                c1 = c1_arr.tolist()
+                c2 = c2_arr.tolist()
+                for i in range(blk - pos):
+                    similarity = sims[i]
+                    start, end = offs[i], offs[i + 1]
+                    for widx in range(start - w0, end - w0):
+                        outcome = chain.merge(c1[widx], c2[widx])
+                        if outcome.merged:
+                            self.pending.append(
+                                _PendingMerge(
+                                    pos + i,
+                                    outcome.c1,
+                                    outcome.c2,
+                                    outcome.parent,
+                                    similarity,
+                                )
+                            )
+                    self.xi += end - start
+                    self.p = pos + i + 1
+                pos = blk
+
     def _apply_chunk_batch(self, chunk: range) -> None:
         """Union the whole chunk in O(log n) vectorized rounds.
 
@@ -608,22 +687,24 @@ class _CoarseSweeper:
         """
         from repro.fast.batch_sweep import batch_chunk_merge
 
-        offsets = self.offsets_list
-        w_start = offsets[chunk.start]
-        w_end = offsets[chunk.stop]
+        store = self.store
+        assert store is not None
+        w_start = int(store.offsets[chunk.start])
+        w_end = int(store.offsets[chunk.stop])
         self.xi += w_end - w_start
         self.p = chunk.stop
         if w_start == w_end:
             return
         before = self.chain
-        assert self.c1_arr is not None and self.c2_arr is not None
+        # Window-at-a-time application is exact: union merges are
+        # order-independent, so the partition after the last window
+        # equals one whole-chunk contraction, and level records come
+        # from the before/after diff either way.
+        after = before
         with self.tracer.span("runtime:compute", workers=1):
-            after = batch_chunk_merge(
-                before,
-                self.c1_arr[w_start:w_end],
-                self.c2_arr[w_start:w_end],
-                tracer=self.tracer,
-            )
+            for s, e in store.window_ranges(w_start, w_end):
+                c1w, c2w = store.window(s, e)
+                after = batch_chunk_merge(after, c1w, c2w, tracer=self.tracer)
         for c1, c2, parent in transition_merges(before, after):
             self.pending.append(_PendingMerge(chunk.start, c1, c2, parent, None))
         self.chain = after
@@ -640,28 +721,34 @@ class _CoarseSweeper:
         """
         from repro.parallel.sharded_sweep import sharded_components
 
-        offsets = self.offsets_list
-        w_start = offsets[chunk.start]
-        w_end = offsets[chunk.stop]
+        store = self.store
+        assert store is not None
+        w_start = int(store.offsets[chunk.start])
+        w_end = int(store.offsets[chunk.stop])
         self.xi += w_end - w_start
         self.p = chunk.stop
         if w_start == w_end:
             return
         before = self.chain
-        assert self.c1_arr is not None and self.c2_arr is not None
         assert self.shard_part is not None
+        # Window-at-a-time is exact here too: wedge ownership is static
+        # (by edge slot), so the set of locally-applied vs deferred
+        # boundary merges does not depend on how the window is split,
+        # and deferred pairs are re-rooted at flush time anyway.
         base = np.asarray(before.raw(), dtype=np.int64)
         with self.tracer.span("runtime:compute", workers=1):
-            merged, deferred, _stats = sharded_components(
-                base,
-                self.c1_arr[w_start:w_end],
-                self.c2_arr[w_start:w_end],
-                self.shard_part,
-                tracer=self.tracer,
-                defer_boundary=self.epsilon > 0,
-            )
-        after = ChainArray(len(before), _init=merged.tolist())
-        self._push_deferred(deferred)
+            for s, e in store.window_ranges(w_start, w_end):
+                c1w, c2w = store.window(s, e)
+                base, deferred, _stats = sharded_components(
+                    base,
+                    c1w,
+                    c2w,
+                    self.shard_part,
+                    tracer=self.tracer,
+                    defer_boundary=self.epsilon > 0,
+                )
+                self._push_deferred(deferred)
+        after = ChainArray(len(before), _init=base.tolist())
         for c1, c2, parent in transition_merges(before, after):
             self.pending.append(_PendingMerge(chunk.start, c1, c2, parent, None))
         self.chain = after
@@ -910,6 +997,11 @@ class _CoarseSweeper:
                 )
         self.tracer.count("merges", merges)
 
+    def close_store(self) -> None:
+        """Release the pair store (drops maps, removes any spill dir)."""
+        if self.store is not None:
+            self.store.close()
+
 
 def coarse_sweep(
     graph: Graph,
@@ -921,6 +1013,7 @@ def coarse_sweep(
     num_shards: Optional[int] = None,
     epsilon: float = 0.0,
     cancel: Optional[CancelToken] = None,
+    storage: Optional[StorageSettings] = None,
 ) -> CoarseResult:
     """Run the coarse-grained sweeping algorithm of Section V.
 
@@ -944,8 +1037,21 @@ def coarse_sweep(
     and merge/rollback/jump counters.  ``cancel`` is an optional
     :class:`~repro.core.cancel.CancelToken` checked at every chunk
     boundary (:class:`~repro.errors.RunCancelledError` when triggered).
+    ``storage`` selects the pair-store backing
+    (:class:`~repro.core.storage.StorageSettings`): the default keeps
+    list L in RAM; ``kind="mmap"`` builds the out-of-core store (with
+    spill-and-merge when ``memory_budget_bytes`` is exceeded) and the
+    sweep reads it through bounded windows — results are bitwise
+    identical either way.  With mmap storage and no ``similarity_map``,
+    Phase I runs *inside* the store init, streaming wedge chunks to
+    spilled runs so no K2-sized array is ever resident.  The store — and its spill directory — is
+    released before this returns, even on cancellation or error.
     """
-    sim = similarity_map if similarity_map is not None else compute_similarity_map(graph)
+    # With an mmap store there is no need to materialize Phase I here:
+    # the store's streaming init computes similarities chunk by chunk.
+    sim = similarity_map
+    if sim is None and not (storage is not None and storage.kind == "mmap"):
+        sim = compute_similarity_map(graph)
     sweeper = _CoarseSweeper(
         graph,
         sim,
@@ -956,8 +1062,12 @@ def coarse_sweep(
         num_shards=num_shards,
         epsilon=epsilon,
         cancel=cancel,
+        storage=storage,
     )
-    return sweeper.run()
+    try:
+        return sweeper.run()
+    finally:
+        sweeper.close_store()
 
 
 # ----------------------------------------------------------------------

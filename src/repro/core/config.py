@@ -79,10 +79,15 @@ class RunConfig:
         pure-Python :class:`~repro.core.similarity.SimilarityMap`
         oracle), ``"columnar"``
         (:class:`~repro.core.simcolumns.SimilarityColumns`, flat numpy
-        arrays — vectorized init/sort and zero-copy shm transport), or
-        ``"auto"`` (default: columnar when the estimated K2 reaches
+        arrays — vectorized init/sort and zero-copy shm transport),
+        ``"mmap"`` (the out-of-core pair store,
+        :mod:`repro.core.storage`: list L lives in one memory-mapped
+        file under a run-scoped spill directory and the sweep reads
+        bounded windows; requires a coarse sweep), or ``"auto"``
+        (default: columnar when the estimated K2 reaches
         ``AUTO_COLUMNAR_MIN_K2``, dict below — never slower than
-        pure-Python on small graphs).
+        pure-Python on small graphs; never resolves to ``"mmap"``,
+        which must be asked for explicitly).
     engine:
         Sweep merge engine: ``"chained"`` (default — the paper's
         sequential MERGE chain, the tested oracle), ``"batch"``
@@ -103,6 +108,17 @@ class RunConfig:
         merges are always flushed before the sweep ends); intermediate
         levels may split merges differently.  Requires
         ``engine="sharded"``.
+    storage_dir:
+        Root directory for the out-of-core store's run-scoped spill
+        directory (``pairs_format="mmap"`` only; system temp dir when
+        ``None``).  The spill directory is removed when the run's
+        sweep finishes, succeeds or not.
+    memory_budget_bytes:
+        RAM cap for building and reading the out-of-core store
+        (``pairs_format="mmap"`` only).  When the pair data exceeds
+        it, the build spills sorted runs to disk and external-merges
+        them; ``None`` sorts in memory and only the storage is
+        file-backed.
     profile:
         Collect a trace and print a human-readable summary at the end
         of the run.
@@ -119,6 +135,8 @@ class RunConfig:
     pairs_format: str = "auto"
     engine: str = "chained"
     epsilon: float = 0.0
+    storage_dir: Optional[str] = None
+    memory_budget_bytes: Optional[int] = None
     profile: bool = False
     metrics_out: Optional[str] = None
 
@@ -144,6 +162,8 @@ class RunConfig:
         object.__setattr__(self, "epsilon", float(self.epsilon))
         object.__setattr__(self, "vectorized", bool(self.vectorized))
         object.__setattr__(self, "profile", bool(self.profile))
+        if self.storage_dir is not None:
+            object.__setattr__(self, "storage_dir", str(self.storage_dir))
         if self.metrics_out is not None:
             object.__setattr__(self, "metrics_out", str(self.metrics_out))
         self.validate()
@@ -165,6 +185,8 @@ class RunConfig:
             coarse=self.coarse is not None,
             epsilon=self.epsilon,
             num_workers=self.num_workers,
+            storage_dir=self.storage_dir,
+            memory_budget_bytes=self.memory_budget_bytes,
         )
 
     # ------------------------------------------------------------------
@@ -181,6 +203,8 @@ class RunConfig:
             "pairs_format": self.pairs_format,
             "engine": self.engine,
             "epsilon": self.epsilon,
+            "storage_dir": self.storage_dir,
+            "memory_budget_bytes": self.memory_budget_bytes,
             "profile": self.profile,
             "metrics_out": self.metrics_out,
         }

@@ -40,10 +40,11 @@ from repro.core.coarse import CoarseParams, CoarseResult, coarse_sweep
 from repro.core.config import AUTO_COLUMNAR_MIN_K2, BACKENDS, RunConfig
 from repro.core.simcolumns import SimilarityColumns
 from repro.core.similarity import SimilarityMap, compute_similarity_map
+from repro.core.storage import StorageSettings
 from repro.core.sweep import SweepResult, sweep
 from repro.errors import ParameterError
 from repro.graph.graph import Graph
-from repro.obs import Tracer, as_tracer
+from repro.obs import Tracer, as_tracer, record_peak_rss
 
 __all__ = [
     "LinkClustering",
@@ -282,10 +283,11 @@ class LinkClustering:
         (:func:`repro.fast.fast_similarity_map`); identical output,
         faster on large dense graphs.
     pairs_format:
-        ``"dict"``, ``"columnar"``, or ``"auto"`` (default) —
-        representation of map ``M`` through the run; see
+        ``"dict"``, ``"columnar"``, ``"mmap"``, or ``"auto"``
+        (default) — representation of map ``M`` through the run; see
         :class:`RunConfig`.  ``auto`` picks columnar when the estimated
-        K2 reaches ``AUTO_COLUMNAR_MIN_K2``.
+        K2 reaches ``AUTO_COLUMNAR_MIN_K2`` and never picks ``mmap``
+        (the out-of-core store must be requested explicitly).
     tracer:
         Optional :class:`repro.obs.Tracer` overriding the one the config
         would build (``config.profile`` / ``config.metrics_out``).
@@ -407,7 +409,8 @@ class LinkClustering:
         ``AUTO_COLUMNAR_MIN_K2``; below it the pure-Python dict pipeline
         has less fixed overhead.  The batch and sharded engines consume
         the columnar wedge stream, so either forces ``auto`` to columnar
-        regardless of size.
+        regardless of size.  ``auto`` never resolves to ``"mmap"`` —
+        the out-of-core store must be requested explicitly.
         """
         if self.pairs_format != "auto":
             return self.pairs_format
@@ -424,7 +427,10 @@ class LinkClustering:
             return self._compute_similarities()
 
     def _compute_similarities(self) -> Union[SimilarityMap, SimilarityColumns]:
-        if self.resolved_pairs_format() == "columnar":
+        # Parallel mmap runs build the store from the columnar Phase-I
+        # output, so they share the columnar init path.  (Serial mmap
+        # runs never reach here: Phase I streams inside the store init.)
+        if self.resolved_pairs_format() in ("columnar", "mmap"):
             if self.backend == "serial" or self.num_workers == 1:
                 from repro.fast.similarity import fast_similarity_columns
 
@@ -470,15 +476,21 @@ class LinkClustering:
         Phase-I output to reuse it across sweeps.
         """
         tracer = self.tracer
-        with tracer.span(
-            "run",
+        resolved = self.resolved_pairs_format()
+        span_attrs: Dict[str, Any] = dict(
             backend=self.backend,
             num_workers=self.num_workers,
             coarse=self.coarse_params is not None,
             vectorized=self.vectorized,
             engine=self.config.engine,
-        ):
+            pairs_format=resolved,
+        )
+        if resolved == "mmap":
+            span_attrs["storage_dir"] = self.config.storage_dir
+            span_attrs["memory_budget_bytes"] = self.config.memory_budget_bytes
+        with tracer.span("run", **span_attrs):
             result = self._run(similarity_map)
+            record_peak_rss(tracer)
         tracer.flush()
         return result
 
@@ -486,18 +498,45 @@ class LinkClustering:
         self, similarity_map: Optional[Union[SimilarityMap, SimilarityColumns]]
     ) -> LinkClusteringResult:
         tracer = self.tracer
-        sim = similarity_map if similarity_map is not None else self.compute_similarities()
-        fmt = "columnar" if isinstance(sim, SimilarityColumns) else "dict"
+        resolved = self.resolved_pairs_format()
+        # Serial mmap runs stream Phase I inside the store init (wedge
+        # chunks spill to sorted runs; no K2-sized array is ever
+        # resident), so they skip the materializing init entirely.
+        stream_init = (
+            resolved == "mmap"
+            and similarity_map is None
+            and (self.backend == "serial" or self.num_workers == 1)
+        )
+        sim = similarity_map
+        if sim is None and not stream_init:
+            sim = self.compute_similarities()
+        record_peak_rss(tracer)
+        storage: Optional[StorageSettings] = None
+        if resolved == "mmap":
+            # Validation guarantees mmap runs are coarse, so the fine
+            # sweep below never sees a storage spec.
+            fmt = "mmap"
+            storage = StorageSettings(
+                kind="mmap",
+                storage_dir=self.config.storage_dir,
+                memory_budget_bytes=self.config.memory_budget_bytes,
+            )
+        else:
+            fmt = "columnar" if isinstance(sim, SimilarityColumns) else "dict"
         tracer.event(
             "run:pairs_format", format=fmt, requested=self.pairs_format
         )
-        tracer.gauge("k1", sim.k1)
-        tracer.gauge("k2", sim.k2)
+        if sim is not None:
+            # The streaming path gauges k1/k2 from the store instead
+            # (the sweeper emits them once the pair file is built).
+            tracer.gauge("k1", sim.k1)
+            tracer.gauge("k2", sim.k2)
         edge_order = None
         if self.seed is not None:
             edge_order = self.graph.permuted_edge_ids(random.Random(self.seed))
 
         if self.coarse_params is None:
+            assert sim is not None  # mmap (the only streaming case) is coarse-only
             fine: SweepResult = sweep(
                 self.graph, sim, edge_order=edge_order, tracer=tracer,
                 cancel=self.cancel,
@@ -517,6 +556,7 @@ class LinkClustering:
         if self.backend != "serial" and self.num_workers > 1:
             from repro.parallel.par_sweep import parallel_coarse_sweep
 
+            assert sim is not None  # stream_init implies the serial branch
             coarse = parallel_coarse_sweep(
                 self.graph,
                 sim,
@@ -531,6 +571,7 @@ class LinkClustering:
                 engine=self.config.engine,
                 epsilon=self.config.epsilon,
                 cancel=self.cancel,
+                storage=storage,
             )
         else:
             coarse = coarse_sweep(
@@ -542,7 +583,9 @@ class LinkClustering:
                 engine=self.config.engine,
                 epsilon=self.config.epsilon,
                 cancel=self.cancel,
+                storage=storage,
             )
+        record_peak_rss(tracer)
         return LinkClusteringResult(
             graph=self.graph,
             dendrogram=coarse.dendrogram,

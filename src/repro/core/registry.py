@@ -88,11 +88,15 @@ class BackendSpec:
 @dataclass(frozen=True)
 class PairFormatSpec:
     """One representation of map M.  ``concrete`` is False for formats
-    that resolve to another at run time (``"auto"``)."""
+    that resolve to another at run time (``"auto"``);
+    ``requires_coarse`` marks formats only the chunked sweep can
+    consume (the out-of-core store streams bounded windows, which the
+    one-merge-per-level fine sweep cannot do)."""
 
     name: str
     summary: str
     concrete: bool = True
+    requires_coarse: bool = False
 
 
 # ----------------------------------------------------------------------
@@ -259,6 +263,13 @@ register_pair_format(
         concrete=False,
     )
 )
+register_pair_format(
+    PairFormatSpec(
+        name="mmap",
+        summary="memory-mapped out-of-core pair store (external sort + spill)",
+        requires_coarse=True,
+    )
+)
 
 
 # ----------------------------------------------------------------------
@@ -272,18 +283,47 @@ def validate_run_settings(
     coarse: bool,
     epsilon: float,
     num_workers: int,
+    storage_dir: Optional[str] = None,
+    memory_budget_bytes: Optional[int] = None,
 ) -> None:
     """Check one engine × backend × pairs_format combination.
 
     The shared rule table behind ``RunConfig.validate()``, the coarse
     sweeper, and the serving daemon's submit validation.  ``coarse`` is
-    whether the run is chunked (any ``CoarseParams``).  Raises
+    whether the run is chunked (any ``CoarseParams``).
+    ``storage_dir`` / ``memory_budget_bytes`` configure the out-of-core
+    pair store and therefore require ``pairs_format="mmap"``.  Raises
     :class:`ParameterError` with messages naming the live registry
     contents.
     """
     get_backend(backend)
     engine_spec = get_engine(engine)
-    get_pair_format(pairs_format)
+    format_spec = get_pair_format(pairs_format)
+    if format_spec.requires_coarse and not coarse:
+        raise ParameterError(
+            f"pairs_format={pairs_format!r} requires coarse sweeping "
+            "(pass coarse=True or CoarseParams)"
+        )
+    if pairs_format != "mmap":
+        if storage_dir is not None:
+            raise ParameterError(
+                "storage_dir only applies to pairs_format='mmap', "
+                f"got pairs_format={pairs_format!r}"
+            )
+        if memory_budget_bytes is not None:
+            raise ParameterError(
+                "memory_budget_bytes only applies to pairs_format='mmap', "
+                f"got pairs_format={pairs_format!r}"
+            )
+    if memory_budget_bytes is not None and (
+        isinstance(memory_budget_bytes, bool)
+        or not isinstance(memory_budget_bytes, int)
+        or memory_budget_bytes < 1
+    ):
+        raise ParameterError(
+            "memory_budget_bytes must be a positive int, "
+            f"got {memory_budget_bytes!r}"
+        )
     if not isinstance(num_workers, int) or num_workers < 1:
         raise ParameterError(
             f"num_workers must be an int >= 1, got {num_workers!r}"

@@ -19,6 +19,7 @@ plus counters (``k1``, ``k2``, ``merges``, ``rollbacks``, ``jump_hits``,
 ``worker_restarts``) and events (``sweep:level``, ``sweep:jump``).
 """
 
+from repro.obs.rss import peak_rss_bytes, record_peak_rss
 from repro.obs.sinks import (
     JsonLinesSink,
     MemorySink,
@@ -51,4 +52,6 @@ __all__ = [
     "ReplaySink",
     "SummarySink",
     "render_summary",
+    "peak_rss_bytes",
+    "record_peak_rss",
 ]

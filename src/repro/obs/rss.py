@@ -1,0 +1,39 @@
+"""Peak-RSS sampling: bounded-memory claims measurable from traces.
+
+``resource.getrusage`` exposes the process's resident-set high-water
+mark (``ru_maxrss``); :func:`record_peak_rss` snapshots it into the
+``mem_peak_rss`` gauge at phase boundaries, so a trace alone shows
+whether a run stayed within its memory budget — no external tooling.
+The gauge overwrites on every sample, and ``ru_maxrss`` is a lifetime
+maximum, so the flushed value is the run's peak.
+
+``ru_maxrss`` is kilobytes on Linux and bytes on macOS; the helper
+normalizes to bytes.  Workers are included via ``RUSAGE_CHILDREN``
+(their high-water survives the wait), covering the process and shm
+backends.
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+
+from repro.obs.tracer import as_tracer
+
+__all__ = ["peak_rss_bytes", "record_peak_rss"]
+
+_RU_MAXRSS_SCALE = 1 if sys.platform == "darwin" else 1024
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size in bytes, self or any waited-for child."""
+    own = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    children = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return max(own, children) * _RU_MAXRSS_SCALE
+
+
+def record_peak_rss(tracer=None) -> int:
+    """Gauge the current peak RSS as ``mem_peak_rss``; returns the bytes."""
+    value = peak_rss_bytes()
+    as_tracer(tracer).gauge("mem_peak_rss", value)
+    return value

@@ -54,6 +54,11 @@ SPANS: FrozenSet[str] = frozenset(
         "runtime:copy",
         "runtime:compute",
         "runtime:merge",
+        # Out-of-core pair store: one spill span per sorted run, one
+        # merge span per build, one window span per bounded read.
+        "storage:spill",
+        "storage:merge",
+        "storage:window",
         "figure:*",
     }
 )
@@ -84,6 +89,14 @@ COUNTERS: FrozenSet[str] = frozenset(
         "reconcile_rounds",
         "shard_bytes",
         "worker_restarts",
+        # Out-of-core pair store build + access.
+        "spill_runs",
+        "bytes_spilled",
+        "window_loads",
+        "store_bytes",
+        # Peak resident set size (bytes, ru_maxrss high-water) sampled
+        # at phase boundaries on every backend.
+        "mem_peak_rss",
     }
 )
 

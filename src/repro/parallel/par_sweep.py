@@ -37,6 +37,7 @@ from repro.core.coarse import (
 )
 from repro.core.simcolumns import SimilarityColumns
 from repro.core.similarity import SimilarityMap, compute_similarity_map
+from repro.core.storage import StorageSettings
 from repro.errors import ParameterError
 from repro.graph.graph import Graph
 from repro.parallel.pool import ExecutionBackend
@@ -63,6 +64,7 @@ class _ParallelCoarseSweeper(_CoarseSweeper):
         engine: str = "chained",
         epsilon: float = 0.0,
         cancel: Optional[CancelToken] = None,
+        storage: Optional[StorageSettings] = None,
     ):
         super().__init__(
             graph,
@@ -73,6 +75,7 @@ class _ParallelCoarseSweeper(_CoarseSweeper):
             engine=engine,
             epsilon=epsilon,
             cancel=cancel,
+            storage=storage,
         )
         self._runtime = runtime
         # Per-worker merging never yields a global merge-event stream,
@@ -80,12 +83,13 @@ class _ParallelCoarseSweeper(_CoarseSweeper):
         self.records_by_diff = True
 
     def _apply_chunk(self, chunk: range) -> None:
-        if self.columns is not None:
+        if self.store is not None:
             # Columnar: the wedge stream is already flat; the runtime
-            # holds the edge-index columns (loaded once per sweep), so
-            # the chunk reduces to a [w_start, w_end) range.
-            w_start = self.offsets_list[chunk.start]
-            w_end = self.offsets_list[chunk.stop]
+            # holds the edge-index columns (loaded once per sweep, as
+            # arrays or as a mapping of the store's pair file), so the
+            # chunk reduces to a [w_start, w_end) range.
+            w_start = int(self.store.offsets[chunk.start])
+            w_end = int(self.store.offsets[chunk.stop])
             self.xi += w_end - w_start
             self.p = chunk.stop
             if w_start == w_end:
@@ -110,6 +114,7 @@ class _ParallelCoarseSweeper(_CoarseSweeper):
         graph = self.graph
         index = self.index
         pairs = self.pairs
+        assert pairs is not None
         edge_pairs: List[Tuple[int, int]] = []
         for pos in chunk:
             _, (vi, vj), commons = pairs[pos]
@@ -144,6 +149,7 @@ def parallel_coarse_sweep(
     engine: str = "chained",
     epsilon: float = 0.0,
     cancel: Optional[CancelToken] = None,
+    storage: Optional[StorageSettings] = None,
 ) -> CoarseResult:
     """Coarse-grained sweep with parallel chunk processing.
 
@@ -173,6 +179,15 @@ def parallel_coarse_sweep(
     checked at chunk boundaries (between runtime dispatches, never
     inside a worker).
 
+    ``storage`` selects the pair-store backing (see
+    :func:`repro.core.coarse.coarse_sweep`): with ``kind="mmap"`` the
+    sorted wedge columns live in one memory-mapped pair file and the
+    runtime publishes its :class:`~repro.core.storage.PairFileSpec` to
+    the workers, which map the file directly — page-cache sharing in
+    place of a second shared-memory block and its per-run publish copy.
+    The store (and any spill directory) is released before this
+    returns, even on cancellation or worker failure.
+
     Produces the same per-level partitions as
     :func:`repro.core.coarse.coarse_sweep` for the same chunk boundaries;
     see the module docstring for how dendrogram records are derived.
@@ -192,12 +207,19 @@ def parallel_coarse_sweep(
         engine=engine,
         epsilon=epsilon,
         cancel=cancel,
+        storage=storage,
     )
-    if sweeper.columns is not None:
+    if sweeper.store is not None:
         # Columnar: publish the sorted wedge columns to the runtime once;
-        # every chunk then dispatches as a bare index range (the shm
-        # runtime ships them zero-copy through a shared block).
-        runtime.load_pairs(sweeper.c1_arr, sweeper.c2_arr)
+        # every chunk then dispatches as a bare index range.  A
+        # file-backed store hands over its spec instead of the arrays —
+        # workers map the pair file directly (the shm runtime otherwise
+        # ships the arrays zero-copy through a shared block).
+        spec = sweeper.store.file_spec()
+        if spec is not None:
+            runtime.load_pairs_file(spec)
+        else:
+            runtime.load_pairs(sweeper.store.c1, sweeper.store.c2)
     # The runtime reports per-chunk costs through the sweep's tracer;
     # restore its previous tracer afterwards so a caller-owned runtime
     # never keeps emitting into a tracer that may since have been closed.
@@ -210,3 +232,4 @@ def parallel_coarse_sweep(
             return sweeper.run()
     finally:
         runtime.tracer = previous_tracer
+        sweeper.close_store()

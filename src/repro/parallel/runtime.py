@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.cluster.unionfind import ChainArray
 from repro.core.registry import backend_names, make_runtime
+from repro.core.storage import PairFileSpec
 from repro.errors import ParameterError
 from repro.obs import NULL_TRACER
 from repro.fast.batch_sweep import batch_chunk_merge, batch_components, batch_join_rows
@@ -121,8 +122,11 @@ class SweepRuntime(ABC):
         self.tracer = NULL_TRACER
         # Columnar pair columns loaded once per sweep (load_pairs); range
         # chunks then reference [start, stop) windows instead of shipping
-        # pair lists.  The token lets backends detect staleness.
+        # pair lists.  The token lets backends detect staleness.  When
+        # the columns come from an out-of-core store, _pairs_file holds
+        # the PairFileSpec and workers map the file themselves.
         self._pairs: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._pairs_file: Optional[PairFileSpec] = None
         self._pairs_token = 0
         # Vertex-ownership maps for the sharded engine, one per array
         # length seen (in practice one per sweep).
@@ -186,6 +190,20 @@ class SweepRuntime(ABC):
                 f"{i1.shape}/{i2.shape}"
             )
         self._pairs = (i1, i2)
+        self._pairs_file = None
+        self._pairs_token += 1
+
+    def load_pairs_file(self, spec: PairFileSpec) -> None:
+        """Load the sweep's pair columns from an out-of-core pair file.
+
+        Host-side code reads the columns through read-only memory maps;
+        backends whose workers live in other processes ship the (small,
+        picklable) ``spec`` instead of the arrays, so every worker maps
+        the same file and the chunk data is shared through the kernel
+        page cache — no per-run publish copy, no second shared block.
+        """
+        self._pairs = (spec.open_c1(), spec.open_c2())
+        self._pairs_file = spec
         self._pairs_token += 1
 
     def _require_pairs(self, start: int, stop: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -322,6 +340,44 @@ def _batch_merge_worker(
     return batch_components(labels, i1, i2)
 
 
+# Per-process cache of mapped pair-file columns, keyed by file path.  A
+# pool worker services many chunks of the same sweep; mapping the file
+# once per worker (not per task) keeps dispatch to a few ints.  One
+# entry suffices — a new path means a new sweep, and the old file is
+# gone (the store unlinks it on close).
+_FILE_PAIR_CACHE: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _file_pair_columns(spec: PairFileSpec) -> Tuple[np.ndarray, np.ndarray]:
+    cached = _FILE_PAIR_CACHE.get(spec.path)
+    if cached is None:
+        _FILE_PAIR_CACHE.clear()  # repro: noqa PAR101 (per-process map cache — divergence between workers is the point)
+        cached = (spec.open_c1(), spec.open_c2())
+        _FILE_PAIR_CACHE[spec.path] = cached  # repro: noqa PAR101 (idempotent memo)
+    return cached
+
+
+def _merge_file_range_worker(
+    chain: ChainArray, spec: PairFileSpec, start: int, stop: int, step: int
+) -> ChainArray:
+    """File-backed variant of :func:`_merge_arrays_worker`.
+
+    The worker maps the pair file itself (cached per process) and runs
+    MERGE over its strided slice — only the spec and three ints crossed
+    the process boundary.
+    """
+    i1, i2 = _file_pair_columns(spec)
+    return _merge_arrays_worker(chain, i1[start:stop:step], i2[start:stop:step])
+
+
+def _batch_file_merge_worker(
+    labels: np.ndarray, spec: PairFileSpec, start: int, stop: int, step: int
+) -> np.ndarray:
+    """File-backed variant of :func:`_batch_merge_worker`."""
+    i1, i2 = _file_pair_columns(spec)
+    return _batch_merge_worker(labels, i1[start:stop:step], i2[start:stop:step])
+
+
 def _shard_local_worker(
     width: int, a: np.ndarray, b: np.ndarray
 ) -> Tuple[np.ndarray, float]:
@@ -446,9 +502,17 @@ class LocalSweepRuntime(SweepRuntime):
         # of the window goes to worker r % k) without materializing pair
         # tuples; strided_partition never yields an empty slice, so no
         # idle worker gets a degenerate task.
+        parts = strided_partition(start, stop, self.num_workers)
+        if self._pairs_file is not None and self.backend.name == "process":
+            # File-backed pairs + process workers: ship the spec and the
+            # stride, not the (pickled) column slices — each worker maps
+            # the pair file once and pages in only its share.
+            spec = self._pairs_file
+            file_args = [(spec, p.start, p.stop, p.step) for p in parts]
+            return self._merge_on_copies(chain, _merge_file_range_worker, file_args)
         part_args = [
             (i1[p.start : p.stop : p.step], i2[p.start : p.stop : p.step])
-            for p in strided_partition(start, stop, self.num_workers)
+            for p in parts
         ]
         return self._merge_on_copies(chain, _merge_arrays_worker, part_args)
 
@@ -484,11 +548,18 @@ class LocalSweepRuntime(SweepRuntime):
         tracer = self.tracer
 
         t1 = time.perf_counter()
-        rows = self.backend.map(
-            _batch_merge_worker,
-            [(base, i1[p.start : p.stop : p.step], i2[p.start : p.stop : p.step])
-             for p in parts],
-        )
+        if self._pairs_file is not None and self.backend.name == "process":
+            spec = self._pairs_file
+            rows = self.backend.map(
+                _batch_file_merge_worker,
+                [(base, spec, p.start, p.stop, p.step) for p in parts],
+            )
+        else:
+            rows = self.backend.map(
+                _batch_merge_worker,
+                [(base, i1[p.start : p.stop : p.step], i2[p.start : p.stop : p.step])
+                 for p in parts],
+            )
         stats.tasks += len(parts)
         t2 = time.perf_counter()
         stats.compute_time += t2 - t1
@@ -657,6 +728,21 @@ class ShmSweepRuntime(SweepRuntime):
         tracer.record("runtime:merge", stats.merge_time - before[3])
         return result
 
+    def _sync_pairs(self, arena: ShmArena, i1: np.ndarray, i2: np.ndarray) -> None:
+        """Publish this sweep's pair columns to the arena if stale.
+
+        First range chunk of a sweep (or after an arena re-size): array
+        pairs are written into shared memory once; file-backed pairs
+        hand the workers the spec instead — they map the pair file
+        directly, so nothing K2-sized is copied or shared-block-backed.
+        """
+        if arena.pairs_token == self._pairs_token:
+            return
+        if self._pairs_file is not None:
+            arena.load_pairs_file(self._pairs_file, token=self._pairs_token)
+        else:
+            arena.load_pairs(i1, i2, token=self._pairs_token)
+
     def chunk_merge(
         self, chain: ChainArray, edge_pairs: Sequence[Tuple[int, int]]
     ) -> ChainArray:
@@ -676,11 +762,7 @@ class ShmSweepRuntime(SweepRuntime):
             self.stats.chunks += 1
             return chain
         arena = self._arena_for(len(chain))
-        if arena.pairs_token != self._pairs_token:
-            # First range chunk of this sweep (or the arena was re-sized):
-            # write the full pair columns into shared memory once; every
-            # chunk after this ships only (start, stop).
-            arena.load_pairs(i1, i2, token=self._pairs_token)
+        self._sync_pairs(arena, i1, i2)
         return self._run_on_arena(
             lambda: arena.chunk_merge_range(list(chain.raw()), start, stop)
         )
@@ -701,8 +783,7 @@ class ShmSweepRuntime(SweepRuntime):
             self.stats.chunks += 1
             return chain
         arena = self._arena_for(len(chain))
-        if arena.pairs_token != self._pairs_token:
-            arena.load_pairs(i1, i2, token=self._pairs_token)
+        self._sync_pairs(arena, i1, i2)
         return self._run_on_arena(
             lambda: arena.chunk_batch_range(list(chain.raw()), start, stop)
         )
@@ -730,8 +811,7 @@ class ShmSweepRuntime(SweepRuntime):
                 np.empty(0, dtype=np.int64),
             )
         arena = self._arena_for(len(chain))
-        if arena.pairs_token != self._pairs_token:
-            arena.load_pairs(i1, i2, token=self._pairs_token)
+        self._sync_pairs(arena, i1, i2)
         boundary_before = arena.boundary_edges
         rounds_before = arena.reconcile_rounds
         box: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}

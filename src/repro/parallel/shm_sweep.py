@@ -36,6 +36,7 @@ from typing import Any, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.cluster.shm import NumpyChainArray
+from repro.core.storage import PairFileSpec
 from repro.errors import ParallelError, ParameterError
 from repro.fast.batch_sweep import batch_components, batch_join_rows, compress_labels
 from repro.parallel.merge_arrays import merge_chain_into
@@ -132,6 +133,12 @@ def _worker(
       engine): the strided slice is contracted vectorized
       (:func:`repro.fast.batch_sweep.batch_components`) and the fully
       compressed labels written back into the worker's row;
+    * ``("file_range", spec, offset, stop, stride)`` /
+      ``("batch_file_range", ...)`` tuples (out-of-core columnar
+      path): as above, but the pair columns come from the
+      :class:`~repro.core.storage.PairFileSpec`'s memory-mapped pair
+      file (mapped lazily, cached per worker) instead of a shared
+      block — the kernel page cache shares the pages across workers;
     * a ``("shard_local", name, capacity, seg_start, seg_stop, lo, hi)``
       tuple (sharded engine): the worker owns vertex range ``[lo, hi)``
       of the labels in row 0 and contracts the owner-sorted intra-shard
@@ -155,6 +162,8 @@ def _worker(
     pairs_name: Optional[str] = None
     edges_block: Optional[shared_memory.SharedMemory] = None
     edges_name: Optional[str] = None
+    file_cols: Optional[Tuple[np.ndarray, np.ndarray]] = None
+    file_path: Optional[str] = None
     try:
         matrix = np.ndarray((num_rows, n), dtype=np.int64, buffer=block.buf)
         row_view = matrix[row]
@@ -194,6 +203,31 @@ def _worker(
                         for i1, i2 in zip(
                             pairs_mat[0, offset:stop:stride].tolist(),
                             pairs_mat[1, offset:stop:stride].tolist(),
+                        ):
+                            chain.merge(i1, i2)
+                elif (
+                    isinstance(task, tuple)
+                    and task
+                    and task[0] in ("file_range", "batch_file_range")
+                ):
+                    kind, spec, offset, stop, stride = task
+                    if file_path != spec.path:
+                        # New sweep, new pair file: remap (dropping the
+                        # old references unmaps the unlinked file).
+                        file_cols = (spec.open_c1(), spec.open_c2())
+                        file_path = spec.path
+                    assert file_cols is not None
+                    fi1, fi2 = file_cols
+                    if kind == "batch_file_range":
+                        matrix[row, :] = batch_components(
+                            row_view,
+                            fi1[offset:stop:stride],
+                            fi2[offset:stop:stride],
+                        )
+                    else:
+                        for i1, i2 in zip(
+                            fi1[offset:stop:stride].tolist(),
+                            fi2[offset:stop:stride].tolist(),
                         ):
                             chain.merge(i1, i2)
                 elif (
@@ -270,6 +304,9 @@ class ShmArena:
         self._pairs_block: Optional[shared_memory.SharedMemory] = None
         self._pairs_capacity = 0
         self._pairs_len = 0
+        # File-backed pair columns (out-of-core store): workers map the
+        # pair file named by this spec instead of a shared pairs block.
+        self._pairs_file: Optional[PairFileSpec] = None
         # Scratch block for the sharded engine's owner-sorted intra
         # edges (grown on demand, reused across chunks).
         self._edges_block: Optional[shared_memory.SharedMemory] = None
@@ -421,7 +458,28 @@ class ShmArena:
         del mat  # keep no view on the buffer past this call
         self.copy_time += time.perf_counter() - t0
         self._pairs_len = k2
+        self._pairs_file = None
         self._pairs_host = (i1_arr, i2_arr)
+        self.pairs_token = token if token is not None else object()
+        self.pair_loads += 1
+
+    def load_pairs_file(
+        self, spec: PairFileSpec, token: Optional[object] = None
+    ) -> None:
+        """Publish a sweep's pair columns as an out-of-core pair file.
+
+        The file-backed counterpart of :meth:`load_pairs`: nothing is
+        written into shared memory at all.  Range tasks carry the
+        (picklable) ``spec`` and every worker maps the pair file
+        itself, so the columns are shared through the kernel page cache
+        — no K2-sized shared block exists and no publish copy is paid.
+        The host keeps its own read-only maps for the inline
+        single-busy-worker and sharded-classification paths.
+        """
+        self._release_pairs_block()
+        self._pairs_file = spec
+        self._pairs_host = (spec.open_c1(), spec.open_c2())
+        self._pairs_len = spec.k2
         self.pairs_token = token if token is not None else object()
         self.pair_loads += 1
 
@@ -431,6 +489,7 @@ class ShmArena:
         self._pairs_capacity = 0
         self._pairs_len = 0
         self._pairs_host = None
+        self._pairs_file = None
         self.pairs_token = None
         if block is not None:
             block.close()
@@ -582,7 +641,6 @@ class ShmArena:
 
         self.start()
         assert self._matrix is not None
-        assert self._pairs_block is not None
 
         t0 = time.perf_counter()
         self._matrix[:busy] = base_arr
@@ -590,8 +648,17 @@ class ShmArena:
 
         t0 = time.perf_counter()
         for row in range(busy):
-            self._task_queues[row].put(
-                (
+            if self._pairs_file is not None:
+                task: Tuple[Any, ...] = (
+                    "file_range",
+                    self._pairs_file,
+                    start + row,
+                    stop,
+                    self.num_workers,
+                )
+            else:
+                assert self._pairs_block is not None
+                task = (
                     "range",
                     self._pairs_block.name,
                     self._pairs_capacity,
@@ -599,7 +666,7 @@ class ShmArena:
                     stop,
                     self.num_workers,
                 )
-            )
+            self._task_queues[row].put(task)
         self.tasks += busy
         self.range_tasks += busy
         self._collect(busy)
@@ -652,7 +719,6 @@ class ShmArena:
 
         self.start()
         assert self._matrix is not None
-        assert self._pairs_block is not None
 
         t0 = time.perf_counter()
         self._matrix[:busy] = base_arr
@@ -660,8 +726,17 @@ class ShmArena:
 
         t0 = time.perf_counter()
         for row, part in enumerate(parts):
-            self._task_queues[row].put(
-                (
+            if self._pairs_file is not None:
+                task: Tuple[Any, ...] = (
+                    "batch_file_range",
+                    self._pairs_file,
+                    part.start,
+                    part.stop,
+                    part.step,
+                )
+            else:
+                assert self._pairs_block is not None
+                task = (
                     "batch_range",
                     self._pairs_block.name,
                     self._pairs_capacity,
@@ -669,7 +744,7 @@ class ShmArena:
                     part.stop,
                     part.step,
                 )
-            )
+            self._task_queues[row].put(task)
         self.tasks += busy
         self.batch_tasks += busy
         self._collect(busy)

@@ -33,6 +33,7 @@ from repro.serve.protocol import (
     PROTOCOL_VERSION,
     TERMINAL_STATES,
     Submission,
+    file_content_hash,
     graph_content_hash,
     parse_submission,
     result_payload,
@@ -60,6 +61,7 @@ __all__ = [
     "Submission",
     "TERMINAL_STATES",
     "UnixClusterHTTPServer",
+    "file_content_hash",
     "graph_content_hash",
     "make_server",
     "parse_submission",

@@ -219,19 +219,24 @@ class JobManager:
         *,
         timeout: Optional[float] = None,
         use_cache: bool = True,
+        graph_hash: Optional[str] = None,
     ) -> Job:
         """Queue one clustering run; returns the (possibly done) job.
 
         A cache hit completes the job immediately — it never enters the
         queue, its event stream still shows ``queued → done``.  A full
         queue raises :class:`~repro.errors.QueueFullError` and leaves
-        no trace of the job.
+        no trace of the job.  ``graph_hash`` lets ``graph_path``
+        submissions reuse the file's chunked content hash instead of
+        re-walking the parsed graph edge by edge.
         """
         if self._closed:
             raise ServeError("job manager is shut down")
         if config is None:
             config = RunConfig()
-        cache_key = run_cache_key(graph_content_hash(graph), config)
+        if graph_hash is None:
+            graph_hash = graph_content_hash(graph)
+        cache_key = run_cache_key(graph_hash, config)
         sink = ReplaySink()
         job = Job(
             job_id="",

@@ -51,6 +51,7 @@ __all__ = [
     "PROTOCOL_VERSION",
     "Submission",
     "TERMINAL_STATES",
+    "file_content_hash",
     "graph_content_hash",
     "parse_submission",
     "result_payload",
@@ -97,16 +98,41 @@ def graph_content_hash(graph: Graph) -> str:
     return h.hexdigest()
 
 
+def file_content_hash(path: str, *, chunk_size: int = 1 << 20) -> str:
+    """SHA-256 of a file's raw bytes, read in fixed-size chunks.
+
+    ``graph_path`` submissions are keyed by this instead of
+    :func:`graph_content_hash`: the edge-by-edge hash walks the parsed
+    graph in Python (and previously forced multi-MB files to be fully
+    rebuilt as strings), whereas this streams the file in ``chunk_size``
+    blocks with constant memory.  Parsing options that change the
+    resulting graph (``int_labels``) are mixed into the submission's
+    key separately — see :func:`parse_submission`.
+    """
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        while True:
+            block = fh.read(chunk_size)
+            if not block:
+                break
+            h.update(block)
+    return h.hexdigest()
+
+
 def run_cache_key(graph_hash: str, config: RunConfig) -> str:
     """Cache key for one (graph, effective config) pair.
 
     The observability knobs (``profile``, ``metrics_out``) are dropped
     before hashing — they route trace output but never change the
     result, so runs differing only there share a cache entry.
+    ``storage_dir`` is dropped for the same reason: it only picks where
+    the out-of-core store spills, and the dendrogram is bitwise
+    identical wherever the spill directory lives.
     """
     effective = config.to_dict()
     effective.pop("profile", None)
     effective.pop("metrics_out", None)
+    effective.pop("storage_dir", None)
     canonical = json.dumps(effective, sort_keys=True)
     digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
     return f"{graph_hash}:{digest}"
@@ -119,12 +145,18 @@ class Submission:
     ``use_cache=False`` bypasses the cache *lookup* (the finished
     payload is still stored) — benchmarks use it to time real runs
     against a warm daemon without measuring the cache.
+
+    ``graph_hash`` is the precomputed content hash for ``graph_path``
+    submissions (the file's chunked SHA-256 mixed with the parsing
+    options); ``None`` means the manager derives the hash from the
+    in-memory graph via :func:`graph_content_hash`.
     """
 
     graph: Graph
     config: RunConfig
     timeout: Optional[float] = None
     use_cache: bool = True
+    graph_hash: Optional[str] = None
 
 
 def _parse_edges(raw: Any) -> Graph:
@@ -170,6 +202,7 @@ def parse_submission(payload: Any) -> Submission:
     has_path = payload.get("graph_path") is not None
     if has_edges == has_path:
         raise ParameterError("pass exactly one of 'edges' (inline) or 'graph_path' (reference)")
+    graph_hash: Optional[str] = None
     if has_edges:
         graph = _parse_edges(payload["edges"])
     else:
@@ -178,10 +211,18 @@ def parse_submission(payload: Any) -> Submission:
         path = payload["graph_path"]
         if not isinstance(path, str):
             raise ParameterError(f"'graph_path' must be a string, got {path!r}")
+        int_labels = bool(payload.get("int_labels", False))
         try:
-            graph = read_edge_list(path, int_labels=bool(payload.get("int_labels", False)))
+            # Hash the raw file in fixed-size chunks (constant memory,
+            # no per-edge Python loop); int_labels changes the parsed
+            # graph so it is folded into the key.
+            digest = file_content_hash(path)
+            graph = read_edge_list(path, int_labels=int_labels)
         except OSError as exc:
             raise ServeError(f"cannot read graph_path {path!r}: {exc}") from exc
+        graph_hash = hashlib.sha256(
+            f"file:{digest}:int_labels={int_labels}".encode("utf-8")
+        ).hexdigest()
 
     raw_config = payload.get("config")
     if raw_config is None:
@@ -202,6 +243,7 @@ def parse_submission(payload: Any) -> Submission:
         config=config,
         timeout=timeout,
         use_cache=bool(payload.get("use_cache", True)),
+        graph_hash=graph_hash,
     )
 
 

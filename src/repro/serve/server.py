@@ -159,6 +159,7 @@ class _Handler(BaseHTTPRequestHandler):
             submission.config,
             timeout=submission.timeout,
             use_cache=submission.use_cache,
+            graph_hash=submission.graph_hash,
         )
         self._send_json(
             202,

@@ -1,0 +1,27 @@
+"""SHM003 fixture: maps and handles with a close()-free exit path."""
+
+import mmap
+import os
+
+import numpy as np
+
+
+def map_without_close(path):
+    handle = open(path, "rb")
+    view = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    first = view[0]
+    view.close()
+    return first  # view closed, but `handle` leaks on every path
+
+
+def memmap_early_return(path, n):
+    arr = np.memmap(path, dtype=np.float64, mode="r", shape=(n,))
+    if n == 0:
+        return 0.0  # exits before the close below
+    total = float(arr.sum())
+    arr._mmap.close()
+    return total
+
+
+def anonymous_fdopen(fd):
+    return os.fdopen(fd, "rb").read(4)

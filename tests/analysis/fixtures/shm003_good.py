@@ -1,0 +1,37 @@
+"""SHM003 fixture: every map/handle is closed on all paths or escapes."""
+
+import mmap
+
+import numpy as np
+
+
+def map_with_context_manager(path):
+    with open(path, "rb") as handle:
+        with mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ) as view:
+            return view[0]
+
+
+def map_with_finally(path):
+    handle = open(path, "rb")
+    try:
+        view = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        try:
+            return view[0]
+        finally:
+            view.close()
+    finally:
+        handle.close()
+
+
+def open_map_for_caller(path, n):
+    # Ownership transfer: the fresh map is the caller's to close.
+    return np.memmap(path, dtype=np.int64, mode="r", shape=(n,))
+
+
+class MapHolder:
+    def __init__(self, path, n):
+        # Stored on self: released by this object's own close().
+        self._arr = np.memmap(path, dtype=np.float64, mode="r", shape=(n,))
+
+    def close(self):
+        self._arr = None

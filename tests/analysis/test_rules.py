@@ -14,6 +14,7 @@ FIXTURES = Path(__file__).parent / "fixtures"
 RULES = [
     "SHM001",
     "SHM002",
+    "SHM003",
     "PAR001",
     "PAR002",
     "PAR101",
@@ -94,6 +95,20 @@ class TestShm002Details:
         assert len(findings) == 3
         messages = " ".join(f.message for f in findings)
         assert "load_pairs" in messages
+
+
+class TestShm003Details:
+    def test_leaked_handle_early_return_and_anonymous_use(self):
+        findings = run_rule("SHM003", "shm003_bad.py")
+        # leaked open() handle, early return past a memmap close,
+        # anonymous os.fdopen chain
+        assert len(findings) == 3
+        messages = " ".join(f.message for f in findings)
+        assert "close()" in messages
+
+    def test_escape_shapes_accepted(self):
+        findings = run_rule("SHM003", "shm003_good.py")
+        assert findings == []
 
 
 class TestPar001Details:

@@ -82,6 +82,7 @@ class TestSelectIgnore:
             "PAR103",
             "SHM001",
             "SHM002",
+            "SHM003",
         ]
 
 

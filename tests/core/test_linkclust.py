@@ -156,6 +156,28 @@ class TestConfigApi:
         assert result.config is not None
         assert result.config.backend == "serial"
 
+    def test_storage_fields_round_trip(self):
+        from repro.core.config import RunConfig
+
+        config = RunConfig(
+            coarse=True,
+            pairs_format="mmap",
+            storage_dir="/tmp/spill",
+            memory_budget_bytes=1 << 20,
+        )
+        d = config.to_dict()
+        assert d["storage_dir"] == "/tmp/spill"
+        assert d["memory_budget_bytes"] == 1 << 20
+        assert RunConfig.from_dict(d) == config
+
+    def test_storage_fields_require_mmap_format(self):
+        from repro.core.config import RunConfig
+
+        with pytest.raises(ParameterError, match="storage_dir"):
+            RunConfig(coarse=True, storage_dir="/tmp/spill")
+        with pytest.raises(ParameterError, match="requires coarse"):
+            RunConfig(pairs_format="mmap")
+
     def test_result_to_dict_schema(self, weighted_caveman):
         from repro.core.linkclust import RESULT_SCHEMA_VERSION
 

@@ -29,7 +29,7 @@ class TestBuiltinTable:
     def test_builtin_names(self):
         assert backend_names() == ("serial", "thread", "process", "shm")
         assert engine_names() == ("chained", "batch", "sharded")
-        assert pair_format_names() == ("dict", "columnar", "auto")
+        assert pair_format_names() == ("dict", "columnar", "auto", "mmap")
 
     def test_engine_capabilities(self):
         chained = get_engine("chained")
@@ -50,6 +50,8 @@ class TestBuiltinTable:
         assert get_pair_format("dict").concrete
         assert get_pair_format("columnar").concrete
         assert not get_pair_format("auto").concrete
+        mmap_spec = get_pair_format("mmap")
+        assert mmap_spec.concrete and mmap_spec.requires_coarse
 
     def test_unknown_names_raise(self):
         with pytest.raises(ParameterError, match="engine must be one of"):
@@ -87,6 +89,36 @@ class TestValidation:
                 backend="serial", engine="chained", pairs_format="auto",
                 coarse=True, epsilon=0.5, num_workers=1,
             )
+
+    def test_mmap_requires_coarse(self):
+        with pytest.raises(ParameterError, match="requires coarse sweeping"):
+            validate_run_settings(
+                backend="serial", engine="chained", pairs_format="mmap",
+                coarse=False, epsilon=0.0, num_workers=1,
+            )
+
+    def test_storage_knobs_require_mmap(self):
+        with pytest.raises(ParameterError, match="storage_dir"):
+            validate_run_settings(
+                backend="serial", engine="chained", pairs_format="columnar",
+                coarse=True, epsilon=0.0, num_workers=1,
+                storage_dir="/tmp/spill",
+            )
+        with pytest.raises(ParameterError, match="memory_budget_bytes"):
+            validate_run_settings(
+                backend="serial", engine="chained", pairs_format="auto",
+                coarse=True, epsilon=0.0, num_workers=1,
+                memory_budget_bytes=1 << 20,
+            )
+
+    def test_bad_memory_budget_rejected(self):
+        for bad in (0, -1, True, 1.5):
+            with pytest.raises(ParameterError, match="memory_budget_bytes"):
+                validate_run_settings(
+                    backend="serial", engine="chained", pairs_format="mmap",
+                    coarse=True, epsilon=0.0, num_workers=1,
+                    memory_budget_bytes=bad,
+                )
 
     def test_bad_worker_count(self):
         with pytest.raises(ParameterError, match="num_workers"):

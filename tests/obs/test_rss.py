@@ -1,0 +1,59 @@
+"""The peak-RSS gauge: platform scaling, monotonicity, run integration."""
+
+from __future__ import annotations
+
+from repro.core import LinkClustering
+from repro.core.coarse import CoarseParams
+from repro.core.config import RunConfig
+from repro.graph import generators
+from repro.obs import MemorySink, Tracer, peak_rss_bytes, record_peak_rss
+
+
+class TestPeakRssBytes:
+    def test_positive_and_plausible(self):
+        value = peak_rss_bytes()
+        # Any real python process has at least a few MB resident and
+        # (on a test box) far less than 1 TB.
+        assert value > 1 << 20
+        assert value < 1 << 40
+
+    def test_monotone(self):
+        # ru_maxrss is a high-water mark: it never decreases.
+        first = peak_rss_bytes()
+        _ballast = [0] * 100_000
+        second = peak_rss_bytes()
+        assert second >= first
+        del _ballast
+
+    def test_record_gauges_and_returns(self):
+        tracer = Tracer([MemorySink()])
+        value = record_peak_rss(tracer)
+        assert tracer.counters["mem_peak_rss"] == value
+        assert value == peak_rss_bytes() or value <= peak_rss_bytes()
+
+    def test_record_without_tracer_is_safe(self):
+        assert record_peak_rss() > 0
+
+
+class TestRunIntegration:
+    def test_run_emits_mem_peak_rss(self):
+        graph = generators.caveman_graph(3, 4)
+        sink = MemorySink()
+        tracer = Tracer([sink])
+        LinkClustering(graph, tracer=tracer).run()
+        assert tracer.counters.get("mem_peak_rss", 0) > 0
+
+    def test_coarse_mmap_run_emits_mem_peak_rss(self, tmp_path):
+        graph = generators.caveman_graph(3, 4)
+        tracer = Tracer([MemorySink()])
+        cfg = RunConfig(
+            coarse=CoarseParams(),
+            pairs_format="mmap",
+            storage_dir=str(tmp_path),
+            memory_budget_bytes=256,
+        )
+        LinkClustering(graph, config=cfg, tracer=tracer).run()
+        assert tracer.counters.get("mem_peak_rss", 0) > 0
+        assert tracer.counters.get("spill_runs", 0) > 0
+        assert tracer.counters.get("store_bytes", 0) > 0
+        assert tracer.counters.get("window_loads", 0) > 0

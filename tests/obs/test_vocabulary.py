@@ -33,6 +33,9 @@ class TestDeclaredNames:
             "runtime:merge",
             "sweep:batch_round",
             "sweep:reconcile",
+            "storage:spill",
+            "storage:merge",
+            "storage:window",
         ):
             assert name in SPANS, name
             assert is_known_span(name)
@@ -46,6 +49,8 @@ class TestDeclaredNames:
         for counter in (
             "k1", "k2", "merges", "rollbacks", "jump_hits", "batch_rounds",
             "boundary_edges", "reconcile_rounds", "shard_bytes",
+            "spill_runs", "bytes_spilled", "window_loads", "store_bytes",
+            "mem_peak_rss",
         ):
             assert counter in COUNTERS
             assert is_known_counter(counter)

@@ -15,6 +15,7 @@ from repro.graph.graph import Graph
 from repro.serve.protocol import (
     JOB_STATES,
     TERMINAL_STATES,
+    file_content_hash,
     graph_content_hash,
     parse_submission,
     result_payload,
@@ -44,6 +45,31 @@ class TestGraphContentHash:
         assert len(hashes) == 3
 
 
+class TestFileContentHash:
+    def test_multi_mb_file_hashed_in_chunks(self, tmp_path):
+        # Regression: graph_path submissions used to hash the *parsed*
+        # graph edge by edge in Python; a multi-MB file must now stream
+        # through fixed-size chunks, and the digest must be independent
+        # of the chunk size (i.e. it really is the file's sha256).
+        import hashlib
+
+        path = tmp_path / "big.edges"
+        lines = [f"{i} {i + 1} 1.0\n" for i in range(200_000)]
+        path.write_text("".join(lines))
+        assert path.stat().st_size > 2 * 1024 * 1024
+        expected = hashlib.sha256(path.read_bytes()).hexdigest()
+        assert file_content_hash(str(path)) == expected
+        assert file_content_hash(str(path), chunk_size=4096) == expected
+        assert file_content_hash(str(path), chunk_size=1 << 22) == expected
+
+    def test_different_files_differ(self, tmp_path):
+        a = tmp_path / "a.edges"
+        b = tmp_path / "b.edges"
+        a.write_text("a b\n")
+        b.write_text("a c\n")
+        assert file_content_hash(str(a)) != file_content_hash(str(b))
+
+
 class TestRunCacheKey:
     def test_observability_fields_do_not_split_the_cache(self):
         g = Graph.from_edge_list([("a", "b"), ("b", "c")])
@@ -58,6 +84,20 @@ class TestRunCacheKey:
         assert run_cache_key(h, RunConfig()) != run_cache_key(
             h, RunConfig(backend="thread", num_workers=2, coarse=True)
         )
+
+    def test_storage_dir_does_not_split_the_cache(self):
+        # Where the out-of-core store spills never changes the
+        # dendrogram, so runs differing only in storage_dir share an
+        # entry; pairs_format itself is semantic and still splits.
+        g = Graph.from_edge_list([("a", "b"), ("b", "c")])
+        h = graph_content_hash(g)
+        base = RunConfig(coarse=True, pairs_format="mmap")
+        spilled = RunConfig(
+            coarse=True, pairs_format="mmap", storage_dir="/tmp/spill"
+        )
+        assert run_cache_key(h, base) == run_cache_key(h, spilled)
+        columnar = RunConfig(coarse=True, pairs_format="columnar")
+        assert run_cache_key(h, base) != run_cache_key(h, columnar)
 
 
 class TestParseSubmission:
@@ -75,6 +115,21 @@ class TestParseSubmission:
         path.write_text("a b\nb c\na c\n")
         sub = parse_submission({"graph_path": str(path)})
         assert sub.graph.num_edges == 3
+        # File-backed submissions carry a precomputed content hash so
+        # the job manager never re-walks the parsed graph.
+        assert sub.graph_hash is not None
+
+    def test_graph_hash_tracks_file_and_parse_options(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("1 2\n2 3\n")
+        sub_a = parse_submission({"graph_path": str(path)})
+        sub_b = parse_submission({"graph_path": str(path)})
+        assert sub_a.graph_hash == sub_b.graph_hash
+        # int_labels parses a different graph from the same bytes.
+        sub_int = parse_submission({"graph_path": str(path), "int_labels": True})
+        assert sub_int.graph_hash != sub_a.graph_hash
+        # Inline submissions have no file to hash.
+        assert parse_submission({"edges": [["a", "b"]]}).graph_hash is None
 
     def test_missing_graph_reference(self, tmp_path):
         with pytest.raises(ServeError, match="cannot read"):

@@ -237,6 +237,50 @@ class TestRunFlags:
         assert args.engine == "sharded"
         assert args.epsilon == 0.25
 
+    def test_storage_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["cluster", "g.txt", "--coarse", "--pairs-format", "mmap",
+             "--storage-dir", "/tmp/spill",
+             "--memory-budget-bytes", "65536"]
+        )
+        assert args.pairs_format == "mmap"
+        assert args.storage_dir == "/tmp/spill"
+        assert args.memory_budget_bytes == 65536
+        defaults = build_parser().parse_args(["cluster", "g.txt"])
+        assert defaults.storage_dir is None
+        assert defaults.memory_budget_bytes is None
+
+    def test_cluster_mmap_matches_columnar_output(
+        self, graph_file, tmp_path, capsys
+    ):
+        assert main(
+            ["cluster", str(graph_file), "--coarse", "--json",
+             "--pairs-format", "columnar"]
+        ) == 0
+        columnar_out = capsys.readouterr().out
+        assert main(
+            ["cluster", str(graph_file), "--coarse", "--json",
+             "--pairs-format", "mmap",
+             "--storage-dir", str(tmp_path / "spill"),
+             "--memory-budget-bytes", "256"]
+        ) == 0
+        mmap_out = capsys.readouterr().out
+        import json
+
+        a = json.loads(columnar_out)
+        b = json.loads(mmap_out)
+        # Identical clustering; only the format/storage stamps differ.
+        assert b["pairs_format"] == "mmap"
+        for key in ("best_cut", "num_levels", "k1", "k2"):
+            assert a[key] == b[key]
+
+    def test_storage_flags_without_mmap_rejected(self, graph_file, capsys):
+        assert main(
+            ["cluster", str(graph_file), "--coarse",
+             "--memory-budget-bytes", "1024"]
+        ) == 2
+        assert "memory_budget_bytes" in capsys.readouterr().err
+
     def test_cluster_profile_summary_on_stderr(self, graph_file, capsys):
         code = main(
             ["cluster", str(graph_file), "--int-labels",
